@@ -1,0 +1,55 @@
+// Shared helpers for the experiment benches: fixed-width table printing
+// and the standard header block every bench emits.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace sisyphus::bench {
+
+/// Prints "== <experiment id>: <title> ==" plus a paper reference line.
+inline void PrintHeader(const std::string& id, const std::string& title,
+                        const std::string& paper_artifact) {
+  std::printf("\n== %s: %s ==\n", id.c_str(), title.c_str());
+  std::printf("   reproduces: %s\n\n", paper_artifact.c_str());
+}
+
+/// Minimal fixed-width table writer.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::pair<std::string, int>> columns)
+      : columns_(std::move(columns)) {
+    for (const auto& [name, width] : columns_) {
+      std::printf("%-*s  ", width, name.c_str());
+    }
+    std::printf("\n");
+    for (const auto& [name, width] : columns_) {
+      std::printf("%s  ", std::string(static_cast<std::size_t>(width), '-').c_str());
+    }
+    std::printf("\n");
+  }
+
+  void Cell(const std::string& text) {
+    std::printf("%-*s  ", columns_[cursor_].second, text.c_str());
+    Advance();
+  }
+  void Cell(double value, const char* format = "%.2f") {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), format, value);
+    Cell(std::string(buffer));
+  }
+
+ private:
+  void Advance() {
+    if (++cursor_ == columns_.size()) {
+      std::printf("\n");
+      cursor_ = 0;
+    }
+  }
+
+  std::vector<std::pair<std::string, int>> columns_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sisyphus::bench

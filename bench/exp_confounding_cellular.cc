@@ -1,0 +1,118 @@
+// E2 — the paper's §3 confounding box ("An example of confounding bias"):
+// a SIGCOMM'21 cellular-reliability study found HIGHER failure rates at
+// the STRONGEST signal levels; the paper explains the anomaly as
+// confounding by deployment density (dense transit-hub deployments have
+// both strong signal and interference-driven failures).
+//
+// We implement that data-generating process and show: (a) the naive
+// failure-rate-by-signal curve reproduces the paradoxical positive slope
+// at the top; (b) adjusting for density (stratification / regression /
+// IPW) recovers the true protective effect of signal strength.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "causal/dag_parser.h"
+#include "causal/estimators.h"
+#include "causal/identification.h"
+#include "core/rng.h"
+#include "stats/descriptive.h"
+#include "stats/logistic.h"
+
+namespace {
+
+using namespace sisyphus;
+
+int Main() {
+  bench::PrintHeader("E2", "confounded cellular reliability",
+                     "section 3 box 'An example of confounding bias' "
+                     "(Li et al., SIGCOMM'21)");
+
+  auto dag = causal::ParseDag(
+      "Density -> Signal; Density -> Failure; Signal -> Failure");
+  std::printf("DAG: %s\n", dag.value().ToText().c_str());
+  auto identification = causal::Identify(dag.value(), "Signal", "Failure");
+  std::printf("identification: %s\n\n",
+              identification.value().explanation.c_str());
+
+  // DGP. density ~ U(0,1): transit hubs ~1, rural ~0.
+  //   signal = 0.2 + 0.75*density + noise         (dense => strong signal)
+  //   P(failure) = sigmoid(-2.5 + 4*density - 2*(signal - 0.6))
+  // True: stronger signal reduces failures; density raises them more.
+  core::Rng rng(42);
+  const std::size_t n = 200000;
+  std::vector<double> density(n), signal(n), failure(n), strong(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    density[i] = rng.NextDouble();
+    signal[i] = std::clamp(0.2 + 0.75 * density[i] + rng.Gaussian(0.0, 0.12),
+                           0.0, 1.0);
+    const double p =
+        stats::Sigmoid(-2.5 + 4.0 * density[i] - 2.0 * (signal[i] - 0.6));
+    failure[i] = rng.Bernoulli(p) ? 1.0 : 0.0;
+    strong[i] = signal[i] > 0.7 ? 1.0 : 0.0;  // "strongest levels"
+  }
+
+  // (a) The paradoxical descriptive curve: failure rate by signal bin.
+  std::printf("naive failure rate by signal level (the SIGCOMM'21 "
+              "anomaly):\n");
+  bench::TableWriter curve({{"signal bin", 12}, {"failure rate", 12},
+                            {"mean density", 12}});
+  for (int b = 0; b < 5; ++b) {
+    const double lo = 0.2 * b, hi = 0.2 * (b + 1);
+    double failures = 0.0, count = 0.0, dsum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (signal[i] >= lo && signal[i] < hi) {
+        failures += failure[i];
+        dsum += density[i];
+        count += 1.0;
+      }
+    }
+    if (count == 0) continue;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f-%.1f", lo, hi);
+    curve.Cell(label);
+    curve.Cell(failures / count, "%.3f");
+    curve.Cell(dsum / count, "%.2f");
+  }
+
+  causal::Dataset data;
+  (void)data.AddColumn("Density", density);
+  (void)data.AddColumn("Strong", strong);
+  (void)data.AddColumn("Failure", failure);
+
+  auto naive = causal::NaiveDifference(data, "Strong", "Failure");
+  auto adjusted =
+      causal::RegressionAdjustment(data, "Strong", "Failure", {"Density"});
+  auto stratified =
+      causal::Stratification(data, "Strong", "Failure", {"Density"});
+  auto ipw =
+      causal::InversePropensityWeighting(data, "Strong", "Failure",
+                                         {"Density"});
+
+  std::printf("\neffect of STRONG signal (>0.7) on failure probability:\n");
+  bench::TableWriter table({{"estimator", 26}, {"effect", 10}, {"95% CI", 20}});
+  auto row = [&](const char* name, const causal::EffectEstimate& e) {
+    table.Cell(name);
+    table.Cell(e.effect, "%+.4f");
+    char ci[48];
+    std::snprintf(ci, sizeof(ci), "[%+.4f, %+.4f]", e.ci_lower(), e.ci_upper());
+    table.Cell(std::string(ci));
+  };
+  row("naive difference", naive.value());
+  row("regression (density)", adjusted.value());
+  row("stratification (density)", stratified.value());
+  row("ipw (density)", ipw.value());
+
+  std::printf("\nshape check: naive effect %s 0 (signal 'causes' failure — "
+              "the published anomaly), adjusted effects %s 0 (signal is "
+              "protective once density is held fixed)\n",
+              naive.value().effect > 0 ? ">" : "<=",
+              adjusted.value().effect < 0 ? "<" : ">=");
+  std::printf("paper: 'deployment density confounds both signal strength "
+              "and failure. Without adjusting for this factor, the "
+              "observed correlation is misleading.'\n");
+  return naive.value().effect > 0 && adjusted.value().effect < 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,108 @@
+// E1 — the paper's §3 running example and ladder of causation.
+//
+// Builds the C -> R, C -> L, R -> L SCM (congestion confounds routing and
+// latency), then answers the three rungs:
+//   association    E[L | R]          — from observational samples
+//   intervention   E[L | do(R)]      — graph surgery on the SCM
+//   counterfactual L_{R=0}(unit)     — abduction-action-prediction
+// and prints the confounding bias a naive analysis would report.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "causal/dag_parser.h"
+#include "causal/identification.h"
+#include "causal/ladder.h"
+
+namespace {
+
+using namespace sisyphus;
+
+int Main() {
+  bench::PrintHeader(
+      "E1", "ladder of causation on the routing/latency running example",
+      "section 3 'Running example' + 'The ladder of causation'");
+
+  // Route changes (R, binary: 1 = shifted to the alternate transit) are
+  // triggered by congestion C, which also directly inflates latency L
+  // (ms). The true causal effect of the route shift is +2 ms; congestion
+  // adds 3 ms per unit and makes shifts 1.5x more likely per unit.
+  auto dag = causal::ParseDag("C -> R; C -> L; R -> L");
+  if (!dag.ok()) {
+    std::printf("dag error: %s\n", dag.error().ToText().c_str());
+    return 1;
+  }
+  std::printf("DAG: %s\n", dag.value().ToText().c_str());
+
+  causal::Scm scm(dag.value());
+  (void)scm.SetLinear("C", 0.0, {}, 1.0);
+  (void)scm.SetLinear("R", 0.0, {{"C", 1.5}}, 0.5);
+  (void)scm.SetLinear("L", 30.0, {{"C", 3.0}, {"R", 2.0}}, 0.5);
+  std::printf("SCM: L = 30 + 3C + 2R + eps; R = 1.5C + eps; true effect of "
+              "R on L: +2.00 ms\n\n");
+
+  core::Rng rng(2025);
+  const causal::Dataset data = scm.Sample(100000, rng);
+
+  auto comparison =
+      causal::CompareLadderRungs(scm, data, "R", "L", 1.0, 0.0,
+                                 /*halfwidth=*/0.25, 50000, rng);
+  if (!comparison.ok()) {
+    std::printf("error: %s\n", comparison.error().ToText().c_str());
+    return 1;
+  }
+  const auto& c = comparison.value();
+
+  bench::TableWriter table({{"rung", 16}, {"question", 42}, {"answer (ms)", 12}});
+  table.Cell("1 association");
+  table.Cell("E[L | R~1] - E[L | R~0]");
+  table.Cell(c.associational_contrast(), "%+.2f");
+  table.Cell("2 intervention");
+  table.Cell("E[L | do(R=1)] - E[L | do(R=0)]");
+  table.Cell(c.interventional_contrast(), "%+.2f");
+
+  // Rung 3: one concrete unit. A user whose call degraded right after a
+  // route change: would it have been better had the route not changed?
+  const auto factual = [&] {
+    // Draw worlds until we find one with a route shift and high latency.
+    while (true) {
+      auto world = scm.SampleWorld(rng);
+      if (world.at("R") > 1.0 && world.at("L") > 33.0) return world;
+    }
+  }();
+  auto counterfactual =
+      causal::CounterfactualOutcome(scm, factual, "R", "L", 0.0);
+  if (!counterfactual.ok()) {
+    std::printf("error: %s\n", counterfactual.error().ToText().c_str());
+    return 1;
+  }
+  table.Cell("3 counterfactual");
+  table.Cell("L had R been 0, for the observed unit");
+  table.Cell(counterfactual.value() - factual.at("L"), "%+.2f");
+
+  std::printf("\nobserved unit: C=%.2f R=%.2f L=%.2f; counterfactual "
+              "L_(R=0) = %.2f\n",
+              factual.at("C"), factual.at("R"), factual.at("L"),
+              counterfactual.value());
+  std::printf("confounding bias absorbed by the naive (rung-1) answer: "
+              "%+.2f ms (paper: association != causation when C -> R and "
+              "C -> L)\n",
+              c.confounding_bias());
+
+  // The identification engine reaches the same conclusion symbolically.
+  auto identification = causal::Identify(dag.value(), "R", "L");
+  if (identification.ok()) {
+    std::printf("identification: strategy=%s — %s\n",
+                causal::ToString(identification.value().strategy),
+                identification.value().explanation.c_str());
+  }
+  const bool shape =
+      std::abs(c.interventional_contrast() - 2.0) < 0.3 &&
+      c.associational_contrast() > c.interventional_contrast() + 0.5;
+  std::printf("shape check: %s\n", shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,215 @@
+// E7 — the paper's §4 "Measurement Design for Causal Analysis": the four
+// platform proposals, each demonstrated quantitatively.
+//
+//  (1) conditional activation: event-triggered bursts give clean
+//      before/after samples around every route change — we count how many
+//      exogenous events acquire usable within-1h data with and without it;
+//  (2) intent tagging: analyzing all tests vs baseline-tagged tests under
+//      endogenous user behaviour — the tagged analysis removes the
+//      selection bias in measured mean RTT;
+//  (3) exogenous intervention API: a PEERING-style poisoning experiment
+//      measures a route's causal RTT cost directly, with an audit trail;
+//  (4) endogeneity as signal: the user-initiated test RATE itself tracks
+//      the (unobserved) congestion level — bias repurposed as a sensor.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/rng.h"
+#include "measure/intervention.h"
+#include "measure/panel.h"
+#include "measure/platform.h"
+#include "stats/descriptive.h"
+
+namespace {
+
+using namespace sisyphus;
+using core::Asn;
+using core::SimTime;
+
+struct World {
+  std::unique_ptr<netsim::NetworkSimulator> sim;
+  netsim::PopIndex user = 0, server = 0;
+  core::LinkId primary;
+
+  World() {
+    netsim::Topology topo;
+    const auto city = topo.cities().Add({"X", {0, 0}, 2.0});
+    user = topo.AddPop(Asn{100}, city, netsim::AsRole::kAccess).value();
+    const auto p1 =
+        topo.AddPop(Asn{20}, city, netsim::AsRole::kTransit).value();
+    const auto p2 =
+        topo.AddPop(Asn{30}, city, netsim::AsRole::kTransit).value();
+    server = topo.AddPop(Asn{40}, city, netsim::AsRole::kContent).value();
+    primary = topo.AddLink(user, p1,
+                           netsim::Relationship::kCustomerToProvider,
+                           std::nullopt, 0.5)
+                  .value();
+    (void)topo.AddLink(user, p2, netsim::Relationship::kCustomerToProvider,
+                       std::nullopt, 2.0);
+    (void)topo.AddLink(server, p1,
+                       netsim::Relationship::kCustomerToProvider,
+                       std::nullopt, 0.3);
+    (void)topo.AddLink(server, p2,
+                       netsim::Relationship::kCustomerToProvider,
+                       std::nullopt, 0.3);
+    topo.MutableLink(primary).base_utilization = 0.5;
+    topo.MutableLink(primary).diurnal_amplitude = 0.35;
+    sim = std::make_unique<netsim::NetworkSimulator>(std::move(topo));
+  }
+
+  void ScheduleMaintenance(core::Rng& rng, int days) {
+    for (int day = 0; day < days; ++day) {
+      if (!rng.Bernoulli(0.4)) continue;
+      const double start = 24.0 * day + rng.Uniform(1.0, 21.0);
+      netsim::NetworkEvent down;
+      down.time = SimTime::FromHours(start);
+      down.type = netsim::EventType::kLinkDown;
+      down.exogenous = true;
+      down.description = "scheduled maintenance";
+      down.link = primary;
+      sim->schedule().Add(down);
+      auto up = down;
+      up.time = SimTime::FromHours(start + 1.5);
+      up.type = netsim::EventType::kLinkUp;
+      sim->schedule().Add(up);
+    }
+  }
+};
+
+int Main() {
+  bench::PrintHeader("E7", "platform design for causal analysis",
+                     "section 4 proposals (1)-(4)");
+
+  constexpr int kDays = 30;
+
+  // ---- Proposal 1: conditional activation ----
+  auto run = [&](bool conditional) {
+    World world;
+    core::Rng rng(99);
+    world.ScheduleMaintenance(rng, kDays);
+    measure::PlatformOptions options;
+    options.server = world.server;
+    options.conditional_activation = conditional;
+    options.event_burst_tests = 5;
+    measure::Platform platform(*world.sim, options);
+    measure::VantageConfig vantage;
+    vantage.pop = world.user;
+    vantage.baseline_tests_per_day = 4.0;  // sparse fixed-interval floor
+    platform.AddVantage(vantage);
+    platform.Run(SimTime::FromDays(kDays), rng);
+
+    // How many route changes have >= 3 tests within the following hour?
+    std::size_t covered = 0, events = 0;
+    for (const auto& change : world.sim->route_changes()) {
+      if (!change.exogenous) continue;
+      ++events;
+      std::size_t nearby = 0;
+      for (const auto& record : platform.store().records()) {
+        if (record.time >= change.time &&
+            record.time < change.time + SimTime::FromHours(1)) {
+          ++nearby;
+        }
+      }
+      if (nearby >= 3) ++covered;
+    }
+    return std::tuple{events, covered, platform.store().size()};
+  };
+  const auto [events_off, covered_off, n_off] = run(false);
+  const auto [events_on, covered_on, n_on] = run(true);
+  std::printf("(1) conditional activation: route-change events with >=3 "
+              "tests in the next hour\n");
+  bench::TableWriter p1({{"platform", 26}, {"events", 7}, {"covered", 8},
+                         {"total tests", 11}});
+  p1.Cell("fixed-interval only");
+  p1.Cell(static_cast<double>(events_off), "%.0f");
+  p1.Cell(static_cast<double>(covered_off), "%.0f");
+  p1.Cell(static_cast<double>(n_off), "%.0f");
+  p1.Cell("with event triggers");
+  p1.Cell(static_cast<double>(events_on), "%.0f");
+  p1.Cell(static_cast<double>(covered_on), "%.0f");
+  p1.Cell(static_cast<double>(n_on), "%.0f");
+
+  // ---- Proposal 2: intent tagging ----
+  World tagged_world;
+  core::Rng rng2(7);
+  measure::PlatformOptions tag_options;
+  tag_options.server = tagged_world.server;
+  measure::Platform tagged(*tagged_world.sim, tag_options);
+  measure::VantageConfig vantage;
+  vantage.pop = tagged_world.user;
+  vantage.baseline_tests_per_day = 6.0;
+  vantage.user_tests_per_day = 6.0;
+  vantage.dissatisfaction_gain = 12.0;
+  tagged.AddVantage(vantage);
+  tagged.Run(SimTime::FromDays(kDays), rng2);
+  std::vector<double> all_rtt, baseline_rtt;
+  for (const auto& record : tagged.store().records()) {
+    all_rtt.push_back(record.rtt_ms);
+    if (record.intent == measure::Intent::kBaseline) {
+      baseline_rtt.push_back(record.rtt_ms);
+    }
+  }
+  std::printf("\n(2) intent tagging under endogenous user testing:\n"
+              "    mean RTT, all tests: %.2f ms | baseline-tagged only: "
+              "%.2f ms (selection inflates the untagged mean by %+.2f "
+              "ms)\n",
+              stats::Mean(all_rtt), stats::Mean(baseline_rtt),
+              stats::Mean(all_rtt) - stats::Mean(baseline_rtt));
+
+  // ---- Proposal 3: exogenous intervention API ----
+  World api_world;
+  core::Rng rng3(13);
+  measure::InterventionApi api(*api_world.sim);
+  // Measure RTT on primary, poison its upstream, measure on backup: the
+  // contrast is causal because WE moved the route, not the network.
+  auto route = api_world.sim->RouteBetween(api_world.user, api_world.server);
+  std::vector<double> before, after;
+  for (int i = 0; i < 200; ++i) {
+    before.push_back(api_world.sim->latency().SampleRttMs(
+        route.value(), api_world.sim->Now(), rng3));
+  }
+  (void)api.PoisonAsns(api_world.server, {Asn{20}},
+                       "controlled route-cost experiment: exclusion holds "
+                       "because the poison only moves this route");
+  route = api_world.sim->RouteBetween(api_world.user, api_world.server);
+  for (int i = 0; i < 200; ++i) {
+    after.push_back(api_world.sim->latency().SampleRttMs(
+        route.value(), api_world.sim->Now(), rng3));
+  }
+  std::printf("\n(3) intervention API (PEERING-style poisoning): causal "
+              "route cost = %+.2f ms; audit log entries: %zu\n",
+              stats::Mean(after) - stats::Mean(before),
+              api.audit_log().size());
+
+  // ---- Proposal 4: endogeneity as signal ----
+  // Correlate the hourly user-test COUNT with the true (hidden) primary
+  // utilization: the sampling bias is itself a congestion sensor.
+  std::vector<double> hourly_counts(24 * kDays, 0.0);
+  for (const auto& record : tagged.store().records()) {
+    if (record.intent != measure::Intent::kUserInitiated) continue;
+    const auto hour = static_cast<std::size_t>(record.time.hours());
+    if (hour < hourly_counts.size()) hourly_counts[hour] += 1.0;
+  }
+  std::vector<double> hourly_util(24 * kDays, 0.0);
+  for (std::size_t h = 0; h < hourly_util.size(); ++h) {
+    hourly_util[h] = tagged_world.sim->latency().LinkUtilization(
+        tagged_world.primary, SimTime::FromHours(static_cast<double>(h)));
+  }
+  const double corr =
+      stats::PearsonCorrelation(hourly_counts, hourly_util);
+  std::printf("\n(4) endogeneity as signal: corr(user-test rate, hidden "
+              "link utilization) = %.2f — 'who measures and when reflects "
+              "underlying network conditions'\n",
+              corr);
+
+  const bool shape = covered_on > covered_off &&
+                     stats::Mean(all_rtt) > stats::Mean(baseline_rtt) &&
+                     corr > 0.2;
+  std::printf("\nshape check: %s\n", shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,124 @@
+// E9 — PoiRoot-style root-cause localization at scale (extension;
+// paper §2's highlighted example of causal reasoning on path changes).
+//
+// Sweep: random three-tier Internets, every link failed in turn, every
+// affected access->content path localized. Reports localization accuracy
+// (culprit is an endpoint AS of the failed link) and the classification
+// mix, sliced by where the failure happened (access / transit / core).
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "netsim/root_cause.h"
+#include "netsim/scenario_random.h"
+
+namespace {
+
+using namespace sisyphus;
+using core::LinkId;
+using netsim::AsRole;
+using netsim::PopIndex;
+
+const char* TierOf(const netsim::Topology& topo, const netsim::Link& link) {
+  const AsRole role_a = topo.GetPop(link.a).role;
+  const AsRole role_b = topo.GetPop(link.b).role;
+  if (role_a == AsRole::kAccess || role_b == AsRole::kAccess) return "edge";
+  if (role_a == AsRole::kContent || role_b == AsRole::kContent)
+    return "content";
+  return "core";
+}
+
+struct TierStats {
+  std::size_t changes = 0;
+  std::size_t localized = 0;
+  std::size_t withdrawals = 0;
+  std::size_t reroutes = 0;
+};
+
+int Main() {
+  bench::PrintHeader("E9", "root-cause localization for path changes",
+                     "section 2 (PoiRoot as causal-reasoning exemplar)");
+
+  std::map<std::string, TierStats> by_tier;
+  std::size_t total_changes = 0, total_localized = 0;
+  for (int seed = 1; seed <= 6; ++seed) {
+    netsim::RandomInternetOptions options;
+    options.seed = static_cast<std::uint64_t>(seed);
+    options.access_count = 24;
+    options.transit_count = 8;
+    options.multihoming_probability = 0.7;
+    auto world = netsim::BuildRandomInternet(options);
+    auto& sim = *world.simulator;
+    const PopIndex dst = world.content.front();
+
+    for (LinkId::underlying_type raw = 0; raw < sim.topology().LinkCount();
+         ++raw) {
+      const LinkId link{raw};
+      const netsim::RouteTable before = sim.bgp().RoutesTo(dst);
+      sim.topology().MutableLink(link).up = false;
+      sim.bgp().InvalidateCache();
+      const netsim::RouteTable after = sim.bgp().RoutesTo(dst);
+      const auto& l = sim.topology().GetLink(link);
+      TierStats& stats = by_tier[TierOf(sim.topology(), l)];
+      for (PopIndex src : world.access) {
+        if (!before.best[src].has_value() || !after.best[src].has_value()) {
+          continue;
+        }
+        if (before.best[src]->pop_path == after.best[src]->pop_path) {
+          continue;
+        }
+        auto result =
+            netsim::LocalizeRouteChange(sim.topology(), before, after, src);
+        if (!result.ok()) continue;
+        ++stats.changes;
+        ++total_changes;
+        if (result.value().culprit == l.a || result.value().culprit == l.b) {
+          ++stats.localized;
+          ++total_localized;
+        }
+        if (result.value().kind == netsim::RouteChangeKind::kWithdrawal) {
+          ++stats.withdrawals;
+        } else if (result.value().kind ==
+                   netsim::RouteChangeKind::kReroute) {
+          ++stats.reroutes;
+        }
+      }
+      sim.topology().MutableLink(link).up = true;
+      sim.bgp().InvalidateCache();
+    }
+  }
+
+  std::printf("6 random internets x every-link failure; %zu path changes "
+              "analyzed\n\n",
+              total_changes);
+  bench::TableWriter table({{"failure tier", 12}, {"changes", 8},
+                            {"localized", 9}, {"accuracy", 8},
+                            {"withdrawals", 11}, {"reroutes", 8}});
+  for (const auto& [tier, stats] : by_tier) {
+    table.Cell(tier);
+    table.Cell(static_cast<double>(stats.changes), "%.0f");
+    table.Cell(static_cast<double>(stats.localized), "%.0f");
+    table.Cell(stats.changes > 0 ? static_cast<double>(stats.localized) /
+                                       static_cast<double>(stats.changes)
+                                 : 0.0,
+               "%.2f");
+    table.Cell(static_cast<double>(stats.withdrawals), "%.0f");
+    table.Cell(static_cast<double>(stats.reroutes), "%.0f");
+  }
+  const double accuracy = total_changes > 0
+                              ? static_cast<double>(total_localized) /
+                                    static_cast<double>(total_changes)
+                              : 0.0;
+  std::printf("\noverall accuracy: %.1f%% (culprit is an endpoint of the "
+              "failed link)\n",
+              100.0 * accuracy);
+  std::printf("paper: PoiRoot 'models the causal structure of path changes"
+              "... to identify root causes' — this is that localization "
+              "logic on converged tables.\n");
+  std::printf("shape check: %s\n", accuracy > 0.9 ? "PASS" : "FAIL");
+  return accuracy > 0.9 ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,116 @@
+// P2 — causal-engine microbenchmarks: d-separation (linear-time
+// reachability vs exponential path enumeration), identification, and the
+// synthetic-control estimators at Table 1 panel sizes.
+#include <benchmark/benchmark.h>
+
+#include "causal/dseparation.h"
+#include "causal/identification.h"
+#include "causal/placebo.h"
+#include "causal/robust_synthetic_control.h"
+#include "core/rng.h"
+
+namespace {
+
+using namespace sisyphus;
+using causal::Dag;
+using causal::NodeId;
+using causal::NodeSet;
+
+Dag RandomDag(std::size_t nodes, double edge_probability,
+              std::uint64_t seed) {
+  core::Rng rng(seed);
+  Dag dag;
+  std::vector<NodeId> ids;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ids.push_back(dag.AddNode("V" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t j = i + 1; j < nodes; ++j) {
+      if (rng.Bernoulli(edge_probability)) {
+        (void)dag.AddEdge(ids[i], ids[j]);
+      }
+    }
+  }
+  return dag;
+}
+
+void BM_DSeparationReachability(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Dag dag = RandomDag(n, 4.0 / static_cast<double>(n), 42);
+  const NodeId x{0}, y{static_cast<NodeId::underlying_type>(n - 1)};
+  NodeSet z{NodeId{static_cast<NodeId::underlying_type>(n / 2)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::IsDSeparated(dag, x, y, z));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DSeparationReachability)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+void BM_PathEnumerationOracle(benchmark::State& state) {
+  // The explanation-oriented oracle is exponential; only small graphs.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Dag dag = RandomDag(n, 0.35, 43);
+  const NodeId x{0}, y{static_cast<NodeId::underlying_type>(n - 1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::EnumeratePaths(dag, x, y));
+  }
+}
+BENCHMARK(BM_PathEnumerationOracle)->DenseRange(6, 14, 2);
+
+void BM_Identify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Dag dag = RandomDag(n, 3.0 / static_cast<double>(n), 44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::Identify(
+        dag, NodeId{0}, NodeId{static_cast<NodeId::underlying_type>(n - 1)}));
+  }
+}
+BENCHMARK(BM_Identify)->DenseRange(8, 24, 4);
+
+causal::SyntheticControlInput PanelInput(std::size_t periods,
+                                         std::size_t donors) {
+  core::Rng rng(45);
+  causal::SyntheticControlInput input;
+  input.pre_periods = periods / 2;
+  input.donors = stats::Matrix(periods, donors);
+  for (std::size_t t = 0; t < periods; ++t)
+    for (std::size_t j = 0; j < donors; ++j)
+      input.donors(t, j) = 20.0 + rng.Gaussian();
+  input.treated.resize(periods);
+  for (std::size_t t = 0; t < periods; ++t)
+    input.treated[t] = 20.0 + rng.Gaussian();
+  return input;
+}
+
+void BM_ClassicalSyntheticControl(benchmark::State& state) {
+  const auto input = PanelInput(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::FitSyntheticControl(input));
+  }
+}
+BENCHMARK(BM_ClassicalSyntheticControl)->Args({224, 30})->Args({224, 60});
+
+void BM_RobustSyntheticControl(benchmark::State& state) {
+  const auto input = PanelInput(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::FitRobustSyntheticControl(input));
+  }
+}
+BENCHMARK(BM_RobustSyntheticControl)->Args({224, 30})->Args({224, 60});
+
+void BM_FullPlaceboAnalysis(benchmark::State& state) {
+  const auto input = PanelInput(224, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::RunPlaceboAnalysis(input));
+  }
+}
+BENCHMARK(BM_FullPlaceboAnalysis)->Arg(15)->Arg(30);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// P1 — linear-algebra microbenchmarks: QR / SVD scaling (documents the
+// one-sided-Jacobi choice from DESIGN.md §4), least-squares solve, and
+// the simplex projection used by classical synthetic control.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "stats/decomposition.h"
+#include "stats/matrix.h"
+
+namespace {
+
+using namespace sisyphus;
+
+stats::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  core::Rng rng(seed);
+  stats::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.Gaussian();
+  return m;
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomMatrix(n, n, 1);
+  const auto b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatrixMultiply)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+
+void BM_QrDecompose(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomMatrix(rows, rows / 4 + 2, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::QrDecompose(a));
+  }
+}
+BENCHMARK(BM_QrDecompose)->RangeMultiplier(2)->Range(32, 256);
+
+// SVD at synthetic-control panel shapes: periods x donors.
+void BM_SvdPanelShape(benchmark::State& state) {
+  const auto periods = static_cast<std::size_t>(state.range(0));
+  const auto donors = static_cast<std::size_t>(state.range(1));
+  const auto a = RandomMatrix(periods, donors, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SvdDecompose(a));
+  }
+}
+BENCHMARK(BM_SvdPanelShape)
+    ->Args({56, 10})
+    ->Args({224, 30})    // the Table 1 shape
+    ->Args({224, 60})
+    ->Args({896, 30});   // hourly buckets
+
+void BM_SolveLeastSquares(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomMatrix(n, 8, 5);
+  core::Rng rng(6);
+  stats::Vector b(n);
+  for (auto& x : b) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SolveLeastSquares(a, b));
+  }
+}
+BENCHMARK(BM_SolveLeastSquares)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_ProjectToSimplex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(7);
+  stats::Vector v(n);
+  for (auto& x : v) x = rng.Gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::ProjectToSimplex(v));
+  }
+}
+BENCHMARK(BM_ProjectToSimplex)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// P3 — network-simulator microbenchmarks: BGP convergence scaling, route
+// cache behaviour, latency evaluation, and end-to-end measurement
+// campaign throughput on the Table 1 scenario.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "measure/platform.h"
+#include "netsim/scenario_za.h"
+
+namespace {
+
+using namespace sisyphus;
+using core::Asn;
+
+/// Random 3-tier topology with ~n PoPs.
+netsim::Topology RandomTopology(std::size_t access_count,
+                                std::uint64_t seed) {
+  core::Rng rng(seed);
+  netsim::Topology topo;
+  const auto city = topo.cities().Add({"X", {0, 0}, 0});
+  std::uint32_t asn = 1;
+  std::vector<netsim::PopIndex> tier1, tier2;
+  for (int i = 0; i < 4; ++i) {
+    tier1.push_back(
+        topo.AddPop(Asn{asn++}, city, netsim::AsRole::kTransit).value());
+  }
+  for (std::size_t i = 0; i < tier1.size(); ++i)
+    for (std::size_t j = i + 1; j < tier1.size(); ++j)
+      (void)topo.AddLink(tier1[i], tier1[j],
+                         netsim::Relationship::kPeerToPeer);
+  const std::size_t tier2_count = std::max<std::size_t>(4, access_count / 8);
+  for (std::size_t i = 0; i < tier2_count; ++i) {
+    const auto node =
+        topo.AddPop(Asn{asn++}, city, netsim::AsRole::kTransit).value();
+    tier2.push_back(node);
+    (void)topo.AddLink(
+        node, tier1[static_cast<std::size_t>(rng.UniformInt(0, 3))],
+        netsim::Relationship::kCustomerToProvider);
+  }
+  for (std::size_t i = 0; i < access_count; ++i) {
+    const auto node =
+        topo.AddPop(Asn{asn++}, city, netsim::AsRole::kAccess).value();
+    (void)topo.AddLink(
+        node,
+        tier2[static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(tier2.size()) - 1))],
+        netsim::Relationship::kCustomerToProvider);
+  }
+  return topo;
+}
+
+void BM_BgpConvergence(benchmark::State& state) {
+  const auto topo =
+      RandomTopology(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    netsim::BgpSimulator bgp(topo);
+    benchmark::DoNotOptimize(bgp.RoutesTo(0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BgpConvergence)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+void BM_CachedRouteLookup(benchmark::State& state) {
+  const auto topo = RandomTopology(128, 8);
+  netsim::BgpSimulator bgp(topo);
+  (void)bgp.RoutesTo(0);  // warm the cache
+  netsim::PopIndex src = static_cast<netsim::PopIndex>(topo.PopCount() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp.Route(src, 0));
+  }
+}
+BENCHMARK(BM_CachedRouteLookup);
+
+void BM_PathRttEvaluation(benchmark::State& state) {
+  const auto topo = RandomTopology(128, 9);
+  netsim::BgpSimulator bgp(topo);
+  netsim::LatencyModel latency(topo);
+  auto route = bgp.Route(static_cast<netsim::PopIndex>(topo.PopCount() - 1),
+                         0);
+  const core::SimTime t = core::SimTime::FromHours(20.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(latency.PathRttMs(route.value(), t));
+  }
+}
+BENCHMARK(BM_PathRttEvaluation);
+
+void BM_ScenarioZaBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netsim::BuildScenarioZa());
+  }
+}
+BENCHMARK(BM_ScenarioZaBuild);
+
+void BM_CampaignDayThroughput(benchmark::State& state) {
+  // One simulated day of the Table 1 measurement campaign.
+  for (auto _ : state) {
+    state.PauseTiming();
+    netsim::ScenarioZaOptions options;
+    options.donor_units = 30;
+    auto scenario = netsim::BuildScenarioZa(options);
+    measure::PlatformOptions platform_options;
+    platform_options.server = scenario.content_jnb;
+    measure::Platform platform(*scenario.simulator, platform_options);
+    measure::VantageConfig vantage;
+    vantage.baseline_tests_per_day = 10.0;
+    for (const auto& unit : scenario.treated) {
+      vantage.pop = unit.access_pop;
+      platform.AddVantage(vantage);
+    }
+    for (auto donor : scenario.donors) {
+      vantage.pop = donor;
+      platform.AddVantage(vantage);
+    }
+    core::Rng rng(1);
+    state.ResumeTiming();
+    platform.Run(core::SimTime::FromDays(1), rng);
+    benchmark::DoNotOptimize(platform.store().size());
+  }
+}
+BENCHMARK(BM_CampaignDayThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

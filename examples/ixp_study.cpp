@@ -1,0 +1,88 @@
+// IXP case study, end to end on the public API — a compact version of the
+// paper's "Does joining an IXP reduce latency?" analysis (Table 1).
+//
+//   simulate a metro with treated + donor ISPs  ->  run an M-Lab-style
+//   campaign  ->  detect IXP crossings from traceroute hops  ->  build the
+//   RTT panel  ->  robust synthetic control + placebo p-value.
+//
+// For the full eight-unit reproduction, see
+// bench/table1_ixp_synth_control.
+#include <cstdio>
+
+#include "causal/placebo.h"
+#include "core/rng.h"
+#include "measure/panel.h"
+#include "measure/platform.h"
+#include "netsim/scenario_za.h"
+
+using namespace sisyphus;
+
+int main() {
+  // A smaller, faster variant of the paper's scenario: 12 donor units,
+  // 28-day panel, IXP peering goes live at day 14.
+  netsim::ScenarioZaOptions options;
+  options.donor_units = 12;
+  options.treatment_time = core::SimTime::FromDays(14);
+  options.horizon = core::SimTime::FromDays(28);
+  auto scenario = netsim::BuildScenarioZa(options);
+
+  measure::PlatformOptions platform_options;
+  platform_options.server = scenario.content_jnb;
+  measure::Platform platform(*scenario.simulator, platform_options);
+  measure::VantageConfig vantage;
+  vantage.baseline_tests_per_day = 12.0;
+  vantage.user_tests_per_day = 4.0;
+  for (const auto& unit : scenario.treated) {
+    vantage.pop = unit.access_pop;
+    platform.AddVantage(vantage);
+  }
+  for (auto donor : scenario.donors) {
+    vantage.pop = donor;
+    platform.AddVantage(vantage);
+  }
+  core::Rng rng(2025);
+  platform.Run(options.horizon, rng);
+  std::printf("campaign: %zu speed tests (%zu user-initiated)\n",
+              platform.store().size(),
+              platform.CountByIntent(measure::Intent::kUserInitiated));
+
+  // Pick one unit, confirm the treatment onset from the traceroutes.
+  const auto& unit = scenario.treated[1];  // 3741 / Johannesburg
+  const auto onset = platform.store().FirstIxpCrossing(
+      scenario.simulator->topology(), unit.name, scenario.napafrica_jnb);
+  std::printf("%s first seen crossing NAPAfrica-JNB at %s\n",
+              unit.name.c_str(),
+              onset.has_value() ? onset->ToText().c_str() : "(never)");
+
+  // Panel + robust synthetic control + placebo inference.
+  measure::PanelOptions panel_options;
+  panel_options.bucket = core::SimTime::FromHours(6);
+  panel_options.periods = 4 * 28;
+  const auto panel = measure::BuildRttPanel(platform.store(), panel_options);
+  auto input = measure::MakeSyntheticControlInput(
+      panel, unit.name, scenario.donor_names, options.treatment_time);
+  if (!input.ok()) {
+    std::printf("panel error: %s\n", input.error().ToText().c_str());
+    return 1;
+  }
+  auto result = causal::RunPlaceboAnalysis(input.value());
+  if (!result.ok()) {
+    std::printf("estimation error: %s\n", result.error().ToText().c_str());
+    return 1;
+  }
+  const auto& fit = result.value().treated_fit;
+  std::printf("\nrobust synthetic control for %s:\n", unit.name.c_str());
+  std::printf("  RTT delta:  %+.2f ms   (paper's Table 1 row: %+.2f ms)\n",
+              fit.average_effect, unit.paper_delta_ms);
+  std::printf("  RMSE ratio: %.1f\n", fit.rmse_ratio);
+  std::printf("  placebo p:  %.3f over %zu donor placebos\n",
+              result.value().p_value, result.value().placebo_ratios.size());
+  std::printf("  active donors: ");
+  for (const auto& donor : fit.ActiveDonors(0.05)) {
+    std::printf("%s ", donor.c_str());
+  }
+  std::printf("\n\npaper's conclusion: the effect is neither consistent "
+              "nor robust — a small delta with a high p-value is the "
+              "expected outcome here.\n");
+  return 0;
+}

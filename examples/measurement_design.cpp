@@ -1,0 +1,100 @@
+// Measurement design with the causal protocol (paper §4):
+//
+//   1. specify the causal graph BEFORE collecting data;
+//   2. check identifiability — discover that the planned passive design
+//      cannot answer the question;
+//   3. find an instrument / design an intervention instead;
+//   4. run the intervention through the exogenous-intervention API
+//      (PEERING-style) with an audited justification, and tag the
+//      resulting measurements with their trigger context.
+#include <cstdio>
+
+#include "causal/dag_parser.h"
+#include "causal/identification.h"
+#include "core/rng.h"
+#include "measure/intervention.h"
+#include "measure/platform.h"
+#include "stats/descriptive.h"
+
+using namespace sisyphus;
+using core::Asn;
+
+int main() {
+  // ---- 1. The question and the graph --------------------------------
+  // "Does routing via upstream B (instead of A) hurt latency?" with
+  // unobserved peering-policy pressure driving both the choice and the
+  // load on each upstream.
+  auto dag = causal::ParseDag(
+      "Policy [latent]; Policy -> ViaB; Policy -> LatencyMs;"
+      "ViaB -> LatencyMs");
+  std::printf("planned study DAG: %s\n\n", dag.value().ToText().c_str());
+
+  // ---- 2. Identifiability check on the PASSIVE design ----------------
+  auto passive = causal::Identify(dag.value(), "ViaB", "LatencyMs");
+  std::printf("passive (observational) design: %s\n%s\n\n",
+              causal::ToString(passive.value().strategy),
+              passive.value().explanation.c_str());
+
+  // ---- 3. Redesign: add a controllable exogenous knob ----------------
+  // The platform can poison announcements (PEERING-style), which moves
+  // the route and touches latency only through it.
+  auto dag2 = causal::ParseDag(
+      "Policy [latent]; Policy -> ViaB; Policy -> LatencyMs;"
+      "ViaB -> LatencyMs; PoisonKnob -> ViaB");
+  auto active = causal::Identify(dag2.value(), "ViaB", "LatencyMs");
+  std::printf("with an intervention knob: %s\n%s\n\n",
+              causal::ToString(active.value().strategy),
+              active.value().explanation.c_str());
+
+  // ---- 4. Execute on the simulated network ---------------------------
+  netsim::Topology topo;
+  const auto city = topo.cities().Add({"X", {0, 0}, 2.0});
+  const auto user = topo.AddPop(Asn{100}, city, netsim::AsRole::kAccess).value();
+  const auto a = topo.AddPop(Asn{20}, city, netsim::AsRole::kTransit).value();
+  const auto b = topo.AddPop(Asn{30}, city, netsim::AsRole::kTransit).value();
+  const auto server =
+      topo.AddPop(Asn{40}, city, netsim::AsRole::kMeasurement).value();
+  (void)topo.AddLink(user, a, netsim::Relationship::kCustomerToProvider,
+                     std::nullopt, 0.5);
+  (void)topo.AddLink(user, b, netsim::Relationship::kCustomerToProvider,
+                     std::nullopt, 1.8);
+  (void)topo.AddLink(server, a, netsim::Relationship::kCustomerToProvider,
+                     std::nullopt, 0.3);
+  (void)topo.AddLink(server, b, netsim::Relationship::kCustomerToProvider,
+                     std::nullopt, 0.3);
+  netsim::NetworkSimulator sim(std::move(topo));
+
+  measure::InterventionApi api(sim);
+  core::Rng rng(3);
+
+  auto measure_phase = [&](const char* label, int tests,
+                           measure::Intent intent) {
+    std::vector<double> rtts;
+    for (int i = 0; i < tests; ++i) {
+      auto record = measure::RunSpeedTest(sim, user, server, intent, rng);
+      if (record.ok()) rtts.push_back(record.value().rtt_ms);
+    }
+    std::printf("  %-22s median RTT %.2f ms over %zu tests\n", label,
+                stats::Median(rtts), rtts.size());
+    return stats::Median(rtts);
+  };
+
+  std::printf("controlled experiment (all measurements tagged "
+              "event_triggered):\n");
+  const double on_a =
+      measure_phase("phase 1: via A", 150, measure::Intent::kEventTriggered);
+  (void)api.PoisonAsns(server, {Asn{20}},
+                       "experiment EXP-042: exclusion restriction argued in "
+                       "design doc — knob moves only this route");
+  const double on_b =
+      measure_phase("phase 2: via B", 150, measure::Intent::kEventTriggered);
+  (void)api.ClearPoison(server, "EXP-042 complete");
+
+  std::printf("\ncausal effect of routing via B: %+.2f ms\n", on_b - on_a);
+  std::printf("audit trail (%zu entries):\n", api.audit_log().size());
+  for (const auto& entry : api.audit_log()) {
+    std::printf("  [%s] %s — %s\n", entry.time.ToText().c_str(),
+                entry.action.c_str(), entry.justification.c_str());
+  }
+  return 0;
+}

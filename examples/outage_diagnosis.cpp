@@ -1,0 +1,96 @@
+// Outage diagnosis with counterfactuals — the paper's introduction in
+// miniature.
+//
+// The 2021 Facebook outage looked like a DNS failure; the root cause was
+// a routing withdrawal a layer below. This example shows how the same
+// "surface symptom vs root cause" confusion arises, and how the two
+// causal tools the paper advocates resolve it:
+//   * a DAG makes the dependency structure explicit (DNS depends on
+//     reachability, not vice versa), and
+//   * unit-level counterfactuals answer the operator's real question:
+//     "would resolution still have failed had the route NOT been
+//     withdrawn?"
+#include <cstdio>
+
+#include "causal/dag_parser.h"
+#include "causal/ladder.h"
+#include "causal/scm.h"
+#include "netsim/simulator.h"
+
+using namespace sisyphus;
+using core::Asn;
+
+int main() {
+  // ---- The network view: withdrawing the origin's routes kills DNS ----
+  netsim::Topology topo;
+  const auto city = topo.cities().Add({"X", {0, 0}, 0});
+  const auto user = topo.AddPop(Asn{100}, city, netsim::AsRole::kAccess).value();
+  const auto transit =
+      topo.AddPop(Asn{20}, city, netsim::AsRole::kTransit).value();
+  const auto origin =
+      topo.AddPop(Asn{32934}, city, netsim::AsRole::kContent).value();
+  (void)topo.AddLink(user, transit, netsim::Relationship::kCustomerToProvider);
+  const auto origin_link =
+      topo.AddLink(origin, transit, netsim::Relationship::kCustomerToProvider)
+          .value();
+  netsim::NetworkSimulator sim(std::move(topo));
+  sim.WatchPath(user, origin);
+
+  std::printf("before: user reaches AS32934: %s\n",
+              sim.RouteBetween(user, origin).ok() ? "yes" : "no");
+  netsim::NetworkEvent withdraw;
+  withdraw.time = sim.Now();
+  withdraw.type = netsim::EventType::kLinkDown;
+  withdraw.exogenous = false;
+  withdraw.description = "BGP misconfiguration: origin withdraws routes";
+  withdraw.link = origin_link;
+  sim.ApplyNow(withdraw);
+  std::printf("after withdrawal: user reaches AS32934: %s — the DNS "
+              "servers live behind those prefixes\n\n",
+              sim.RouteBetween(user, origin).ok() ? "yes" : "no");
+
+  // ---- The causal view ----
+  // Variables: RouteWithdrawn (R), Reachability (A), DnsFailure (D),
+  // AppError (E, what users tweeted about). A config push (C) caused R.
+  auto dag = causal::ParseDag(
+      "ConfigPush -> RouteWithdrawn;"
+      "RouteWithdrawn -> Reachability;"
+      "Reachability -> DnsFailure;"
+      "DnsFailure -> AppError");
+  std::printf("DAG: %s\n", dag.value().ToText().c_str());
+
+  causal::Scm scm(dag.value());
+  (void)scm.SetLinear("ConfigPush", 0.0, {}, 1.0);
+  (void)scm.SetLinear("RouteWithdrawn", 0.0, {{"ConfigPush", 1.0}}, 0.05);
+  // Reachability = 1 - withdrawal (deterministic-ish).
+  (void)scm.SetLinear("Reachability", 1.0, {{"RouteWithdrawn", -1.0}}, 0.02);
+  (void)scm.SetLinear("DnsFailure", 1.0, {{"Reachability", -1.0}}, 0.02);
+  (void)scm.SetLinear("AppError", 0.05, {{"DnsFailure", 0.9}}, 0.05);
+
+  // The factual world during the outage.
+  std::unordered_map<std::string, double> factual{
+      {"ConfigPush", 1.0}, {"RouteWithdrawn", 1.0}, {"Reachability", 0.0},
+      {"DnsFailure", 1.0}, {"AppError", 0.95}};
+
+  // Operator question 1: was DNS the root cause? Counterfactual: fix DNS
+  // by fiat (do(DnsFailure = 0)) — do app errors go away? Yes, but...
+  auto fix_dns =
+      causal::CounterfactualOutcome(scm, factual, "DnsFailure", "AppError",
+                                    0.0);
+  // Operator question 2: would DNS have failed anyway had the route NOT
+  // been withdrawn? do(RouteWithdrawn = 0):
+  auto no_withdrawal = causal::CounterfactualOutcome(
+      scm, factual, "RouteWithdrawn", "DnsFailure", 0.0);
+
+  std::printf("\ncounterfactual 1 — do(DnsFailure=0): AppError %.2f -> "
+              "%.2f. Patching the symptom works, but explains nothing.\n",
+              factual.at("AppError"), fix_dns.value());
+  std::printf("counterfactual 2 — do(RouteWithdrawn=0): DnsFailure %.2f "
+              "-> %.2f. No withdrawal, no DNS failure: the routing change "
+              "is the root cause.\n",
+              factual.at("DnsFailure"), no_withdrawal.value());
+  std::printf("\npaper: 'surface-level symptoms masked the real failure "
+              "mechanism' — counterfactuals on an explicit DAG make the "
+              "mechanism checkable instead of guessable.\n");
+  return 0;
+}

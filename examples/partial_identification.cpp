@@ -1,0 +1,115 @@
+// What can — and cannot — be inferred: partial identification and the
+// dual-stack natural experiment.
+//
+// The paper ends §4 with: even when perfect isolation is unattainable, we
+// should provide "a structured way to articulate what can, and cannot, be
+// inferred from the data." Two tools here:
+//
+//   1. Manski bounds: with NO identification strategy, the data still
+//      bound the effect of IXP-like peering on reaching a 'good QoE'
+//      threshold — and the bounds honestly refuse to be a point.
+//   2. The IPv4/IPv6 toggle as a within-user experiment: the two families
+//      converge onto different AS paths (a real phenomenon this library's
+//      simulator reproduces), so per-test random family assignment
+//      measures a path contrast without any confounding story.
+#include <cstdio>
+#include <memory>
+
+#include "causal/bounds.h"
+#include "core/rng.h"
+#include "measure/speedtest.h"
+#include "netsim/simulator.h"
+#include "stats/descriptive.h"
+#include "stats/logistic.h"
+
+using namespace sisyphus;
+using core::Asn;
+
+int main() {
+  core::Rng rng(11);
+
+  // ---- Part 1: bounds when nothing identifies the effect -------------
+  // Observational cross-section: "is peered" vs "P(good QoE)", with a
+  // hidden quality driver that selects better networks into peering.
+  const std::size_t n = 50000;
+  std::vector<double> peered(n), good_qoe(n);
+  double true_ate = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double engineering_quality = rng.Gaussian();
+    peered[i] =
+        rng.Bernoulli(stats::Sigmoid(1.2 * engineering_quality)) ? 1.0 : 0.0;
+    const double p1 = stats::Sigmoid(0.4 + 1.5 * engineering_quality);
+    const double p0 = stats::Sigmoid(0.0 + 1.5 * engineering_quality);
+    true_ate += p1 - p0;
+    good_qoe[i] =
+        rng.Bernoulli(peered[i] == 1.0 ? p1 : p0) ? 1.0 : 0.0;
+  }
+  true_ate /= static_cast<double>(n);
+  causal::Dataset data;
+  (void)data.AddColumn("Peered", std::move(peered));
+  (void)data.AddColumn("GoodQoe", std::move(good_qoe));
+
+  std::printf("Part 1 — effect of peering on P(good QoE), true ATE "
+              "%+.3f, hidden confounding, no instrument:\n",
+              true_ate);
+  causal::BoundsOptions options;  // binary outcome in [0,1]
+  auto worst = causal::ManskiBounds(data, "Peered", "GoodQoe", options);
+  std::printf("  no assumptions:        [%+.3f, %+.3f]  (width %.2f — a "
+              "point estimate would be dishonest)\n",
+              worst.value().lower, worst.value().upper,
+              worst.value().width());
+  options.monotone_treatment_response = true;
+  options.monotone_treatment_selection = true;
+  auto tightened = causal::ManskiBounds(data, "Peered", "GoodQoe", options);
+  std::printf("  + MTR and MTS:         [%+.3f, %+.3f]  (truth %+.3f "
+              "inside: %s)\n\n",
+              tightened.value().lower, tightened.value().upper, true_ate,
+              tightened.value().Contains(true_ate) ? "yes" : "NO");
+
+  // ---- Part 2: the dual-stack toggle ---------------------------------
+  // v6 peering exists only via one upstream: toggling the family per
+  // test randomizes the path.
+  netsim::Topology topo;
+  const auto city = topo.cities().Add({"X", {0, 0}, 2.0});
+  const auto user = topo.AddPop(Asn{100}, city, netsim::AsRole::kAccess).value();
+  const auto p1 = topo.AddPop(Asn{20}, city, netsim::AsRole::kTransit).value();
+  const auto p2 = topo.AddPop(Asn{30}, city, netsim::AsRole::kTransit).value();
+  const auto server =
+      topo.AddPop(Asn{40}, city, netsim::AsRole::kMeasurement).value();
+  const auto via1 =
+      topo.AddLink(user, p1, netsim::Relationship::kCustomerToProvider,
+                   std::nullopt, 0.5)
+          .value();
+  (void)topo.AddLink(user, p2, netsim::Relationship::kCustomerToProvider,
+                     std::nullopt, 2.2);
+  const auto p1s =
+      topo.AddLink(server, p1, netsim::Relationship::kCustomerToProvider,
+                   std::nullopt, 0.3)
+          .value();
+  (void)topo.AddLink(server, p2, netsim::Relationship::kCustomerToProvider,
+                     std::nullopt, 0.3);
+  // Upstream 20 never deployed IPv6.
+  topo.MutableLink(via1).ipv6 = false;
+  topo.MutableLink(p1s).ipv6 = false;
+  auto sim = std::make_unique<netsim::NetworkSimulator>(std::move(topo));
+
+  std::vector<double> v4_rtts, v6_rtts;
+  for (int i = 0; i < 400; ++i) {
+    const bool use_v6 = rng.Bernoulli(0.5);  // happy-eyeballs coin
+    auto record = measure::RunSpeedTest(
+        *sim, user, server, measure::Intent::kBaseline, rng, {},
+        use_v6 ? netsim::AddressFamily::kIpv6
+               : netsim::AddressFamily::kIpv4);
+    if (!record.ok()) continue;
+    (use_v6 ? v6_rtts : v4_rtts).push_back(record.value().rtt_ms);
+  }
+  std::printf("Part 2 — dual-stack toggle as a natural experiment:\n");
+  std::printf("  IPv4 path (via AS20):  median RTT %.2f ms over %zu tests\n",
+              stats::Median(v4_rtts), v4_rtts.size());
+  std::printf("  IPv6 path (via AS30):  median RTT %.2f ms over %zu tests\n",
+              stats::Median(v6_rtts), v6_rtts.size());
+  std::printf("  causal path contrast:  %+.2f ms — identified by the "
+              "random per-test family assignment alone.\n",
+              stats::Median(v6_rtts) - stats::Median(v4_rtts));
+  return 0;
+}

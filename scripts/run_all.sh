@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every experiment — the repository's one-shot
+# verification entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo
+echo "=== experiments ==="
+for bench in build/bench/table1_ixp_synth_control build/bench/exp_*; do
+  "$bench" || echo "SHAPE REGRESSION: $bench"
+done
+
+echo
+echo "=== examples ==="
+for example in build/examples/*; do
+  "$example" > /dev/null && echo "ok: $example"
+done
+
+echo
+echo "=== perf (short) ==="
+for perf in build/bench/perf_*; do
+  "$perf" --benchmark_min_time=0.02 > /dev/null && echo "ok: $perf"
+done

@@ -1,0 +1,60 @@
+// Partial identification: Manski-style bounds on treatment effects.
+//
+// The paper closes §4 by asking for "a structured way to articulate what
+// can, and cannot, be inferred from the data." When no adjustment set,
+// instrument, or donor pool exists, a point estimate is unwarranted — but
+// the data still BOUND the effect. For a binary treatment and an outcome
+// bounded in [y_min, y_max]:
+//
+//   no assumptions        ATE in an interval of width exactly
+//                         (y_max - y_min) — never empty, never a point;
+//   + monotone treatment  effect >= 0 by assumption: lower bound clipped
+//     response (MTR)      at 0;
+//   + monotone treatment  units that select treatment have weakly higher
+//     selection (MTS)     potential outcomes: the naive contrast becomes
+//                         an UPPER bound (selection inflates it).
+//
+// The point: even "no causal conclusion possible" is a quantitative,
+// reportable statement.
+#pragma once
+
+#include <string_view>
+
+#include "causal/dataset.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+struct EffectBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  bool mtr_applied = false;
+  bool mts_applied = false;
+
+  double width() const { return upper - lower; }
+  bool Contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+};
+
+struct BoundsOptions {
+  /// Logical range of the outcome. Both must be finite with
+  /// y_min < y_max, and the data must respect them.
+  double y_min = 0.0;
+  double y_max = 1.0;
+  /// Monotone treatment response: assume the unit-level effect >= 0.
+  bool monotone_treatment_response = false;
+  /// Monotone treatment selection: assume treated units' potential
+  /// outcomes weakly dominate controls'.
+  bool monotone_treatment_selection = false;
+};
+
+/// Worst-case (Manski) bounds on the ATE of a binary treatment.
+/// Fails (kInvalidArgument) on non-binary treatment, single-arm data,
+/// outcomes outside [y_min, y_max], or y_min >= y_max.
+core::Result<EffectBounds> ManskiBounds(const Dataset& data,
+                                        std::string_view treatment,
+                                        std::string_view outcome,
+                                        const BoundsOptions& options);
+
+}  // namespace sisyphus::causal

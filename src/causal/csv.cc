@@ -1,0 +1,138 @@
+#include "causal/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/error.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+namespace {
+
+/// Splits one CSV line honoring quotes; returns false on malformed
+/// quoting.
+bool SplitCsvLine(std::string_view line, std::vector<std::string>& out) {
+  out.clear();
+  std::string field;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field += c;
+    }
+  }
+  out.push_back(std::move(field));
+  return !in_quotes;
+}
+
+}  // namespace
+
+Result<Dataset> ParseCsvDataset(std::string_view text) {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> columns;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  std::vector<std::string> fields;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, end == std::string_view::npos ? std::string_view::npos
+                                                         : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_number;
+    if (line.empty() && start > text.size()) break;  // trailing newline
+    if (line.empty()) continue;
+
+    if (!SplitCsvLine(line, fields)) {
+      return Error(ErrorCode::kParseError,
+                   "CSV line " + std::to_string(line_number) +
+                       ": unterminated quote");
+    }
+    if (header.empty()) {
+      header = fields;
+      for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i].empty()) {
+          return Error(ErrorCode::kParseError,
+                       "CSV header: empty column name at position " +
+                           std::to_string(i + 1));
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+          if (header[j] == header[i]) {
+            return Error(ErrorCode::kParseError,
+                         "CSV header: duplicate column '" + header[i] + "'");
+          }
+        }
+      }
+      columns.resize(header.size());
+      continue;
+    }
+    if (fields.size() != header.size()) {
+      return Error(ErrorCode::kParseError,
+                   "CSV line " + std::to_string(line_number) + ": " +
+                       std::to_string(fields.size()) + " fields, header has " +
+                       std::to_string(header.size()));
+    }
+    for (std::size_t c = 0; c < fields.size(); ++c) {
+      const std::string& field = fields[c];
+      if (field.empty()) {
+        return Error(ErrorCode::kParseError,
+                     "CSV line " + std::to_string(line_number) +
+                         ": empty value in column '" + header[c] + "'");
+      }
+      char* parse_end = nullptr;
+      const double value = std::strtod(field.c_str(), &parse_end);
+      if (parse_end == field.c_str() || *parse_end != '\0') {
+        return Error(ErrorCode::kParseError,
+                     "CSV line " + std::to_string(line_number) +
+                         ": non-numeric value '" + field + "' in column '" +
+                         header[c] + "'");
+      }
+      columns[c].push_back(value);
+    }
+  }
+  if (header.empty()) {
+    return Error(ErrorCode::kParseError, "CSV: no header line");
+  }
+  Dataset data;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (auto s = data.AddColumn(header[c], std::move(columns[c])); !s.ok()) {
+      return s.error();
+    }
+  }
+  return data;
+}
+
+Result<Dataset> ReadCsvDataset(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "ReadCsvDataset: cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsvDataset(buffer.str());
+}
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,26 @@
+// CSV import for Datasets — the entry point for analyzing real
+// measurement exports (M-Lab BigQuery dumps, RIPE Atlas results) with the
+// causal toolkit.
+//
+// Format: first line is the header; all fields numeric (quoted fields
+// allowed, embedded quotes doubled). Empty fields are rejected — impute
+// upstream, explicitly, so missingness decisions stay visible.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "causal/dataset.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+/// Parses CSV text into a Dataset. Fails with kParseError (line/column
+/// context in the message) on ragged rows, non-numeric or empty fields,
+/// duplicate or missing headers.
+core::Result<Dataset> ParseCsvDataset(std::string_view text);
+
+/// Reads and parses a CSV file. kInvalidArgument if unreadable.
+core::Result<Dataset> ReadCsvDataset(const std::string& path);
+
+}  // namespace sisyphus::causal

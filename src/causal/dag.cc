@@ -1,0 +1,264 @@
+#include "causal/dag.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/error.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+using core::Status;
+
+NodeSet::NodeSet(std::initializer_list<NodeId> ids) {
+  for (NodeId id : ids) Insert(id);
+}
+
+void NodeSet::Insert(NodeId id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) ids_.insert(it, id);
+}
+
+void NodeSet::Erase(NodeId id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) ids_.erase(it);
+}
+
+bool NodeSet::Contains(NodeId id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+NodeId Dag::AddNode(std::string_view name, bool observed) {
+  const std::string key(name);
+  if (const auto it = by_name_.find(key); it != by_name_.end()) {
+    return it->second;
+  }
+  const NodeId id(static_cast<NodeId::underlying_type>(names_.size()));
+  names_.push_back(key);
+  observed_.push_back(observed);
+  parents_.emplace_back();
+  children_.emplace_back();
+  by_name_.emplace(key, id);
+  return id;
+}
+
+Status Dag::AddEdge(NodeId from, NodeId to) {
+  SISYPHUS_REQUIRE(from.value() < names_.size() && to.value() < names_.size(),
+                   "AddEdge: unknown node id");
+  if (from == to) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "AddEdge: self-loop on '" + names_[from.value()] + "'");
+  }
+  if (HasEdge(from, to)) return Status::Ok();
+  if (WouldCreateCycle(from, to)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "AddEdge: " + names_[from.value()] + " -> " +
+                     names_[to.value()] + " would create a cycle");
+  }
+  children_[from.value()].push_back(to);
+  parents_[to.value()].push_back(from);
+  return Status::Ok();
+}
+
+Status Dag::AddEdge(std::string_view from, std::string_view to) {
+  return AddEdge(AddNode(from), AddNode(to));
+}
+
+Status Dag::AddLatentConfounder(NodeId a, NodeId b) {
+  SISYPHUS_REQUIRE(a.value() < names_.size() && b.value() < names_.size(),
+                   "AddLatentConfounder: unknown node id");
+  if (a == b) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "AddLatentConfounder: a == b");
+  }
+  const std::string label =
+      "U(" + names_[a.value()] + "," + names_[b.value()] + ")";
+  const NodeId u = AddNode(label, /*observed=*/false);
+  if (auto s = AddEdge(u, a); !s.ok()) return s;
+  return AddEdge(u, b);
+}
+
+std::size_t Dag::EdgeCount() const {
+  std::size_t count = 0;
+  for (const auto& kids : children_) count += kids.size();
+  return count;
+}
+
+Result<NodeId> Dag::Node(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "Dag::Node: no variable named '" + std::string(name) + "'");
+  }
+  return it->second;
+}
+
+const std::string& Dag::Name(NodeId id) const {
+  SISYPHUS_REQUIRE(id.value() < names_.size(), "Name: unknown node id");
+  return names_[id.value()];
+}
+
+bool Dag::IsObserved(NodeId id) const {
+  SISYPHUS_REQUIRE(id.value() < observed_.size(), "IsObserved: unknown id");
+  return observed_[id.value()];
+}
+
+bool Dag::HasEdge(NodeId from, NodeId to) const {
+  const auto& kids = children_[from.value()];
+  return std::find(kids.begin(), kids.end(), to) != kids.end();
+}
+
+const std::vector<NodeId>& Dag::Parents(NodeId id) const {
+  SISYPHUS_REQUIRE(id.value() < parents_.size(), "Parents: unknown id");
+  return parents_[id.value()];
+}
+
+const std::vector<NodeId>& Dag::Children(NodeId id) const {
+  SISYPHUS_REQUIRE(id.value() < children_.size(), "Children: unknown id");
+  return children_[id.value()];
+}
+
+NodeSet Dag::Ancestors(NodeId id) const {
+  NodeSet out;
+  std::deque<NodeId> frontier(Parents(id).begin(), Parents(id).end());
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop_front();
+    if (out.Contains(current)) continue;
+    out.Insert(current);
+    for (NodeId parent : Parents(current)) frontier.push_back(parent);
+  }
+  return out;
+}
+
+NodeSet Dag::AncestorsOfSet(const NodeSet& set) const {
+  NodeSet out;
+  for (NodeId id : set) {
+    out.Insert(id);
+    for (NodeId anc : Ancestors(id)) out.Insert(anc);
+  }
+  return out;
+}
+
+NodeSet Dag::Descendants(NodeId id) const {
+  NodeSet out;
+  std::deque<NodeId> frontier(Children(id).begin(), Children(id).end());
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop_front();
+    if (out.Contains(current)) continue;
+    out.Insert(current);
+    for (NodeId child : Children(current)) frontier.push_back(child);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::TopologicalOrder() const {
+  std::vector<std::size_t> remaining(names_.size());
+  std::deque<NodeId> ready;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    remaining[i] = parents_[i].size();
+    if (remaining[i] == 0) ready.push_back(NodeId(static_cast<NodeId::underlying_type>(i)));
+  }
+  std::vector<NodeId> order;
+  order.reserve(names_.size());
+  while (!ready.empty()) {
+    const NodeId current = ready.front();
+    ready.pop_front();
+    order.push_back(current);
+    for (NodeId child : children_[current.value()]) {
+      if (--remaining[child.value()] == 0) ready.push_back(child);
+    }
+  }
+  // Acyclicity is a class invariant (AddEdge rejects cycles).
+  SISYPHUS_REQUIRE(order.size() == names_.size(),
+                   "TopologicalOrder: invariant violated");
+  return order;
+}
+
+NodeSet Dag::ObservedNodes() const {
+  NodeSet out;
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (observed_[i]) out.Insert(NodeId(static_cast<NodeId::underlying_type>(i)));
+  return out;
+}
+
+std::vector<NodeId> Dag::AllNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(names_.size());
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    out.push_back(NodeId(static_cast<NodeId::underlying_type>(i)));
+  return out;
+}
+
+bool Dag::WouldCreateCycle(NodeId from, NodeId to) const {
+  // A cycle arises iff `from` is reachable from `to`.
+  if (from == to) return true;
+  std::deque<NodeId> frontier{to};
+  NodeSet seen;
+  while (!frontier.empty()) {
+    const NodeId current = frontier.front();
+    frontier.pop_front();
+    if (seen.Contains(current)) continue;
+    seen.Insert(current);
+    for (NodeId child : children_[current.value()]) {
+      if (child == from) return true;
+      frontier.push_back(child);
+    }
+  }
+  return false;
+}
+
+std::string Dag::ToDot(std::optional<NodeId> treatment,
+                       std::optional<NodeId> outcome) const {
+  std::string out = "digraph causal {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const NodeId id(static_cast<NodeId::underlying_type>(i));
+    out += "  \"" + names_[i] + "\"";
+    std::vector<std::string> attrs;
+    if (!observed_[i]) attrs.push_back("style=dashed");
+    if (treatment.has_value() && *treatment == id) {
+      attrs.push_back("shape=box");
+      attrs.push_back("label=\"" + names_[i] + " (treatment)\"");
+    } else if (outcome.has_value() && *outcome == id) {
+      attrs.push_back("shape=box");
+      attrs.push_back("label=\"" + names_[i] + " (outcome)\"");
+    }
+    if (!attrs.empty()) {
+      out += " [";
+      for (std::size_t a = 0; a < attrs.size(); ++a) {
+        if (a > 0) out += ", ";
+        out += attrs[a];
+      }
+      out += "]";
+    }
+    out += ";\n";
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    for (NodeId child : children_[i]) {
+      out += "  \"" + names_[i] + "\" -> \"" + names_[child.value()] + "\"";
+      if (!observed_[i]) out += " [style=dashed]";
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Dag::ToText() const {
+  std::string out;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    for (NodeId child : children_[i]) {
+      out += names_[i] + " -> " + names_[child.value()] + "; ";
+    }
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (!observed_[i]) out += names_[i] + " [latent]; ";
+  }
+  if (!out.empty()) out.resize(out.size() - 1);  // trailing space
+  return out;
+}
+
+}  // namespace sisyphus::causal

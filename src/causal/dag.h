@@ -1,0 +1,115 @@
+// Causal directed acyclic graphs (Pearl-style).
+//
+// Nodes are named variables ("Congestion", "Route", "Latency"); directed
+// edges encode causal influence. Latent confounding between X and Y is
+// modeled dagitty-style as a bidirected edge X <-> Y, stored internally as
+// an explicit latent parent node "U(X,Y)" marked unobserved — this keeps
+// every graph algorithm a plain-DAG algorithm.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+using core::NodeId;
+
+/// A set of nodes, kept sorted for deterministic iteration/printing.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  NodeSet(std::initializer_list<NodeId> ids);
+
+  void Insert(NodeId id);
+  void Erase(NodeId id);
+  bool Contains(NodeId id) const;
+  bool empty() const { return ids_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  friend bool operator==(const NodeSet& a, const NodeSet& b) {
+    return a.ids_ == b.ids_;
+  }
+
+ private:
+  std::vector<NodeId> ids_;  // sorted, unique
+};
+
+/// A causal DAG over named variables.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Adds a variable; returns its id. Re-adding an existing name returns
+  /// the existing id (idempotent). `observed` = false marks a latent.
+  NodeId AddNode(std::string_view name, bool observed = true);
+
+  /// Adds edge from -> to. Fails (kInvalidArgument) if the edge would
+  /// create a cycle or is a self-loop; duplicate edges are idempotent.
+  core::Status AddEdge(NodeId from, NodeId to);
+  core::Status AddEdge(std::string_view from, std::string_view to);
+
+  /// Adds a latent confounder between a and b (bidirected edge a <-> b):
+  /// creates an unobserved node "U(a,b)" with edges to both.
+  core::Status AddLatentConfounder(NodeId a, NodeId b);
+
+  std::size_t NodeCount() const { return names_.size(); }
+  std::size_t EdgeCount() const;
+
+  /// Node lookup by name; kNotFound if absent.
+  core::Result<NodeId> Node(std::string_view name) const;
+  /// Name of a node. Precondition: valid id.
+  const std::string& Name(NodeId id) const;
+  bool IsObserved(NodeId id) const;
+
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  const std::vector<NodeId>& Parents(NodeId id) const;
+  const std::vector<NodeId>& Children(NodeId id) const;
+
+  /// All ancestors (transitive parents), excluding the node itself.
+  NodeSet Ancestors(NodeId id) const;
+  /// Ancestors of every node in `set`, including the set members.
+  NodeSet AncestorsOfSet(const NodeSet& set) const;
+  /// All descendants (transitive children), excluding the node itself.
+  NodeSet Descendants(NodeId id) const;
+
+  /// Nodes in topological order (parents before children).
+  std::vector<NodeId> TopologicalOrder() const;
+
+  /// All observed nodes.
+  NodeSet ObservedNodes() const;
+  /// Every node id.
+  std::vector<NodeId> AllNodes() const;
+
+  /// True if `id` is a collider on the path ... a -> id <- b ... for some
+  /// distinct parents a, b (structural collider: >= 2 parents).
+  bool IsCollider(NodeId id) const { return Parents(id).size() >= 2; }
+
+  /// "A -> B; A -> C; U(B,C) [latent]" — canonical text form.
+  std::string ToText() const;
+
+  /// Graphviz form: latents drawn dashed, optional treatment/outcome
+  /// highlighting. Render with `dot -Tsvg`.
+  std::string ToDot(std::optional<NodeId> treatment = std::nullopt,
+                    std::optional<NodeId> outcome = std::nullopt) const;
+
+ private:
+  bool WouldCreateCycle(NodeId from, NodeId to) const;
+
+  std::vector<std::string> names_;
+  std::vector<bool> observed_;
+  std::vector<std::vector<NodeId>> parents_;
+  std::vector<std::vector<NodeId>> children_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace sisyphus::causal

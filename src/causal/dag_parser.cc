@@ -1,0 +1,153 @@
+#include "causal/dag_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+namespace {
+
+enum class TokenKind { kName, kArrow, kBidirected, kLatentTag, kSemicolon, kEnd };
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  std::size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == '#') {  // comment to end of line
+        while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (c == '\n' || c == ';') {
+        out.push_back({TokenKind::kSemicolon, ";", pos_});
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (input_.substr(pos_).starts_with("<->")) {
+        out.push_back({TokenKind::kBidirected, "<->", pos_});
+        pos_ += 3;
+        continue;
+      }
+      if (input_.substr(pos_).starts_with("->")) {
+        out.push_back({TokenKind::kArrow, "->", pos_});
+        pos_ += 2;
+        continue;
+      }
+      if (input_.substr(pos_).starts_with("[latent]")) {
+        out.push_back({TokenKind::kLatentTag, "[latent]", pos_});
+        pos_ += 8;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        const std::size_t start = pos_;
+        while (pos_ < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+                input_[pos_] == '_' || input_[pos_] == '.')) {
+          ++pos_;
+        }
+        out.push_back({TokenKind::kName,
+                       std::string(input_.substr(start, pos_ - start)), start});
+        continue;
+      }
+      return Error(ErrorCode::kParseError,
+                   "unexpected character '" + std::string(1, c) +
+                       "' at offset " + std::to_string(pos_));
+    }
+    out.push_back({TokenKind::kEnd, "", input_.size()});
+    return out;
+  }
+
+ private:
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Dag> ParseDag(std::string_view text) {
+  auto tokens = Lexer(text).Tokenize();
+  if (!tokens.ok()) return tokens.error();
+  const auto& ts = tokens.value();
+
+  Dag dag;
+  std::size_t i = 0;
+  auto error_at = [&](const std::string& what) {
+    return Error(ErrorCode::kParseError,
+                 what + " at offset " + std::to_string(ts[i].offset));
+  };
+
+  while (ts[i].kind != TokenKind::kEnd) {
+    if (ts[i].kind == TokenKind::kSemicolon) {  // empty statement
+      ++i;
+      continue;
+    }
+    if (ts[i].kind != TokenKind::kName) {
+      return error_at("expected variable name");
+    }
+    const std::string first = ts[i].text;
+    ++i;
+
+    if (ts[i].kind == TokenKind::kLatentTag) {
+      // NAME [latent]
+      dag.AddNode(first, /*observed=*/false);
+      ++i;
+    } else if (ts[i].kind == TokenKind::kBidirected) {
+      // NAME <-> NAME
+      ++i;
+      if (ts[i].kind != TokenKind::kName) {
+        return error_at("expected variable name after '<->'");
+      }
+      const NodeId a = dag.AddNode(first);
+      const NodeId b = dag.AddNode(ts[i].text);
+      if (auto s = dag.AddLatentConfounder(a, b); !s.ok()) return s.error();
+      ++i;
+    } else if (ts[i].kind == TokenKind::kArrow) {
+      // Chain: NAME (-> NAME)+
+      std::string previous = first;
+      while (ts[i].kind == TokenKind::kArrow) {
+        ++i;
+        if (ts[i].kind != TokenKind::kName) {
+          return error_at("expected variable name after '->'");
+        }
+        if (auto s = dag.AddEdge(previous, ts[i].text); !s.ok()) {
+          return s.error();
+        }
+        previous = ts[i].text;
+        ++i;
+      }
+    } else if (ts[i].kind == TokenKind::kSemicolon ||
+               ts[i].kind == TokenKind::kEnd) {
+      // Bare declaration: NAME
+      dag.AddNode(first);
+    } else {
+      return error_at("expected '->', '<->', '[latent]' or ';'");
+    }
+
+    if (ts[i].kind == TokenKind::kSemicolon) {
+      ++i;
+    } else if (ts[i].kind != TokenKind::kEnd) {
+      return error_at("expected ';' between statements");
+    }
+  }
+  return dag;
+}
+
+}  // namespace sisyphus::causal

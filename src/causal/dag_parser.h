@@ -1,0 +1,28 @@
+// Text DSL for causal DAGs (dagitty-inspired).
+//
+// Grammar (statements separated by ';' or newline, '#' starts a comment):
+//
+//   statement := chain | bidirected | latent_decl
+//   chain     := NAME ("->" NAME)+          e.g.  C -> R -> L
+//   bidirected:= NAME "<->" NAME            latent confounder (creates an
+//                                           unobserved common parent)
+//   latent_decl := NAME "[latent]"          marks a variable unobserved
+//   NAME      := [A-Za-z_][A-Za-z0-9_.]*
+//
+// Example (the paper's running example with latent policy confounding):
+//   ParseDag("Congestion -> Route; Congestion -> Latency; Route -> Latency;"
+//            "Policy [latent]; Policy -> Route")
+#pragma once
+
+#include <string_view>
+
+#include "causal/dag.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+/// Parses the DSL into a Dag. Fails with kParseError (message includes
+/// offset and what was expected) or kInvalidArgument (cycle).
+core::Result<Dag> ParseDag(std::string_view text);
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,88 @@
+#include "causal/dataset.h"
+
+#include <cstdio>
+
+#include "core/error.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+using core::Status;
+
+Status Dataset::AddColumn(std::string_view name, std::vector<double> values) {
+  if (!columns_.empty() && values.size() != rows_) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "AddColumn: '" + std::string(name) + "' has " +
+                     std::to_string(values.size()) + " rows, table has " +
+                     std::to_string(rows_));
+  }
+  const std::string key(name);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    columns_[it->second] = std::move(values);
+    return Status::Ok();
+  }
+  if (columns_.empty()) rows_ = values.size();
+  index_.emplace(key, names_.size());
+  names_.push_back(key);
+  columns_.push_back(std::move(values));
+  return Status::Ok();
+}
+
+bool Dataset::HasColumn(std::string_view name) const {
+  return index_.count(std::string(name)) > 0;
+}
+
+Result<std::span<const double>> Dataset::Column(std::string_view name) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Error(ErrorCode::kNotFound,
+                 "Dataset::Column: no column '" + std::string(name) + "'");
+  }
+  return std::span<const double>(columns_[it->second]);
+}
+
+std::span<const double> Dataset::ColumnOrDie(std::string_view name) const {
+  auto col = Column(name);
+  SISYPHUS_REQUIRE(col.ok(), "ColumnOrDie: missing column " + std::string(name));
+  return col.value();
+}
+
+Dataset Dataset::Filter(const std::vector<bool>& keep) const {
+  SISYPHUS_REQUIRE(keep.size() == rows_, "Filter: mask size mismatch");
+  Dataset out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    std::vector<double> values;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (keep[r]) values.push_back(columns_[c][r]);
+    }
+    const auto status = out.AddColumn(names_[c], std::move(values));
+    SISYPHUS_REQUIRE(status.ok(), "Filter: column copy failed");
+  }
+  return out;
+}
+
+Dataset Dataset::FilterEquals(std::string_view name, double value) const {
+  const auto col = ColumnOrDie(name);
+  std::vector<bool> keep(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) keep[r] = col[r] == value;
+  return Filter(keep);
+}
+
+std::string Dataset::Head(std::size_t n) const {
+  std::string out;
+  for (const auto& name : names_) out += name + "\t";
+  out += "\n";
+  char buffer[64];
+  for (std::size_t r = 0; r < std::min(n, rows_); ++r) {
+    for (const auto& col : columns_) {
+      std::snprintf(buffer, sizeof(buffer), "%.4g\t", col[r]);
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,52 @@
+// Dataset: a minimal named-column table (DataFrame-lite) shared by the
+// causal estimators. Columns are double-valued; binary treatments use 0/1.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Adds (or replaces) a column. First column fixes the row count; later
+  /// columns must match it (kInvalidArgument otherwise).
+  core::Status AddColumn(std::string_view name, std::vector<double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return names_.size(); }
+  bool HasColumn(std::string_view name) const;
+  const std::vector<std::string>& ColumnNames() const { return names_; }
+
+  /// Column view; kNotFound when absent.
+  core::Result<std::span<const double>> Column(std::string_view name) const;
+
+  /// Column view that throws on absence — for call sites that already
+  /// validated (keeps estimator code readable).
+  std::span<const double> ColumnOrDie(std::string_view name) const;
+
+  /// Rows where `predicate(row_index)` holds, as a new Dataset.
+  Dataset Filter(const std::vector<bool>& keep) const;
+
+  /// Rows where column `name` equals `value` (exact comparison; meant for
+  /// 0/1 indicators and small integer codes).
+  Dataset FilterEquals(std::string_view name, double value) const;
+
+  /// First `n` rows formatted as a table (debugging).
+  std::string Head(std::size_t n = 5) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,173 @@
+#include "causal/dseparation.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/error.h"
+
+namespace sisyphus::causal {
+
+namespace {
+
+// Bayes-ball state: a node visited from a given direction.
+struct Visit {
+  NodeId node;
+  bool from_child;  // ball arrived moving upward (from a child)
+};
+
+}  // namespace
+
+NodeSet ReachableViaActiveTrails(const Dag& dag, NodeId source,
+                                 const NodeSet& z) {
+  // Phase 1: ancestors of Z (colliders are unblocked iff they, or a
+  // descendant, are in Z — equivalently, iff the collider is an ancestor
+  // of Z or in Z).
+  const NodeSet z_closure = dag.AncestorsOfSet(z);
+
+  // Phase 2: BFS over (node, direction) states.
+  const std::size_t n = dag.NodeCount();
+  std::vector<bool> seen_up(n, false), seen_down(n, false);
+  NodeSet reachable;
+  std::deque<Visit> frontier;
+  frontier.push_back({source, /*from_child=*/true});  // as if entered upward
+  while (!frontier.empty()) {
+    const Visit visit = frontier.front();
+    frontier.pop_front();
+    auto& seen = visit.from_child ? seen_up : seen_down;
+    if (seen[visit.node.value()]) continue;
+    seen[visit.node.value()] = true;
+    if (visit.node != source && !z.Contains(visit.node)) {
+      reachable.Insert(visit.node);
+    }
+    if (visit.from_child) {
+      // Arrived from a child (moving up the arrow). If not in Z we may
+      // continue to parents (chain) and to children (fork at this node).
+      if (!z.Contains(visit.node)) {
+        for (NodeId parent : dag.Parents(visit.node))
+          frontier.push_back({parent, /*from_child=*/true});
+        for (NodeId child : dag.Children(visit.node))
+          frontier.push_back({child, /*from_child=*/false});
+      }
+    } else {
+      // Arrived from a parent (moving down the arrow).
+      if (!z.Contains(visit.node)) {
+        // Chain: continue downward.
+        for (NodeId child : dag.Children(visit.node))
+          frontier.push_back({child, /*from_child=*/false});
+      }
+      // Collider at this node: pass through to parents iff the collider
+      // is in Z or has a descendant in Z.
+      if (z_closure.Contains(visit.node) || z.Contains(visit.node)) {
+        for (NodeId parent : dag.Parents(visit.node))
+          frontier.push_back({parent, /*from_child=*/true});
+      }
+    }
+  }
+  return reachable;
+}
+
+bool IsDSeparated(const Dag& dag, NodeId x, NodeId y, const NodeSet& z) {
+  SISYPHUS_REQUIRE(x != y, "IsDSeparated: x == y");
+  SISYPHUS_REQUIRE(!z.Contains(x) && !z.Contains(y),
+                   "IsDSeparated: endpoint inside conditioning set");
+  return !ReachableViaActiveTrails(dag, x, z).Contains(y);
+}
+
+std::string Path::ToText(const Dag& dag) const {
+  std::string out = dag.Name(nodes.front());
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    out += forward[i] ? " -> " : " <- ";
+    out += dag.Name(nodes[i + 1]);
+  }
+  return out;
+}
+
+namespace {
+
+void EnumerateFrom(const Dag& dag, NodeId current, NodeId target,
+                   std::vector<NodeId>& nodes, std::vector<bool>& forward,
+                   std::vector<bool>& on_path, std::size_t max_paths,
+                   std::vector<Path>& out) {
+  if (out.size() >= max_paths) return;
+  if (current == target) {
+    out.push_back({nodes, forward});
+    return;
+  }
+  for (NodeId child : dag.Children(current)) {
+    if (on_path[child.value()]) continue;
+    nodes.push_back(child);
+    forward.push_back(true);
+    on_path[child.value()] = true;
+    EnumerateFrom(dag, child, target, nodes, forward, on_path, max_paths, out);
+    on_path[child.value()] = false;
+    nodes.pop_back();
+    forward.pop_back();
+  }
+  for (NodeId parent : dag.Parents(current)) {
+    if (on_path[parent.value()]) continue;
+    nodes.push_back(parent);
+    forward.push_back(false);
+    on_path[parent.value()] = true;
+    EnumerateFrom(dag, parent, target, nodes, forward, on_path, max_paths,
+                  out);
+    on_path[parent.value()] = false;
+    nodes.pop_back();
+    forward.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Path> EnumeratePaths(const Dag& dag, NodeId x, NodeId y,
+                                 std::size_t max_paths) {
+  SISYPHUS_REQUIRE(x != y, "EnumeratePaths: x == y");
+  std::vector<Path> out;
+  std::vector<NodeId> nodes{x};
+  std::vector<bool> forward;
+  std::vector<bool> on_path(dag.NodeCount(), false);
+  on_path[x.value()] = true;
+  EnumerateFrom(dag, x, y, nodes, forward, on_path, max_paths, out);
+  return out;
+}
+
+bool IsPathOpen(const Dag& dag, const Path& path, const NodeSet& z) {
+  // Interior node i (1..n-2) is a collider iff both adjacent edges point
+  // into it: edge i-1 forward (-> node) and edge i backward (node <-).
+  for (std::size_t i = 1; i + 1 < path.nodes.size(); ++i) {
+    const bool into_from_left = path.forward[i - 1];
+    const bool into_from_right = !path.forward[i];
+    const NodeId node = path.nodes[i];
+    const bool is_collider = into_from_left && into_from_right;
+    if (is_collider) {
+      // Open iff node or a descendant is in z.
+      if (z.Contains(node)) continue;
+      bool descendant_in_z = false;
+      for (NodeId d : dag.Descendants(node)) {
+        if (z.Contains(d)) {
+          descendant_in_z = true;
+          break;
+        }
+      }
+      if (!descendant_in_z) return false;
+    } else {
+      if (z.Contains(node)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Path> OpenBackdoorPaths(const Dag& dag, NodeId treatment,
+                                    NodeId outcome, const NodeSet& z) {
+  std::vector<Path> open;
+  for (const Path& path : EnumeratePaths(dag, treatment, outcome)) {
+    if (path.StartsWithArrowIntoStart() && IsPathOpen(dag, path, z)) {
+      open.push_back(path);
+    }
+  }
+  std::sort(open.begin(), open.end(), [&](const Path& a, const Path& b) {
+    return a.ToText(dag) < b.ToText(dag);
+  });
+  return open;
+}
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,62 @@
+// d-separation: the graphical criterion underlying every identification
+// result in the library.
+//
+// Two implementations are provided on purpose (DESIGN.md §4):
+//  - IsDSeparated / ReachableViaActiveTrails: the linear-time "Bayes-ball"
+//    reachability algorithm (Koller & Friedman alg. 3.1) — used everywhere;
+//  - EnumeratePaths + IsPathOpen: explicit path enumeration with per-path
+//    open/blocked classification — exponential, but invaluable for
+//    *explaining* a verdict ("the backdoor path R <- C -> L is open") and
+//    used by the property tests as an oracle for the fast algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+
+namespace sisyphus::causal {
+
+/// True iff X and Y are d-separated given Z in `dag`.
+/// Preconditions: x != y, x/y not in z.
+bool IsDSeparated(const Dag& dag, NodeId x, NodeId y, const NodeSet& z);
+
+/// All nodes reachable from `source` via a trail that is active given `z`
+/// (excluding `source` itself).
+NodeSet ReachableViaActiveTrails(const Dag& dag, NodeId source,
+                                 const NodeSet& z);
+
+/// A trail between two nodes: the node sequence plus, per step, whether the
+/// edge was traversed along its direction (true = "->", i.e. from
+/// nodes[i] to nodes[i+1]).
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<bool> forward;  ///< size = nodes.size() - 1
+
+  /// True if the first edge points *into* the start node (x <- ...):
+  /// Pearl's definition of a backdoor path from x.
+  bool StartsWithArrowIntoStart() const {
+    return !forward.empty() && !forward.front();
+  }
+
+  /// Human-readable form, e.g. "R <- C -> L".
+  std::string ToText(const Dag& dag) const;
+};
+
+/// Enumerates all simple (node-disjoint) undirected paths between x and y.
+/// Exponential in the worst case; intended for graphs of tens of nodes.
+/// `max_paths` caps the output as a safety valve.
+std::vector<Path> EnumeratePaths(const Dag& dag, NodeId x, NodeId y,
+                                 std::size_t max_paths = 100000);
+
+/// True iff the path is open (d-connecting) given conditioning set `z`:
+/// every non-collider on it is outside z, and every collider is in z or
+/// has a descendant in z.
+bool IsPathOpen(const Dag& dag, const Path& path, const NodeSet& z);
+
+/// The open backdoor paths from treatment to outcome given z — the ones a
+/// valid adjustment set must block. Sorted deterministically.
+std::vector<Path> OpenBackdoorPaths(const Dag& dag, NodeId treatment,
+                                    NodeId outcome, const NodeSet& z);
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,460 @@
+#include "causal/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "core/error.h"
+#include "stats/descriptive.h"
+#include "stats/logistic.h"
+#include "stats/matrix.h"
+#include "stats/iv.h"
+#include "stats/regression.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+namespace {
+
+/// Validates treatment is binary 0/1 with both arms present.
+core::Status CheckBinaryTreatment(std::span<const double> t) {
+  bool has0 = false, has1 = false;
+  for (double v : t) {
+    if (v == 0.0) {
+      has0 = true;
+    } else if (v == 1.0) {
+      has1 = true;
+    } else {
+      return Error(ErrorCode::kInvalidArgument,
+                   "treatment column must be 0/1");
+    }
+  }
+  if (!has0 || !has1) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "treatment column must contain both arms");
+  }
+  return core::Status::Ok();
+}
+
+Result<stats::Matrix> CovariateMatrix(
+    const Dataset& data, const std::vector<std::string>& covariates) {
+  std::vector<stats::Vector> cols;
+  cols.reserve(covariates.size());
+  for (const auto& name : covariates) {
+    auto col = data.Column(name);
+    if (!col.ok()) return col.error();
+    cols.emplace_back(col.value().begin(), col.value().end());
+  }
+  if (cols.empty()) return stats::Matrix(data.rows(), 0);
+  return stats::Matrix::FromColumns(cols);
+}
+
+}  // namespace
+
+Result<EffectEstimate> NaiveDifference(const Dataset& data,
+                                       std::string_view treatment,
+                                       std::string_view outcome) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+  if (auto s = CheckBinaryTreatment(t.value()); !s.ok()) return s.error();
+
+  std::vector<double> y1, y0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    (t.value()[i] == 1.0 ? y1 : y0).push_back(y.value()[i]);
+  }
+  EffectEstimate out;
+  out.method = "naive_difference";
+  out.n = data.rows();
+  out.effect = stats::Mean(y1) - stats::Mean(y0);
+  const double v1 = y1.size() >= 2 ? stats::Variance(y1) : 0.0;
+  const double v0 = y0.size() >= 2 ? stats::Variance(y0) : 0.0;
+  out.standard_error = std::sqrt(v1 / static_cast<double>(y1.size()) +
+                                 v0 / static_cast<double>(y0.size()));
+  return out;
+}
+
+Result<EffectEstimate> RegressionAdjustment(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+
+  auto x = CovariateMatrix(data, covariates);
+  if (!x.ok()) return x.error();
+  stats::Matrix design(data.rows(), 1 + covariates.size());
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    design(r, 0) = t.value()[r];
+    for (std::size_t c = 0; c < covariates.size(); ++c)
+      design(r, 1 + c) = x.value()(r, c);
+  }
+  auto fit = stats::Ols(design, y.value());
+  if (!fit.ok()) return fit.error();
+
+  EffectEstimate out;
+  out.method = "regression_adjustment";
+  out.n = data.rows();
+  out.effect = fit.value().coefficients[1];        // after intercept
+  out.standard_error = fit.value().robust_errors[1];
+  return out;
+}
+
+Result<EffectEstimate> Stratification(const Dataset& data,
+                                      std::string_view treatment,
+                                      std::string_view outcome,
+                                      const std::vector<std::string>& covariates,
+                                      const StratificationOptions& options) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+  if (auto s = CheckBinaryTreatment(t.value()); !s.ok()) return s.error();
+  if (covariates.empty()) return NaiveDifference(data, treatment, outcome);
+  if (options.bins_per_covariate < 2) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "Stratification: need >= 2 bins per covariate");
+  }
+
+  // Assign each row a stratum key: the tuple of quantile-bin indices.
+  const std::size_t n = data.rows();
+  std::vector<std::vector<std::size_t>> bin_index(covariates.size());
+  for (std::size_t c = 0; c < covariates.size(); ++c) {
+    auto col = data.Column(covariates[c]);
+    if (!col.ok()) return col.error();
+    // Quantile cut points.
+    std::vector<double> cuts;
+    for (std::size_t b = 1; b < options.bins_per_covariate; ++b) {
+      cuts.push_back(stats::Quantile(
+          col.value(),
+          static_cast<double>(b) /
+              static_cast<double>(options.bins_per_covariate)));
+    }
+    bin_index[c].resize(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      std::size_t bin = 0;
+      while (bin < cuts.size() && col.value()[r] > cuts[bin]) ++bin;
+      bin_index[c][r] = bin;
+    }
+  }
+  std::map<std::vector<std::size_t>, std::vector<std::size_t>> strata;
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::size_t> key(covariates.size());
+    for (std::size_t c = 0; c < covariates.size(); ++c) key[c] = bin_index[c][r];
+    strata[key].push_back(r);
+  }
+
+  double weighted_effect = 0.0;
+  double weighted_var = 0.0;
+  std::size_t used = 0;
+  for (const auto& [key, rows] : strata) {
+    std::vector<double> y1, y0;
+    for (std::size_t r : rows) {
+      (t.value()[r] == 1.0 ? y1 : y0).push_back(y.value()[r]);
+    }
+    if (y1.size() < options.min_per_arm || y0.size() < options.min_per_arm) {
+      continue;
+    }
+    const double weight = static_cast<double>(rows.size());
+    const double effect = stats::Mean(y1) - stats::Mean(y0);
+    weighted_effect += weight * effect;
+    const double var = stats::Variance(y1) / static_cast<double>(y1.size()) +
+                       stats::Variance(y0) / static_cast<double>(y0.size());
+    weighted_var += weight * weight * var;
+    used += rows.size();
+  }
+  if (used == 0) {
+    return Error(ErrorCode::kPrecondition,
+                 "Stratification: no stratum has both arms populated "
+                 "(no covariate overlap)");
+  }
+  EffectEstimate out;
+  out.method = "stratification";
+  out.n = used;
+  out.effect = weighted_effect / static_cast<double>(used);
+  out.standard_error =
+      std::sqrt(weighted_var) / static_cast<double>(used);
+  return out;
+}
+
+Result<EffectEstimate> InversePropensityWeighting(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const IpwOptions& options) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+  if (auto s = CheckBinaryTreatment(t.value()); !s.ok()) return s.error();
+  auto x = CovariateMatrix(data, covariates);
+  if (!x.ok()) return x.error();
+
+  auto propensity_fit = stats::LogisticRegression(x.value(), t.value());
+  if (!propensity_fit.ok()) return propensity_fit.error();
+
+  const std::size_t n = data.rows();
+  double p_treated = 0.0;
+  for (double v : t.value()) p_treated += v;
+  p_treated /= static_cast<double>(n);
+
+  // Hajek (self-normalizing) estimator with clipped scores.
+  double sum_w1 = 0.0, sum_w1y = 0.0, sum_w0 = 0.0, sum_w0y = 0.0;
+  std::vector<double> influence(n, 0.0);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(covariates.size());
+    for (std::size_t c = 0; c < covariates.size(); ++c) row[c] = x.value()(i, c);
+    double e = propensity_fit.value().PredictProbability(row);
+    e = std::min(1.0 - options.clip, std::max(options.clip, e));
+    scores[i] = e;
+    const double stabilizer1 = options.stabilized ? p_treated : 1.0;
+    const double stabilizer0 = options.stabilized ? (1.0 - p_treated) : 1.0;
+    if (t.value()[i] == 1.0) {
+      const double w = stabilizer1 / e;
+      sum_w1 += w;
+      sum_w1y += w * y.value()[i];
+    } else {
+      const double w = stabilizer0 / (1.0 - e);
+      sum_w0 += w;
+      sum_w0y += w * y.value()[i];
+    }
+  }
+  EffectEstimate out;
+  out.method = "ipw";
+  out.n = n;
+  const double mu1 = sum_w1y / sum_w1;
+  const double mu0 = sum_w0y / sum_w0;
+  out.effect = mu1 - mu0;
+  // Influence-function SE for the Hajek estimator.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = scores[i];
+    const double ti = t.value()[i];
+    influence[i] = ti / e * (y.value()[i] - mu1) -
+                   (1.0 - ti) / (1.0 - e) * (y.value()[i] - mu0);
+  }
+  out.standard_error =
+      std::sqrt(stats::Variance(influence) / static_cast<double>(n));
+  return out;
+}
+
+Result<EffectEstimate> NearestNeighborMatching(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+  if (auto s = CheckBinaryTreatment(t.value()); !s.ok()) return s.error();
+  if (covariates.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "NearestNeighborMatching: need at least one covariate");
+  }
+  auto x = CovariateMatrix(data, covariates);
+  if (!x.ok()) return x.error();
+
+  // Standardize covariates so distances are comparable across scales.
+  const std::size_t n = data.rows();
+  stats::Matrix z(n, covariates.size());
+  for (std::size_t c = 0; c < covariates.size(); ++c) {
+    const auto col = x.value().Column(c);
+    const double mu = stats::Mean(col);
+    const double sd = stats::StdDev(col);
+    for (std::size_t r = 0; r < n; ++r)
+      z(r, c) = sd > 0.0 ? (col[r] - mu) / sd : 0.0;
+  }
+  std::vector<std::size_t> treated, control;
+  for (std::size_t i = 0; i < n; ++i) {
+    (t.value()[i] == 1.0 ? treated : control).push_back(i);
+  }
+  // ATT: for each treated unit, find the closest control.
+  std::vector<double> diffs;
+  diffs.reserve(treated.size());
+  for (std::size_t i : treated) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t match = control.front();
+    for (std::size_t j : control) {
+      double dist = 0.0;
+      for (std::size_t c = 0; c < covariates.size(); ++c) {
+        const double d = z(i, c) - z(j, c);
+        dist += d * d;
+      }
+      if (dist < best) {
+        best = dist;
+        match = j;
+      }
+    }
+    diffs.push_back(y.value()[i] - y.value()[match]);
+  }
+  EffectEstimate out;
+  out.method = "nearest_neighbor_matching_att";
+  out.n = treated.size();
+  out.effect = stats::Mean(diffs);
+  out.standard_error =
+      diffs.size() >= 2
+          ? std::sqrt(stats::Variance(diffs) / static_cast<double>(diffs.size()))
+          : 0.0;
+  return out;
+}
+
+Result<EffectEstimate> DifferenceInDifferences(
+    const Dataset& data, std::string_view treated_indicator,
+    std::string_view outcome_pre, std::string_view outcome_post) {
+  auto d = data.Column(treated_indicator);
+  if (!d.ok()) return d.error();
+  auto pre = data.Column(outcome_pre);
+  if (!pre.ok()) return pre.error();
+  auto post = data.Column(outcome_post);
+  if (!post.ok()) return post.error();
+  if (auto s = CheckBinaryTreatment(d.value()); !s.ok()) return s.error();
+
+  std::vector<double> delta_treated, delta_control;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    const double delta = post.value()[i] - pre.value()[i];
+    (d.value()[i] == 1.0 ? delta_treated : delta_control).push_back(delta);
+  }
+  EffectEstimate out;
+  out.method = "difference_in_differences";
+  out.n = data.rows();
+  out.effect = stats::Mean(delta_treated) - stats::Mean(delta_control);
+  const double v1 = delta_treated.size() >= 2 ? stats::Variance(delta_treated) : 0.0;
+  const double v0 = delta_control.size() >= 2 ? stats::Variance(delta_control) : 0.0;
+  out.standard_error =
+      std::sqrt(v1 / static_cast<double>(delta_treated.size()) +
+                v0 / static_cast<double>(delta_control.size()));
+  return out;
+}
+
+Result<EffectEstimate> AugmentedIpw(const Dataset& data,
+                                    std::string_view treatment,
+                                    std::string_view outcome,
+                                    const std::vector<std::string>& covariates,
+                                    const IpwOptions& options) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+  if (auto s = CheckBinaryTreatment(t.value()); !s.ok()) return s.error();
+  auto x = CovariateMatrix(data, covariates);
+  if (!x.ok()) return x.error();
+  const std::size_t n = data.rows();
+
+  // Outcome models per arm: y ~ covariates on treated / control rows.
+  const Dataset treated_rows = data.FilterEquals(std::string(treatment), 1.0);
+  const Dataset control_rows = data.FilterEquals(std::string(treatment), 0.0);
+  auto arm_model = [&](const Dataset& rows)
+      -> Result<stats::OlsFit> {
+    auto arm_x = CovariateMatrix(rows, covariates);
+    if (!arm_x.ok()) return arm_x.error();
+    auto arm_y = rows.Column(outcome);
+    if (!arm_y.ok()) return arm_y.error();
+    return stats::Ols(arm_x.value(), arm_y.value());
+  };
+  auto model1 = arm_model(treated_rows);
+  if (!model1.ok()) return model1.error();
+  auto model0 = arm_model(control_rows);
+  if (!model0.ok()) return model0.error();
+
+  auto propensity = stats::LogisticRegression(x.value(), t.value());
+  if (!propensity.ok()) return propensity.error();
+
+  // AIPW influence values per unit.
+  std::vector<double> influence(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(covariates.size());
+    for (std::size_t c = 0; c < covariates.size(); ++c) {
+      row[c] = x.value()(i, c);
+    }
+    double e = propensity.value().PredictProbability(row);
+    e = std::min(1.0 - options.clip, std::max(options.clip, e));
+    const double mu1 = model1.value().Predict(row);
+    const double mu0 = model0.value().Predict(row);
+    const double ti = t.value()[i];
+    const double yi = y.value()[i];
+    influence[i] = mu1 - mu0 + ti * (yi - mu1) / e -
+                   (1.0 - ti) * (yi - mu0) / (1.0 - e);
+  }
+  EffectEstimate out;
+  out.method = "augmented_ipw";
+  out.n = n;
+  out.effect = stats::Mean(influence);
+  out.standard_error =
+      std::sqrt(stats::Variance(influence) / static_cast<double>(n));
+  return out;
+}
+
+Result<EffectEstimate> FrontdoorEstimate(const Dataset& data,
+                                         std::string_view treatment,
+                                         std::string_view mediator,
+                                         std::string_view outcome) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto m = data.Column(mediator);
+  if (!m.ok()) return m.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+
+  // Stage 1: m ~ t (no backdoor t -> m under the frontdoor criterion).
+  stats::Matrix design1(data.rows(), 1);
+  for (std::size_t i = 0; i < data.rows(); ++i) design1(i, 0) = t.value()[i];
+  auto stage1 = stats::Ols(design1, m.value());
+  if (!stage1.ok()) return stage1.error();
+  const double alpha = stage1.value().coefficients[1];
+  const double alpha_se = stage1.value().robust_errors[1];
+
+  // Stage 2: y ~ m + t — conditioning on t blocks the backdoor from m to
+  // y through the latent confounder (criterion condition 3).
+  stats::Matrix design2(data.rows(), 2);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    design2(i, 0) = m.value()[i];
+    design2(i, 1) = t.value()[i];
+  }
+  auto stage2 = stats::Ols(design2, y.value());
+  if (!stage2.ok()) return stage2.error();
+  const double beta = stage2.value().coefficients[1];
+  const double beta_se = stage2.value().robust_errors[1];
+
+  EffectEstimate out;
+  out.method = "frontdoor";
+  out.n = data.rows();
+  out.effect = alpha * beta;
+  // Delta method for a product of (approximately independent) estimates.
+  out.standard_error = std::sqrt(alpha * alpha * beta_se * beta_se +
+                                 beta * beta * alpha_se * alpha_se);
+  return out;
+}
+
+Result<EffectEstimate> InstrumentalVariableEstimate(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& instruments,
+    const std::vector<std::string>& controls) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+  auto z = CovariateMatrix(data, instruments);
+  if (!z.ok()) return z.error();
+  auto w = CovariateMatrix(data, controls);
+  if (!w.ok()) return w.error();
+  auto fit = stats::TwoStageLeastSquares(y.value(), t.value(), z.value(),
+                                         w.value());
+  if (!fit.ok()) return fit.error();
+  EffectEstimate out;
+  out.method = "iv";
+  if (fit.value().WeakInstrument()) {
+    char buffer[48];
+    std::snprintf(buffer, sizeof(buffer), "iv[WEAK F=%.1f]",
+                  fit.value().first_stage_f);
+    out.method = buffer;
+  }
+  out.n = data.rows();
+  out.effect = fit.value().TreatmentEffect();
+  out.standard_error = fit.value().TreatmentStdError();
+  return out;
+}
+
+}  // namespace sisyphus::causal

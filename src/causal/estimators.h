@@ -1,0 +1,114 @@
+// Average-treatment-effect estimators on tabular data.
+//
+// These implement the adjustment strategies the identification engine
+// prescribes: once Identify() returns a backdoor set, any of the
+// estimators here turns it into a number. All take a Dataset, a binary
+// (0/1) treatment column, an outcome column, and covariate column names.
+//
+//  - NaiveDifference      E[Y|T=1] - E[Y|T=0]; biased under confounding —
+//                         included deliberately as the paper's foil.
+//  - RegressionAdjustment OLS of Y on T and covariates.
+//  - Stratification       the paper's "compare latencies across routes only
+//                         when C is similar": quantile-bin the covariates,
+//                         compare within bins, weight by bin mass.
+//  - InversePropensity    Horvitz–Thompson with logistic propensity scores
+//                         (stabilized, clipped).
+//  - NearestNeighborMatch 1-NN matching with replacement on standardized
+//                         covariates (ATT).
+//  - DifferenceInDifferences two-period panel DiD.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causal/dataset.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+/// A point estimate with a (method-specific) standard error.
+struct EffectEstimate {
+  double effect = 0.0;
+  double standard_error = 0.0;
+  std::string method;
+  std::size_t n = 0;
+
+  /// effect +/- z * se.
+  double ci_lower(double z = 1.96) const { return effect - z * standard_error; }
+  double ci_upper(double z = 1.96) const { return effect + z * standard_error; }
+};
+
+/// Unadjusted difference in means (the correlational answer).
+core::Result<EffectEstimate> NaiveDifference(const Dataset& data,
+                                             std::string_view treatment,
+                                             std::string_view outcome);
+
+/// OLS of outcome on [treatment, covariates]; effect = treatment
+/// coefficient; SE = HC1 robust.
+core::Result<EffectEstimate> RegressionAdjustment(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates);
+
+struct StratificationOptions {
+  std::size_t bins_per_covariate = 5;
+  /// Strata with fewer than this many units in either arm are dropped
+  /// (their mass is excluded; the estimate is then over the overlap
+  /// population).
+  std::size_t min_per_arm = 2;
+};
+
+/// Coarsened stratification on the covariates.
+core::Result<EffectEstimate> Stratification(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates,
+    const StratificationOptions& options = {});
+
+struct IpwOptions {
+  /// Propensity scores are clipped into [clip, 1-clip] to bound weights.
+  double clip = 0.01;
+  bool stabilized = true;
+};
+
+/// Inverse-propensity weighting with a logistic propensity model.
+core::Result<EffectEstimate> InversePropensityWeighting(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const IpwOptions& options = {});
+
+/// 1-nearest-neighbor matching with replacement on standardized
+/// covariates. Estimates the ATT (effect on the treated).
+core::Result<EffectEstimate> NearestNeighborMatching(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates);
+
+/// Two-period difference-in-differences: columns are unit-level
+/// (treated 0/1, pre outcome, post outcome).
+core::Result<EffectEstimate> DifferenceInDifferences(
+    const Dataset& data, std::string_view treated_indicator,
+    std::string_view outcome_pre, std::string_view outcome_post);
+
+/// Augmented IPW (doubly robust): combines outcome regressions per arm
+/// with propensity weighting; consistent if EITHER model is right.
+/// Linear outcome model + logistic propensity, both on `covariates`.
+core::Result<EffectEstimate> AugmentedIpw(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const IpwOptions& options = {});
+
+/// Frontdoor (mediation) estimator for the linear case: when Identify()
+/// returns kFrontdoor with mediator m, the effect of t on y is
+/// (coefficient of t in m ~ t) * (coefficient of m in y ~ m + t).
+/// Standard error by the delta method. Works for continuous or binary t.
+core::Result<EffectEstimate> FrontdoorEstimate(const Dataset& data,
+                                               std::string_view treatment,
+                                               std::string_view mediator,
+                                               std::string_view outcome);
+
+/// Dataset-level 2SLS wrapper: when Identify() returns kInstrument, this
+/// estimates the effect using the named instrument and control columns.
+/// Reports the first-stage F in the method string when the instrument is
+/// weak ("iv[WEAK F=...]").
+core::Result<EffectEstimate> InstrumentalVariableEstimate(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& instruments,
+    const std::vector<std::string>& controls = {});
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,50 @@
+// Event-study view of a synthetic-control analysis.
+//
+// Table 1 compresses each unit to one number (the mean post-treatment
+// gap); an event study keeps the whole trajectory: the observed-minus-
+// synthetic gap at every period relative to treatment, with a pointwise
+// placebo band (the quantile envelope of the same gap computed on donor
+// placebo runs). A real effect shows up as the treated gap leaving the
+// band only AFTER the event; a pre-period excursion flags a bad fit —
+// the visual diagnostic synthetic-control papers (and the paper's own
+// methodology) lean on.
+#pragma once
+
+#include "causal/placebo.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+struct EventStudyPoint {
+  /// Period index relative to treatment (negative = pre).
+  int relative_period = 0;
+  double gap = 0.0;         ///< treated observed - synthetic
+  double band_low = 0.0;    ///< placebo-gap quantile envelope
+  double band_high = 0.0;
+  bool outside_band = false;
+};
+
+struct EventStudyResult {
+  std::vector<EventStudyPoint> points;
+  /// Fraction of POST periods where the treated gap leaves the band.
+  double post_exceedance = 0.0;
+  /// Fraction of PRE periods outside the band (should be ~= the nominal
+  /// band miss rate; larger means the synthetic fit is poor).
+  double pre_exceedance = 0.0;
+  SyntheticControlFit treated_fit;
+};
+
+struct EventStudyOptions {
+  PlaceboOptions placebo;
+  /// Pointwise band quantiles over placebo gaps.
+  double band_lower_quantile = 0.05;
+  double band_upper_quantile = 0.95;
+};
+
+/// Runs the treated fit plus one placebo fit per donor and assembles the
+/// per-period gap series with placebo bands. Fails when fewer than 3
+/// placebo runs succeed.
+core::Result<EventStudyResult> RunEventStudy(
+    const SyntheticControlInput& input, const EventStudyOptions& options = {});
+
+}  // namespace sisyphus::causal

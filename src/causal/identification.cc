@@ -1,0 +1,379 @@
+#include "causal/identification.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+namespace {
+
+/// Copy of `dag` with all edges out of `node` removed (Pearl's G underbar).
+Dag WithoutOutgoingEdges(const Dag& dag, NodeId node) {
+  Dag out;
+  for (NodeId id : dag.AllNodes()) {
+    out.AddNode(dag.Name(id), dag.IsObserved(id));
+  }
+  for (NodeId id : dag.AllNodes()) {
+    for (NodeId child : dag.Children(id)) {
+      if (id == node) continue;
+      // Same node numbering: AddNode is idempotent and insertion order is
+      // preserved, so ids coincide.
+      const auto status = out.AddEdge(id, child);
+      SISYPHUS_REQUIRE(status.ok(), "WithoutOutgoingEdges: copy failed");
+    }
+  }
+  return out;
+}
+
+/// All directed paths treatment -> outcome.
+void DirectedPathsFrom(const Dag& dag, NodeId current, NodeId target,
+                       std::vector<NodeId>& stack,
+                       std::vector<bool>& on_path,
+                       std::vector<std::vector<NodeId>>& out) {
+  if (current == target) {
+    out.push_back(stack);
+    return;
+  }
+  for (NodeId child : dag.Children(current)) {
+    if (on_path[child.value()]) continue;
+    stack.push_back(child);
+    on_path[child.value()] = true;
+    DirectedPathsFrom(dag, child, target, stack, on_path, out);
+    on_path[child.value()] = false;
+    stack.pop_back();
+  }
+}
+
+std::vector<std::vector<NodeId>> DirectedPaths(const Dag& dag, NodeId from,
+                                               NodeId to) {
+  std::vector<std::vector<NodeId>> out;
+  std::vector<NodeId> stack{from};
+  std::vector<bool> on_path(dag.NodeCount(), false);
+  on_path[from.value()] = true;
+  DirectedPathsFrom(dag, from, to, stack, on_path, out);
+  return out;
+}
+
+std::string SetToText(const Dag& dag, const NodeSet& set) {
+  std::string out = "{";
+  bool first = true;
+  for (NodeId id : set) {
+    if (!first) out += ", ";
+    out += dag.Name(id);
+    first = false;
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+bool SatisfiesBackdoorCriterion(const Dag& dag, NodeId treatment,
+                                NodeId outcome, const NodeSet& z) {
+  if (z.Contains(treatment) || z.Contains(outcome)) return false;
+  // (1) No descendant of treatment in z.
+  const NodeSet descendants = dag.Descendants(treatment);
+  for (NodeId id : z) {
+    if (descendants.Contains(id)) return false;
+  }
+  // (2) z blocks every backdoor path: in the graph with treatment's
+  // outgoing edges removed, treatment and outcome are d-separated by z.
+  const Dag cut = WithoutOutgoingEdges(dag, treatment);
+  return IsDSeparated(cut, treatment, outcome, z);
+}
+
+std::vector<NodeSet> MinimalAdjustmentSets(const Dag& dag, NodeId treatment,
+                                           NodeId outcome,
+                                           std::size_t max_size) {
+  // Candidates: observed nodes that are not treatment/outcome and not
+  // descendants of treatment.
+  const NodeSet descendants = dag.Descendants(treatment);
+  std::vector<NodeId> candidates;
+  for (NodeId id : dag.ObservedNodes()) {
+    if (id == treatment || id == outcome) continue;
+    if (descendants.Contains(id)) continue;
+    candidates.push_back(id);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](NodeId a, NodeId b) { return dag.Name(a) < dag.Name(b); });
+
+  std::vector<NodeSet> valid;
+  // Enumerate subsets by increasing size; keep only those with no valid
+  // strict subset (minimality).
+  std::vector<std::size_t> indices;
+  const std::size_t n = candidates.size();
+  const std::size_t cap = std::min(max_size, n);
+  for (std::size_t size = 0; size <= cap; ++size) {
+    // size-combinations of candidates in lexicographic order.
+    indices.assign(size, 0);
+    for (std::size_t i = 0; i < size; ++i) indices[i] = i;
+    bool more = true;
+    if (size > n) break;
+    while (more) {
+      NodeSet z;
+      for (std::size_t i : indices) z.Insert(candidates[i]);
+      // Minimality: skip if a known valid set is a subset.
+      bool has_valid_subset = false;
+      for (const NodeSet& small : valid) {
+        bool subset = true;
+        for (NodeId id : small) {
+          if (!z.Contains(id)) {
+            subset = false;
+            break;
+          }
+        }
+        if (subset) {
+          has_valid_subset = true;
+          break;
+        }
+      }
+      if (!has_valid_subset &&
+          SatisfiesBackdoorCriterion(dag, treatment, outcome, z)) {
+        valid.push_back(z);
+      }
+      // Next combination.
+      more = false;
+      for (std::size_t i = size; i-- > 0;) {
+        if (indices[i] + (size - i) < n) {
+          ++indices[i];
+          for (std::size_t j = i + 1; j < size; ++j)
+            indices[j] = indices[j - 1] + 1;
+          more = true;
+          break;
+        }
+      }
+      if (size == 0) break;  // only the empty set
+    }
+  }
+  return valid;
+}
+
+bool SatisfiesFrontdoorCriterion(const Dag& dag, NodeId treatment,
+                                 NodeId outcome, const NodeSet& m) {
+  if (m.empty() || m.Contains(treatment) || m.Contains(outcome)) return false;
+  // (1) m intercepts every directed path treatment -> outcome.
+  for (const auto& path : DirectedPaths(dag, treatment, outcome)) {
+    bool intercepted = false;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (m.Contains(path[i])) {
+        intercepted = true;
+        break;
+      }
+    }
+    if (!intercepted) return false;
+  }
+  // (2) No open backdoor path from treatment to any node of m.
+  for (NodeId mediator : m) {
+    if (!OpenBackdoorPaths(dag, treatment, mediator, NodeSet{}).empty()) {
+      return false;
+    }
+  }
+  // (3) Every backdoor path from each mediator to outcome is blocked by
+  // treatment.
+  NodeSet t_only{treatment};
+  for (NodeId mediator : m) {
+    if (!OpenBackdoorPaths(dag, mediator, outcome, t_only).empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<NodeId> FindFrontdoorMediators(const Dag& dag, NodeId treatment,
+                                           NodeId outcome) {
+  std::vector<NodeId> out;
+  for (NodeId id : dag.ObservedNodes()) {
+    if (id == treatment || id == outcome) continue;
+    if (SatisfiesFrontdoorCriterion(dag, treatment, outcome, NodeSet{id})) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [&](NodeId a, NodeId b) { return dag.Name(a) < dag.Name(b); });
+  return out;
+}
+
+bool IsValidInstrument(const Dag& dag, NodeId candidate, NodeId treatment,
+                       NodeId outcome, const NodeSet& conditioning) {
+  if (candidate == treatment || candidate == outcome) return false;
+  if (conditioning.Contains(candidate) || conditioning.Contains(treatment) ||
+      conditioning.Contains(outcome)) {
+    return false;
+  }
+  // Conditioning set must not contain descendants of treatment or of the
+  // candidate (conditioning on them could open collider paths / block the
+  // effect channel).
+  const NodeSet treatment_desc = dag.Descendants(treatment);
+  const NodeSet candidate_desc = dag.Descendants(candidate);
+  for (NodeId id : conditioning) {
+    if (treatment_desc.Contains(id) || candidate_desc.Contains(id)) {
+      return false;
+    }
+  }
+  // Relevance: candidate d-connected to treatment given conditioning.
+  if (IsDSeparated(dag, candidate, treatment, conditioning)) return false;
+  // Exclusion: candidate d-separated from outcome (given conditioning) in
+  // the graph where the treatment's outgoing edges are removed — every
+  // channel from instrument to outcome must pass through the treatment.
+  const Dag cut = WithoutOutgoingEdges(dag, treatment);
+  return IsDSeparated(cut, candidate, outcome, conditioning);
+}
+
+std::vector<NodeId> FindInstruments(const Dag& dag, NodeId treatment,
+                                    NodeId outcome) {
+  std::vector<NodeId> out;
+  for (NodeId id : dag.ObservedNodes()) {
+    if (IsValidInstrument(dag, id, treatment, outcome, NodeSet{})) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [&](NodeId a, NodeId b) { return dag.Name(a) < dag.Name(b); });
+  return out;
+}
+
+std::vector<ConditionalInstrument> FindConditionalInstruments(
+    const Dag& dag, NodeId treatment, NodeId outcome,
+    std::size_t max_conditioning_size) {
+  // Candidate conditioning variables: observed, not treatment/outcome.
+  std::vector<NodeId> pool;
+  for (NodeId id : dag.ObservedNodes()) {
+    if (id != treatment && id != outcome) pool.push_back(id);
+  }
+  std::sort(pool.begin(), pool.end(),
+            [&](NodeId a, NodeId b) { return dag.Name(a) < dag.Name(b); });
+
+  std::vector<ConditionalInstrument> out;
+  for (NodeId candidate : pool) {
+    bool found = false;
+    // Increasing conditioning-set size; stop at the first valid one.
+    const std::size_t cap = std::min(max_conditioning_size, pool.size());
+    for (std::size_t size = 0; size <= cap && !found; ++size) {
+      // size-combinations of pool \ {candidate}.
+      std::vector<NodeId> others;
+      for (NodeId id : pool) {
+        if (id != candidate) others.push_back(id);
+      }
+      if (size > others.size()) break;
+      std::vector<std::size_t> indices(size);
+      for (std::size_t i = 0; i < size; ++i) indices[i] = i;
+      while (true) {
+        NodeSet w;
+        for (std::size_t i : indices) w.Insert(others[i]);
+        if (IsValidInstrument(dag, candidate, treatment, outcome, w)) {
+          out.push_back({candidate, w});
+          found = true;
+          break;
+        }
+        // Next combination.
+        bool more = false;
+        for (std::size_t i = size; i-- > 0;) {
+          if (indices[i] + (size - i) < others.size()) {
+            ++indices[i];
+            for (std::size_t j = i + 1; j < size; ++j) {
+              indices[j] = indices[j - 1] + 1;
+            }
+            more = true;
+            break;
+          }
+        }
+        if (!more || size == 0) break;
+      }
+    }
+  }
+  return out;
+}
+
+const char* ToString(IdentificationStrategy strategy) {
+  switch (strategy) {
+    case IdentificationStrategy::kNoConfounding: return "no_confounding";
+    case IdentificationStrategy::kBackdoor: return "backdoor";
+    case IdentificationStrategy::kFrontdoor: return "frontdoor";
+    case IdentificationStrategy::kInstrument: return "instrument";
+    case IdentificationStrategy::kNotIdentifiable: return "not_identifiable";
+  }
+  return "unknown";
+}
+
+Result<IdentificationResult> Identify(const Dag& dag, NodeId treatment,
+                                      NodeId outcome) {
+  if (treatment == outcome) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "Identify: treatment equals outcome");
+  }
+  if (!dag.IsObserved(treatment) || !dag.IsObserved(outcome)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "Identify: treatment and outcome must be observed");
+  }
+  IdentificationResult out;
+
+  if (SatisfiesBackdoorCriterion(dag, treatment, outcome, NodeSet{})) {
+    out.strategy = IdentificationStrategy::kNoConfounding;
+    out.explanation =
+        "No open backdoor path from " + dag.Name(treatment) + " to " +
+        dag.Name(outcome) +
+        "; the association is causal without adjustment (as in a "
+        "randomized experiment).";
+    return out;
+  }
+
+  const auto sets = MinimalAdjustmentSets(dag, treatment, outcome);
+  if (!sets.empty()) {
+    // Prefer the smallest, then lexicographic (already ordered by size).
+    out.strategy = IdentificationStrategy::kBackdoor;
+    out.adjustment_set = sets.front();
+    out.explanation = "Adjusting for " + SetToText(dag, out.adjustment_set) +
+                      " blocks every backdoor path from " +
+                      dag.Name(treatment) + " to " + dag.Name(outcome) + ".";
+    return out;
+  }
+
+  const auto mediators = FindFrontdoorMediators(dag, treatment, outcome);
+  if (!mediators.empty()) {
+    out.strategy = IdentificationStrategy::kFrontdoor;
+    out.frontdoor_mediators = mediators;
+    out.explanation = "Mediator " + dag.Name(mediators.front()) +
+                      " satisfies the frontdoor criterion: the effect is "
+                      "identified by composing " +
+                      dag.Name(treatment) + " -> mediator and mediator -> " +
+                      dag.Name(outcome) + " effects.";
+    return out;
+  }
+
+  const auto instruments = FindInstruments(dag, treatment, outcome);
+  if (!instruments.empty()) {
+    out.strategy = IdentificationStrategy::kInstrument;
+    out.instruments = instruments;
+    out.explanation =
+        dag.Name(instruments.front()) +
+        " is a valid instrument: it moves " + dag.Name(treatment) +
+        " and reaches " + dag.Name(outcome) +
+        " only through it (exclusion restriction holds in the graph).";
+    return out;
+  }
+
+  out.strategy = IdentificationStrategy::kNotIdentifiable;
+  out.explanation = "Not identifiable with the supported criteria. Open "
+                    "backdoor paths given the empty set:";
+  for (const Path& path :
+       OpenBackdoorPaths(dag, treatment, outcome, NodeSet{})) {
+    out.explanation += "\n  " + path.ToText(dag);
+  }
+  return out;
+}
+
+Result<IdentificationResult> Identify(const Dag& dag,
+                                      std::string_view treatment,
+                                      std::string_view outcome) {
+  auto t = dag.Node(treatment);
+  if (!t.ok()) return t.error();
+  auto y = dag.Node(outcome);
+  if (!y.ok()) return y.error();
+  return Identify(dag, t.value(), y.value());
+}
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,115 @@
+// Identification: can a causal effect be estimated from observational
+// data, and how?
+//
+// Implements the graphical criteria from Pearl's framework that the paper
+// leans on (§3): the backdoor criterion (confounding adjustment), the
+// frontdoor criterion, and the instrumental-variable criterion, plus a
+// one-call Identify() that picks a strategy and explains itself — the
+// "DAG-based planning" workflow the paper proposes for measurement studies
+// (§4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+#include "causal/dseparation.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+/// Backdoor criterion: z contains no descendant of `treatment`, and z
+/// blocks every path between treatment and outcome that starts with an
+/// arrow into treatment.
+bool SatisfiesBackdoorCriterion(const Dag& dag, NodeId treatment,
+                                NodeId outcome, const NodeSet& z);
+
+/// All minimal (inclusion-wise) observed adjustment sets, deterministic
+/// order (by size, then lexicographically by names). `max_size` bounds the
+/// search. Empty result means no observed backdoor adjustment set exists.
+std::vector<NodeSet> MinimalAdjustmentSets(const Dag& dag, NodeId treatment,
+                                           NodeId outcome,
+                                           std::size_t max_size = 4);
+
+/// Frontdoor criterion for mediator set m: (1) m intercepts every directed
+/// path treatment -> outcome; (2) there is no open backdoor path from
+/// treatment to any node of m; (3) every backdoor path from m to outcome is
+/// blocked by treatment.
+bool SatisfiesFrontdoorCriterion(const Dag& dag, NodeId treatment,
+                                 NodeId outcome, const NodeSet& m);
+
+/// Single-node observed mediators satisfying the frontdoor criterion.
+std::vector<NodeId> FindFrontdoorMediators(const Dag& dag, NodeId treatment,
+                                           NodeId outcome);
+
+/// Graphical instrumental-variable criterion for candidate z given
+/// conditioning set w: (relevance) z is d-connected to treatment given w;
+/// (exclusion) z is d-separated from outcome given w in the graph with
+/// treatment's outgoing edges removed. w must not contain descendants of
+/// treatment or of z.
+bool IsValidInstrument(const Dag& dag, NodeId candidate, NodeId treatment,
+                       NodeId outcome, const NodeSet& conditioning);
+
+/// Observed variables that are valid instruments given an empty
+/// conditioning set.
+std::vector<NodeId> FindInstruments(const Dag& dag, NodeId treatment,
+                                    NodeId outcome);
+
+/// A conditional instrument: the pair (instrument, conditioning set W)
+/// such that IsValidInstrument(dag, z, t, y, W) holds (van der Zander,
+/// Textor & Liskiewicz, IJCAI'15 — the paper's reference for conditional
+/// instruments).
+struct ConditionalInstrument {
+  NodeId instrument;
+  NodeSet conditioning;
+};
+
+/// Searches observed candidates with conditioning sets up to
+/// `max_conditioning_size`; for each instrument only the smallest valid
+/// conditioning set (breaking ties lexicographically) is reported.
+/// Candidates already valid unconditionally are reported with an empty
+/// set. Deterministic order (by instrument name).
+std::vector<ConditionalInstrument> FindConditionalInstruments(
+    const Dag& dag, NodeId treatment, NodeId outcome,
+    std::size_t max_conditioning_size = 2);
+
+/// How an effect can be identified.
+enum class IdentificationStrategy {
+  kNoConfounding,   ///< empty set satisfies the backdoor criterion
+  kBackdoor,        ///< adjust for an observed set
+  kFrontdoor,       ///< mediation-based identification
+  kInstrument,      ///< IV / natural-experiment estimation
+  kNotIdentifiable, ///< none of the supported criteria applies
+};
+
+const char* ToString(IdentificationStrategy strategy);
+
+/// The outcome of Identify(): strategy plus the sets it needs and a
+/// human-readable explanation (lists the open backdoor paths when the
+/// effect is not identifiable — the diagnostic the paper asks measurement
+/// studies to report).
+struct IdentificationResult {
+  IdentificationStrategy strategy = IdentificationStrategy::kNotIdentifiable;
+  NodeSet adjustment_set;               ///< for kBackdoor
+  std::vector<NodeId> frontdoor_mediators;  ///< for kFrontdoor
+  std::vector<NodeId> instruments;      ///< for kInstrument
+  std::string explanation;
+
+  bool identifiable() const {
+    return strategy != IdentificationStrategy::kNotIdentifiable;
+  }
+};
+
+/// Decides how (whether) the effect of treatment on outcome is identifiable
+/// from the observed variables. Preference order: no-confounding, smallest
+/// backdoor set, frontdoor, instrument.
+/// Fails (kInvalidArgument) if treatment == outcome or either is latent.
+core::Result<IdentificationResult> Identify(const Dag& dag, NodeId treatment,
+                                            NodeId outcome);
+
+/// Name-based convenience overload.
+core::Result<IdentificationResult> Identify(const Dag& dag,
+                                            std::string_view treatment,
+                                            std::string_view outcome);
+
+}  // namespace sisyphus::causal

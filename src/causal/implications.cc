@@ -1,0 +1,152 @@
+#include "causal/implications.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "causal/dseparation.h"
+#include "core/error.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/matrix.h"
+#include "stats/regression.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+std::string ImpliedIndependence::ToText(const Dag& dag) const {
+  std::string out = dag.Name(x) + " _||_ " + dag.Name(y);
+  if (!given.empty()) {
+    out += " | ";
+    bool first = true;
+    for (NodeId id : given) {
+      if (!first) out += ", ";
+      out += dag.Name(id);
+      first = false;
+    }
+  }
+  return out;
+}
+
+std::vector<ImpliedIndependence> ImpliedIndependencies(const Dag& dag) {
+  const NodeSet observed_set = dag.ObservedNodes();
+  std::vector<NodeId> observed(observed_set.begin(), observed_set.end());
+  std::sort(observed.begin(), observed.end(), [&](NodeId a, NodeId b) {
+    return dag.Name(a) < dag.Name(b);
+  });
+  std::vector<ImpliedIndependence> out;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    for (std::size_t j = i + 1; j < observed.size(); ++j) {
+      const NodeId x = observed[i];
+      const NodeId y = observed[j];
+      if (dag.HasEdge(x, y) || dag.HasEdge(y, x)) continue;
+      // Candidate conditioning set: observed parents of both.
+      NodeSet given;
+      for (NodeId parent : dag.Parents(x)) {
+        if (dag.IsObserved(parent) && parent != y) given.Insert(parent);
+      }
+      for (NodeId parent : dag.Parents(y)) {
+        if (dag.IsObserved(parent) && parent != x) given.Insert(parent);
+      }
+      // Latent parents can keep the pair dependent; only emit statements
+      // the graph actually entails.
+      if (!IsDSeparated(dag, x, y, given)) continue;
+      out.push_back({x, y, std::move(given)});
+    }
+  }
+  return out;
+}
+
+Result<double> PartialCorrelation(const Dataset& data, std::string_view x,
+                                  std::string_view y,
+                                  const std::vector<std::string>& given) {
+  auto xs = data.Column(x);
+  if (!xs.ok()) return xs.error();
+  auto ys = data.Column(y);
+  if (!ys.ok()) return ys.error();
+  if (given.empty()) {
+    return stats::PearsonCorrelation(xs.value(), ys.value());
+  }
+  std::vector<stats::Vector> controls;
+  for (const auto& name : given) {
+    auto col = data.Column(name);
+    if (!col.ok()) return col.error();
+    controls.emplace_back(col.value().begin(), col.value().end());
+  }
+  const stats::Matrix design = stats::Matrix::FromColumns(controls);
+  auto fit_x = stats::Ols(design, xs.value());
+  if (!fit_x.ok()) return fit_x.error();
+  auto fit_y = stats::Ols(design, ys.value());
+  if (!fit_y.ok()) return fit_y.error();
+  const auto& rx = fit_x.value().residuals;
+  const auto& ry = fit_y.value().residuals;
+  if (stats::StdDev(rx) <= 0.0 || stats::StdDev(ry) <= 0.0) {
+    return Error(ErrorCode::kNumericalFailure,
+                 "PartialCorrelation: degenerate residuals");
+  }
+  return stats::PearsonCorrelation(rx, ry);
+}
+
+Result<IndependenceTest> TestConditionalIndependence(
+    const Dataset& data, std::string_view x, std::string_view y,
+    const std::vector<std::string>& given) {
+  auto rho = PartialCorrelation(data, x, y, given);
+  if (!rho.ok()) return rho.error();
+  const double n = static_cast<double>(data.rows());
+  const double dof = n - static_cast<double>(given.size()) - 3.0;
+  if (dof <= 0.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "TestConditionalIndependence: too few observations for "
+                 "the conditioning set");
+  }
+  IndependenceTest out;
+  out.n = data.rows();
+  out.partial_correlation =
+      std::clamp(rho.value(), -0.999999, 0.999999);
+  out.z_statistic = 0.5 *
+                    std::log((1.0 + out.partial_correlation) /
+                             (1.0 - out.partial_correlation)) *
+                    std::sqrt(dof);
+  out.p_value = stats::TwoSidedZPValue(out.z_statistic);
+  return out;
+}
+
+Result<std::vector<ImplicationResult>> TestImpliedIndependencies(
+    const Dag& dag, const Dataset& data, double alpha, std::size_t* skipped) {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "TestImpliedIndependencies: alpha outside (0,1)");
+  }
+  std::size_t skipped_count = 0;
+  std::vector<ImplicationResult> out;
+  for (const auto& implication : ImpliedIndependencies(dag)) {
+    std::vector<std::string> given;
+    bool measurable = data.HasColumn(dag.Name(implication.x)) &&
+                      data.HasColumn(dag.Name(implication.y));
+    for (NodeId id : implication.given) {
+      if (!data.HasColumn(dag.Name(id))) {
+        measurable = false;
+        break;
+      }
+      given.push_back(dag.Name(id));
+    }
+    if (!measurable) {
+      ++skipped_count;
+      continue;
+    }
+    auto test = TestConditionalIndependence(
+        data, dag.Name(implication.x), dag.Name(implication.y), given);
+    if (!test.ok()) return test.error();
+    ImplicationResult result;
+    result.implication = implication;
+    result.test = test.value();
+    result.rejected = test.value().p_value < alpha;
+    out.push_back(std::move(result));
+  }
+  if (skipped != nullptr) *skipped = skipped_count;
+  return out;
+}
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,73 @@
+// Testable implications of a causal DAG.
+//
+// A DAG is not just a picture: it implies conditional independencies that
+// observational data can refute (the heart of dagitty's model-testing
+// workflow, which the paper holds up as the tooling networking should
+// adopt). This module:
+//
+//   1. enumerates a basis of implied independencies — for every pair of
+//      non-adjacent observed variables (X, Y), the statement
+//      X _||_ Y | parents(X) ∪ parents(Y) restricted to observed nodes,
+//      kept only when it actually holds in the graph (latent parents can
+//      break it);
+//   2. tests each against a Dataset with Fisher-z partial correlation;
+//   3. reports which implications fail — each failure localizes a missing
+//      edge or unmodeled confounder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "causal/dag.h"
+#include "causal/dataset.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+/// One implied conditional independence X _||_ Y | Z.
+struct ImpliedIndependence {
+  NodeId x;
+  NodeId y;
+  NodeSet given;
+
+  std::string ToText(const Dag& dag) const;
+};
+
+/// Enumerates the implied-independence basis over OBSERVED variables.
+/// Deterministic order (by variable names).
+std::vector<ImpliedIndependence> ImpliedIndependencies(const Dag& dag);
+
+/// Partial correlation of x and y given the columns in `given`, computed
+/// by residualizing both on `given` via OLS. Fails on missing columns or
+/// rank problems.
+core::Result<double> PartialCorrelation(
+    const Dataset& data, std::string_view x, std::string_view y,
+    const std::vector<std::string>& given);
+
+/// Fisher-z test of zero partial correlation. dof = n - |given| - 3.
+struct IndependenceTest {
+  double partial_correlation = 0.0;
+  double z_statistic = 0.0;
+  double p_value = 1.0;
+  std::size_t n = 0;
+};
+
+core::Result<IndependenceTest> TestConditionalIndependence(
+    const Dataset& data, std::string_view x, std::string_view y,
+    const std::vector<std::string>& given);
+
+/// One implication's verdict against data.
+struct ImplicationResult {
+  ImpliedIndependence implication;
+  IndependenceTest test;
+  bool rejected = false;  ///< p < alpha: the data contradict the DAG here
+};
+
+/// Tests every implication whose variables all appear as data columns;
+/// implications referencing unmeasured variables are skipped (count
+/// reported via `skipped`).
+core::Result<std::vector<ImplicationResult>> TestImpliedIndependencies(
+    const Dag& dag, const Dataset& data, double alpha = 0.01,
+    std::size_t* skipped = nullptr);
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,84 @@
+#include "causal/ladder.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "stats/descriptive.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+Result<double> Association(const Dataset& data, std::string_view treatment,
+                           std::string_view outcome, double value,
+                           double halfwidth) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  auto y = data.Column(outcome);
+  if (!y.ok()) return y.error();
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    if (std::abs(t.value()[i] - value) <= halfwidth) {
+      sum += y.value()[i];
+      ++count;
+    }
+  }
+  if (count == 0) {
+    return Error(ErrorCode::kPrecondition,
+                 "Association: no observation has " + std::string(treatment) +
+                     " near " + std::to_string(value));
+  }
+  return sum / static_cast<double>(count);
+}
+
+Result<double> InterventionalExpectation(const Scm& scm,
+                                         std::string_view treatment,
+                                         std::string_view outcome,
+                                         double value, std::size_t draws,
+                                         core::Rng& rng) {
+  auto t = scm.dag().Node(treatment);
+  if (!t.ok()) return t.error();
+  auto y = scm.dag().Node(outcome);
+  if (!y.ok()) return y.error();
+  return scm.ExpectedUnderIntervention(y.value(), {{t.value(), value}}, draws,
+                                       rng);
+}
+
+Result<double> CounterfactualOutcome(
+    const Scm& scm, const std::unordered_map<std::string, double>& factual,
+    std::string_view treatment, std::string_view outcome, double value) {
+  auto t = scm.dag().Node(treatment);
+  if (!t.ok()) return t.error();
+  auto y = scm.dag().Node(outcome);
+  if (!y.ok()) return y.error();
+  auto world = scm.Counterfactual(factual, {{t.value(), value}});
+  if (!world.ok()) return world.error();
+  return world.value().at(std::string(outcome));
+}
+
+Result<LadderComparison> CompareLadderRungs(
+    const Scm& scm, const Dataset& data, std::string_view treatment,
+    std::string_view outcome, double high, double low, double halfwidth,
+    std::size_t draws, core::Rng& rng) {
+  LadderComparison out;
+  auto a_high = Association(data, treatment, outcome, high, halfwidth);
+  if (!a_high.ok()) return a_high.error();
+  auto a_low = Association(data, treatment, outcome, low, halfwidth);
+  if (!a_low.ok()) return a_low.error();
+  auto i_high =
+      InterventionalExpectation(scm, treatment, outcome, high, draws, rng);
+  if (!i_high.ok()) return i_high.error();
+  auto i_low =
+      InterventionalExpectation(scm, treatment, outcome, low, draws, rng);
+  if (!i_low.ok()) return i_low.error();
+  out.association_high = a_high.value();
+  out.association_low = a_low.value();
+  out.interventional_high = i_high.value();
+  out.interventional_low = i_low.value();
+  return out;
+}
+
+}  // namespace sisyphus::causal

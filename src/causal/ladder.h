@@ -1,0 +1,74 @@
+// The ladder of causation (Pearl), as a small query API.
+//
+// The paper's §3 organizes causal questions into three rungs; this facade
+// makes the distinction executable on the routing/latency running example:
+//
+//   rung 1  Association      E[L | R = r]        — from observational data
+//   rung 2  Intervention     E[L | do(R = r)]    — from an SCM (or a real
+//                                                  experiment)
+//   rung 3  Counterfactual   L_{R=r'}(u) given the observed unit u
+//
+// Comparing rung-1 and rung-2 answers on the same model quantifies the
+// confounding bias that a naive reading of the data would absorb.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "causal/dataset.h"
+#include "causal/scm.h"
+#include "core/result.h"
+#include "core/rng.h"
+
+namespace sisyphus::causal {
+
+/// Rung 1: E[outcome | treatment in [value - halfwidth, value + halfwidth]]
+/// estimated from observational rows. For binary treatments use
+/// halfwidth = 0. Fails (kPrecondition) when no row matches.
+core::Result<double> Association(const Dataset& data,
+                                 std::string_view treatment,
+                                 std::string_view outcome, double value,
+                                 double halfwidth = 0.0);
+
+/// Rung 2: E[outcome | do(treatment = value)] by Monte Carlo on the SCM.
+core::Result<double> InterventionalExpectation(const Scm& scm,
+                                               std::string_view treatment,
+                                               std::string_view outcome,
+                                               double value, std::size_t draws,
+                                               core::Rng& rng);
+
+/// Rung 3: the outcome the specific unit `factual` would have had, had
+/// treatment been `value` (abduction-action-prediction).
+core::Result<double> CounterfactualOutcome(
+    const Scm& scm, const std::unordered_map<std::string, double>& factual,
+    std::string_view treatment, std::string_view outcome, double value);
+
+/// Side-by-side answers for one treatment contrast, for reporting.
+struct LadderComparison {
+  double association_high = 0.0;
+  double association_low = 0.0;
+  double interventional_high = 0.0;
+  double interventional_low = 0.0;
+  /// association_high - association_low: what the observational contrast
+  /// suggests.
+  double associational_contrast() const {
+    return association_high - association_low;
+  }
+  /// interventional_high - interventional_low: the causal effect.
+  double interventional_contrast() const {
+    return interventional_high - interventional_low;
+  }
+  /// The confounding bias a naive analysis would report as "effect".
+  double confounding_bias() const {
+    return associational_contrast() - interventional_contrast();
+  }
+};
+
+/// Computes both rungs for treatment values {low, high}: observational
+/// conditioning on `data`, interventional expectation on `scm`.
+core::Result<LadderComparison> CompareLadderRungs(
+    const Scm& scm, const Dataset& data, std::string_view treatment,
+    std::string_view outcome, double high, double low, double halfwidth,
+    std::size_t draws, core::Rng& rng);
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,87 @@
+#include "causal/placebo.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "stats/inference.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+namespace {
+
+Result<SyntheticControlFit> FitWithMethod(const SyntheticControlInput& input,
+                                          const PlaceboOptions& options) {
+  if (options.method == SyntheticControlMethod::kClassical) {
+    return FitSyntheticControl(input, options.classical);
+  }
+  auto fit = FitRobustSyntheticControl(input, options.robust);
+  if (!fit.ok()) return fit.error();
+  return std::move(fit).value().base;
+}
+
+/// Builds the placebo input where donor `j` plays the treated unit; the
+/// pool is all other donors (the truly-treated series is excluded so its
+/// real effect cannot contaminate the null).
+SyntheticControlInput PlaceboInput(const SyntheticControlInput& input,
+                                   std::size_t j) {
+  SyntheticControlInput out;
+  out.pre_periods = input.pre_periods;
+  out.treated = input.donors.Column(j);
+  out.donors = stats::Matrix(input.donors.rows(), input.donors.cols() - 1);
+  std::size_t dst = 0;
+  for (std::size_t c = 0; c < input.donors.cols(); ++c) {
+    if (c == j) continue;
+    const auto col = input.donors.Column(c);
+    out.donors.SetColumn(dst, col);
+    if (!input.donor_names.empty()) out.donor_names.push_back(input.donor_names[c]);
+    ++dst;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PlaceboResult> RunPlaceboAnalysis(const SyntheticControlInput& input,
+                                         const PlaceboOptions& options) {
+  if (auto s = input.Validate(); !s.ok()) return s.error();
+  if (input.donors.cols() < 3) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "RunPlaceboAnalysis: need >= 3 donors for a placebo "
+                 "distribution");
+  }
+
+  PlaceboResult out;
+  auto treated = FitWithMethod(input, options);
+  if (!treated.ok()) return treated.error();
+  out.treated_fit = std::move(treated).value();
+
+  for (std::size_t j = 0; j < input.donors.cols(); ++j) {
+    const SyntheticControlInput placebo = PlaceboInput(input, j);
+    auto fit = FitWithMethod(placebo, options);
+    if (!fit.ok()) {
+      ++out.skipped_donors;
+      continue;
+    }
+    if (options.max_pre_rmse_multiple > 0.0 &&
+        fit.value().rmse_pre >
+            options.max_pre_rmse_multiple *
+                std::max(out.treated_fit.rmse_pre, 1e-9)) {
+      ++out.skipped_donors;
+      continue;
+    }
+    out.placebo_ratios.push_back(fit.value().rmse_ratio);
+  }
+  if (out.placebo_ratios.size() < 2) {
+    return Error(ErrorCode::kNumericalFailure,
+                 "RunPlaceboAnalysis: fewer than 2 usable placebo runs");
+  }
+  out.p_value = stats::EmpiricalUpperPValue(out.treated_fit.rmse_ratio,
+                                            out.placebo_ratios);
+  return out;
+}
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,184 @@
+#include "causal/refutation.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "stats/descriptive.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+EstimatorFn MakeRegressionAdjustmentEstimator() {
+  return [](const Dataset& data, std::string_view treatment,
+            std::string_view outcome,
+            const std::vector<std::string>& covariates) {
+    return RegressionAdjustment(data, treatment, outcome, covariates);
+  };
+}
+
+EstimatorFn MakeIpwEstimator(const IpwOptions& options) {
+  return [options](const Dataset& data, std::string_view treatment,
+                   std::string_view outcome,
+                   const std::vector<std::string>& covariates) {
+    return InversePropensityWeighting(data, treatment, outcome, covariates,
+                                      options);
+  };
+}
+
+EstimatorFn MakeStratificationEstimator(const StratificationOptions& options) {
+  return [options](const Dataset& data, std::string_view treatment,
+                   std::string_view outcome,
+                   const std::vector<std::string>& covariates) {
+    return Stratification(data, treatment, outcome, covariates, options);
+  };
+}
+
+namespace {
+
+/// Shared scaffolding: run `perturb` `replicates` times, collect effects.
+Result<RefutationResult> RunReplicates(
+    const std::string& refuter, const Dataset& data,
+    std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    const RefutationOptions& options,
+    const std::function<Result<EffectEstimate>(std::size_t)>& perturbed) {
+  auto original = estimator(data, treatment, outcome, covariates);
+  if (!original.ok()) return original.error();
+
+  std::vector<double> effects;
+  effects.reserve(options.replicates);
+  for (std::size_t rep = 0; rep < options.replicates; ++rep) {
+    auto estimate = perturbed(rep);
+    if (!estimate.ok()) continue;  // e.g. a degenerate resample
+    effects.push_back(estimate.value().effect);
+  }
+  if (effects.size() < 3) {
+    return Error(ErrorCode::kNumericalFailure,
+                 refuter + ": fewer than 3 successful replicates");
+  }
+  RefutationResult out;
+  out.refuter = refuter;
+  out.original_effect = original.value().effect;
+  out.refuted_effect = stats::Mean(effects);
+  out.spread = stats::StdDev(effects);
+  return out;
+}
+
+}  // namespace
+
+Result<RefutationResult> PlaceboTreatmentRefuter(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options) {
+  auto t = data.Column(treatment);
+  if (!t.ok()) return t.error();
+  double p_treated = 0.0;
+  for (double v : t.value()) p_treated += v;
+  p_treated /= static_cast<double>(data.rows());
+
+  auto result = RunReplicates(
+      "placebo_treatment", data, treatment, outcome, covariates, estimator,
+      options, [&](std::size_t) -> Result<EffectEstimate> {
+        Dataset copy = data;
+        std::vector<double> placebo(data.rows());
+        for (auto& v : placebo) v = rng.Bernoulli(p_treated) ? 1.0 : 0.0;
+        if (auto s = copy.AddColumn("placebo_treatment_", std::move(placebo));
+            !s.ok()) {
+          return s.error();
+        }
+        return estimator(copy, "placebo_treatment_", outcome, covariates);
+      });
+  if (!result.ok()) return result.error();
+  RefutationResult out = std::move(result).value();
+  const double bound =
+      options.tolerance_abs + options.tolerance_spread * out.spread;
+  out.passed = std::abs(out.refuted_effect) <= std::max(bound, 1e-12);
+  out.detail = "randomized treatment should carry no effect; |refuted| = " +
+               std::to_string(std::abs(out.refuted_effect)) +
+               " vs bound " + std::to_string(bound);
+  return out;
+}
+
+Result<RefutationResult> RandomCommonCauseRefuter(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options) {
+  auto result = RunReplicates(
+      "random_common_cause", data, treatment, outcome, covariates, estimator,
+      options, [&](std::size_t) -> Result<EffectEstimate> {
+        Dataset copy = data;
+        std::vector<double> noise(data.rows());
+        for (auto& v : noise) v = rng.Gaussian();
+        if (auto s = copy.AddColumn("random_cause_", std::move(noise));
+            !s.ok()) {
+          return s.error();
+        }
+        std::vector<std::string> augmented = covariates;
+        augmented.push_back("random_cause_");
+        return estimator(copy, treatment, outcome, augmented);
+      });
+  if (!result.ok()) return result.error();
+  RefutationResult out = std::move(result).value();
+  const double shift = std::abs(out.refuted_effect - out.original_effect);
+  const double bound = options.tolerance_abs +
+                       options.tolerance_spread * std::max(out.spread, 1e-12);
+  out.passed = shift <= bound;
+  out.detail = "an irrelevant covariate should not move the estimate; "
+               "shift = " + std::to_string(shift) + " vs bound " +
+               std::to_string(bound);
+  return out;
+}
+
+Result<RefutationResult> SubsetRefuter(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options) {
+  if (options.subset_fraction <= 0.0 || options.subset_fraction > 1.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SubsetRefuter: subset_fraction outside (0,1]");
+  }
+  auto result = RunReplicates(
+      "data_subset", data, treatment, outcome, covariates, estimator, options,
+      [&](std::size_t) -> Result<EffectEstimate> {
+        std::vector<bool> keep(data.rows());
+        for (std::size_t i = 0; i < data.rows(); ++i) {
+          keep[i] = rng.Bernoulli(options.subset_fraction);
+        }
+        return estimator(data.Filter(keep), treatment, outcome, covariates);
+      });
+  if (!result.ok()) return result.error();
+  RefutationResult out = std::move(result).value();
+  const double shift = std::abs(out.refuted_effect - out.original_effect);
+  const double bound = options.tolerance_abs +
+                       options.tolerance_spread * std::max(out.spread, 1e-12);
+  out.passed = shift <= bound;
+  out.detail = "the estimate should be stable across random subsets; "
+               "|subset mean - original| = " + std::to_string(shift) +
+               " vs bound " + std::to_string(bound);
+  return out;
+}
+
+Result<std::vector<RefutationResult>> RunRefutationBattery(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options) {
+  std::vector<RefutationResult> out;
+  auto placebo = PlaceboTreatmentRefuter(data, treatment, outcome, covariates,
+                                         estimator, rng, options);
+  if (!placebo.ok()) return placebo.error();
+  out.push_back(std::move(placebo).value());
+  auto common = RandomCommonCauseRefuter(data, treatment, outcome, covariates,
+                                         estimator, rng, options);
+  if (!common.ok()) return common.error();
+  out.push_back(std::move(common).value());
+  auto subset = SubsetRefuter(data, treatment, outcome, covariates, estimator,
+                              rng, options);
+  if (!subset.ok()) return subset.error();
+  out.push_back(std::move(subset).value());
+  return out;
+}
+
+}  // namespace sisyphus::causal

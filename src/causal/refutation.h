@@ -1,0 +1,94 @@
+// Refutation tests for causal estimates (DoWhy-style).
+//
+// The paper's §4 protocol ends with "validate assumptions, and report
+// uncertainty in causal estimates"; this module provides the standard
+// battery of automated refuters. Each takes the original data + an
+// estimator functor, perturbs the problem in a way that SHOULD (or should
+// NOT) change the answer, and reports whether the estimate behaved as a
+// causal estimate must:
+//
+//  - PlaceboTreatmentRefuter: replace the treatment with a random coin —
+//    the estimated "effect" must collapse to ~0.
+//  - RandomCommonCauseRefuter: add an independent noise covariate to the
+//    adjustment set — the estimate must NOT move.
+//  - SubsetRefuter: re-estimate on random subsets — the estimate must be
+//    stable (within sampling noise).
+//
+// A refuter failing does not prove the estimate wrong; it proves the
+// analysis fragile — which is exactly what the paper wants surfaced.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "causal/dataset.h"
+#include "causal/estimators.h"
+#include "core/result.h"
+#include "core/rng.h"
+
+namespace sisyphus::causal {
+
+/// An estimator under refutation: maps (data, treatment, outcome,
+/// covariates) to an EffectEstimate. Adapters for the built-in estimators
+/// are provided (MakeRegressionAdjustmentEstimator etc.).
+using EstimatorFn = std::function<core::Result<EffectEstimate>(
+    const Dataset&, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates)>;
+
+EstimatorFn MakeRegressionAdjustmentEstimator();
+EstimatorFn MakeIpwEstimator(const IpwOptions& options = {});
+EstimatorFn MakeStratificationEstimator(
+    const StratificationOptions& options = {});
+
+struct RefutationResult {
+  std::string refuter;
+  double original_effect = 0.0;
+  /// Mean effect across refutation replicates.
+  double refuted_effect = 0.0;
+  /// Std deviation of the replicate effects.
+  double spread = 0.0;
+  /// Verdict: true = the estimate behaved as a causal estimate should.
+  bool passed = false;
+  std::string detail;
+};
+
+struct RefutationOptions {
+  std::size_t replicates = 20;
+  /// PlaceboTreatment passes when |refuted| <= tolerance_abs +
+  /// tolerance_spread * spread.
+  double tolerance_abs = 0.0;
+  double tolerance_spread = 3.0;
+  /// SubsetRefuter: fraction of rows kept per replicate.
+  double subset_fraction = 0.7;
+};
+
+/// Replaces the treatment with an independent Bernoulli(p_treated) coin.
+/// Passes when the refuted effect is indistinguishable from zero.
+core::Result<RefutationResult> PlaceboTreatmentRefuter(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options = {});
+
+/// Adds a standard-normal covariate and re-estimates. Passes when the
+/// estimate moves by less than tolerance_spread * replicate spread
+/// (estimates must be insensitive to irrelevant controls).
+core::Result<RefutationResult> RandomCommonCauseRefuter(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options = {});
+
+/// Re-estimates on random row subsets. Passes when the original estimate
+/// lies within tolerance_spread * subset spread of the subset mean.
+core::Result<RefutationResult> SubsetRefuter(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options = {});
+
+/// Runs the full battery; results in a fixed, documented order.
+core::Result<std::vector<RefutationResult>> RunRefutationBattery(
+    const Dataset& data, std::string_view treatment, std::string_view outcome,
+    const std::vector<std::string>& covariates, const EstimatorFn& estimator,
+    core::Rng& rng, const RefutationOptions& options = {});
+
+}  // namespace sisyphus::causal

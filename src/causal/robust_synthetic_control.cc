@@ -1,0 +1,57 @@
+#include "causal/robust_synthetic_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "stats/decomposition.h"
+#include "stats/regression.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+Result<RobustSyntheticControlFit> FitRobustSyntheticControl(
+    const SyntheticControlInput& input,
+    const RobustSyntheticControlOptions& options) {
+  if (auto s = input.Validate(); !s.ok()) return s.error();
+
+  // Step 1: denoise the full donor matrix by hard singular-value
+  // thresholding.
+  auto svd = stats::SvdDecompose(input.donors);
+  if (!svd.ok()) return svd.error();
+  double threshold = options.singular_value_threshold;
+  if (threshold < 0.0) {
+    threshold = stats::DefaultSingularValueThreshold(
+        svd.value(), input.donors.rows(), input.donors.cols());
+  }
+  std::size_t rank = svd.value().RankAbove(threshold);
+  rank = std::max(rank, std::min(options.min_rank,
+                                 svd.value().singular_values.size()));
+  const stats::Matrix denoised = svd.value().TruncatedReconstruct(rank);
+
+  // Step 2: ridge regression of the treated pre-period series on the
+  // denoised donor pre-period columns (no intercept, matching the RSC
+  // formulation where the donor span absorbs levels).
+  const std::size_t t0 = input.pre_periods;
+  const stats::Matrix pre = denoised.Block(0, t0, 0, denoised.cols());
+  std::span<const double> y(input.treated.data(), t0);
+  stats::OlsOptions no_intercept;
+  no_intercept.add_intercept = false;
+  auto weights = stats::Ridge(pre, y, options.ridge_lambda, no_intercept);
+  if (!weights.ok()) return weights.error();
+
+  // Step 3: the counterfactual is the denoised donors combined with the
+  // learned weights across ALL periods.
+  SyntheticControlInput denoised_input = input;
+  denoised_input.donors = denoised;
+  RobustSyntheticControlFit out;
+  out.base = DiagnoseWeights(denoised_input, std::move(weights).value());
+  out.retained_rank = rank;
+  out.threshold_used = threshold;
+  return out;
+}
+
+}  // namespace sisyphus::causal

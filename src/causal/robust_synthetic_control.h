@@ -1,0 +1,41 @@
+// Robust synthetic control (Amjad, Shah & Shen, JMLR 2018) — the estimator
+// the paper's case study uses for Table 1.
+//
+// Differences from the classical method:
+//  1. Denoising: the donor matrix (all periods) is replaced by a low-rank
+//     approximation via singular-value hard thresholding, de-emphasizing
+//     idiosyncratic noise in individual donors.
+//  2. Unconstrained (ridge-regularized) regression of the treated unit's
+//     pre-period series on the *denoised* donors — weights may be negative
+//     and need not sum to one, which matters when no convex combination of
+//     donors tracks the treated unit.
+#pragma once
+
+#include "causal/synthetic_control.h"
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+struct RobustSyntheticControlOptions {
+  /// Singular values <= threshold are dropped. Negative (default) means
+  /// "choose automatically" via the universal-threshold heuristic.
+  double singular_value_threshold = -1.0;
+  /// Ridge penalty on the donor regression.
+  double ridge_lambda = 1e-2;
+  /// Keep at least this many singular values regardless of threshold.
+  std::size_t min_rank = 1;
+};
+
+struct RobustSyntheticControlFit {
+  SyntheticControlFit base;      ///< weights, trajectory, diagnostics
+  std::size_t retained_rank = 0; ///< singular values kept by the threshold
+  double threshold_used = 0.0;
+};
+
+/// Fits robust synthetic control. Same input contract as
+/// FitSyntheticControl.
+core::Result<RobustSyntheticControlFit> FitRobustSyntheticControl(
+    const SyntheticControlInput& input,
+    const RobustSyntheticControlOptions& options = {});
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,207 @@
+#include "causal/scm.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+using core::Status;
+
+Scm::Scm(Dag dag) : dag_(std::move(dag)) {
+  equations_.resize(dag_.NodeCount());
+  for (NodeId id : dag_.AllNodes()) {
+    equations_[id.value()].linear.coefficients.assign(
+        dag_.Parents(id).size(), 0.0);
+  }
+  topo_order_ = dag_.TopologicalOrder();
+}
+
+Status Scm::SetLinear(NodeId node, LinearEquation equation) {
+  SISYPHUS_REQUIRE(node.value() < equations_.size(), "SetLinear: unknown id");
+  if (equation.coefficients.size() != dag_.Parents(node).size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SetLinear: '" + dag_.Name(node) + "' has " +
+                     std::to_string(dag_.Parents(node).size()) +
+                     " parents but " +
+                     std::to_string(equation.coefficients.size()) +
+                     " coefficients were given");
+  }
+  if (equation.noise_sd < 0.0) {
+    return Error(ErrorCode::kInvalidArgument, "SetLinear: negative noise sd");
+  }
+  equations_[node.value()].linear = std::move(equation);
+  equations_[node.value()].custom.reset();
+  return Status::Ok();
+}
+
+Status Scm::SetLinear(
+    std::string_view node, double intercept,
+    const std::vector<std::pair<std::string, double>>& parent_coefficients,
+    double noise_sd) {
+  auto id = dag_.Node(node);
+  if (!id.ok()) return id.error();
+  const auto& parents = dag_.Parents(id.value());
+  LinearEquation eq;
+  eq.intercept = intercept;
+  eq.noise_sd = noise_sd;
+  eq.coefficients.assign(parents.size(), 0.0);
+  for (const auto& [name, coeff] : parent_coefficients) {
+    auto pid = dag_.Node(name);
+    if (!pid.ok()) return pid.error();
+    const auto it = std::find(parents.begin(), parents.end(), pid.value());
+    if (it == parents.end()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "SetLinear: '" + name + "' is not a parent of '" +
+                       std::string(node) + "'");
+    }
+    eq.coefficients[static_cast<std::size_t>(it - parents.begin())] = coeff;
+  }
+  return SetLinear(id.value(), std::move(eq));
+}
+
+Status Scm::SetCustom(NodeId node, CustomEquation equation) {
+  SISYPHUS_REQUIRE(node.value() < equations_.size(), "SetCustom: unknown id");
+  if (!equation.mechanism) {
+    return Error(ErrorCode::kInvalidArgument, "SetCustom: empty mechanism");
+  }
+  if (equation.noise_sd < 0.0) {
+    return Error(ErrorCode::kInvalidArgument, "SetCustom: negative noise sd");
+  }
+  equations_[node.value()].custom = std::move(equation);
+  return Status::Ok();
+}
+
+double Scm::StructuralValue(NodeId node,
+                            const std::vector<double>& values) const {
+  const auto& parents = dag_.Parents(node);
+  std::vector<double> parent_values(parents.size());
+  for (std::size_t i = 0; i < parents.size(); ++i)
+    parent_values[i] = values[parents[i].value()];
+  const auto& eq = equations_[node.value()];
+  if (eq.custom.has_value()) {
+    return eq.custom->mechanism(parent_values);
+  }
+  double sum = eq.linear.intercept;
+  for (std::size_t i = 0; i < parents.size(); ++i)
+    sum += eq.linear.coefficients[i] * parent_values[i];
+  return sum;
+}
+
+Dataset Scm::Sample(std::size_t n, core::Rng& rng,
+                    const std::vector<Intervention>& interventions,
+                    bool include_latents) const {
+  std::vector<std::optional<double>> clamped(dag_.NodeCount());
+  for (const auto& iv : interventions) clamped[iv.node.value()] = iv.value;
+
+  std::vector<std::vector<double>> columns(dag_.NodeCount());
+  for (auto& col : columns) col.reserve(n);
+
+  std::vector<double> values(dag_.NodeCount(), 0.0);
+  for (std::size_t row = 0; row < n; ++row) {
+    for (NodeId node : topo_order_) {
+      if (clamped[node.value()].has_value()) {
+        values[node.value()] = *clamped[node.value()];
+        continue;
+      }
+      const auto& eq = equations_[node.value()];
+      const double sd =
+          eq.custom.has_value() ? eq.custom->noise_sd : eq.linear.noise_sd;
+      values[node.value()] =
+          StructuralValue(node, values) + (sd > 0.0 ? rng.Gaussian(0.0, sd) : 0.0);
+    }
+    for (NodeId node : dag_.AllNodes())
+      columns[node.value()].push_back(values[node.value()]);
+  }
+
+  Dataset out;
+  for (NodeId node : dag_.AllNodes()) {
+    if (!include_latents && !dag_.IsObserved(node)) continue;
+    const auto status =
+        out.AddColumn(dag_.Name(node), std::move(columns[node.value()]));
+    SISYPHUS_REQUIRE(status.ok(), "Sample: column insert failed");
+  }
+  return out;
+}
+
+double Scm::ExpectedUnderIntervention(NodeId outcome,
+                                      const std::vector<Intervention>& dos,
+                                      std::size_t n, core::Rng& rng) const {
+  SISYPHUS_REQUIRE(n > 0, "ExpectedUnderIntervention: n == 0");
+  const Dataset sample = Sample(n, rng, dos, /*include_latents=*/true);
+  const auto col = sample.ColumnOrDie(dag_.Name(outcome));
+  double sum = 0.0;
+  for (double v : col) sum += v;
+  return sum / static_cast<double>(n);
+}
+
+double Scm::AverageTreatmentEffect(NodeId treatment, NodeId outcome,
+                                   double high, double low, std::size_t n,
+                                   core::Rng& rng) const {
+  const double y_high =
+      ExpectedUnderIntervention(outcome, {{treatment, high}}, n, rng);
+  const double y_low =
+      ExpectedUnderIntervention(outcome, {{treatment, low}}, n, rng);
+  return y_high - y_low;
+}
+
+Result<std::unordered_map<std::string, double>> Scm::Counterfactual(
+    const std::unordered_map<std::string, double>& factual,
+    const std::vector<Intervention>& interventions) const {
+  // Abduction: recover each node's additive noise from the factual world.
+  std::vector<double> factual_values(dag_.NodeCount());
+  for (NodeId node : dag_.AllNodes()) {
+    const auto it = factual.find(dag_.Name(node));
+    if (it == factual.end()) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "Counterfactual: factual world missing node '" +
+                       dag_.Name(node) +
+                       "' (every node, latents included, is required "
+                       "for abduction)");
+    }
+    factual_values[node.value()] = it->second;
+  }
+  std::vector<double> noise(dag_.NodeCount());
+  for (NodeId node : topo_order_) {
+    noise[node.value()] =
+        factual_values[node.value()] - StructuralValue(node, factual_values);
+  }
+  // Action + prediction: clamp intervened nodes, replay with stored noise.
+  std::vector<std::optional<double>> clamped(dag_.NodeCount());
+  for (const auto& iv : interventions) clamped[iv.node.value()] = iv.value;
+  std::vector<double> values(dag_.NodeCount());
+  for (NodeId node : topo_order_) {
+    if (clamped[node.value()].has_value()) {
+      values[node.value()] = *clamped[node.value()];
+    } else {
+      values[node.value()] =
+          StructuralValue(node, values) + noise[node.value()];
+    }
+  }
+  std::unordered_map<std::string, double> out;
+  for (NodeId node : dag_.AllNodes()) out[dag_.Name(node)] = values[node.value()];
+  return out;
+}
+
+std::unordered_map<std::string, double> Scm::SampleWorld(
+    core::Rng& rng) const {
+  const Dataset sample = Sample(1, rng, {}, /*include_latents=*/true);
+  std::unordered_map<std::string, double> out;
+  for (NodeId node : dag_.AllNodes())
+    out[dag_.Name(node)] = sample.ColumnOrDie(dag_.Name(node))[0];
+  return out;
+}
+
+double Scm::LinearCoefficient(NodeId parent, NodeId child) const {
+  const auto& parents = dag_.Parents(child);
+  const auto it = std::find(parents.begin(), parents.end(), parent);
+  if (it == parents.end()) return 0.0;
+  const auto& eq = equations_[child.value()];
+  if (eq.custom.has_value()) return 0.0;
+  return eq.linear.coefficients[static_cast<std::size_t>(it - parents.begin())];
+}
+
+}  // namespace sisyphus::causal

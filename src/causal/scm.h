@@ -1,0 +1,114 @@
+// Structural causal model (SCM) over a Dag.
+//
+// Each node gets a structural equation. Linear-Gaussian equations
+// (value = intercept + sum coeff_i * parent_i + noise) support the full
+// ladder of causation: sampling (rung 1), do-interventions (rung 2), and
+// exact unit-level counterfactuals via abduction–action–prediction
+// (rung 3). Custom (arbitrary C++) mechanisms are supported for simulation
+// realism; counterfactuals through custom nodes require the mechanism to be
+// invertible in its noise, which we approximate by additive noise recovery.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "causal/dag.h"
+#include "causal/dataset.h"
+#include "core/result.h"
+#include "core/rng.h"
+
+namespace sisyphus::causal {
+
+/// Linear-Gaussian structural equation.
+struct LinearEquation {
+  double intercept = 0.0;
+  /// Coefficient per parent, aligned with Dag::Parents(node) order.
+  std::vector<double> coefficients;
+  double noise_sd = 1.0;
+};
+
+/// Custom mechanism: deterministic part f(parent values) with additive
+/// noise of the given sd. Additivity is what keeps abduction well-defined.
+struct CustomEquation {
+  std::function<double(std::span<const double>)> mechanism;
+  double noise_sd = 0.0;
+};
+
+/// An intervention do(node := value).
+struct Intervention {
+  NodeId node;
+  double value = 0.0;
+};
+
+class Scm {
+ public:
+  /// The SCM references `dag` by value (copies it); equations default to
+  /// "pure noise" (intercept 0, all coefficients 0, sd 1).
+  explicit Scm(Dag dag);
+
+  const Dag& dag() const { return dag_; }
+
+  /// Sets a linear-Gaussian equation. coefficient count must equal the
+  /// node's parent count (kInvalidArgument otherwise).
+  core::Status SetLinear(NodeId node, LinearEquation equation);
+  core::Status SetLinear(std::string_view node, double intercept,
+                         const std::vector<std::pair<std::string, double>>&
+                             parent_coefficients,
+                         double noise_sd);
+
+  /// Sets a custom additive-noise mechanism.
+  core::Status SetCustom(NodeId node, CustomEquation equation);
+
+  /// Samples n joint observations (observed nodes only as columns, unless
+  /// include_latents). Interventions, if given, clamp those nodes
+  /// (rung 2: the graph surgery semantics — clamped nodes ignore parents).
+  Dataset Sample(std::size_t n, core::Rng& rng,
+                 const std::vector<Intervention>& interventions = {},
+                 bool include_latents = false) const;
+
+  /// E[outcome | do(interventions)] by Monte Carlo with `n` draws.
+  double ExpectedUnderIntervention(NodeId outcome,
+                                   const std::vector<Intervention>& dos,
+                                   std::size_t n, core::Rng& rng) const;
+
+  /// Average treatment effect
+  /// E[outcome | do(treatment=high)] - E[outcome | do(treatment=low)].
+  double AverageTreatmentEffect(NodeId treatment, NodeId outcome, double high,
+                                double low, std::size_t n,
+                                core::Rng& rng) const;
+
+  /// Unit-level counterfactual (rung 3). `factual` must give a value for
+  /// EVERY node (latents included) — abduction recovers each node's noise,
+  /// the intervention replaces the equations, prediction re-simulates with
+  /// the recovered noise. Returns the counterfactual value of every node.
+  /// Fails (kInvalidArgument) if factual is incomplete.
+  core::Result<std::unordered_map<std::string, double>> Counterfactual(
+      const std::unordered_map<std::string, double>& factual,
+      const std::vector<Intervention>& interventions) const;
+
+  /// Convenience: samples one complete world (all nodes) as a name->value
+  /// map — a valid `factual` input for Counterfactual().
+  std::unordered_map<std::string, double> SampleWorld(core::Rng& rng) const;
+
+  /// The true direct coefficient of `parent` in `child`'s linear equation
+  /// (test/diagnostic helper). 0 for custom nodes or non-parents.
+  double LinearCoefficient(NodeId parent, NodeId child) const;
+
+ private:
+  struct NodeEquation {
+    // Exactly one is active; linear when custom.mechanism is empty.
+    LinearEquation linear;
+    std::optional<CustomEquation> custom;
+  };
+
+  double StructuralValue(NodeId node,
+                         const std::vector<double>& values) const;
+
+  Dag dag_;
+  std::vector<NodeEquation> equations_;
+  std::vector<NodeId> topo_order_;
+};
+
+}  // namespace sisyphus::causal

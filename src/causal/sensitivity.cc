@@ -1,0 +1,79 @@
+#include "causal/sensitivity.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+namespace {
+double EValueOfRatio(double rr) {
+  // VanderWeele & Ding: E = RR + sqrt(RR * (RR - 1)) for RR >= 1.
+  if (rr < 1.0) rr = 1.0 / rr;
+  if (rr == 1.0) return 1.0;
+  return rr + std::sqrt(rr * (rr - 1.0));
+}
+}  // namespace
+
+Result<EValueResult> EValueForRiskRatio(double rr, double ci_lower,
+                                        double ci_upper) {
+  if (rr <= 0.0 || ci_lower <= 0.0 || ci_upper < ci_lower ||
+      rr < ci_lower || rr > ci_upper) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "EValueForRiskRatio: need 0 < ci_lower <= rr <= ci_upper");
+  }
+  EValueResult out;
+  out.risk_ratio = rr >= 1.0 ? rr : 1.0 / rr;
+  out.e_value = EValueOfRatio(rr);
+  // CI side closer to the null after orienting the effect above 1.
+  if (ci_lower <= 1.0 && ci_upper >= 1.0) {
+    out.e_value_ci = 1.0;  // CI crosses the null: no robustness to report
+  } else if (rr >= 1.0) {
+    out.e_value_ci = EValueOfRatio(ci_lower);
+  } else {
+    out.e_value_ci = EValueOfRatio(ci_upper);
+  }
+  return out;
+}
+
+Result<double> RiskRatioFromProportions(double baseline_rate, double effect) {
+  const double treated_rate = baseline_rate + effect;
+  if (baseline_rate <= 0.0 || baseline_rate >= 1.0 || treated_rate <= 0.0 ||
+      treated_rate > 1.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "RiskRatioFromProportions: rates outside (0,1]");
+  }
+  return treated_rate / baseline_rate;
+}
+
+std::vector<SensitivityPoint> LinearSensitivityGrid(
+    double estimate, const std::vector<double>& deltas,
+    const std::vector<double>& effects) {
+  SISYPHUS_REQUIRE(!deltas.empty() && !effects.empty(),
+                   "LinearSensitivityGrid: empty grid axes");
+  std::vector<SensitivityPoint> out;
+  out.reserve(deltas.size() * effects.size());
+  for (double delta : deltas) {
+    for (double effect : effects) {
+      SensitivityPoint point;
+      point.delta_confounder = delta;
+      point.outcome_effect = effect;
+      point.induced_bias = delta * effect;
+      point.adjusted_effect = estimate - point.induced_bias;
+      point.sign_flips =
+          estimate != 0.0 &&
+          ((estimate > 0.0) != (point.adjusted_effect > 0.0) ||
+           point.adjusted_effect == 0.0);
+      out.push_back(point);
+    }
+  }
+  return out;
+}
+
+double BreakevenConfounding(double estimate) { return std::abs(estimate); }
+
+}  // namespace sisyphus::causal

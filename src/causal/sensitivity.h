@@ -1,0 +1,65 @@
+// Sensitivity analysis for unobserved confounding.
+//
+// Adjusting for observed confounders is never the whole story on the
+// Internet — "we cannot observe every relevant variable across layers and
+// networks" (§4). These tools quantify how strong a *hidden* confounder
+// would have to be to explain an estimate away, so studies can report
+// robustness instead of asserting unconfoundedness.
+//
+//  - EValue (VanderWeele & Ding 2017): for a risk-ratio-scale effect, the
+//    minimum strength of association (on both the treatment and outcome
+//    side) an unmeasured confounder needs to fully account for it.
+//  - LinearSensitivity (omitted-variable-bias form, Cinelli & Hazlett
+//    flavored): how the point estimate moves as a function of the hidden
+//    confounder's imbalance and outcome effect, plus the breakeven
+//    frontier where the adjusted effect crosses zero.
+#pragma once
+
+#include <vector>
+
+#include "core/result.h"
+
+namespace sisyphus::causal {
+
+struct EValueResult {
+  double risk_ratio = 1.0;   ///< the (possibly inverted) RR used
+  double e_value = 1.0;      ///< for the point estimate
+  double e_value_ci = 1.0;   ///< for the CI bound closer to 1 (1 if CI crosses 1)
+};
+
+/// E-value for a risk ratio and its confidence interval. Ratios < 1 are
+/// inverted first (the E-value is symmetric). Preconditions: rr > 0,
+/// 0 < ci_lower <= rr <= ci_upper.
+core::Result<EValueResult> EValueForRiskRatio(double rr, double ci_lower,
+                                              double ci_upper);
+
+/// Converts a difference-in-proportions effect (binary outcome) to an
+/// approximate risk ratio for E-value computation: (p0 + effect) / p0.
+/// Precondition: p0 in (0, 1), p0 + effect in (0, 1].
+core::Result<double> RiskRatioFromProportions(double baseline_rate,
+                                              double effect);
+
+/// One point on a linear-model sensitivity grid: if a hidden confounder
+/// shifts the treated-control covariate balance by `delta_confounder`
+/// (in confounder SD units) and moves the outcome by `outcome_effect`
+/// per SD, the bias it induces is their product.
+struct SensitivityPoint {
+  double delta_confounder = 0.0;
+  double outcome_effect = 0.0;
+  double induced_bias = 0.0;
+  double adjusted_effect = 0.0;  ///< original - induced_bias
+  bool sign_flips = false;
+};
+
+/// Evaluates the omitted-variable-bias grid for a point estimate.
+/// `deltas` and `effects` must be non-empty.
+std::vector<SensitivityPoint> LinearSensitivityGrid(
+    double estimate, const std::vector<double>& deltas,
+    const std::vector<double>& effects);
+
+/// The breakeven product: a hidden confounder explains the entire
+/// estimate iff delta * outcome_effect >= |estimate|. Returned as that
+/// threshold, interpretable like a partial-R2 style robustness value.
+double BreakevenConfounding(double estimate);
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,123 @@
+#include "causal/synthetic_control.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.h"
+#include "stats/descriptive.h"
+
+namespace sisyphus::causal {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+core::Status SyntheticControlInput::Validate() const {
+  if (donors.rows() != treated.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SyntheticControlInput: donor periods (" +
+                     std::to_string(donors.rows()) + ") != treated periods (" +
+                     std::to_string(treated.size()) + ")");
+  }
+  if (donors.cols() == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SyntheticControlInput: empty donor pool");
+  }
+  if (pre_periods < 2 || pre_periods >= treated.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SyntheticControlInput: need 2 <= pre_periods < periods");
+  }
+  if (!donor_names.empty() && donor_names.size() != donors.cols()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SyntheticControlInput: donor_names size mismatch");
+  }
+  return core::Status::Ok();
+}
+
+std::vector<std::string> SyntheticControlFit::ActiveDonors(
+    double threshold) const {
+  std::vector<std::string> out;
+  char buffer[128];
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    if (std::abs(weights[j]) <= threshold) continue;
+    const std::string name =
+        j < donor_names.size() ? donor_names[j] : "donor" + std::to_string(j);
+    std::snprintf(buffer, sizeof(buffer), "%s:%.3f", name.c_str(), weights[j]);
+    out.emplace_back(buffer);
+  }
+  return out;
+}
+
+SyntheticControlFit DiagnoseWeights(const SyntheticControlInput& input,
+                                    stats::Vector weights) {
+  SISYPHUS_REQUIRE(weights.size() == input.donors.cols(),
+                   "DiagnoseWeights: weight count != donor count");
+  SyntheticControlFit fit;
+  fit.weights = std::move(weights);
+  fit.donor_names = input.donor_names;
+  const std::size_t periods = input.treated.size();
+  fit.synthetic = input.donors.Apply(fit.weights);
+
+  std::span<const double> observed(input.treated);
+  std::span<const double> synthetic(fit.synthetic);
+  fit.rmse_pre = stats::Rmse(observed.subspan(0, input.pre_periods),
+                             synthetic.subspan(0, input.pre_periods));
+  fit.rmse_post = stats::Rmse(observed.subspan(input.pre_periods),
+                              synthetic.subspan(input.pre_periods));
+  // Guard the ratio against a (near-)perfect pre fit.
+  const double floor = 1e-9;
+  fit.rmse_ratio = fit.rmse_post / std::max(fit.rmse_pre, floor);
+
+  fit.post_effects.resize(periods - input.pre_periods);
+  double sum = 0.0;
+  for (std::size_t t = input.pre_periods; t < periods; ++t) {
+    const double effect = input.treated[t] - fit.synthetic[t];
+    fit.post_effects[t - input.pre_periods] = effect;
+    sum += effect;
+  }
+  fit.average_effect = sum / static_cast<double>(fit.post_effects.size());
+  return fit;
+}
+
+Result<SyntheticControlFit> FitSyntheticControl(
+    const SyntheticControlInput& input,
+    const SyntheticControlOptions& options) {
+  if (auto s = input.Validate(); !s.ok()) return s.error();
+
+  const std::size_t t0 = input.pre_periods;
+  const std::size_t donors = input.donors.cols();
+  const stats::Matrix x = input.donors.Block(0, t0, 0, donors);
+  std::span<const double> y(input.treated.data(), t0);
+
+  // Projected gradient descent on f(w) = ||y - X w||^2 / t0 over the
+  // simplex. Lipschitz constant of the gradient bounded by
+  // 2 ||X||_F^2 / t0.
+  const double fro = x.FrobeniusNorm();
+  const double lipschitz =
+      std::max(1e-12, 2.0 * fro * fro / static_cast<double>(t0));
+  const double step = 1.0 / lipschitz;
+
+  stats::Vector w(donors, 1.0 / static_cast<double>(donors));
+  double previous_objective = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // gradient = 2 X^T (X w - y) / t0
+    stats::Vector fitted = x.Apply(w);
+    stats::Vector residual = stats::Subtract(fitted, y);
+    stats::Vector gradient = x.ApplyTransposed(residual);
+    for (double& g : gradient) g *= 2.0 / static_cast<double>(t0);
+
+    stats::Vector candidate(donors);
+    for (std::size_t j = 0; j < donors; ++j)
+      candidate[j] = w[j] - step * gradient[j];
+    w = stats::ProjectToSimplex(candidate);
+
+    const double objective =
+        stats::Dot(residual, residual) / static_cast<double>(t0);
+    if (std::abs(previous_objective - objective) < options.tolerance) break;
+    previous_objective = objective;
+  }
+  return DiagnoseWeights(input, std::move(w));
+}
+
+}  // namespace sisyphus::causal

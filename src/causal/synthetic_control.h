@@ -1,0 +1,70 @@
+// Synthetic control (Abadie et al.): counterfactual estimation for one
+// treated unit from a weighted combination of untreated donors.
+//
+// This is the paper's workhorse for counterfactual reasoning "where
+// randomized experiments are impossible and full structural models are
+// infeasible" (§3). The classical estimator constrains weights to the
+// probability simplex and fits them on the pre-treatment window by
+// projected-gradient descent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "stats/matrix.h"
+
+namespace sisyphus::causal {
+
+/// Input panel for a synthetic-control estimate.
+///
+/// `treated` is the outcome series of the unit that received treatment;
+/// `donors` is periods x donor-count (column j = donor j's series);
+/// `pre_periods` is the number of leading periods before treatment.
+struct SyntheticControlInput {
+  stats::Vector treated;
+  stats::Matrix donors;
+  std::vector<std::string> donor_names;  ///< optional; sized 0 or donor count
+  std::size_t pre_periods = 0;
+
+  /// Shape/parameter validation shared by both estimators.
+  core::Status Validate() const;
+};
+
+/// A fitted synthetic control with the paper's diagnostics.
+struct SyntheticControlFit {
+  stats::Vector weights;     ///< one per donor
+  stats::Vector synthetic;   ///< full-length synthetic trajectory
+  /// Mean post-period (observed - synthetic): the estimated effect
+  /// ("RTT delta" in Table 1).
+  double average_effect = 0.0;
+  /// Per-post-period effects.
+  stats::Vector post_effects;
+  double rmse_pre = 0.0;   ///< pre-treatment fit error
+  double rmse_post = 0.0;  ///< post-treatment divergence
+  /// rmse_post / rmse_pre — Table 1's "RMSE Ratio" diagnostic. A large
+  /// value means post-treatment behaviour diverged from the donor pool.
+  double rmse_ratio = 0.0;
+
+  /// Donors with weight above `threshold`, as "name:weight" strings.
+  std::vector<std::string> ActiveDonors(double threshold = 0.01) const;
+  std::vector<std::string> donor_names;  ///< copied from the input
+};
+
+struct SyntheticControlOptions {
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-10;
+};
+
+/// Classical (simplex-constrained) synthetic control.
+/// Fails (kInvalidArgument) on shape errors or pre_periods < 2.
+core::Result<SyntheticControlFit> FitSyntheticControl(
+    const SyntheticControlInput& input,
+    const SyntheticControlOptions& options = {});
+
+/// Computes the shared diagnostics (synthetic path, effects, RMSEs) for a
+/// given weight vector — used by both estimators and by the placebo runs.
+SyntheticControlFit DiagnoseWeights(const SyntheticControlInput& input,
+                                    stats::Vector weights);
+
+}  // namespace sisyphus::causal

@@ -1,0 +1,74 @@
+// Error type used across the sisyphus library for recoverable failures.
+//
+// Design note (see DESIGN.md §5): following the C++ Core Guidelines we use
+// exceptions only for programming errors (precondition violations, which are
+// reported via SISYPHUS_REQUIRE -> std::logic_error). Everything a caller can
+// reasonably be expected to handle — malformed DSL input, singular matrices,
+// non-identifiable queries, missing panel units — is reported through
+// Result<T> (see result.h) carrying one of these Error values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sisyphus::core {
+
+/// Coarse classification of a recoverable failure.
+enum class ErrorCode {
+  kInvalidArgument,   ///< input violates documented constraints
+  kParseError,        ///< malformed textual input (e.g. DAG DSL)
+  kNotFound,          ///< a named entity does not exist
+  kNumericalFailure,  ///< an algorithm failed to converge / matrix singular
+  kNotIdentifiable,   ///< a causal query cannot be identified from the model
+  kPrecondition,      ///< a method's stated precondition does not hold
+  kCapacity,          ///< a size/limit was exceeded
+};
+
+/// Human-readable name of an ErrorCode (stable, for logs and tests).
+constexpr const char* ToString(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kNumericalFailure: return "numerical_failure";
+    case ErrorCode::kNotIdentifiable: return "not_identifiable";
+    case ErrorCode::kPrecondition: return "precondition";
+    case ErrorCode::kCapacity: return "capacity";
+  }
+  return "unknown";
+}
+
+/// A recoverable failure: a code plus a context message.
+class Error {
+ public:
+  Error(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "parse_error: unexpected token ';'"
+  std::string ToText() const {
+    return std::string(ToString(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+}  // namespace sisyphus::core
+
+/// Precondition check for programming errors. Unlike Result-returning
+/// validation this is for bugs in the *caller's code*, so it throws.
+#define SISYPHUS_REQUIRE(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      throw std::logic_error(std::string("precondition failed: ") + msg); \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,69 @@
+// Strong ID types shared across the library.
+//
+// Raw integers invite mixing an AS number with a link index. Each domain
+// identifier gets its own tag type; conversions are explicit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sisyphus::core {
+
+/// CRTP-free strongly-typed integral ID. Tag disambiguates unrelated IDs.
+template <typename Tag, typename Underlying = std::uint32_t>
+class StrongId {
+ public:
+  using underlying_type = Underlying;
+
+  StrongId() = default;
+  constexpr explicit StrongId(Underlying value) : value_(value) {}
+
+  constexpr Underlying value() const { return value_; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  Underlying value_ = 0;
+};
+
+struct AsnTag {};
+struct LinkTag {};
+struct IxpTag {};
+struct CityTag {};
+struct NodeTag {};
+struct VantagePointTag {};
+struct MeasurementTag {};
+
+/// Autonomous System Number, e.g. Asn{3741}.
+using Asn = StrongId<AsnTag>;
+/// Index of a link in a Topology.
+using LinkId = StrongId<LinkTag>;
+/// Index of an IXP in a Topology.
+using IxpId = StrongId<IxpTag>;
+/// Index of a City in the geography registry.
+using CityId = StrongId<CityTag>;
+/// Index of a node (variable) in a causal DAG.
+using NodeId = StrongId<NodeTag>;
+/// Index of a vantage point on the measurement platform.
+using VantagePointId = StrongId<VantagePointTag>;
+/// Sequence number of a measurement record.
+using MeasurementId = StrongId<MeasurementTag, std::uint64_t>;
+
+}  // namespace sisyphus::core
+
+namespace std {
+template <typename Tag, typename U>
+struct hash<sisyphus::core::StrongId<Tag, U>> {
+  size_t operator()(sisyphus::core::StrongId<Tag, U> id) const noexcept {
+    return std::hash<U>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing at Info by default; benches and examples
+// raise the level for progress reporting. Not thread-safe by design — the
+// simulator and estimators are single-threaded (DESIGN.md §5).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sisyphus::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr if `level` passes the global filter.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+/// Stream-style one-shot log statement; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace sisyphus::core
+
+#define SISYPHUS_LOG(level) \
+  ::sisyphus::core::internal::LogMessage(::sisyphus::core::LogLevel::level)

@@ -1,0 +1,83 @@
+// Result<T>: value-or-Error return type for recoverable failures.
+//
+// A minimal std::expected-alike (we target GCC 12 / C++20, where
+// std::expected is not yet available). The API intentionally mirrors the
+// parts of std::expected we need so a future migration is mechanical.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <variant>
+
+#include "core/error.h"
+
+namespace sisyphus::core {
+
+/// Holds either a T (success) or an Error (recoverable failure).
+///
+/// Usage:
+///   Result<Dag> dag = ParseDag("A -> B");
+///   if (!dag.ok()) return dag.error();
+///   Use(dag.value());
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit from value and from Error, so `return T{...}` and
+  /// `return Error{...}` both work inside a Result-returning function.
+  Result(T value) : storage_(std::move(value)) {}           // NOLINT
+  Result(Error error) : storage_(std::move(error)) {}       // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    SISYPHUS_REQUIRE(ok(), "Result::value() on error: " + error().ToText());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    SISYPHUS_REQUIRE(ok(), "Result::value() on error: " + error().ToText());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    SISYPHUS_REQUIRE(ok(), "Result::value() on error: " + error().ToText());
+    return std::get<T>(std::move(storage_));
+  }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    SISYPHUS_REQUIRE(!ok(), "Result::error() on success");
+    return std::get<Error>(storage_);
+  }
+
+  /// Returns the value or a fallback.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Result<void> analogue: success or Error.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                  // success
+  Status(Error error) : error_(std::move(error)) {}    // NOLINT
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: !ok().
+  const Error& error() const {
+    SISYPHUS_REQUIRE(!ok(), "Status::error() on success");
+    return *error_;
+  }
+
+  static Status Ok() { return Status{}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace sisyphus::core

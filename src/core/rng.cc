@@ -1,0 +1,123 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace sisyphus::core {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  SISYPHUS_REQUIRE(lo <= hi, "Uniform: lo > hi");
+  return lo + (hi - lo) * NextDouble();
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  SISYPHUS_REQUIRE(lo <= hi, "UniformInt: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double sd) {
+  SISYPHUS_REQUIRE(sd >= 0.0, "Gaussian: negative sd");
+  return mean + sd * Gaussian();
+}
+
+double Rng::Exponential(double rate) {
+  SISYPHUS_REQUIRE(rate > 0.0, "Exponential: rate must be positive");
+  // 1 - U in (0,1] so log never sees 0.
+  return -std::log(1.0 - NextDouble()) / rate;
+}
+
+double Rng::Pareto(double xm, double alpha) {
+  SISYPHUS_REQUIRE(xm > 0.0 && alpha > 0.0, "Pareto: xm, alpha must be > 0");
+  return xm / std::pow(1.0 - NextDouble(), 1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) {
+  SISYPHUS_REQUIRE(p >= 0.0 && p <= 1.0, "Bernoulli: p outside [0,1]");
+  return NextDouble() < p;
+}
+
+std::uint32_t Rng::Poisson(double mean) {
+  SISYPHUS_REQUIRE(mean >= 0.0, "Poisson: negative mean");
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // traffic-arrival use cases in netsim.
+    const double draw = Gaussian(mean, std::sqrt(mean));
+    return draw <= 0.0 ? 0u : static_cast<std::uint32_t>(draw + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double product = NextDouble();
+  std::uint32_t count = 0;
+  while (product > limit) {
+    ++count;
+    product *= NextDouble();
+  }
+  return count;
+}
+
+Rng Rng::Split() { return Rng(Next()); }
+
+}  // namespace sisyphus::core

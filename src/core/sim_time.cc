@@ -1,0 +1,18 @@
+#include "core/sim_time.h"
+
+#include <cstdio>
+
+namespace sisyphus::core {
+
+std::string SimTime::ToText() const {
+  const std::int64_t day = DayIndex();
+  std::int64_t within = minutes_ - day * 24 * 60;
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "d%lld %02lld:%02lld",
+                static_cast<long long>(day),
+                static_cast<long long>(within / 60),
+                static_cast<long long>(within % 60));
+  return buffer;
+}
+
+}  // namespace sisyphus::core

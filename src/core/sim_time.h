@@ -1,0 +1,74 @@
+// Simulation time model.
+//
+// Experiments operate on an hourly panel over a span of days (the paper's
+// case study aggregates M-Lab tests into per-period medians). SimTime is a
+// count of simulated *minutes* since the scenario epoch; helpers expose the
+// hour-of-day (for diurnal load) and day index (for panel bucketing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sisyphus::core {
+
+/// A point in simulated time, minute resolution.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t minutes) : minutes_(minutes) {}
+
+  static constexpr SimTime FromHours(double hours) {
+    return SimTime(static_cast<std::int64_t>(hours * 60.0));
+  }
+  static constexpr SimTime FromDays(double days) {
+    return SimTime(static_cast<std::int64_t>(days * 24.0 * 60.0));
+  }
+
+  constexpr std::int64_t minutes() const { return minutes_; }
+  constexpr double hours() const { return static_cast<double>(minutes_) / 60.0; }
+  constexpr double days() const { return hours() / 24.0; }
+
+  /// Hour-of-day in [0, 24); drives diurnal load curves.
+  constexpr double HourOfDay() const {
+    std::int64_t m = minutes_ % (24 * 60);
+    if (m < 0) m += 24 * 60;
+    return static_cast<double>(m) / 60.0;
+  }
+
+  /// Day index since epoch (floor).
+  constexpr std::int64_t DayIndex() const {
+    std::int64_t d = minutes_ / (24 * 60);
+    if (minutes_ < 0 && minutes_ % (24 * 60) != 0) --d;
+    return d;
+  }
+
+  /// "d12 06:30" — compact human-readable form for logs.
+  std::string ToText() const;
+
+  friend constexpr bool operator==(SimTime a, SimTime b) {
+    return a.minutes_ == b.minutes_;
+  }
+  friend constexpr bool operator!=(SimTime a, SimTime b) {
+    return a.minutes_ != b.minutes_;
+  }
+  friend constexpr bool operator<(SimTime a, SimTime b) {
+    return a.minutes_ < b.minutes_;
+  }
+  friend constexpr bool operator<=(SimTime a, SimTime b) {
+    return a.minutes_ <= b.minutes_;
+  }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return b < a; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) { return b <= a; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.minutes_ + b.minutes_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.minutes_ - b.minutes_);
+  }
+
+ private:
+  std::int64_t minutes_ = 0;
+};
+
+}  // namespace sisyphus::core

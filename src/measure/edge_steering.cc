@@ -1,0 +1,91 @@
+#include "measure/edge_steering.h"
+
+#include <limits>
+
+#include "core/error.h"
+
+namespace sisyphus::measure {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+const char* ToString(SteeringMode mode) {
+  switch (mode) {
+    case SteeringMode::kNearest: return "nearest";
+    case SteeringMode::kRandomSite: return "random_site";
+    case SteeringMode::kPinned: return "pinned";
+  }
+  return "?";
+}
+
+EdgeSteering::EdgeSteering(netsim::NetworkSimulator& simulator,
+                           std::vector<netsim::PopIndex> sites)
+    : simulator_(simulator), sites_(std::move(sites)) {
+  SISYPHUS_REQUIRE(!sites_.empty(), "EdgeSteering: no sites");
+  pinned_ = sites_.front();
+}
+
+void EdgeSteering::SetMode(SteeringMode mode) { mode_ = mode; }
+
+void EdgeSteering::Pin(netsim::PopIndex site) {
+  SISYPHUS_REQUIRE(
+      std::find(sites_.begin(), sites_.end(), site) != sites_.end(),
+      "EdgeSteering::Pin: unknown site");
+  pinned_ = site;
+  mode_ = SteeringMode::kPinned;
+}
+
+Result<netsim::PopIndex> EdgeSteering::ChooseServer(netsim::PopIndex vantage,
+                                                    core::Rng& rng) {
+  netsim::PopIndex chosen = pinned_;
+  switch (mode_) {
+    case SteeringMode::kPinned:
+      if (!simulator_.RouteBetween(vantage, pinned_).ok()) {
+        return Error(ErrorCode::kNotFound,
+                     "EdgeSteering: pinned site unreachable");
+      }
+      chosen = pinned_;
+      break;
+    case SteeringMode::kRandomSite: {
+      // Uniform over reachable sites.
+      std::vector<netsim::PopIndex> reachable;
+      for (netsim::PopIndex site : sites_) {
+        if (simulator_.RouteBetween(vantage, site).ok()) {
+          reachable.push_back(site);
+        }
+      }
+      if (reachable.empty()) {
+        return Error(ErrorCode::kNotFound,
+                     "EdgeSteering: no reachable site");
+      }
+      chosen = reachable[static_cast<std::size_t>(rng.UniformInt(
+          0, static_cast<std::int64_t>(reachable.size()) - 1))];
+      break;
+    }
+    case SteeringMode::kNearest: {
+      double best = std::numeric_limits<double>::infinity();
+      bool found = false;
+      for (netsim::PopIndex site : sites_) {
+        auto route = simulator_.RouteBetween(vantage, site);
+        if (!route.ok()) continue;
+        const double rtt =
+            simulator_.latency().PathRttMs(route.value(), simulator_.Now());
+        if (rtt < best) {
+          best = rtt;
+          chosen = site;
+          found = true;
+        }
+      }
+      if (!found) {
+        return Error(ErrorCode::kNotFound,
+                     "EdgeSteering: no reachable site");
+      }
+      break;
+    }
+  }
+  decisions_.push_back({simulator_.Now(), vantage, chosen, mode_});
+  return chosen;
+}
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,65 @@
+// Edge steering: the paper's §4 example knob "rotating DNS resolvers to
+// shift CDN edge selection", modeled as controlled assignment of a
+// vantage's tests to one of several anycast server sites.
+//
+// A SteeringPolicy decides, per test, which server PoP a vantage reaches:
+//   kNearest     — resolver returns the lowest-RTT edge (the default CDN
+//                  behaviour; endogenous, since it depends on network
+//                  state);
+//   kRandomSite  — uniformly random site (the M-Lab style randomizer — an
+//                  instrument);
+//   kPinned      — researcher-pinned site (a controlled intervention).
+// Assignments are recorded so analysts can condition on the mechanism.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "netsim/simulator.h"
+
+namespace sisyphus::measure {
+
+enum class SteeringMode { kNearest, kRandomSite, kPinned };
+
+const char* ToString(SteeringMode mode);
+
+struct SteeringDecision {
+  core::SimTime time;
+  netsim::PopIndex vantage = 0;
+  netsim::PopIndex server = 0;
+  SteeringMode mode = SteeringMode::kNearest;
+};
+
+/// Chooses a server site per test for one vantage.
+class EdgeSteering {
+ public:
+  /// `sites` must be non-empty; the simulator must outlive this object.
+  EdgeSteering(netsim::NetworkSimulator& simulator,
+               std::vector<netsim::PopIndex> sites);
+
+  void SetMode(SteeringMode mode);
+  /// Pins to a specific site (switches mode to kPinned).
+  /// Precondition: `site` is one of the configured sites.
+  void Pin(netsim::PopIndex site);
+
+  SteeringMode mode() const { return mode_; }
+  const std::vector<netsim::PopIndex>& sites() const { return sites_; }
+
+  /// Picks the server for a test from `vantage` now. kNearest compares
+  /// current mean path RTTs (unreachable sites skipped); kRandomSite
+  /// draws uniformly. Fails (kNotFound) when no site is reachable.
+  core::Result<netsim::PopIndex> ChooseServer(netsim::PopIndex vantage,
+                                              core::Rng& rng);
+
+  /// Every decision made, in order (for selection-mechanism audits).
+  const std::vector<SteeringDecision>& decisions() const { return decisions_; }
+
+ private:
+  netsim::NetworkSimulator& simulator_;
+  std::vector<netsim::PopIndex> sites_;
+  SteeringMode mode_ = SteeringMode::kNearest;
+  netsim::PopIndex pinned_ = 0;
+  std::vector<SteeringDecision> decisions_;
+};
+
+}  // namespace sisyphus::measure

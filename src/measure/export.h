@@ -1,0 +1,29 @@
+// CSV export for measurement stores, panels, and Datasets — the boundary
+// where a downstream analyst takes the data into their own tooling
+// (dagitty, DoWhy, R's Synth...), as the paper expects real studies to.
+#pragma once
+
+#include <string>
+
+#include "causal/dataset.h"
+#include "measure/panel.h"
+#include "measure/store.h"
+
+namespace sisyphus::measure {
+
+/// One row per speed test:
+/// id,time_minutes,asn,city,intent,rtt_ms,throughput_mbps,asn_path,
+/// traceroute. Fields containing commas are quoted.
+std::string StoreToCsv(const MeasurementStore& store);
+
+/// Wide format: period index column then one column per unit (interpolated
+/// median RTT).
+std::string PanelToCsv(const Panel& panel);
+
+/// Generic Dataset export, columns in insertion order.
+std::string DatasetToCsv(const causal::Dataset& data);
+
+/// Writes text to a file; kInvalidArgument when the file cannot be opened.
+core::Status WriteTextFile(const std::string& path, const std::string& text);
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,93 @@
+#include "measure/intervention.h"
+
+namespace sisyphus::measure {
+
+using core::Status;
+using netsim::EventType;
+using netsim::NetworkEvent;
+
+InterventionApi::InterventionApi(netsim::NetworkSimulator& simulator)
+    : simulator_(simulator) {}
+
+void InterventionApi::Record(std::string action, std::string justification) {
+  audit_.push_back(
+      {simulator_.Now(), std::move(action), std::move(justification)});
+}
+
+Status InterventionApi::PoisonAsns(netsim::PopIndex origin,
+                                   std::set<core::Asn> asns,
+                                   std::string justification) {
+  NetworkEvent event;
+  event.time = simulator_.Now();
+  event.type = EventType::kPoisonAsns;
+  event.exogenous = true;
+  event.destination = origin;
+  event.asns = asns;
+  event.description = "intervention: poison from " +
+                      simulator_.topology().GetPop(origin).label;
+  simulator_.ApplyNow(event);
+  Record(event.description, std::move(justification));
+  return Status::Ok();
+}
+
+Status InterventionApi::ClearPoison(netsim::PopIndex origin,
+                                    std::string justification) {
+  NetworkEvent event;
+  event.time = simulator_.Now();
+  event.type = EventType::kClearPoison;
+  event.exogenous = true;
+  event.destination = origin;
+  event.description = "intervention: clear poison from " +
+                      simulator_.topology().GetPop(origin).label;
+  simulator_.ApplyNow(event);
+  Record(event.description, std::move(justification));
+  return Status::Ok();
+}
+
+Status InterventionApi::SetLocalPref(netsim::PopIndex pop, core::LinkId link,
+                                     double delta, std::string justification) {
+  NetworkEvent event;
+  event.time = simulator_.Now();
+  event.type = EventType::kLocalPrefChange;
+  event.exogenous = true;
+  event.pop = pop;
+  event.link = link;
+  event.pref_delta = delta;
+  event.description = "intervention: local-pref " + std::to_string(delta) +
+                      " at " + simulator_.topology().GetPop(pop).label;
+  simulator_.ApplyNow(event);
+  Record(event.description, std::move(justification));
+  return Status::Ok();
+}
+
+Status InterventionApi::ClearLocalPref(netsim::PopIndex pop,
+                                       core::LinkId link,
+                                       std::string justification) {
+  NetworkEvent event;
+  event.time = simulator_.Now();
+  event.type = EventType::kLocalPrefClear;
+  event.exogenous = true;
+  event.pop = pop;
+  event.link = link;
+  event.description = "intervention: clear local-pref at " +
+                      simulator_.topology().GetPop(pop).label;
+  simulator_.ApplyNow(event);
+  Record(event.description, std::move(justification));
+  return Status::Ok();
+}
+
+Status InterventionApi::SetLinkState(core::LinkId link, bool up,
+                                     std::string justification) {
+  NetworkEvent event;
+  event.time = simulator_.Now();
+  event.type = up ? EventType::kLinkUp : EventType::kLinkDown;
+  event.exogenous = true;
+  event.link = link;
+  event.description = std::string("intervention: link ") +
+                      (up ? "enable" : "drain");
+  simulator_.ApplyNow(event);
+  Record(event.description, std::move(justification));
+  return Status::Ok();
+}
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,59 @@
+// Exogenous-intervention API — the paper's §4 proposal 3 (PEERING-style
+// knobs), as a library surface.
+//
+// Researchers get explicit, audited controls that induce variation in
+// routing *independently of network state*: exactly what a valid
+// instrument requires. Every call is recorded in an audit log with its
+// justification, mirroring the paper's demand that instruments come with
+// documented exogeneity arguments.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "netsim/simulator.h"
+
+namespace sisyphus::measure {
+
+struct InterventionAudit {
+  core::SimTime time;
+  std::string action;
+  std::string justification;
+};
+
+class InterventionApi {
+ public:
+  /// The simulator must outlive the API object.
+  explicit InterventionApi(netsim::NetworkSimulator& simulator);
+
+  /// BGP poisoning from `origin`: converged paths towards it avoid `asns`
+  /// (PoiRoot's instrument). Applied immediately.
+  core::Status PoisonAsns(netsim::PopIndex origin, std::set<core::Asn> asns,
+                          std::string justification);
+  core::Status ClearPoison(netsim::PopIndex origin,
+                           std::string justification);
+
+  /// Local-preference override at (pop, link): models a controlled
+  /// announcement/policy knob.
+  core::Status SetLocalPref(netsim::PopIndex pop, core::LinkId link,
+                            double delta, std::string justification);
+  core::Status ClearLocalPref(netsim::PopIndex pop, core::LinkId link,
+                              std::string justification);
+
+  /// Administratively disable/enable a link (e.g. drain a peering for a
+  /// controlled experiment).
+  core::Status SetLinkState(core::LinkId link, bool up,
+                            std::string justification);
+
+  const std::vector<InterventionAudit>& audit_log() const { return audit_; }
+
+ private:
+  void Record(std::string action, std::string justification);
+
+  netsim::NetworkSimulator& simulator_;
+  std::vector<InterventionAudit> audit_;
+};
+
+}  // namespace sisyphus::measure

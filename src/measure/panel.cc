@@ -1,0 +1,84 @@
+#include "measure/panel.h"
+
+#include "core/error.h"
+#include "stats/timeseries.h"
+
+namespace sisyphus::measure {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+Result<std::size_t> Panel::Find(const std::string& unit) const {
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    if (units[i].unit == unit) return i;
+  }
+  return Error(ErrorCode::kNotFound, "Panel: no unit '" + unit + "'");
+}
+
+Panel BuildRttPanel(const MeasurementStore& store,
+                    const PanelOptions& options) {
+  Panel panel;
+  panel.options = options;
+  for (const std::string& unit : store.Units()) {
+    stats::TimeSeries series;
+    for (const SpeedTestRecord* record : store.ForUnit(unit)) {
+      series.Append(record->time, record->rtt_ms);
+    }
+    const auto buckets = series.BucketedMedians(options.origin, options.bucket,
+                                                options.periods);
+    if (stats::AllMissing(buckets)) continue;
+    const double missing = stats::MissingFraction(buckets);
+    if (missing > options.max_missing_fraction) continue;
+    UnitSeries out;
+    out.unit = unit;
+    out.values = stats::InterpolateMissing(buckets);
+    out.missing_fraction = missing;
+    panel.units.push_back(std::move(out));
+  }
+  return panel;
+}
+
+Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
+    const Panel& panel, const std::string& treated_unit,
+    const std::vector<std::string>& donor_units, core::SimTime treatment_time,
+    std::vector<std::string>* skipped) {
+  auto treated_index = panel.Find(treated_unit);
+  if (!treated_index.ok()) return treated_index.error();
+
+  std::vector<stats::Vector> donor_columns;
+  std::vector<std::string> donor_names;
+  for (const std::string& donor : donor_units) {
+    if (donor == treated_unit) continue;
+    auto index = panel.Find(donor);
+    if (!index.ok()) {
+      if (skipped != nullptr) skipped->push_back(donor);
+      continue;
+    }
+    donor_columns.push_back(panel.units[index.value()].values);
+    donor_names.push_back(donor);
+  }
+  if (donor_columns.empty()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "MakeSyntheticControlInput: no usable donors");
+  }
+
+  const auto minutes_from_origin =
+      treatment_time.minutes() - panel.options.origin.minutes();
+  if (minutes_from_origin <= 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "MakeSyntheticControlInput: treatment before panel origin");
+  }
+  const std::size_t pre_periods = static_cast<std::size_t>(
+      minutes_from_origin / panel.options.bucket.minutes());
+
+  causal::SyntheticControlInput input;
+  input.treated = panel.units[treated_index.value()].values;
+  input.donors = stats::Matrix::FromColumns(donor_columns);
+  input.donor_names = std::move(donor_names);
+  input.pre_periods = pre_periods;
+  if (auto s = input.Validate(); !s.ok()) return s.error();
+  return input;
+}
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,58 @@
+// Panel construction: from raw speed tests to the ⟨unit⟩ x ⟨period⟩ median
+// RTT matrix that synthetic control consumes.
+//
+// This mirrors the paper's pipeline: aggregate user tests per ⟨ASN, city⟩
+// per time bucket to medians (robust to last-mile spikes), interpolate
+// sparse buckets, and assemble a SyntheticControlInput for each treated
+// unit against a donor pool that never crosses the IXP.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "causal/synthetic_control.h"
+#include "core/result.h"
+#include "measure/store.h"
+
+namespace sisyphus::measure {
+
+struct PanelOptions {
+  core::SimTime origin{0};
+  core::SimTime bucket = core::SimTime::FromHours(6);
+  std::size_t periods = 224;  ///< 56 days at 6h buckets
+  /// Units with more than this fraction of empty buckets are dropped.
+  double max_missing_fraction = 0.25;
+};
+
+/// A unit's bucketed median-RTT series.
+struct UnitSeries {
+  std::string unit;
+  std::vector<double> values;       ///< interpolated, length = periods
+  double missing_fraction = 0.0;
+};
+
+/// The assembled panel.
+struct Panel {
+  PanelOptions options;
+  std::vector<UnitSeries> units;
+
+  /// Index of a unit by key; kNotFound when absent (e.g. dropped for
+  /// sparsity).
+  core::Result<std::size_t> Find(const std::string& unit) const;
+};
+
+/// Builds the panel over every unit in the store (RTT medians per bucket).
+/// Units that are entirely empty or too sparse are dropped.
+Panel BuildRttPanel(const MeasurementStore& store, const PanelOptions& options);
+
+/// Assembles a synthetic-control input: `treated_unit`'s series versus the
+/// given donor units (donors absent from the panel are skipped; their
+/// names are reported in `skipped`). `pre_periods` = buckets before the
+/// treatment time.
+core::Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
+    const Panel& panel, const std::string& treated_unit,
+    const std::vector<std::string>& donor_units, core::SimTime treatment_time,
+    std::vector<std::string>* skipped = nullptr);
+
+}  // namespace sisyphus::measure

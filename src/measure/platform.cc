@@ -1,0 +1,114 @@
+#include "measure/platform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace sisyphus::measure {
+
+Platform::Platform(netsim::NetworkSimulator& simulator,
+                   PlatformOptions options)
+    : simulator_(simulator), options_(options) {
+  SISYPHUS_REQUIRE(options.step.minutes() > 0, "Platform: zero step");
+  route_change_cursor_ = simulator_.route_changes().size();
+}
+
+void Platform::AddVantage(VantageConfig config) {
+  simulator_.WatchPath(config.pop, options_.server);
+  VantageState state;
+  state.config = config;
+  vantages_.push_back(state);
+}
+
+void Platform::RunTests(VantageState& vantage, std::size_t count,
+                        Intent intent, core::Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) {
+    netsim::PopIndex server = options_.server;
+    if (steering_ != nullptr) {
+      auto chosen = steering_->ChooseServer(vantage.config.pop, rng);
+      if (!chosen.ok()) continue;  // no reachable site right now
+      server = chosen.value();
+    }
+    auto record = RunSpeedTest(simulator_, vantage.config.pop, server,
+                               intent, rng, options_.test_model);
+    if (record.ok()) store_.Add(std::move(record).value());
+    // Unreachable vantage: silently no data, like a real platform.
+  }
+}
+
+std::size_t Platform::CountByIntent(Intent intent) const {
+  std::size_t count = 0;
+  for (const auto& record : store_.records()) {
+    if (record.intent == intent) ++count;
+  }
+  return count;
+}
+
+void Platform::Run(core::SimTime until, core::Rng& rng) {
+  while (simulator_.Now() < until) {
+    const core::SimTime step_end =
+        std::min(until, simulator_.Now() + options_.step);
+    simulator_.AdvanceTo(step_end);
+
+    // Route changes that landed during this step, per vantage PoP.
+    const auto& changes = simulator_.route_changes();
+    std::vector<netsim::PopIndex> changed_pops;
+    for (; route_change_cursor_ < changes.size(); ++route_change_cursor_) {
+      changed_pops.push_back(changes[route_change_cursor_].source);
+    }
+
+    const double step_days =
+        static_cast<double>(options_.step.minutes()) / (24.0 * 60.0);
+    for (VantageState& vantage : vantages_) {
+      const bool path_changed =
+          std::find(changed_pops.begin(), changed_pops.end(),
+                    vantage.config.pop) != changed_pops.end();
+
+      // Current network-level RTT (deterministic mean) drives perceived
+      // performance.
+      double current_rtt = -1.0;
+      if (auto route =
+              simulator_.RouteBetween(vantage.config.pop, options_.server);
+          route.ok()) {
+        current_rtt =
+            simulator_.latency().PathRttMs(route.value(), simulator_.Now());
+      }
+
+      // Baseline schedule: timing independent of network state.
+      const std::uint32_t baseline = rng.Poisson(
+          vantage.config.baseline_tests_per_day * step_days);
+      RunTests(vantage, baseline, Intent::kBaseline, rng);
+
+      // User-initiated: rate inflated by dissatisfaction and route churn —
+      // the collider mechanism.
+      if (vantage.config.user_tests_per_day > 0.0 && current_rtt > 0.0) {
+        double rate = vantage.config.user_tests_per_day * step_days;
+        if (vantage.ewma_rtt > 0.0) {
+          const double excess =
+              std::max(0.0, current_rtt / vantage.ewma_rtt - 1.0);
+          rate *= 1.0 + vantage.config.dissatisfaction_gain * excess;
+        }
+        if (path_changed) rate *= vantage.config.route_change_multiplier;
+        RunTests(vantage, rng.Poisson(rate), Intent::kUserInitiated, rng);
+      }
+
+      // §4 proposal 1: conditional activation on external signals.
+      if (options_.conditional_activation && path_changed) {
+        RunTests(vantage, options_.event_burst_tests, Intent::kEventTriggered,
+                 rng);
+      }
+
+      // Habituate.
+      if (current_rtt > 0.0) {
+        vantage.ewma_rtt =
+            vantage.ewma_rtt < 0.0
+                ? current_rtt
+                : (1.0 - options_.ewma_alpha) * vantage.ewma_rtt +
+                      options_.ewma_alpha * current_rtt;
+      }
+    }
+  }
+}
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,97 @@
+// Measurement platform: runs campaigns over the simulated Internet and
+// implements the paper's §4 design proposals.
+//
+//  (1) Conditional activation — when a watched path changes, the platform
+//      fires a burst of tests tagged kEventTriggered, turning route events
+//      into usable before/after measurements.
+//  (2) Intent tagging — every record carries WHY it exists (baseline
+//      schedule, user frustration, event reaction), so analysts can see —
+//      and avoid conditioning on — the collider.
+//  (4) Endogeneity as signal — user-initiated tests are generated with the
+//      realistic feedback: users test more when performance degrades or
+//      right after a route change. The bias is simulated, not assumed
+//      away, which is what lets the collider experiment (bench E3) show it.
+//
+// Proposal (3), the exogenous-intervention API, lives in intervention.h.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "measure/edge_steering.h"
+#include "measure/speedtest.h"
+#include "measure/store.h"
+#include "netsim/simulator.h"
+
+namespace sisyphus::measure {
+
+struct VantageConfig {
+  netsim::PopIndex pop = 0;
+  /// Scheduled tests/day (Poisson); exogenous timing.
+  double baseline_tests_per_day = 8.0;
+  /// User-initiated base rate; scaled up by dissatisfaction.
+  double user_tests_per_day = 0.0;
+  /// Extra rate multiplier per unit of relative RTT excess over the
+  /// user's habituated level: rate *= 1 + gain * max(0, rtt/ewma - 1).
+  double dissatisfaction_gain = 8.0;
+  /// Multiplier applied during a step in which this vantage's path to the
+  /// server changed.
+  double route_change_multiplier = 3.0;
+};
+
+struct PlatformOptions {
+  netsim::PopIndex server = 0;
+  core::SimTime step = core::SimTime::FromHours(1);
+  /// §4 proposal 1: fire a test burst when a watched path changes.
+  bool conditional_activation = false;
+  std::size_t event_burst_tests = 4;
+  /// EWMA smoothing for the user's habituated RTT (per step).
+  double ewma_alpha = 0.05;
+  SpeedTestModelOptions test_model;
+};
+
+class Platform {
+ public:
+  /// The simulator must outlive the platform.
+  Platform(netsim::NetworkSimulator& simulator, PlatformOptions options);
+
+  /// Registers a vantage point; also registers a path watch on the
+  /// simulator so conditional activation and user reactions can see
+  /// route changes.
+  void AddVantage(VantageConfig config);
+
+  /// Routes every test's server choice through `steering` (resolver
+  /// rotation / anycast model) instead of the fixed options.server.
+  /// Non-owning; pass nullptr to revert. The steering object must outlive
+  /// the platform while installed.
+  void SetEdgeSteering(EdgeSteering* steering) { steering_ = steering; }
+
+  /// Runs the campaign from the simulator's current time to `until`,
+  /// advancing the network and generating tests step by step.
+  void Run(core::SimTime until, core::Rng& rng);
+
+  MeasurementStore& store() { return store_; }
+  const MeasurementStore& store() const { return store_; }
+  const PlatformOptions& options() const { return options_; }
+
+  /// Total tests by intent (diagnostics).
+  std::size_t CountByIntent(Intent intent) const;
+
+ private:
+  struct VantageState {
+    VantageConfig config;
+    double ewma_rtt = -1.0;  ///< habituated RTT; <0 = uninitialized
+  };
+
+  void RunTests(VantageState& vantage, std::size_t count, Intent intent,
+                core::Rng& rng);
+
+  netsim::NetworkSimulator& simulator_;
+  PlatformOptions options_;
+  std::vector<VantageState> vantages_;
+  MeasurementStore store_;
+  std::size_t route_change_cursor_ = 0;
+  EdgeSteering* steering_ = nullptr;
+};
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,77 @@
+#include "measure/speedtest.h"
+
+#include <atomic>
+#include <cmath>
+
+namespace sisyphus::measure {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+const char* ToString(Intent intent) {
+  switch (intent) {
+    case Intent::kBaseline: return "baseline";
+    case Intent::kUserInitiated: return "user_initiated";
+    case Intent::kEventTriggered: return "event_triggered";
+  }
+  return "?";
+}
+
+std::string SpeedTestRecord::UnitKey() const {
+  return std::to_string(asn.value()) + " / " + city;
+}
+
+Result<SpeedTestRecord> RunSpeedTest(netsim::NetworkSimulator& simulator,
+                                     netsim::PopIndex vantage,
+                                     netsim::PopIndex server, Intent intent,
+                                     core::Rng& rng,
+                                     const SpeedTestModelOptions& options,
+                                     netsim::AddressFamily af) {
+  static std::atomic<std::uint64_t> next_id{1};
+
+  auto route = simulator.RouteBetween(vantage, server, af);
+  if (!route.ok()) return route.error();
+
+  SpeedTestRecord record;
+  record.id = core::MeasurementId(next_id.fetch_add(1));
+  record.time = simulator.Now();
+  const auto& pop = simulator.topology().GetPop(vantage);
+  record.asn = pop.asn;
+  record.city = simulator.topology().cities().Get(pop.city).name;
+  record.vantage_pop = vantage;
+  record.server_pop = server;
+  record.intent = intent;
+  record.address_family = af;
+
+  const double path_rtt =
+      simulator.latency().SampleRttMs(route.value(), simulator.Now(), rng);
+  double last_mile =
+      std::max(0.2, rng.Gaussian(options.last_mile_base_ms,
+                                 options.last_mile_sd_ms));
+  if (rng.Bernoulli(options.spike_probability)) {
+    last_mile += rng.Exponential(1.0 / options.spike_scale_ms);
+  }
+  record.rtt_ms = path_rtt + last_mile;
+  record.loss_rate =
+      simulator.latency().PathLossRate(route.value(), simulator.Now());
+
+  const double access_limit =
+      options.access_capacity_mbps /
+      (1.0 + record.rtt_ms / options.rtt_half_ms);
+  // Mathis et al.: single-flow TCP throughput ~ C * MSS / (RTT sqrt(p)).
+  const double loss = std::max(record.loss_rate, 1e-6);
+  const double mathis_limit_mbps =
+      options.mathis_constant * options.mss_bytes * 8.0 /
+      (record.rtt_ms / 1000.0 * std::sqrt(loss)) / 1e6;
+  const double mean_throughput = std::min(access_limit, mathis_limit_mbps);
+  record.throughput_mbps =
+      mean_throughput *
+      std::exp(rng.Gaussian(0.0, options.throughput_noise_sigma));
+
+  record.traceroute = SimulateTraceroute(simulator.topology(), route.value());
+  record.asn_path = route.value().asn_path;
+  return record;
+}
+
+}  // namespace sisyphus::measure

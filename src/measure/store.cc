@@ -1,0 +1,62 @@
+#include "measure/store.h"
+
+#include "core/error.h"
+
+namespace sisyphus::measure {
+
+void MeasurementStore::Add(SpeedTestRecord record) {
+  by_unit_[record.UnitKey()].push_back(records_.size());
+  records_.push_back(std::move(record));
+}
+
+std::vector<std::string> MeasurementStore::Units() const {
+  std::vector<std::string> out;
+  out.reserve(by_unit_.size());
+  for (const auto& [unit, _] : by_unit_) out.push_back(unit);
+  return out;
+}
+
+std::vector<const SpeedTestRecord*> MeasurementStore::ForUnit(
+    const std::string& unit) const {
+  std::vector<const SpeedTestRecord*> out;
+  const auto it = by_unit_.find(unit);
+  if (it == by_unit_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t index : it->second) out.push_back(&records_[index]);
+  return out;
+}
+
+std::vector<const SpeedTestRecord*> MeasurementStore::Select(
+    const std::function<bool(const SpeedTestRecord&)>& predicate) const {
+  std::vector<const SpeedTestRecord*> out;
+  for (const auto& record : records_) {
+    if (predicate(record)) out.push_back(&record);
+  }
+  return out;
+}
+
+std::optional<core::SimTime> MeasurementStore::FirstIxpCrossing(
+    const netsim::Topology& topology, const std::string& unit,
+    core::IxpId ixp) const {
+  for (const SpeedTestRecord* record : ForUnit(unit)) {
+    if (CrossesIxp(topology, record->traceroute, ixp)) return record->time;
+  }
+  return std::nullopt;
+}
+
+double MeasurementStore::IxpCrossingShare(const netsim::Topology& topology,
+                                          const std::string& unit,
+                                          core::IxpId ixp,
+                                          core::SimTime start,
+                                          core::SimTime end) const {
+  std::size_t total = 0, crossing = 0;
+  for (const SpeedTestRecord* record : ForUnit(unit)) {
+    if (record->time < start || !(record->time < end)) continue;
+    ++total;
+    if (CrossesIxp(topology, record->traceroute, ixp)) ++crossing;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(crossing) / static_cast<double>(total);
+}
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,48 @@
+// MeasurementStore: the archive of speed-test records, queryable by
+// ⟨ASN, city⟩ unit, time window, intent, and IXP-crossing status.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "measure/speedtest.h"
+
+namespace sisyphus::measure {
+
+class MeasurementStore {
+ public:
+  void Add(SpeedTestRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<SpeedTestRecord>& records() const { return records_; }
+
+  /// Distinct unit keys, sorted.
+  std::vector<std::string> Units() const;
+
+  /// Records of one unit, in time order.
+  std::vector<const SpeedTestRecord*> ForUnit(const std::string& unit) const;
+
+  /// Records matching a predicate.
+  std::vector<const SpeedTestRecord*> Select(
+      const std::function<bool(const SpeedTestRecord&)>& predicate) const;
+
+  /// First time a record of `unit` crossed `ixp` (by traceroute hop
+  /// matching); nullopt if it never does.
+  std::optional<core::SimTime> FirstIxpCrossing(
+      const netsim::Topology& topology, const std::string& unit,
+      core::IxpId ixp) const;
+
+  /// Fraction of a unit's tests in [start, end) that cross `ixp`.
+  double IxpCrossingShare(const netsim::Topology& topology,
+                          const std::string& unit, core::IxpId ixp,
+                          core::SimTime start, core::SimTime end) const;
+
+ private:
+  std::vector<SpeedTestRecord> records_;
+  std::map<std::string, std::vector<std::size_t>> by_unit_;
+};
+
+}  // namespace sisyphus::measure

@@ -1,0 +1,239 @@
+#include "netsim/bgp.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace sisyphus::netsim {
+
+using core::Asn;
+using core::Error;
+using core::ErrorCode;
+using core::LinkId;
+using core::Result;
+
+const char* ToString(AddressFamily af) {
+  switch (af) {
+    case AddressFamily::kIpv4: return "ipv4";
+    case AddressFamily::kIpv6: return "ipv6";
+  }
+  return "?";
+}
+
+const char* ToString(RouteClass cls) {
+  switch (cls) {
+    case RouteClass::kSelf: return "self";
+    case RouteClass::kCustomer: return "customer";
+    case RouteClass::kPeer: return "peer";
+    case RouteClass::kProvider: return "provider";
+  }
+  return "?";
+}
+
+double BasePreference(RouteClass cls) {
+  switch (cls) {
+    case RouteClass::kSelf: return 400.0;
+    case RouteClass::kCustomer: return 300.0;
+    case RouteClass::kPeer: return 200.0;
+    case RouteClass::kProvider: return 100.0;
+  }
+  return 0.0;
+}
+
+bool BgpRoute::CrossesAsn(Asn asn) const {
+  return std::find(asn_path.begin(), asn_path.end(), asn) != asn_path.end();
+}
+
+bool BgpRoute::CrossesIxp(const Topology& topology, core::IxpId ixp) const {
+  for (LinkId link : links) {
+    const auto& l = topology.GetLink(link);
+    if (l.ixp.has_value() && *l.ixp == ixp) return true;
+  }
+  return false;
+}
+
+std::string BgpRoute::ToText(const Topology& topology) const {
+  std::string out;
+  for (std::size_t i = 0; i < pop_path.size(); ++i) {
+    if (i > 0) out += " ";
+    out += topology.GetPop(pop_path[i]).label;
+  }
+  out += " [" + std::string(ToString(cls)) + "]";
+  return out;
+}
+
+BgpSimulator::BgpSimulator(const Topology& topology) : topology_(topology) {}
+
+void BgpSimulator::SetLocalPrefOverride(PopIndex pop, LinkId link,
+                                        double delta) {
+  pref_overrides_[{pop, link}] = delta;
+  InvalidateCache();
+}
+
+void BgpSimulator::ClearLocalPrefOverride(PopIndex pop, LinkId link) {
+  pref_overrides_.erase({pop, link});
+  InvalidateCache();
+}
+
+void BgpSimulator::SetPoisonedAsns(PopIndex destination,
+                                   std::set<Asn> asns) {
+  poisoned_[destination] = std::move(asns);
+  cache_.erase({destination, AddressFamily::kIpv4});
+  cache_.erase({destination, AddressFamily::kIpv6});
+}
+
+void BgpSimulator::ClearPoisonedAsns(PopIndex destination) {
+  poisoned_.erase(destination);
+  cache_.erase({destination, AddressFamily::kIpv4});
+  cache_.erase({destination, AddressFamily::kIpv6});
+}
+
+void BgpSimulator::InvalidateCache() { cache_.clear(); }
+
+const RouteTable& BgpSimulator::RoutesTo(PopIndex destination,
+                                         AddressFamily af) {
+  const auto key = std::make_pair(destination, af);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(key, Compute(destination, af)).first->second;
+}
+
+Result<BgpRoute> BgpSimulator::Route(PopIndex source, PopIndex destination,
+                                     AddressFamily af) {
+  const RouteTable& table = RoutesTo(destination, af);
+  if (source >= table.best.size() || !table.best[source].has_value()) {
+    return Error(ErrorCode::kNotFound,
+                 "Route: " + topology_.GetPop(source).label +
+                     " cannot reach " + topology_.GetPop(destination).label);
+  }
+  return *table.best[source];
+}
+
+namespace {
+
+/// Strict "better" under BGP selection: preference, then AS-path length,
+/// then PoP-path length, then lowest next-hop PoP index (determinism).
+bool Better(const BgpRoute& a, const BgpRoute& b) {
+  if (a.preference != b.preference) return a.preference > b.preference;
+  if (a.asn_path.size() != b.asn_path.size())
+    return a.asn_path.size() < b.asn_path.size();
+  if (a.pop_path.size() != b.pop_path.size())
+    return a.pop_path.size() < b.pop_path.size();
+  // next hop = second element (paths of length 1 only at the destination).
+  const PopIndex na = a.pop_path.size() > 1 ? a.pop_path[1] : a.pop_path[0];
+  const PopIndex nb = b.pop_path.size() > 1 ? b.pop_path[1] : b.pop_path[0];
+  return na < nb;
+}
+
+}  // namespace
+
+RouteTable BgpSimulator::Compute(PopIndex destination,
+                                 AddressFamily af) const {
+  const std::size_t n = topology_.PopCount();
+  SISYPHUS_REQUIRE(destination < n, "Compute: bad destination");
+  RouteTable table;
+  table.destination = destination;
+  table.best.assign(n, std::nullopt);
+
+  BgpRoute self;
+  self.pop_path = {destination};
+  self.asn_path = {topology_.GetPop(destination).asn};
+  self.cls = RouteClass::kSelf;
+  self.preference = BasePreference(RouteClass::kSelf);
+  table.best[destination] = std::move(self);
+
+  const std::set<Asn>* poisoned = nullptr;
+  if (const auto it = poisoned_.find(destination); it != poisoned_.end()) {
+    poisoned = &it->second;
+  }
+
+  // Synchronous sweeps to a fixed point. Gao–Rexford preferences make the
+  // system stable; the cap is a defensive bound.
+  const std::size_t max_sweeps = n + 2;
+  bool changed = true;
+  while (changed && table.sweeps < max_sweeps) {
+    changed = false;
+    ++table.sweeps;
+    for (PopIndex u = 0; u < n; ++u) {
+      if (u == destination) continue;
+      const Asn u_asn = topology_.GetPop(u).asn;
+      if (poisoned != nullptr && poisoned->count(u_asn) > 0) continue;
+
+      // Rebuild the best route from live neighbor offers each sweep, so
+      // withdrawals (link down, neighbor lost its route) propagate.
+      std::optional<BgpRoute> best;
+      for (LinkId link : topology_.LinksOf(u)) {
+        const Link& l = topology_.GetLink(link);
+        if (!l.up) continue;
+        if (af == AddressFamily::kIpv6 && !l.ipv6) continue;
+        const PopIndex v = topology_.Neighbor(link, u);
+        const auto& v_route = table.best[v];
+        if (!v_route.has_value()) continue;
+
+        const bool intra = l.relationship == Relationship::kIntraAs;
+        // Export policy at v: always to customers and over intra-AS
+        // links; otherwise only self/customer routes (valley-free).
+        const bool u_is_customer_of_v = topology_.IsProviderSide(link, v);
+        const bool v_exports =
+            intra || u_is_customer_of_v ||
+            v_route->cls == RouteClass::kSelf ||
+            v_route->cls == RouteClass::kCustomer;
+        if (!v_exports) continue;
+
+        // Loop prevention.
+        if (intra) {
+          if (std::find(v_route->pop_path.begin(), v_route->pop_path.end(),
+                        u) != v_route->pop_path.end()) {
+            continue;
+          }
+        } else if (v_route->CrossesAsn(u_asn)) {
+          continue;
+        }
+
+        BgpRoute candidate;
+        candidate.pop_path.reserve(v_route->pop_path.size() + 1);
+        candidate.pop_path.push_back(u);
+        candidate.pop_path.insert(candidate.pop_path.end(),
+                                  v_route->pop_path.begin(),
+                                  v_route->pop_path.end());
+        candidate.links.reserve(v_route->links.size() + 1);
+        candidate.links.push_back(link);
+        candidate.links.insert(candidate.links.end(), v_route->links.begin(),
+                               v_route->links.end());
+        candidate.asn_path = v_route->asn_path;
+        if (candidate.asn_path.front() != u_asn) {
+          candidate.asn_path.insert(candidate.asn_path.begin(), u_asn);
+        }
+        if (intra) {
+          candidate.cls = v_route->cls;  // iBGP carries the class along
+        } else if (topology_.IsProviderSide(link, u)) {
+          candidate.cls = RouteClass::kCustomer;  // learned from customer
+        } else if (l.relationship == Relationship::kPeerToPeer) {
+          candidate.cls = RouteClass::kPeer;
+        } else {
+          candidate.cls = RouteClass::kProvider;
+        }
+        candidate.preference = BasePreference(candidate.cls);
+        if (const auto it = pref_overrides_.find({u, link});
+            it != pref_overrides_.end()) {
+          candidate.preference += it->second;
+        }
+        if (!best.has_value() || Better(candidate, *best)) {
+          best = std::move(candidate);
+        }
+      }
+      // Adopt strictly better routes; also drop a best route whose next
+      // hop link went down (handled implicitly: the candidate scan above
+      // rebuilds from live neighbors only, so compare against rebuilt).
+      if (best.has_value() != table.best[u].has_value() ||
+          (best.has_value() && table.best[u].has_value() &&
+           best->pop_path != table.best[u]->pop_path)) {
+        table.best[u] = best;
+        changed = true;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace sisyphus::netsim

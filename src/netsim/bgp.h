@@ -1,0 +1,109 @@
+// BGP-style policy routing over a Topology.
+//
+// Implements the Gao–Rexford model: routes learned from customers are
+// preferred over peer routes over provider routes, and a route learned
+// from a peer or provider is only exported to customers (valley-free
+// export). Selection below local preference is by AS-path length, then a
+// deterministic tie-break. Convergence is computed synchronously to a
+// fixed point per destination — adequate because experiments consume
+// converged paths and change events, not MRAI-timescale dynamics
+// (DESIGN.md §4).
+//
+// Two intervention knobs mirror the paper's discussion:
+//  - local-preference overrides per (PoP, link): the endogenous traffic-
+//    engineering shifts (§3's C -> R edge) and operator policy changes;
+//  - BGP poisoning per destination (PoiRoot-style): an origin can force
+//    paths to avoid a chosen ASN — a clean exogenous instrument.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+#include "netsim/topology.h"
+
+namespace sisyphus::netsim {
+
+/// Address family of a routing computation. IPv6 uses only dual-stack
+/// links (Link::ipv6), so v4 and v6 converge onto different paths when
+/// the topologies differ — a controllable source of exogenous path
+/// variation (§4).
+enum class AddressFamily { kIpv4, kIpv6 };
+
+const char* ToString(AddressFamily af);
+
+/// How the best route to a destination was learned (Gao–Rexford class).
+enum class RouteClass { kSelf, kCustomer, kPeer, kProvider };
+
+const char* ToString(RouteClass cls);
+
+/// Base local preference per class; overrides add to this.
+double BasePreference(RouteClass cls);
+
+/// A converged route from one PoP towards a destination PoP.
+struct BgpRoute {
+  std::vector<PopIndex> pop_path;   ///< this PoP first, destination last
+  std::vector<core::Asn> asn_path;  ///< consecutive duplicates collapsed
+  RouteClass cls = RouteClass::kSelf;
+  double preference = 0.0;          ///< effective local preference
+
+  /// Links traversed, aligned with pop_path steps (size = hops).
+  std::vector<core::LinkId> links;
+
+  bool CrossesAsn(core::Asn asn) const;
+  bool CrossesIxp(const Topology& topology, core::IxpId ixp) const;
+  std::string ToText(const Topology& topology) const;
+};
+
+/// All best routes towards one destination.
+struct RouteTable {
+  PopIndex destination = 0;
+  /// best[i] = best route from PoP i; nullopt = unreachable.
+  std::vector<std::optional<BgpRoute>> best;
+  std::size_t sweeps = 0;  ///< sweeps to convergence (diagnostic)
+};
+
+class BgpSimulator {
+ public:
+  /// Holds a reference; the topology must outlive the simulator. Link
+  /// up/down state is read from the topology on every computation.
+  explicit BgpSimulator(const Topology& topology);
+
+  /// Adds `delta` to the local preference of routes PoP `pop` learns over
+  /// `link`. Positive deltas attract traffic to that link. Replaces any
+  /// previous override. Invalidate happens automatically.
+  void SetLocalPrefOverride(PopIndex pop, core::LinkId link, double delta);
+  void ClearLocalPrefOverride(PopIndex pop, core::LinkId link);
+
+  /// Poisons `asns` in announcements originated by `destination`: any PoP
+  /// whose ASN is poisoned discards the route (BGP loop detection), so
+  /// converged paths avoid those ASNs.
+  void SetPoisonedAsns(PopIndex destination, std::set<core::Asn> asns);
+  void ClearPoisonedAsns(PopIndex destination);
+
+  /// Drops all cached tables. Call after mutating topology link state.
+  void InvalidateCache();
+
+  /// Converged routing table towards `destination` (cached per family).
+  const RouteTable& RoutesTo(PopIndex destination,
+                             AddressFamily af = AddressFamily::kIpv4);
+
+  /// Best route from src to dst; kNotFound when unreachable.
+  core::Result<BgpRoute> Route(PopIndex source, PopIndex destination,
+                               AddressFamily af = AddressFamily::kIpv4);
+
+  const Topology& topology() const { return topology_; }
+
+ private:
+  RouteTable Compute(PopIndex destination, AddressFamily af) const;
+
+  const Topology& topology_;
+  std::map<std::pair<PopIndex, core::LinkId>, double> pref_overrides_;
+  std::map<PopIndex, std::set<core::Asn>> poisoned_;
+  mutable std::map<std::pair<PopIndex, AddressFamily>, RouteTable> cache_;
+};
+
+}  // namespace sisyphus::netsim

@@ -1,0 +1,38 @@
+#include "netsim/events.h"
+
+#include <algorithm>
+
+namespace sisyphus::netsim {
+
+const char* ToString(EventType type) {
+  switch (type) {
+    case EventType::kLinkDown: return "link_down";
+    case EventType::kLinkUp: return "link_up";
+    case EventType::kLocalPrefChange: return "local_pref_change";
+    case EventType::kLocalPrefClear: return "local_pref_clear";
+    case EventType::kCongestionShock: return "congestion_shock";
+    case EventType::kPoisonAsns: return "poison_asns";
+    case EventType::kClearPoison: return "clear_poison";
+  }
+  return "?";
+}
+
+void EventSchedule::Add(NetworkEvent event) {
+  const auto it = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const NetworkEvent& a, const NetworkEvent& b) {
+        return a.time < b.time;
+      });
+  events_.insert(it, std::move(event));
+}
+
+std::vector<NetworkEvent> EventSchedule::PopUntil(core::SimTime cutoff) {
+  const auto it = std::lower_bound(
+      events_.begin(), events_.end(), cutoff,
+      [](const NetworkEvent& e, core::SimTime t) { return e.time < t; });
+  std::vector<NetworkEvent> out(events_.begin(), it);
+  events_.erase(events_.begin(), it);
+  return out;
+}
+
+}  // namespace sisyphus::netsim

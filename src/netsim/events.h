@@ -1,0 +1,65 @@
+// Network events: the exogenous and endogenous shocks the paper's causal
+// analyses feed on.
+//
+// Every event carries an `exogenous` flag. Exogenous events (scheduled
+// maintenance, regulator-imposed policy shifts, new IXP peering going
+// live) arrive independently of network state and are candidate
+// instruments / natural experiments; endogenous events (TE reacting to
+// congestion) are exactly the kind of variation that *breaks* the
+// exclusion restriction (§3).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/sim_time.h"
+#include "netsim/topology.h"
+
+namespace sisyphus::netsim {
+
+enum class EventType {
+  kLinkDown,
+  kLinkUp,
+  kLocalPrefChange,   ///< set a (pop, link) preference delta
+  kLocalPrefClear,
+  kCongestionShock,   ///< extra utilization on a link for a window
+  kPoisonAsns,        ///< origin poisons ASNs in its announcements
+  kClearPoison,
+};
+
+const char* ToString(EventType type);
+
+struct NetworkEvent {
+  core::SimTime time;
+  EventType type = EventType::kLinkDown;
+  bool exogenous = true;
+  std::string description;
+
+  // Parameters (used per type).
+  std::optional<core::LinkId> link;
+  PopIndex pop = 0;               ///< kLocalPrefChange/Clear: deciding PoP
+  double pref_delta = 0.0;        ///< kLocalPrefChange
+  core::SimTime shock_end;        ///< kCongestionShock window end
+  double shock_extra = 0.0;       ///< kCongestionShock utilization bump
+  PopIndex destination = 0;       ///< kPoisonAsns origin
+  std::set<core::Asn> asns;       ///< kPoisonAsns
+};
+
+/// Time-ordered event queue.
+class EventSchedule {
+ public:
+  void Add(NetworkEvent event);
+
+  /// Events with time < cutoff, in time order; removed from the queue.
+  std::vector<NetworkEvent> PopUntil(core::SimTime cutoff);
+
+  std::size_t pending() const { return events_.size(); }
+
+ private:
+  std::vector<NetworkEvent> events_;  // kept sorted by time
+};
+
+}  // namespace sisyphus::netsim

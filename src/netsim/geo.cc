@@ -1,0 +1,62 @@
+#include "netsim/geo.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace sisyphus::netsim {
+
+using core::CityId;
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+double HaversineKm(Coordinates a, Coordinates b) {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = M_PI / 180.0;
+  const double lat1 = a.latitude_deg * kDegToRad;
+  const double lat2 = b.latitude_deg * kDegToRad;
+  const double dlat = (b.latitude_deg - a.latitude_deg) * kDegToRad;
+  const double dlon = (b.longitude_deg - a.longitude_deg) * kDegToRad;
+  const double h = std::sin(dlat / 2.0) * std::sin(dlat / 2.0) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2.0) *
+                       std::sin(dlon / 2.0);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double PropagationDelayMs(double distance_km, double stretch) {
+  SISYPHUS_REQUIRE(distance_km >= 0.0 && stretch >= 1.0,
+                   "PropagationDelayMs: bad arguments");
+  // Light in fiber travels ~204 km/ms (c * 0.68).
+  constexpr double kFiberKmPerMs = 204.0;
+  return distance_km * stretch / kFiberKmPerMs;
+}
+
+CityId CityRegistry::Add(City city) {
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    if (cities_[i].name == city.name)
+      return CityId(static_cast<CityId::underlying_type>(i));
+  }
+  cities_.push_back(std::move(city));
+  return CityId(static_cast<CityId::underlying_type>(cities_.size() - 1));
+}
+
+Result<CityId> CityRegistry::Find(std::string_view name) const {
+  for (std::size_t i = 0; i < cities_.size(); ++i) {
+    if (cities_[i].name == name)
+      return CityId(static_cast<CityId::underlying_type>(i));
+  }
+  return Error(ErrorCode::kNotFound,
+               "CityRegistry: unknown city '" + std::string(name) + "'");
+}
+
+const City& CityRegistry::Get(CityId id) const {
+  SISYPHUS_REQUIRE(id.value() < cities_.size(), "CityRegistry: bad id");
+  return cities_[id.value()];
+}
+
+double CityRegistry::DistanceKm(CityId a, CityId b) const {
+  return HaversineKm(Get(a).location, Get(b).location);
+}
+
+}  // namespace sisyphus::netsim

@@ -1,0 +1,48 @@
+// Geography: cities, great-circle distances, and fiber propagation delay.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/result.h"
+
+namespace sisyphus::netsim {
+
+struct Coordinates {
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Great-circle distance in kilometres (haversine, mean Earth radius).
+double HaversineKm(Coordinates a, Coordinates b);
+
+/// One-way propagation delay in ms over fiber following a route `stretch`
+/// times the great-circle distance (fiber paths are never straight lines;
+/// 1.5-2.0 is typical for terrestrial routes).
+double PropagationDelayMs(double distance_km, double stretch = 1.6);
+
+struct City {
+  std::string name;
+  Coordinates location;
+  double utc_offset_hours = 0.0;  ///< drives local diurnal peaks
+};
+
+/// Registry of cities used by a scenario.
+class CityRegistry {
+ public:
+  /// Adds a city; re-adding the same name returns the existing id.
+  core::CityId Add(City city);
+
+  core::Result<core::CityId> Find(std::string_view name) const;
+  const City& Get(core::CityId id) const;
+  std::size_t size() const { return cities_.size(); }
+
+  double DistanceKm(core::CityId a, core::CityId b) const;
+
+ private:
+  std::vector<City> cities_;
+};
+
+}  // namespace sisyphus::netsim

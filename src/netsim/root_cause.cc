@@ -1,0 +1,142 @@
+#include "netsim/root_cause.h"
+
+#include "core/error.h"
+
+namespace sisyphus::netsim {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+const char* ToString(RouteChangeKind kind) {
+  switch (kind) {
+    case RouteChangeKind::kWithdrawal: return "withdrawal";
+    case RouteChangeKind::kReroute: return "reroute";
+    case RouteChangeKind::kNewRoute: return "new_route";
+    case RouteChangeKind::kNoChange: return "no_change";
+  }
+  return "?";
+}
+
+namespace {
+
+bool SamePath(const std::optional<BgpRoute>& a,
+              const std::optional<BgpRoute>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return a->pop_path == b->pop_path;
+}
+
+}  // namespace
+
+Result<RootCauseResult> LocalizeRouteChange(const Topology& topology,
+                                            const RouteTable& before,
+                                            const RouteTable& after,
+                                            PopIndex source) {
+  if (before.destination != after.destination) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "LocalizeRouteChange: tables for different destinations");
+  }
+  if (source >= before.best.size() || source >= after.best.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "LocalizeRouteChange: source outside the tables");
+  }
+  const auto& old_route = before.best[source];
+  const auto& new_route = after.best[source];
+  if (!old_route.has_value() && !new_route.has_value()) {
+    return Error(ErrorCode::kNotFound,
+                 "LocalizeRouteChange: source never had a route");
+  }
+
+  RootCauseResult out;
+  if (SamePath(old_route, new_route)) {
+    out.kind = RouteChangeKind::kNoChange;
+    out.culprit = source;
+    out.culprit_asn = topology.GetPop(source).asn;
+    out.explanation = "path unchanged";
+    return out;
+  }
+
+  // Walk the OLD path from the destination towards the source; the first
+  // hop whose own route changed is the root cause (hops between it and
+  // the destination still route as before, so they cannot have caused
+  // anything).
+  if (old_route.has_value()) {
+    const auto& path = old_route->pop_path;
+    for (std::size_t i = path.size(); i-- > 0;) {
+      const PopIndex hop = path[i];
+      if (SamePath(before.best[hop], after.best[hop])) continue;
+      out.culprit = hop;
+      out.culprit_asn = topology.GetPop(hop).asn;
+      if (!after.best[hop].has_value()) {
+        out.kind = RouteChangeKind::kWithdrawal;
+        out.explanation = topology.GetPop(hop).label +
+                          " lost its route towards the destination; "
+                          "upstream networks reacted";
+        return out;
+      }
+      // The hop still routes. Was its OLD option still available (it
+      // chose a new preference) or gone (it was forced to move)? The old
+      // option survives iff the first link of its old route is still up
+      // and the old next hop's own route is unchanged (hops closer to
+      // the destination did not change — that is how we got here).
+      bool old_option_intact = false;
+      const auto& old_hop_route = before.best[hop];
+      if (old_hop_route.has_value() && !old_hop_route->links.empty()) {
+        const Link& first_link = topology.GetLink(old_hop_route->links[0]);
+        const PopIndex old_next = old_hop_route->pop_path.size() > 1
+                                      ? old_hop_route->pop_path[1]
+                                      : hop;
+        old_option_intact =
+            first_link.up && SamePath(before.best[old_next],
+                                      after.best[old_next]);
+      }
+      if (old_option_intact) {
+        out.kind = RouteChangeKind::kNewRoute;
+        out.explanation = topology.GetPop(hop).label +
+                          " preferred a newly available route (new "
+                          "adjacency or policy) while the old one was "
+                          "still usable";
+      } else {
+        out.kind = RouteChangeKind::kReroute;
+        out.explanation = topology.GetPop(hop).label +
+                          " switched its route towards the destination; "
+                          "upstream networks reacted";
+      }
+      return out;
+    }
+    // No hop on the old path changed its own route, yet src's path
+    // differs: a preferred route appeared along the new path.
+  }
+
+  // New-route case: walk the NEW path from the destination upward and
+  // report the first hop whose route changed (the point where the new
+  // option originates).
+  if (new_route.has_value()) {
+    const auto& path = new_route->pop_path;
+    for (std::size_t i = path.size(); i-- > 0;) {
+      const PopIndex hop = path[i];
+      if (SamePath(before.best[hop], after.best[hop])) continue;
+      out.culprit = hop;
+      out.culprit_asn = topology.GetPop(hop).asn;
+      out.kind = RouteChangeKind::kNewRoute;
+      out.explanation = topology.GetPop(hop).label +
+                        " gained a preferred route towards the "
+                        "destination (new adjacency or policy)";
+      return out;
+    }
+  }
+
+  // Degenerate: only the source's own selection flipped (e.g. local-pref
+  // change at the source).
+  out.culprit = source;
+  out.culprit_asn = topology.GetPop(source).asn;
+  out.kind = old_route.has_value() && !new_route.has_value()
+                 ? RouteChangeKind::kWithdrawal
+                 : RouteChangeKind::kReroute;
+  out.explanation = topology.GetPop(source).label +
+                    " changed its own selection (local policy)";
+  return out;
+}
+
+}  // namespace sisyphus::netsim

@@ -1,0 +1,54 @@
+// PoiRoot-style root-cause localization for interdomain path changes.
+//
+// The paper's §2 highlights PoiRoot (Javed et al., SIGCOMM'13) as an early
+// success of causal reasoning in measurement: "models the causal structure
+// of path changes and uses BGP poisoning as an instrumental variable to
+// identify root causes." This module implements the core localization
+// logic on converged routing tables:
+//
+//   A path from src to dst changes. Walking the OLD path from the
+//   destination towards the source, the root cause is the first hop whose
+//   own best route towards dst changed — everything upstream merely
+//   *reacted* to that change (PoiRoot's "closest-to-destination changed
+//   AS" rule). The change is classified as a withdrawal (the hop lost its
+//   route), a reroute (the hop picked a different path), or an upstream
+//   insertion (the new path diverges before any old-path hop changed —
+//   the cause lies on the new path's first divergent hop, e.g. a
+//   better route appearing).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netsim/bgp.h"
+
+namespace sisyphus::netsim {
+
+enum class RouteChangeKind {
+  kWithdrawal,   ///< the culprit hop lost its route entirely
+  kReroute,      ///< the culprit hop switched to a different route
+  kNewRoute,     ///< a previously-absent, preferred route appeared
+  kNoChange,     ///< the src->dst path did not actually change
+};
+
+const char* ToString(RouteChangeKind kind);
+
+struct RootCauseResult {
+  /// The PoP whose routing decision changed first along the old path
+  /// (the "root cause" in PoiRoot's sense).
+  PopIndex culprit = 0;
+  core::Asn culprit_asn;
+  RouteChangeKind kind = RouteChangeKind::kNoChange;
+  std::string explanation;
+};
+
+/// Localizes the cause of a path change between two converged tables for
+/// the same destination. `before` and `after` must be tables towards the
+/// same destination (kInvalidArgument otherwise); kNotFound when src had
+/// no route in either table.
+core::Result<RootCauseResult> LocalizeRouteChange(const Topology& topology,
+                                                  const RouteTable& before,
+                                                  const RouteTable& after,
+                                                  PopIndex source);
+
+}  // namespace sisyphus::netsim

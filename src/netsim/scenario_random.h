@@ -1,0 +1,47 @@
+// Parameterized random Internet generator.
+//
+// The ZA scenario is hand-built to match Table 1; this generator produces
+// arbitrary-size three-tier topologies (clique of tier-1s, multihomed
+// regional transits, access edge, optional IXPs with partial membership)
+// for scale tests, property tests, and ablations that need many
+// independent topologies. Deterministic for a given seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "netsim/simulator.h"
+
+namespace sisyphus::netsim {
+
+struct RandomInternetOptions {
+  std::size_t tier1_count = 3;
+  std::size_t transit_count = 8;
+  std::size_t access_count = 40;
+  std::size_t content_count = 2;
+  std::size_t city_count = 6;
+  std::size_t ixp_count = 1;
+  /// Probability an access network is multihomed (two transits).
+  double multihoming_probability = 0.3;
+  /// Probability an access/content network joins a local IXP when one
+  /// exists in its city (peering with content networks there).
+  double ixp_membership_probability = 0.4;
+  std::uint64_t seed = 1;
+};
+
+struct RandomInternet {
+  std::unique_ptr<NetworkSimulator> simulator;
+  std::vector<PopIndex> tier1;
+  std::vector<PopIndex> transits;
+  std::vector<PopIndex> access;
+  std::vector<PopIndex> content;
+  std::vector<core::IxpId> ixps;
+};
+
+/// Builds the topology. Every access and content network is attached to
+/// at least one transit, transits to at least one tier-1, and tier-1s are
+/// fully meshed (peering), so the graph is connected under valley-free
+/// routing: every access network can reach every content network.
+RandomInternet BuildRandomInternet(const RandomInternetOptions& options = {});
+
+}  // namespace sisyphus::netsim

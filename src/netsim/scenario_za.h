@@ -1,0 +1,69 @@
+// The South-Africa / NAPAfrica scenario behind the Table 1 reproduction.
+//
+// The paper analyzes M-Lab speed tests from South African ⟨ASN, city⟩
+// units, eight of which began crossing the NAPAfrica-JNB IXP in June 2025.
+// Real M-Lab data is unavailable here, so this scenario builds a synthetic
+// South African edge: a content/M-Lab destination in Johannesburg, two
+// domestic transit providers, one global transit provider that trombones
+// via London, the NAPAfrica-JNB IXP, the paper's eight treated
+// ⟨ASN, city⟩ access units, and a ~30-unit donor pool that never touches
+// the IXP.
+//
+// Treatment is modeled faithfully to the operational reality: each treated
+// ISP pre-provisions a peering link to the content network across the IXP
+// LAN (link exists but is down), and a kLinkUp event at the treatment time
+// brings the session live. Peer routes beat provider routes under
+// Gao–Rexford, so the path shifts onto the IXP — and the traceroute
+// detector (sisyphus::measure) starts seeing 196.60.x.x hops exactly like
+// the paper's PeeringDB matching.
+//
+// Per-pair knobs (ixp_extra_ms, transit congestion) calibrate the *sign
+// and rough size* of each unit's RTT change to Table 1's: small, mixed,
+// mostly statistically indistinguishable from donor-pool noise.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/sim_time.h"
+#include "netsim/simulator.h"
+
+namespace sisyphus::netsim {
+
+/// One treated ⟨ASN, city⟩ unit.
+struct TreatedUnit {
+  std::string name;        ///< "3741 / East London"
+  core::Asn asn;
+  std::string city;
+  PopIndex access_pop = 0;     ///< the user-facing PoP
+  core::LinkId ixp_link;       ///< the pre-provisioned peering link
+  double paper_delta_ms = 0.0; ///< Table 1's reported RTT change
+};
+
+struct ScenarioZaOptions {
+  std::size_t donor_units = 30;
+  core::SimTime treatment_time = core::SimTime::FromDays(28);
+  core::SimTime horizon = core::SimTime::FromDays(56);
+  std::uint64_t seed = 2025;
+};
+
+/// The built scenario: simulator plus the handles experiments need.
+struct ScenarioZa {
+  std::unique_ptr<NetworkSimulator> simulator;
+  ScenarioZaOptions options;
+
+  PopIndex content_jnb = 0;      ///< destination of every speed test
+  core::IxpId napafrica_jnb;
+  std::vector<TreatedUnit> treated;
+  /// Donor ⟨ASN, city⟩ access PoPs (never cross the IXP).
+  std::vector<PopIndex> donors;
+  /// Label "ASN / City" per donor, aligned with `donors`.
+  std::vector<std::string> donor_names;
+};
+
+/// Builds the scenario. The simulator starts at t = 0 with all treatment
+/// links down and kLinkUp events queued at options.treatment_time.
+ScenarioZa BuildScenarioZa(const ScenarioZaOptions& options = {});
+
+}  // namespace sisyphus::netsim

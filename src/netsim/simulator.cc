@@ -1,0 +1,158 @@
+#include "netsim/simulator.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/logging.h"
+
+namespace sisyphus::netsim {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+NetworkSimulator::NetworkSimulator(Topology topology, core::SimTime tick,
+                                   LatencyModelOptions latency_options)
+    : topology_(std::move(topology)),
+      bgp_(topology_),
+      latency_(topology_, latency_options),
+      tick_(tick) {
+  SISYPHUS_REQUIRE(tick.minutes() > 0, "NetworkSimulator: zero tick");
+}
+
+void NetworkSimulator::AddTePolicy(TePolicy policy) {
+  te_policies_.push_back(policy);
+}
+
+void NetworkSimulator::WatchPath(PopIndex source, PopIndex destination) {
+  WatchedPair pair;
+  pair.source = source;
+  pair.destination = destination;
+  if (auto route = bgp_.Route(source, destination); route.ok()) {
+    pair.last_asn_path = route.value().asn_path;
+  }
+  watched_.push_back(std::move(pair));
+}
+
+void NetworkSimulator::ApplyEvent(const NetworkEvent& event) {
+  switch (event.type) {
+    case EventType::kLinkDown:
+      SISYPHUS_REQUIRE(event.link.has_value(), "kLinkDown: missing link");
+      topology_.MutableLink(*event.link).up = false;
+      bgp_.InvalidateCache();
+      break;
+    case EventType::kLinkUp:
+      SISYPHUS_REQUIRE(event.link.has_value(), "kLinkUp: missing link");
+      topology_.MutableLink(*event.link).up = true;
+      bgp_.InvalidateCache();
+      break;
+    case EventType::kLocalPrefChange:
+      SISYPHUS_REQUIRE(event.link.has_value(), "kLocalPrefChange: no link");
+      bgp_.SetLocalPrefOverride(event.pop, *event.link, event.pref_delta);
+      break;
+    case EventType::kLocalPrefClear:
+      SISYPHUS_REQUIRE(event.link.has_value(), "kLocalPrefClear: no link");
+      bgp_.ClearLocalPrefOverride(event.pop, *event.link);
+      break;
+    case EventType::kCongestionShock:
+      SISYPHUS_REQUIRE(event.link.has_value(), "kCongestionShock: no link");
+      latency_.AddUtilizationShock(*event.link, event.time, event.shock_end,
+                                   event.shock_extra);
+      break;
+    case EventType::kPoisonAsns:
+      bgp_.SetPoisonedAsns(event.destination, event.asns);
+      break;
+    case EventType::kClearPoison:
+      bgp_.ClearPoisonedAsns(event.destination);
+      break;
+  }
+  SISYPHUS_LOG(kDebug) << "event @" << event.time.ToText() << " "
+                       << ToString(event.type) << " (" << event.description
+                       << ")";
+}
+
+void NetworkSimulator::ApplyTePolicies() {
+  for (TePolicy& policy : te_policies_) {
+    const double utilization =
+        latency_.LinkUtilization(policy.watched_link, now_);
+    if (!policy.active && utilization > policy.threshold) {
+      bgp_.SetLocalPrefOverride(policy.pop, policy.watched_link,
+                                policy.shift_delta);
+      policy.active = true;
+      RecordPathChanges(
+          "te:" + topology_.GetPop(policy.pop).label + " shift-away",
+          /*exogenous=*/false);
+    } else if (policy.active &&
+               utilization < policy.threshold - policy.hysteresis) {
+      bgp_.ClearLocalPrefOverride(policy.pop, policy.watched_link);
+      policy.active = false;
+      RecordPathChanges(
+          "te:" + topology_.GetPop(policy.pop).label + " shift-back",
+          /*exogenous=*/false);
+    }
+  }
+}
+
+void NetworkSimulator::RecordPathChanges(const std::string& trigger,
+                                         bool exogenous) {
+  for (WatchedPair& pair : watched_) {
+    std::vector<core::Asn> current;
+    if (auto route = bgp_.Route(pair.source, pair.destination); route.ok()) {
+      current = route.value().asn_path;
+    }
+    if (current != pair.last_asn_path) {
+      RouteChangeRecord record;
+      record.time = now_;
+      record.source = pair.source;
+      record.destination = pair.destination;
+      record.old_asn_path = pair.last_asn_path;
+      record.new_asn_path = current;
+      record.trigger = trigger;
+      record.exogenous = exogenous;
+      route_changes_.push_back(std::move(record));
+      pair.last_asn_path = current;
+    }
+  }
+}
+
+void NetworkSimulator::ApplyNow(const NetworkEvent& event) {
+  ApplyEvent(event);
+  RecordPathChanges(event.description.empty()
+                        ? std::string(ToString(event.type))
+                        : event.description,
+                    event.exogenous);
+}
+
+void NetworkSimulator::AdvanceTo(core::SimTime until) {
+  SISYPHUS_REQUIRE(now_ <= until, "AdvanceTo: time moves forward only");
+  while (now_ < until) {
+    now_ = std::min(until, now_ + tick_);
+    // Events due strictly before (or at) the new time.
+    for (const NetworkEvent& event :
+         schedule_.PopUntil(now_ + core::SimTime(1))) {
+      ApplyEvent(event);
+      RecordPathChanges(event.description.empty()
+                            ? std::string(ToString(event.type))
+                            : event.description,
+                        event.exogenous);
+    }
+    ApplyTePolicies();
+  }
+}
+
+Result<BgpRoute> NetworkSimulator::RouteBetween(PopIndex source,
+                                                PopIndex destination,
+                                                AddressFamily af) {
+  return bgp_.Route(source, destination, af);
+}
+
+Result<double> NetworkSimulator::SampleRtt(PopIndex source,
+                                           PopIndex destination,
+                                           core::Rng& rng,
+                                           AddressFamily af) {
+  auto route = bgp_.Route(source, destination, af);
+  if (!route.ok()) return route.error();
+  return latency_.SampleRttMs(route.value(), now_, rng);
+}
+
+}  // namespace sisyphus::netsim

@@ -1,0 +1,114 @@
+// NetworkSimulator: ties topology, routing, latency and events into a
+// discrete-time simulation with a route-change log.
+//
+// Endogeneity is first-class: traffic-engineering policies watch link
+// congestion and shift local preference when it crosses a threshold —
+// producing the C -> R edge of the paper's running example. The resulting
+// route changes are logged with their trigger (congestion vs. scheduled
+// event) so experiments can compare what a causal analyst would and would
+// not be allowed to treat as exogenous.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "netsim/bgp.h"
+#include "netsim/events.h"
+#include "netsim/latency.h"
+#include "netsim/topology.h"
+
+namespace sisyphus::netsim {
+
+/// Congestion-reactive traffic engineering at one PoP (EdgeFabric-style):
+/// when the watched link's utilization exceeds `threshold`, a negative
+/// preference delta is applied to it (traffic shifts away); the override
+/// clears when utilization drops below threshold - hysteresis.
+struct TePolicy {
+  PopIndex pop = 0;
+  core::LinkId watched_link;
+  double threshold = 0.75;
+  double hysteresis = 0.10;
+  double shift_delta = -150.0;
+  bool active = false;  ///< managed by the simulator
+};
+
+/// A logged routing-path change between a watched (source, destination).
+struct RouteChangeRecord {
+  core::SimTime time;
+  PopIndex source = 0;
+  PopIndex destination = 0;
+  std::vector<core::Asn> old_asn_path;
+  std::vector<core::Asn> new_asn_path;
+  std::string trigger;   ///< event description or "te:<pop-label>"
+  bool exogenous = false;
+};
+
+class NetworkSimulator {
+ public:
+  /// Takes ownership of the topology. `tick` is the simulation step.
+  explicit NetworkSimulator(Topology topology,
+                            core::SimTime tick = core::SimTime(5),
+                            LatencyModelOptions latency_options = {});
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+  BgpSimulator& bgp() { return bgp_; }
+  LatencyModel& latency() { return latency_; }
+  EventSchedule& schedule() { return schedule_; }
+
+  core::SimTime Now() const { return now_; }
+
+  /// Registers a congestion-reactive TE policy.
+  void AddTePolicy(TePolicy policy);
+
+  /// Watches (source, destination) for path changes; changes are appended
+  /// to route_changes().
+  void WatchPath(PopIndex source, PopIndex destination);
+
+  /// Advances simulation time to `until`, applying due events and TE
+  /// policies each tick and logging path changes on watched pairs.
+  void AdvanceTo(core::SimTime until);
+
+  /// Applies an event immediately (at Now()), logging any path changes it
+  /// causes. Used by the exogenous-intervention API (measure layer).
+  void ApplyNow(const NetworkEvent& event);
+
+  /// Best current route (kNotFound if unreachable).
+  core::Result<BgpRoute> RouteBetween(
+      PopIndex source, PopIndex destination,
+      AddressFamily af = AddressFamily::kIpv4);
+
+  /// One RTT sample on the current best route at the current time.
+  core::Result<double> SampleRtt(PopIndex source, PopIndex destination,
+                                 core::Rng& rng,
+                                 AddressFamily af = AddressFamily::kIpv4);
+
+  const std::vector<RouteChangeRecord>& route_changes() const {
+    return route_changes_;
+  }
+
+ private:
+  void ApplyEvent(const NetworkEvent& event);
+  void ApplyTePolicies();
+  void RecordPathChanges(const std::string& trigger, bool exogenous);
+
+  Topology topology_;
+  BgpSimulator bgp_;
+  LatencyModel latency_;
+  EventSchedule schedule_;
+  core::SimTime now_{0};
+  core::SimTime tick_{5};
+  std::vector<TePolicy> te_policies_;
+
+  struct WatchedPair {
+    PopIndex source;
+    PopIndex destination;
+    std::vector<core::Asn> last_asn_path;  ///< empty = unreachable/unknown
+  };
+  std::vector<WatchedPair> watched_;
+  std::vector<RouteChangeRecord> route_changes_;
+};
+
+}  // namespace sisyphus::netsim

@@ -1,0 +1,43 @@
+#include "netsim/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sisyphus::netsim {
+
+namespace {
+/// Periodic (wrap-around) squared distance on the 24h circle.
+double CircularGap(double h, double center) {
+  double d = std::fmod(std::abs(h - center), 24.0);
+  if (d > 12.0) d = 24.0 - d;
+  return d;
+}
+
+double Bump(double h, double center, double width) {
+  const double d = CircularGap(h, center);
+  return std::exp(-(d * d) / (2.0 * width * width));
+}
+}  // namespace
+
+double DiurnalDemand(double local_hour) {
+  // Work-hours shoulder (11:00) + evening peak (20:30), trough ~04:00.
+  const double value =
+      0.45 * Bump(local_hour, 11.0, 3.5) + 1.0 * Bump(local_hour, 20.5, 2.8);
+  return std::min(1.0, value);
+}
+
+double DiurnalProfile::MeanUtilization(core::SimTime time) const {
+  const double local_hour =
+      std::fmod(time.HourOfDay() + utc_offset_hours + 24.0, 24.0);
+  const double u =
+      base_utilization + diurnal_amplitude * DiurnalDemand(local_hour);
+  return std::clamp(u, 0.0, 0.97);
+}
+
+double DiurnalProfile::Utilization(core::SimTime time, core::Rng& rng) const {
+  const double u =
+      MeanUtilization(time) + (noise_sd > 0.0 ? rng.Gaussian(0.0, noise_sd) : 0.0);
+  return std::clamp(u, 0.0, 0.97);
+}
+
+}  // namespace sisyphus::netsim

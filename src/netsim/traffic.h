@@ -1,0 +1,35 @@
+// Diurnal traffic model.
+//
+// Link utilization follows a smooth daily curve (mid-morning shoulder plus
+// a dominant evening peak, the classic eyeball pattern), shifted by the
+// link's local time zone, plus optional event-driven shocks. Congestion is
+// the paper's canonical confounder (C -> R and C -> L): the simulator uses
+// the same utilization value both to trigger traffic-engineering route
+// shifts and to inflate queueing delay.
+#pragma once
+
+#include "core/rng.h"
+#include "core/sim_time.h"
+
+namespace sisyphus::netsim {
+
+/// Normalized diurnal demand in [0, 1] at local hour-of-day h (0-24).
+/// Mixture of a work-hours bump (peak ~11h) and a stronger evening peak
+/// (~20h30).
+double DiurnalDemand(double local_hour);
+
+struct DiurnalProfile {
+  double base_utilization = 0.3;   ///< floor at the nightly trough
+  double diurnal_amplitude = 0.35; ///< peak adds this much
+  double utc_offset_hours = 0.0;   ///< local-time shift
+  double noise_sd = 0.02;          ///< per-sample Gaussian wiggle
+
+  /// Utilization in [0, 0.97] at `time` (noise drawn from `rng`).
+  double Utilization(core::SimTime time, core::Rng& rng) const;
+
+  /// Deterministic (noise-free) utilization — used by decision logic so
+  /// route flaps do not depend on measurement noise draws.
+  double MeanUtilization(core::SimTime time) const;
+};
+
+}  // namespace sisyphus::netsim

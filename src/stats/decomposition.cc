@@ -1,0 +1,291 @@
+#include "stats/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace sisyphus::stats {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+Result<QrDecomposition> QrDecompose(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (m < n) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "QrDecompose: need rows >= cols for thin QR");
+  }
+  // Householder on a working copy; accumulate reflectors to form thin Q.
+  Matrix r = a;
+  std::vector<Vector> reflectors;  // v for each column, length m-k
+  reflectors.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    Vector v(m - k, 0.0);
+    if (norm == 0.0) {
+      reflectors.push_back(std::move(v));  // zero column: identity reflector
+      continue;
+    }
+    const double alpha = r(k, k) >= 0.0 ? -norm : norm;
+    for (std::size_t i = k; i < m; ++i) v[i - k] = r(i, k);
+    v[0] -= alpha;
+    const double vnorm = Norm2(v);
+    if (vnorm == 0.0) {
+      reflectors.push_back(Vector(m - k, 0.0));
+      continue;
+    }
+    for (double& x : v) x /= vnorm;
+    // Apply H = I - 2 v v^T to the trailing block of R.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= 2.0 * dot * v[i - k];
+    }
+    reflectors.push_back(std::move(v));
+  }
+  // Thin Q: apply reflectors in reverse to the first n columns of I.
+  Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    const Vector& v = reflectors[k];
+    if (v.empty()) continue;
+    bool zero = true;
+    for (double x : v)
+      if (x != 0.0) {
+        zero = false;
+        break;
+      }
+    if (zero) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * q(i, j);
+      for (std::size_t i = k; i < m; ++i) q(i, j) -= 2.0 * dot * v[i - k];
+    }
+  }
+  QrDecomposition out;
+  out.q = std::move(q);
+  out.r = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) out.r(i, j) = r(i, j);
+  return out;
+}
+
+Result<Vector> SolveLeastSquares(const Matrix& a, std::span<const double> b) {
+  SISYPHUS_REQUIRE(b.size() == a.rows(), "SolveLeastSquares: size mismatch");
+  auto qr = QrDecompose(a);
+  if (!qr.ok()) return qr.error();
+  const std::size_t n = a.cols();
+  // Tolerance scaled by the largest diagonal magnitude.
+  double max_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diag = std::max(max_diag, std::abs(qr.value().r(i, i)));
+  const double tol = std::max(1e-300, max_diag * 1e-12);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::abs(qr.value().r(i, i)) < tol) {
+      return Error(ErrorCode::kNumericalFailure,
+                   "SolveLeastSquares: rank-deficient design matrix");
+    }
+  }
+  // x = R^{-1} Q^T b by back substitution.
+  Vector qtb = qr.value().q.ApplyTransposed(b);
+  Vector x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = qtb[i];
+    for (std::size_t j = i + 1; j < n; ++j) sum -= qr.value().r(i, j) * x[j];
+    x[i] = sum / qr.value().r(i, i);
+  }
+  return x;
+}
+
+Matrix SvdDecomposition::Reconstruct() const {
+  return TruncatedReconstruct(singular_values.size());
+}
+
+Matrix SvdDecomposition::TruncatedReconstruct(std::size_t k) const {
+  SISYPHUS_REQUIRE(k <= singular_values.size(),
+                   "TruncatedReconstruct: k exceeds rank");
+  Matrix out(u.rows(), v.rows());
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < k; ++i)
+        sum += u(r, i) * singular_values[i] * v(c, i);
+      out(r, c) = sum;
+    }
+  return out;
+}
+
+std::size_t SvdDecomposition::RankAbove(double threshold) const {
+  std::size_t rank = 0;
+  for (double s : singular_values)
+    if (s > threshold) ++rank;
+  return rank;
+}
+
+namespace {
+
+// One-sided Jacobi on A (m x n), m >= n: rotates column pairs of a working
+// copy W until all pairs are numerically orthogonal. Then s_j = ||W_j||,
+// U_j = W_j / s_j, and V accumulates the rotations.
+Result<SvdDecomposition> JacobiSvdTall(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix w = a;
+  Matrix v = Matrix::Identity(n);
+  const int kMaxSweeps = 60;
+  const double kTol = 1e-14;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += w(i, p) * w(i, p);
+          beta += w(i, q) * w(i, q);
+          gamma += w(i, p) * w(i, q);
+        }
+        if (std::abs(gamma) <= kTol * std::sqrt(alpha * beta) ||
+            gamma == 0.0) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+    if (sweep == kMaxSweeps - 1) {
+      return Error(ErrorCode::kNumericalFailure,
+                   "SvdDecompose: Jacobi sweeps did not converge");
+    }
+  }
+  SvdDecomposition out;
+  out.singular_values.assign(n, 0.0);
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  // Column norms = singular values; sort descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Vector norms(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) sum += w(i, j) * w(i, j);
+    norms[j] = std::sqrt(sum);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return norms[x] > norms[y]; });
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    const std::size_t src = order[dst];
+    const double s = norms[src];
+    out.singular_values[dst] = s;
+    for (std::size_t i = 0; i < m; ++i)
+      out.u(i, dst) = s > 0.0 ? w(i, src) / s : 0.0;
+    for (std::size_t i = 0; i < n; ++i) out.v(i, dst) = v(i, src);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SvdDecomposition> SvdDecompose(const Matrix& a) {
+  if (a.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "SvdDecompose: empty matrix");
+  }
+  if (a.rows() >= a.cols()) return JacobiSvdTall(a);
+  // Wide matrix: decompose the transpose and swap U <-> V.
+  auto svd = JacobiSvdTall(a.Transposed());
+  if (!svd.ok()) return svd.error();
+  SvdDecomposition out;
+  out.u = std::move(svd.value().v);
+  out.v = std::move(svd.value().u);
+  out.singular_values = std::move(svd.value().singular_values);
+  return out;
+}
+
+Result<Vector> SvdSolveLeastSquares(const Matrix& a, std::span<const double> b,
+                                    double rcond) {
+  SISYPHUS_REQUIRE(b.size() == a.rows(), "SvdSolveLeastSquares: size");
+  auto svd = SvdDecompose(a);
+  if (!svd.ok()) return svd.error();
+  const auto& d = svd.value();
+  const double smax =
+      d.singular_values.empty() ? 0.0 : d.singular_values.front();
+  const double cutoff = smax * rcond;
+  // x = V diag(1/s) U^T b over retained components.
+  Vector utb = d.u.ApplyTransposed(b);
+  Vector x(a.cols(), 0.0);
+  for (std::size_t k = 0; k < d.singular_values.size(); ++k) {
+    const double s = d.singular_values[k];
+    if (s <= cutoff || s == 0.0) continue;
+    const double coeff = utb[k] / s;
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += coeff * d.v(i, k);
+  }
+  return x;
+}
+
+Result<Matrix> PseudoInverse(const Matrix& a, double rcond) {
+  auto svd = SvdDecompose(a);
+  if (!svd.ok()) return svd.error();
+  const auto& d = svd.value();
+  const double smax =
+      d.singular_values.empty() ? 0.0 : d.singular_values.front();
+  const double cutoff = smax * rcond;
+  Matrix out(a.cols(), a.rows());
+  for (std::size_t k = 0; k < d.singular_values.size(); ++k) {
+    const double s = d.singular_values[k];
+    if (s <= cutoff || s == 0.0) continue;
+    for (std::size_t i = 0; i < a.cols(); ++i)
+      for (std::size_t j = 0; j < a.rows(); ++j)
+        out(i, j) += d.v(i, k) * (1.0 / s) * d.u(j, k);
+  }
+  return out;
+}
+
+Result<Matrix> HardThreshold(const Matrix& a, double threshold) {
+  auto svd = SvdDecompose(a);
+  if (!svd.ok()) return svd.error();
+  const std::size_t k = svd.value().RankAbove(threshold);
+  return svd.value().TruncatedReconstruct(k);
+}
+
+double DefaultSingularValueThreshold(const SvdDecomposition& svd,
+                                     std::size_t rows, std::size_t cols) {
+  // Estimate the noise level from the median singular value (the signal
+  // occupies only the top few), then apply the (sqrt(m)+sqrt(n)) * sigma
+  // universal threshold shape of Gavish–Donoho.
+  const auto& s = svd.singular_values;
+  if (s.empty()) return 0.0;
+  Vector sorted = s;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double scale =
+      std::sqrt(static_cast<double>(rows)) + std::sqrt(static_cast<double>(cols));
+  // Median singular value of pure noise ~ 0.6 * sigma * (sqrt(m)+sqrt(n))/2.
+  const double sigma_hat = median / (0.6 * scale / 2.0 + 1e-30);
+  return sigma_hat * scale * 0.5;
+}
+
+}  // namespace sisyphus::stats

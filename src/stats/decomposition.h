@@ -1,0 +1,76 @@
+// Matrix decompositions: Householder QR, one-sided Jacobi SVD, and the
+// solvers built on them (least squares, pseudo-inverse, low-rank
+// approximation for robust synthetic control).
+#pragma once
+
+#include <cstddef>
+
+#include "core/result.h"
+#include "stats/matrix.h"
+
+namespace sisyphus::stats {
+
+/// Householder QR factorization A = Q R with A (m x n), m >= n.
+/// Q is m x n with orthonormal columns (thin QR); R is n x n upper
+/// triangular.
+struct QrDecomposition {
+  Matrix q;
+  Matrix r;
+};
+
+/// Computes the thin QR of `a`. Fails (kInvalidArgument) if rows < cols.
+core::Result<QrDecomposition> QrDecompose(const Matrix& a);
+
+/// Solves min_x ||A x - b||_2 via QR. Fails (kNumericalFailure) if A is
+/// rank-deficient to working precision (|R_ii| below tolerance); callers
+/// who want minimum-norm solutions over rank-deficient systems should use
+/// SvdSolveLeastSquares.
+core::Result<Vector> SolveLeastSquares(const Matrix& a,
+                                       std::span<const double> b);
+
+/// Singular value decomposition A = U S V^T, A (m x n) with m >= n
+/// (transpose first otherwise). U is m x n, V is n x n, singular values are
+/// returned in non-increasing order.
+struct SvdDecomposition {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+
+  /// Reconstructs U * diag(s) * V^T (for tests/diagnostics).
+  Matrix Reconstruct() const;
+
+  /// Rank-k truncation U_k S_k V_k^T. Precondition: k <= s.size().
+  Matrix TruncatedReconstruct(std::size_t k) const;
+
+  /// Number of singular values strictly above `threshold`.
+  std::size_t RankAbove(double threshold) const;
+};
+
+/// One-sided Jacobi SVD. Chosen over Golub–Kahan for simplicity and high
+/// relative accuracy at this library's panel sizes (see DESIGN.md §4;
+/// scaling measured in bench/perf_linalg). Works for any m, n (internally
+/// transposes if m < n). Fails (kNumericalFailure) if Jacobi sweeps do not
+/// converge.
+core::Result<SvdDecomposition> SvdDecompose(const Matrix& a);
+
+/// Minimum-norm least squares via SVD with relative cutoff `rcond` on
+/// singular values (like LAPACK gelsd).
+core::Result<Vector> SvdSolveLeastSquares(const Matrix& a,
+                                          std::span<const double> b,
+                                          double rcond = 1e-12);
+
+/// Moore–Penrose pseudo-inverse via SVD.
+core::Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-12);
+
+/// Hard-thresholded low-rank approximation: keep singular values
+/// > `threshold`, zero the rest. This is the denoising step of robust
+/// synthetic control (Amjad, Shah & Shen 2018).
+core::Result<Matrix> HardThreshold(const Matrix& a, double threshold);
+
+/// Universal singular-value threshold of Gavish–Donoho flavor used by RSC
+/// when the caller does not supply one: sigma * (sqrt(m) + sqrt(n)), with
+/// sigma estimated from the median singular value.
+double DefaultSingularValueThreshold(const SvdDecomposition& svd,
+                                     std::size_t rows, std::size_t cols);
+
+}  // namespace sisyphus::stats

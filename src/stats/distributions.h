@@ -1,0 +1,43 @@
+// Distribution functions (pdf/cdf/quantile) needed by the inference layer.
+//
+// Sampling lives on core::Rng; this header is the deterministic math side:
+// normal and Student-t tails for regression standard errors and test
+// p-values.
+#pragma once
+
+namespace sisyphus::stats {
+
+/// Standard normal density.
+double NormalPdf(double x);
+
+/// Standard normal CDF via erfc (double precision accurate).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |error|
+/// < 1.15e-9 — ample for confidence intervals). Precondition: p in (0,1).
+double NormalQuantile(double p);
+
+/// Student-t CDF with `dof` degrees of freedom (via the regularized
+/// incomplete beta function). dof > 0.
+double StudentTCdf(double t, double dof);
+
+/// Two-sided p-value for a t statistic.
+double TwoSidedTPValue(double t, double dof);
+
+/// Two-sided p-value for a z statistic.
+double TwoSidedZPValue(double z);
+
+/// Regularized incomplete beta I_x(a, b) by continued fraction
+/// (Lentz's method). Preconditions: a, b > 0, x in [0, 1].
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// log Gamma via Lanczos approximation.
+double LogGamma(double x);
+
+/// Chi-squared upper-tail probability P(X > x) with k degrees of freedom.
+double ChiSquaredSurvival(double x, double k);
+
+/// Regularized lower incomplete gamma P(a, x).
+double RegularizedLowerGamma(double a, double x);
+
+}  // namespace sisyphus::stats

@@ -1,0 +1,154 @@
+#include "stats/inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace sisyphus::stats {
+
+PermutationTestResult PermutationTest(
+    std::span<const double> group_a, std::span<const double> group_b,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& statistic,
+    std::size_t permutations, core::Rng& rng) {
+  SISYPHUS_REQUIRE(!group_a.empty() && !group_b.empty(),
+                   "PermutationTest: empty group");
+  PermutationTestResult out;
+  out.observed_statistic = statistic(group_a, group_b);
+  out.permutations = permutations;
+
+  std::vector<double> pooled;
+  pooled.reserve(group_a.size() + group_b.size());
+  pooled.insert(pooled.end(), group_a.begin(), group_a.end());
+  pooled.insert(pooled.end(), group_b.begin(), group_b.end());
+  const std::size_t na = group_a.size();
+
+  std::size_t extreme = 0;
+  const double threshold = std::abs(out.observed_statistic);
+  for (std::size_t it = 0; it < permutations; ++it) {
+    // Fisher–Yates shuffle.
+    for (std::size_t i = pooled.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(pooled[i - 1], pooled[j]);
+    }
+    std::span<const double> pa(pooled.data(), na);
+    std::span<const double> pb(pooled.data() + na, pooled.size() - na);
+    if (std::abs(statistic(pa, pb)) >= threshold) ++extreme;
+  }
+  out.p_value = static_cast<double>(extreme + 1) /
+                static_cast<double>(permutations + 1);
+  return out;
+}
+
+PermutationTestResult PermutationMeanDifferenceTest(
+    std::span<const double> group_a, std::span<const double> group_b,
+    std::size_t permutations, core::Rng& rng) {
+  return PermutationTest(
+      group_a, group_b,
+      [](std::span<const double> a, std::span<const double> b) {
+        return Mean(a) - Mean(b);
+      },
+      permutations, rng);
+}
+
+BootstrapInterval BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double confidence, core::Rng& rng) {
+  SISYPHUS_REQUIRE(!sample.empty(), "BootstrapCi: empty sample");
+  SISYPHUS_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                   "BootstrapCi: confidence outside (0,1)");
+  BootstrapInterval out;
+  out.estimate = statistic(sample);
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  for (std::size_t it = 0; it < replicates; ++it) {
+    for (auto& x : resample) {
+      const auto idx = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(sample.size()) - 1));
+      x = sample[idx];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = 1.0 - confidence;
+  out.lower = Quantile(stats, alpha / 2.0);
+  out.upper = Quantile(stats, 1.0 - alpha / 2.0);
+  out.standard_error = stats.size() >= 2 ? StdDev(stats) : 0.0;
+  return out;
+}
+
+TTestResult WelchTTest(std::span<const double> a, std::span<const double> b) {
+  SISYPHUS_REQUIRE(a.size() >= 2 && b.size() >= 2,
+                   "WelchTTest: need >= 2 samples per group");
+  TTestResult out;
+  const double ma = Mean(a), mb = Mean(b);
+  const double va = Variance(a), vb = Variance(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double se2 = va / na + vb / nb;
+  out.mean_difference = ma - mb;
+  if (se2 <= 0.0) {
+    out.statistic = 0.0;
+    out.dof = na + nb - 2.0;
+    out.p_value = out.mean_difference == 0.0 ? 1.0 : 0.0;
+    return out;
+  }
+  out.statistic = out.mean_difference / std::sqrt(se2);
+  out.dof = se2 * se2 /
+            (va * va / (na * na * (na - 1.0)) +
+             vb * vb / (nb * nb * (nb - 1.0)));
+  out.p_value = TwoSidedTPValue(out.statistic, out.dof);
+  return out;
+}
+
+KsTestResult KolmogorovSmirnovTest(std::span<const double> a,
+                                   std::span<const double> b) {
+  SISYPHUS_REQUIRE(!a.empty() && !b.empty(), "KsTest: empty sample");
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < sa.size() && j < sb.size()) {
+    const double x = std::min(sa[i], sb[j]);
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    const double fa = static_cast<double>(i) / static_cast<double>(sa.size());
+    const double fb = static_cast<double>(j) / static_cast<double>(sb.size());
+    d = std::max(d, std::abs(fa - fb));
+  }
+  KsTestResult out;
+  out.statistic = d;
+  // Asymptotic Kolmogorov distribution.
+  const double ne = static_cast<double>(sa.size()) *
+                    static_cast<double>(sb.size()) /
+                    static_cast<double>(sa.size() + sb.size());
+  const double lambda = (std::sqrt(ne) + 0.12 + 0.11 / std::sqrt(ne)) * d;
+  double p = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * lambda * lambda * k * k);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) break;
+  }
+  out.p_value = std::min(1.0, std::max(0.0, 2.0 * p));
+  return out;
+}
+
+double EmpiricalUpperPValue(double observed,
+                            std::span<const double> distribution) {
+  std::size_t at_least = 0;
+  for (double x : distribution)
+    if (x >= observed) ++at_least;
+  return static_cast<double>(at_least + 1) /
+         static_cast<double>(distribution.size() + 1);
+}
+
+}  // namespace sisyphus::stats

@@ -1,0 +1,75 @@
+// Resampling-based and classical inference: permutation tests, bootstrap
+// confidence intervals, Welch's t-test, Kolmogorov–Smirnov.
+//
+// The paper's Table 1 p-values come from *placebo* permutation over the
+// donor pool (implemented in causal/placebo.h on top of these primitives).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace sisyphus::stats {
+
+struct PermutationTestResult {
+  double observed_statistic = 0.0;
+  double p_value = 1.0;  ///< P(|T_perm| >= |T_obs|) with +1 correction
+  std::size_t permutations = 0;
+};
+
+/// Two-sample permutation test of mean difference: shuffles group labels
+/// `permutations` times. p-value uses the standard (b+1)/(m+1) correction.
+PermutationTestResult PermutationMeanDifferenceTest(
+    std::span<const double> group_a, std::span<const double> group_b,
+    std::size_t permutations, core::Rng& rng);
+
+/// Generic permutation test: `statistic` maps (a, b) to a scalar; labels
+/// are shuffled, two-sided.
+PermutationTestResult PermutationTest(
+    std::span<const double> group_a, std::span<const double> group_b,
+    const std::function<double(std::span<const double>,
+                               std::span<const double>)>& statistic,
+    std::size_t permutations, core::Rng& rng);
+
+struct BootstrapInterval {
+  double estimate = 0.0;  ///< statistic on the original sample
+  double lower = 0.0;     ///< percentile CI bounds
+  double upper = 0.0;
+  double standard_error = 0.0;  ///< bootstrap SE
+};
+
+/// Percentile bootstrap CI for an arbitrary statistic of one sample.
+/// `confidence` in (0, 1), e.g. 0.95.
+BootstrapInterval BootstrapCi(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t replicates, double confidence, core::Rng& rng);
+
+struct TTestResult {
+  double statistic = 0.0;
+  double dof = 0.0;   ///< Welch–Satterthwaite
+  double p_value = 1.0;
+  double mean_difference = 0.0;
+};
+
+/// Welch's two-sample t-test (unequal variances). Preconditions: both
+/// samples have size >= 2.
+TTestResult WelchTTest(std::span<const double> a, std::span<const double> b);
+
+struct KsTestResult {
+  double statistic = 0.0;  ///< sup |F_a - F_b|
+  double p_value = 1.0;    ///< asymptotic Kolmogorov distribution
+};
+
+/// Two-sample Kolmogorov–Smirnov test.
+KsTestResult KolmogorovSmirnovTest(std::span<const double> a,
+                                   std::span<const double> b);
+
+/// Empirical one-sided p-value of `observed` within a null `distribution`:
+/// (#{x >= observed} + 1) / (n + 1). Used for placebo RMSE-ratio ranks.
+double EmpiricalUpperPValue(double observed,
+                            std::span<const double> distribution);
+
+}  // namespace sisyphus::stats

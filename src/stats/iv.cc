@@ -1,0 +1,117 @@
+#include "stats/iv.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "stats/decomposition.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace sisyphus::stats {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+double TwoStageLeastSquaresFit::TreatmentPValue() const {
+  return TwoSidedZPValue(TreatmentEffect() / TreatmentStdError());
+}
+
+Result<TwoStageLeastSquaresFit> TwoStageLeastSquares(
+    std::span<const double> outcome, std::span<const double> treatment,
+    const Matrix& instruments, const Matrix& controls) {
+  const std::size_t n = outcome.size();
+  if (treatment.size() != n || instruments.rows() != n ||
+      (controls.cols() > 0 && controls.rows() != n)) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "TwoStageLeastSquares: row-count mismatch");
+  }
+  if (instruments.cols() == 0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "TwoStageLeastSquares: need at least one instrument");
+  }
+
+  // ---- First stage: treatment ~ instruments + controls ----
+  const std::size_t k_iv = instruments.cols();
+  const std::size_t k_ctl = controls.cols();
+  Matrix first_design(n, k_iv + k_ctl);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < k_iv; ++c)
+      first_design(r, c) = instruments(r, c);
+    for (std::size_t c = 0; c < k_ctl; ++c)
+      first_design(r, k_iv + c) = controls(r, c);
+  }
+  auto first = Ols(first_design, treatment);
+  if (!first.ok()) return first.error();
+
+  // Partial F for instruments: compare against the restricted model with
+  // controls only.
+  double ssr_full = 0.0;
+  for (double e : first.value().residuals) ssr_full += e * e;
+  double ssr_restricted = 0.0;
+  if (k_ctl > 0) {
+    Matrix restricted(n, k_ctl);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < k_ctl; ++c) restricted(r, c) = controls(r, c);
+    auto fit = Ols(restricted, treatment);
+    if (!fit.ok()) return fit.error();
+    for (double e : fit.value().residuals) ssr_restricted += e * e;
+  } else {
+    const double mean = Mean(treatment);
+    for (double t : treatment) ssr_restricted += (t - mean) * (t - mean);
+  }
+  const double dof_full = static_cast<double>(n - (1 + k_iv + k_ctl));
+  double f_stat = 0.0;
+  if (ssr_full > 0.0 && dof_full > 0.0) {
+    f_stat = ((ssr_restricted - ssr_full) / static_cast<double>(k_iv)) /
+             (ssr_full / dof_full);
+  }
+
+  // ---- Second stage: outcome ~ [1, predicted treatment, controls] ----
+  // Copy: `first` is moved into the result below, and `predicted` is still
+  // needed for the standard-error bread afterwards.
+  const Vector predicted = first.value().fitted;
+  Matrix second_design(n, 1 + k_ctl);
+  for (std::size_t r = 0; r < n; ++r) {
+    second_design(r, 0) = predicted[r];
+    for (std::size_t c = 0; c < k_ctl; ++c)
+      second_design(r, 1 + c) = controls(r, c);
+  }
+  auto second = Ols(second_design, outcome);
+  if (!second.ok()) return second.error();
+
+  TwoStageLeastSquaresFit out;
+  out.coefficients = second.value().coefficients;
+  out.first_stage = std::move(first).value();
+  out.first_stage_f = f_stat;
+  out.n = n;
+
+  // Correct 2SLS standard errors: residuals recomputed with the *actual*
+  // treatment (the OLS-of-second-stage residuals understate sigma^2).
+  const std::size_t p = out.coefficients.size();
+  Vector residuals(n);
+  double ssr = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double fitted = out.coefficients[0] + out.coefficients[1] * treatment[r];
+    for (std::size_t c = 0; c < k_ctl; ++c)
+      fitted += out.coefficients[2 + c] * controls(r, c);
+    residuals[r] = outcome[r] - fitted;
+    ssr += residuals[r] * residuals[r];
+  }
+  const double sigma2 = ssr / static_cast<double>(n - p);
+  // Bread from the projected design (with intercept).
+  Matrix z(n, p);
+  for (std::size_t r = 0; r < n; ++r) {
+    z(r, 0) = 1.0;
+    z(r, 1) = predicted[r];
+    for (std::size_t c = 0; c < k_ctl; ++c) z(r, 2 + c) = controls(r, c);
+  }
+  auto inv = PseudoInverse(z.Transposed() * z);
+  if (!inv.ok()) return inv.error();
+  out.standard_errors.resize(p);
+  for (std::size_t j = 0; j < p; ++j)
+    out.standard_errors[j] = std::sqrt(sigma2 * inv.value()(j, j));
+  return out;
+}
+
+}  // namespace sisyphus::stats

@@ -1,0 +1,49 @@
+// Two-stage least squares (2SLS) instrumental-variable estimation.
+//
+// The paper's §3 "natural experiments" discussion: when treatment is
+// endogenous (confounded with the outcome error), an instrument Z that
+// (1) moves the treatment and (2) affects the outcome only through the
+// treatment identifies the causal coefficient. 2SLS implements this by
+// regressing treatment on instruments + exogenous controls (first stage),
+// then the outcome on the *predicted* treatment + controls (second stage).
+#pragma once
+
+#include <span>
+
+#include "core/result.h"
+#include "stats/matrix.h"
+#include "stats/regression.h"
+
+namespace sisyphus::stats {
+
+struct TwoStageLeastSquaresFit {
+  /// Second-stage coefficients: [intercept, treatment, controls...].
+  Vector coefficients;
+  /// 2SLS-correct standard errors (residuals from *actual* treatment,
+  /// bread from projected design).
+  Vector standard_errors;
+  /// First-stage fit, for instrument-strength diagnostics.
+  OlsFit first_stage;
+  /// First-stage partial F statistic for the instruments (rule of thumb:
+  /// F < 10 => weak instrument, estimates unreliable).
+  double first_stage_f = 0.0;
+  std::size_t n = 0;
+
+  double TreatmentEffect() const { return coefficients[1]; }
+  double TreatmentStdError() const { return standard_errors[1]; }
+  /// Two-sided p-value (normal approximation) for the treatment effect.
+  double TreatmentPValue() const;
+  bool WeakInstrument() const { return first_stage_f < 10.0; }
+};
+
+/// Estimates the effect of `treatment` on `outcome`, instrumenting with the
+/// columns of `instruments` and controlling for the (exogenous) columns of
+/// `controls` (may be empty: 0 columns).
+///
+/// Fails (kInvalidArgument) on shape errors, (kNumericalFailure) on rank
+/// deficiency in either stage.
+core::Result<TwoStageLeastSquaresFit> TwoStageLeastSquares(
+    std::span<const double> outcome, std::span<const double> treatment,
+    const Matrix& instruments, const Matrix& controls);
+
+}  // namespace sisyphus::stats

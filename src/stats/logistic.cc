@@ -1,0 +1,116 @@
+#include "stats/logistic.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "stats/decomposition.h"
+
+namespace sisyphus::stats {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+double LogisticFit::PredictProbability(std::span<const double> row) const {
+  SISYPHUS_REQUIRE(row.size() + 1 == coefficients.size(),
+                   "PredictProbability: size mismatch");
+  double z = coefficients[0];
+  for (std::size_t i = 0; i < row.size(); ++i)
+    z += coefficients[i + 1] * row[i];
+  return Sigmoid(z);
+}
+
+Result<LogisticFit> LogisticRegression(const Matrix& design,
+                                       std::span<const double> y,
+                                       const LogisticOptions& options) {
+  const std::size_t n = design.rows();
+  const std::size_t p = design.cols() + 1;  // + intercept
+  if (n != y.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "LogisticRegression: y length != rows");
+  }
+  if (n <= p) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "LogisticRegression: need more observations than parameters");
+  }
+  for (double label : y) {
+    if (label != 0.0 && label != 1.0) {
+      return Error(ErrorCode::kInvalidArgument,
+                   "LogisticRegression: labels must be 0 or 1");
+    }
+  }
+  Matrix x(n, p);
+  for (std::size_t r = 0; r < n; ++r) {
+    x(r, 0) = 1.0;
+    for (std::size_t c = 0; c + 1 < p; ++c) x(r, c + 1) = design(r, c);
+  }
+
+  LogisticFit fit;
+  fit.coefficients.assign(p, 0.0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Newton step: solve (X'WX + lambda I) d = X'(y - mu) - lambda b.
+    Vector eta = x.Apply(fit.coefficients);
+    Vector mu(n), w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mu[i] = Sigmoid(eta[i]);
+      w[i] = std::max(1e-10, mu[i] * (1.0 - mu[i]));
+    }
+    Matrix hessian(p, p);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto row = x.Row(i);
+      for (std::size_t a = 0; a < p; ++a)
+        for (std::size_t b = 0; b < p; ++b)
+          hessian(a, b) += w[i] * row[a] * row[b];
+    }
+    for (std::size_t a = 0; a < p; ++a) hessian(a, a) += options.l2_penalty;
+    Vector gradient(p, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double diff = y[i] - mu[i];
+      auto row = x.Row(i);
+      for (std::size_t a = 0; a < p; ++a) gradient[a] += diff * row[a];
+    }
+    for (std::size_t a = 0; a < p; ++a)
+      gradient[a] -= options.l2_penalty * fit.coefficients[a];
+
+    auto inv = PseudoInverse(hessian);
+    if (!inv.ok()) return inv.error();
+    Vector step = inv.value().Apply(gradient);
+    double step_norm = Norm2(step);
+    if (!std::isfinite(step_norm)) {
+      return Error(ErrorCode::kNumericalFailure,
+                   "LogisticRegression: IRLS diverged");
+    }
+    // Damp very large steps (separation safety).
+    if (step_norm > 10.0) {
+      for (double& s : step) s *= 10.0 / step_norm;
+      step_norm = 10.0;
+    }
+    for (std::size_t a = 0; a < p; ++a) fit.coefficients[a] += step[a];
+    fit.iterations = iter + 1;
+    if (step_norm < options.tolerance) {
+      fit.converged = true;
+      break;
+    }
+  }
+  // Final log-likelihood.
+  Vector eta = x.Apply(fit.coefficients);
+  fit.log_likelihood = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pr = Sigmoid(eta[i]);
+    const double clamped = std::min(1.0 - 1e-12, std::max(1e-12, pr));
+    fit.log_likelihood +=
+        y[i] * std::log(clamped) + (1.0 - y[i]) * std::log(1.0 - clamped);
+  }
+  return fit;
+}
+
+}  // namespace sisyphus::stats

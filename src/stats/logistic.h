@@ -1,0 +1,41 @@
+// Logistic regression via iteratively reweighted least squares (IRLS).
+//
+// Used by the causal estimators for propensity scores (inverse propensity
+// weighting needs P(treated | covariates)).
+#pragma once
+
+#include <span>
+
+#include "core/result.h"
+#include "stats/matrix.h"
+
+namespace sisyphus::stats {
+
+struct LogisticFit {
+  Vector coefficients;  ///< includes intercept at index 0
+  std::size_t iterations = 0;
+  bool converged = false;
+  double log_likelihood = 0.0;
+
+  /// P(y = 1 | row) for a row of regressors (without the intercept column).
+  double PredictProbability(std::span<const double> row) const;
+};
+
+struct LogisticOptions {
+  std::size_t max_iterations = 100;
+  double tolerance = 1e-9;
+  /// Small L2 penalty stabilizes IRLS under separation; 0 disables.
+  double l2_penalty = 1e-8;
+};
+
+/// Fits P(y=1|x) = sigmoid(b0 + x.b). y entries must be 0 or 1.
+/// Fails (kInvalidArgument) on shape/label errors, (kNumericalFailure) if
+/// IRLS diverges.
+core::Result<LogisticFit> LogisticRegression(
+    const Matrix& design, std::span<const double> y,
+    const LogisticOptions& options = {});
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+}  // namespace sisyphus::stats

@@ -1,0 +1,219 @@
+#include "stats/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace sisyphus::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    SISYPHUS_REQUIRE(row.size() == cols_, "Matrix: ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::ColumnVector(std::span<const double> data) {
+  Matrix m(data.size(), 1);
+  for (std::size_t i = 0; i < data.size(); ++i) m(i, 0) = data[i];
+  return m;
+}
+
+Matrix Matrix::FromColumns(const std::vector<Vector>& columns) {
+  if (columns.empty()) return {};
+  const std::size_t n = columns.front().size();
+  Matrix m(n, columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    SISYPHUS_REQUIRE(columns[c].size() == n, "FromColumns: ragged columns");
+    for (std::size_t r = 0; r < n; ++r) m(r, c) = columns[c][r];
+  }
+  return m;
+}
+
+Vector Matrix::Column(std::size_t c) const {
+  SISYPHUS_REQUIRE(c < cols_, "Column: index out of range");
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetColumn(std::size_t c, std::span<const double> values) {
+  SISYPHUS_REQUIRE(c < cols_ && values.size() == rows_,
+                   "SetColumn: shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = values[r];
+}
+
+void Matrix::SetRow(std::size_t r, std::span<const double> values) {
+  SISYPHUS_REQUIRE(r < rows_ && values.size() == cols_,
+                   "SetRow: shape mismatch");
+  std::copy(values.begin(), values.end(), Row(r).begin());
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::Block(std::size_t r0, std::size_t r1, std::size_t c0,
+                     std::size_t c1) const {
+  SISYPHUS_REQUIRE(r0 <= r1 && r1 <= rows_ && c0 <= c1 && c1 <= cols_,
+                   "Block: bad range");
+  Matrix out(r1 - r0, c1 - c0);
+  for (std::size_t r = r0; r < r1; ++r)
+    for (std::size_t c = c0; c < c1; ++c) out(r - r0, c - c0) = (*this)(r, c);
+  return out;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double sum = 0.0;
+  for (double x : data_) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  SISYPHUS_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_,
+                   "MaxAbsDiff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  return worst;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  SISYPHUS_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_, "+: shape");
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.data_.size(); ++i) out.data_[i] += b.data_[i];
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  SISYPHUS_REQUIRE(a.rows_ == b.rows_ && a.cols_ == b.cols_, "-: shape");
+  Matrix out = a;
+  for (std::size_t i = 0; i < out.data_.size(); ++i) out.data_[i] -= b.data_[i];
+  return out;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  SISYPHUS_REQUIRE(a.cols_ == b.rows_, "*: inner dimension mismatch");
+  Matrix out(a.rows_, b.cols_);
+  // ikj order for row-major cache friendliness.
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+Matrix operator*(double scalar, const Matrix& m) {
+  Matrix out = m;
+  for (double& x : out.data_) x *= scalar;
+  return out;
+}
+
+Vector Matrix::Apply(std::span<const double> x) const {
+  SISYPHUS_REQUIRE(x.size() == cols_, "Apply: size mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = Dot(Row(r), x);
+  return out;
+}
+
+Vector Matrix::ApplyTransposed(std::span<const double> x) const {
+  SISYPHUS_REQUIRE(x.size() == rows_, "ApplyTransposed: size mismatch");
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    auto row = Row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
+  }
+  return out;
+}
+
+std::string Matrix::ToText(int precision) const {
+  std::string out;
+  char buffer[64];
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out += "[ ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      std::snprintf(buffer, sizeof(buffer), "%.*f ", precision, (*this)(r, c));
+      out += buffer;
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  SISYPHUS_REQUIRE(a.size() == b.size(), "Dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
+
+Vector Axpy(std::span<const double> a, double s, std::span<const double> b) {
+  SISYPHUS_REQUIRE(a.size() == b.size(), "Axpy: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+Vector Scale(double s, std::span<const double> a) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = s * a[i];
+  return out;
+}
+
+Vector Subtract(std::span<const double> a, std::span<const double> b) {
+  return Axpy(a, -1.0, b);
+}
+
+Vector Add(std::span<const double> a, std::span<const double> b) {
+  return Axpy(a, 1.0, b);
+}
+
+Vector ProjectToSimplex(std::span<const double> v) {
+  SISYPHUS_REQUIRE(!v.empty(), "ProjectToSimplex: empty input");
+  Vector sorted(v.begin(), v.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double running = 0.0;
+  double threshold = 0.0;
+  std::size_t support = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    running += sorted[i];
+    const double candidate =
+        (running - 1.0) / static_cast<double>(i + 1);
+    if (sorted[i] - candidate > 0.0) {
+      threshold = candidate;
+      support = i + 1;
+    }
+  }
+  SISYPHUS_REQUIRE(support > 0, "ProjectToSimplex: degenerate input");
+  Vector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out[i] = std::max(0.0, v[i] - threshold);
+  return out;
+}
+
+}  // namespace sisyphus::stats

@@ -1,0 +1,195 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "stats/decomposition.h"
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+
+namespace sisyphus::stats {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+namespace {
+
+Matrix WithIntercept(const Matrix& design) {
+  Matrix out(design.rows(), design.cols() + 1);
+  for (std::size_t r = 0; r < design.rows(); ++r) {
+    out(r, 0) = 1.0;
+    for (std::size_t c = 0; c < design.cols(); ++c)
+      out(r, c + 1) = design(r, c);
+  }
+  return out;
+}
+
+}  // namespace
+
+double OlsFit::TStatistic(std::size_t i) const {
+  SISYPHUS_REQUIRE(i < coefficients.size(), "TStatistic: index");
+  return coefficients[i] / standard_errors[i];
+}
+
+double OlsFit::PValue(std::size_t i) const {
+  const double dof = static_cast<double>(n - p);
+  return TwoSidedTPValue(TStatistic(i), dof);
+}
+
+double OlsFit::RobustPValue(std::size_t i) const {
+  SISYPHUS_REQUIRE(i < coefficients.size(), "RobustPValue: index");
+  return TwoSidedZPValue(coefficients[i] / robust_errors[i]);
+}
+
+double OlsFit::Predict(std::span<const double> row) const {
+  if (row.size() + 1 == coefficients.size()) {
+    // Caller passed regressors without the intercept column.
+    double sum = coefficients[0];
+    for (std::size_t i = 0; i < row.size(); ++i)
+      sum += coefficients[i + 1] * row[i];
+    return sum;
+  }
+  SISYPHUS_REQUIRE(row.size() == coefficients.size(), "Predict: size");
+  return Dot(row, coefficients);
+}
+
+Result<OlsFit> Ols(const Matrix& design, std::span<const double> y,
+                   const OlsOptions& options) {
+  const Matrix x = options.add_intercept ? WithIntercept(design) : design;
+  if (x.rows() != y.size()) {
+    return Error(ErrorCode::kInvalidArgument, "Ols: y length != rows");
+  }
+  if (x.rows() <= x.cols()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "Ols: need more observations than parameters");
+  }
+  auto beta = SolveLeastSquares(x, y);
+  if (!beta.ok()) return beta.error();
+
+  OlsFit fit;
+  fit.coefficients = std::move(beta).value();
+  fit.n = x.rows();
+  fit.p = x.cols();
+  fit.fitted = x.Apply(fit.coefficients);
+  fit.residuals.resize(fit.n);
+  double ssr = 0.0;
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    fit.residuals[i] = y[i] - fit.fitted[i];
+    ssr += fit.residuals[i] * fit.residuals[i];
+  }
+  const double dof = static_cast<double>(fit.n - fit.p);
+  fit.residual_variance = ssr / dof;
+
+  // (X'X)^-1 via pseudo-inverse of X'X (p x p, small).
+  const Matrix xtx = x.Transposed() * x;
+  auto xtx_inv = PseudoInverse(xtx);
+  if (!xtx_inv.ok()) return xtx_inv.error();
+  const Matrix& inv = xtx_inv.value();
+
+  fit.standard_errors.resize(fit.p);
+  for (std::size_t j = 0; j < fit.p; ++j)
+    fit.standard_errors[j] = std::sqrt(fit.residual_variance * inv(j, j));
+
+  // HC1 sandwich: (X'X)^-1 X' diag(e^2) X (X'X)^-1 * n/(n-p).
+  Matrix meat(fit.p, fit.p);
+  for (std::size_t i = 0; i < fit.n; ++i) {
+    const double e2 = fit.residuals[i] * fit.residuals[i];
+    auto row = x.Row(i);
+    for (std::size_t a = 0; a < fit.p; ++a)
+      for (std::size_t b = 0; b < fit.p; ++b)
+        meat(a, b) += e2 * row[a] * row[b];
+  }
+  const Matrix sandwich = inv * meat * inv;
+  const double hc1 = static_cast<double>(fit.n) / dof;
+  fit.robust_errors.resize(fit.p);
+  for (std::size_t j = 0; j < fit.p; ++j)
+    fit.robust_errors[j] = std::sqrt(hc1 * sandwich(j, j));
+
+  // R^2 against the mean model.
+  const double ybar = Mean(y);
+  double sst = 0.0;
+  for (double yi : y) sst += (yi - ybar) * (yi - ybar);
+  fit.r_squared = sst > 0.0 ? 1.0 - ssr / sst : 0.0;
+  fit.adjusted_r_squared =
+      1.0 - (1.0 - fit.r_squared) * static_cast<double>(fit.n - 1) / dof;
+  return fit;
+}
+
+Result<Vector> Ridge(const Matrix& design, std::span<const double> y,
+                     double lambda, const OlsOptions& options) {
+  SISYPHUS_REQUIRE(lambda >= 0.0, "Ridge: negative lambda");
+  const Matrix x = options.add_intercept ? WithIntercept(design) : design;
+  if (x.rows() != y.size()) {
+    return Error(ErrorCode::kInvalidArgument, "Ridge: y length != rows");
+  }
+  Matrix xtx = x.Transposed() * x;
+  // Leave the intercept unpenalized.
+  const std::size_t first = options.add_intercept ? 1 : 0;
+  for (std::size_t j = first; j < xtx.cols(); ++j) xtx(j, j) += lambda;
+  auto inv = PseudoInverse(xtx);
+  if (!inv.ok()) return inv.error();
+  Vector xty = x.ApplyTransposed(y);
+  return inv.value().Apply(xty);
+}
+
+Matrix DesignFromColumns(const std::vector<Vector>& columns) {
+  return Matrix::FromColumns(columns);
+}
+
+std::size_t NeweyWestDefaultLags(std::size_t n) {
+  return static_cast<std::size_t>(
+      std::floor(4.0 * std::pow(static_cast<double>(n) / 100.0, 2.0 / 9.0)));
+}
+
+Result<Vector> NeweyWestErrors(const Matrix& design, const OlsFit& fit,
+                               std::size_t lags, const OlsOptions& options) {
+  const Matrix x = options.add_intercept ? WithIntercept(design) : design;
+  if (x.rows() != fit.n || x.cols() != fit.p) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "NeweyWestErrors: design does not match the fit");
+  }
+  if (lags >= fit.n) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "NeweyWestErrors: lags must be < observations");
+  }
+  const std::size_t n = fit.n;
+  const std::size_t p = fit.p;
+
+  auto xtx_inv = PseudoInverse(x.Transposed() * x);
+  if (!xtx_inv.ok()) return xtx_inv.error();
+  const Matrix& bread = xtx_inv.value();
+
+  // Meat: S = sum_t e_t^2 x_t x_t' +
+  //   sum_l w_l sum_t e_t e_{t-l} (x_t x_{t-l}' + x_{t-l} x_t').
+  Matrix meat(p, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e2 = fit.residuals[i] * fit.residuals[i];
+    auto row = x.Row(i);
+    for (std::size_t a = 0; a < p; ++a)
+      for (std::size_t b = 0; b < p; ++b) meat(a, b) += e2 * row[a] * row[b];
+  }
+  for (std::size_t lag = 1; lag <= lags; ++lag) {
+    const double weight =
+        1.0 - static_cast<double>(lag) / static_cast<double>(lags + 1);
+    for (std::size_t i = lag; i < n; ++i) {
+      const double ee = fit.residuals[i] * fit.residuals[i - lag];
+      auto row_t = x.Row(i);
+      auto row_l = x.Row(i - lag);
+      for (std::size_t a = 0; a < p; ++a) {
+        for (std::size_t b = 0; b < p; ++b) {
+          meat(a, b) +=
+              weight * ee * (row_t[a] * row_l[b] + row_l[a] * row_t[b]);
+        }
+      }
+    }
+  }
+  const Matrix sandwich = bread * meat * bread;
+  Vector out(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    out[j] = std::sqrt(std::max(0.0, sandwich(j, j)));
+  }
+  return out;
+}
+
+}  // namespace sisyphus::stats

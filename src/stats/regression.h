@@ -1,0 +1,71 @@
+// Linear regression: ordinary least squares with classical and
+// heteroskedasticity-robust (HC1) standard errors, plus ridge.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/result.h"
+#include "stats/matrix.h"
+
+namespace sisyphus::stats {
+
+/// Fitted OLS model.
+struct OlsFit {
+  Vector coefficients;       ///< beta, one per design column
+  Vector standard_errors;    ///< classical (homoskedastic) SEs
+  Vector robust_errors;      ///< HC1 heteroskedasticity-robust SEs
+  Vector residuals;          ///< y - X beta
+  Vector fitted;             ///< X beta
+  double r_squared = 0.0;
+  double adjusted_r_squared = 0.0;
+  double residual_variance = 0.0;  ///< SSR / (n - p)
+  std::size_t n = 0;               ///< observations
+  std::size_t p = 0;               ///< parameters
+
+  /// t statistic for coefficient i using classical SEs.
+  double TStatistic(std::size_t i) const;
+  /// Two-sided p-value for coefficient i (classical SEs, t distribution).
+  double PValue(std::size_t i) const;
+  /// Two-sided p-value using HC1 robust SEs (normal approximation).
+  double RobustPValue(std::size_t i) const;
+  /// Predicts for a single row of regressors.
+  double Predict(std::span<const double> row) const;
+};
+
+/// Options for Ols().
+struct OlsOptions {
+  bool add_intercept = true;  ///< prepend a constant-1 column
+};
+
+/// Fits y ~ X by QR least squares. X columns are the regressors; when
+/// options.add_intercept, the returned coefficient 0 is the intercept.
+/// Fails (kNumericalFailure) on rank deficiency, (kInvalidArgument) when
+/// n <= p.
+core::Result<OlsFit> Ols(const Matrix& design, std::span<const double> y,
+                         const OlsOptions& options = {});
+
+/// Ridge regression: (X'X + lambda I)^-1 X'y, intercept unpenalized when
+/// added. lambda >= 0.
+core::Result<Vector> Ridge(const Matrix& design, std::span<const double> y,
+                           double lambda, const OlsOptions& options = {});
+
+/// Convenience: builds a design matrix from named columns (used by the
+/// causal estimators which work on Dataset columns).
+Matrix DesignFromColumns(const std::vector<Vector>& columns);
+
+/// Newey–West HAC standard errors for an OLS fit on TIME-ORDERED data:
+/// the sandwich with Bartlett-weighted autocovariance terms up to `lags`.
+/// Panel RTT series are strongly autocorrelated (diurnal structure), so
+/// classical/HC SEs understate uncertainty; use these for time-series
+/// regressions. `design` must be the matrix passed to Ols (without the
+/// intercept column when options.add_intercept was true — pass the same
+/// options). lags < observations required.
+core::Result<Vector> NeweyWestErrors(const Matrix& design, const OlsFit& fit,
+                                     std::size_t lags,
+                                     const OlsOptions& options = {});
+
+/// Rule-of-thumb lag choice: floor(4 * (n/100)^(2/9)).
+std::size_t NeweyWestDefaultLags(std::size_t n);
+
+}  // namespace sisyphus::stats

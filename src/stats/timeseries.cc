@@ -1,0 +1,111 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "stats/descriptive.h"
+
+namespace sisyphus::stats {
+
+void TimeSeries::Append(core::SimTime time, double value) {
+  SISYPHUS_REQUIRE(points_.empty() || points_.back().time <= time,
+                   "TimeSeries::Append: out-of-order time");
+  points_.push_back({time, value});
+}
+
+std::vector<double> TimeSeries::ValuesInWindow(core::SimTime start,
+                                               core::SimTime end) const {
+  // Binary search on the sorted time axis.
+  const auto lo = std::lower_bound(
+      points_.begin(), points_.end(), start,
+      [](const TimePoint& p, core::SimTime t) { return p.time < t; });
+  const auto hi = std::lower_bound(
+      lo, points_.end(), end,
+      [](const TimePoint& p, core::SimTime t) { return p.time < t; });
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) out.push_back(it->value);
+  return out;
+}
+
+std::optional<double> TimeSeries::MedianInWindow(core::SimTime start,
+                                                 core::SimTime end) const {
+  const auto values = ValuesInWindow(start, end);
+  if (values.empty()) return std::nullopt;
+  return Median(values);
+}
+
+std::vector<std::optional<double>> TimeSeries::BucketedMedians(
+    core::SimTime origin, core::SimTime bucket, std::size_t buckets) const {
+  SISYPHUS_REQUIRE(bucket.minutes() > 0, "BucketedMedians: zero bucket");
+  std::vector<std::optional<double>> out;
+  out.reserve(buckets);
+  for (std::size_t i = 0; i < buckets; ++i) {
+    const core::SimTime start(origin.minutes() +
+                              static_cast<std::int64_t>(i) * bucket.minutes());
+    const core::SimTime end(start.minutes() + bucket.minutes());
+    out.push_back(MedianInWindow(start, end));
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::Values() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.value);
+  return out;
+}
+
+bool AllMissing(std::span<const std::optional<double>> buckets) {
+  return std::none_of(buckets.begin(), buckets.end(),
+                      [](const auto& b) { return b.has_value(); });
+}
+
+double MissingFraction(std::span<const std::optional<double>> buckets) {
+  if (buckets.empty()) return 0.0;
+  std::size_t missing = 0;
+  for (const auto& b : buckets)
+    if (!b.has_value()) ++missing;
+  return static_cast<double>(missing) / static_cast<double>(buckets.size());
+}
+
+std::vector<double> InterpolateMissing(
+    std::span<const std::optional<double>> buckets) {
+  SISYPHUS_REQUIRE(!AllMissing(buckets), "InterpolateMissing: all missing");
+  const std::size_t n = buckets.size();
+  std::vector<double> out(n, 0.0);
+  // Indices of present values.
+  std::vector<std::size_t> present;
+  for (std::size_t i = 0; i < n; ++i)
+    if (buckets[i].has_value()) present.push_back(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (buckets[i].has_value()) {
+      out[i] = *buckets[i];
+      continue;
+    }
+    // Nearest present neighbours.
+    const auto after =
+        std::lower_bound(present.begin(), present.end(), i);
+    if (after == present.begin()) {
+      out[i] = *buckets[present.front()];
+    } else if (after == present.end()) {
+      out[i] = *buckets[present.back()];
+    } else {
+      const std::size_t hi = *after;
+      const std::size_t lo = *(after - 1);
+      const double frac = static_cast<double>(i - lo) /
+                          static_cast<double>(hi - lo);
+      out[i] = *buckets[lo] * (1.0 - frac) + *buckets[hi] * frac;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Difference(std::span<const double> xs) {
+  if (xs.size() < 2) return {};
+  std::vector<double> out(xs.size() - 1);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) out[i] = xs[i + 1] - xs[i];
+  return out;
+}
+
+}  // namespace sisyphus::stats

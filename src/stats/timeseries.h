@@ -1,0 +1,69 @@
+// TimeSeries: an ordered (SimTime, value) sequence with the aggregation
+// operations panel construction needs (bucketed medians, alignment,
+// differencing).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/sim_time.h"
+
+namespace sisyphus::stats {
+
+struct TimePoint {
+  core::SimTime time;
+  double value = 0.0;
+};
+
+/// An append-only time series. Points must be appended in non-decreasing
+/// time order (enforced).
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  /// Precondition: time >= last appended time.
+  void Append(core::SimTime time, double value);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TimePoint& operator[](std::size_t i) const { return points_[i]; }
+  std::span<const TimePoint> points() const { return points_; }
+
+  /// All values in [start, end).
+  std::vector<double> ValuesInWindow(core::SimTime start,
+                                     core::SimTime end) const;
+
+  /// Median of values in [start, end); nullopt when the window is empty.
+  std::optional<double> MedianInWindow(core::SimTime start,
+                                       core::SimTime end) const;
+
+  /// Buckets the series into consecutive windows of `bucket` length
+  /// starting at `origin`, taking the median of each bucket; buckets with
+  /// no data yield nullopt. `buckets` is the output length.
+  std::vector<std::optional<double>> BucketedMedians(core::SimTime origin,
+                                                     core::SimTime bucket,
+                                                     std::size_t buckets) const;
+
+  /// Plain values (time dropped).
+  std::vector<double> Values() const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+/// Fills missing buckets by linear interpolation between neighbours
+/// (edges propagate the nearest value). Fails only if *all* entries are
+/// missing — callers check with AllMissing first.
+std::vector<double> InterpolateMissing(
+    std::span<const std::optional<double>> buckets);
+
+bool AllMissing(std::span<const std::optional<double>> buckets);
+
+/// Fraction of buckets that are missing.
+double MissingFraction(std::span<const std::optional<double>> buckets);
+
+/// First difference: out[i] = xs[i+1] - xs[i] (length n-1).
+std::vector<double> Difference(std::span<const double> xs);
+
+}  // namespace sisyphus::stats

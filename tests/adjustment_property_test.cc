@@ -1,0 +1,109 @@
+// Property tests for adjustment-set enumeration on random DAGs:
+// every returned set satisfies the backdoor criterion, is inclusion-
+// minimal, and the enumeration agrees with brute force.
+#include <gtest/gtest.h>
+
+#include "causal/identification.h"
+#include "core/rng.h"
+
+namespace sisyphus::causal {
+namespace {
+
+Dag RandomDag(std::size_t n, double p, core::Rng& rng,
+              std::vector<NodeId>* nodes_out) {
+  Dag dag;
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(dag.AddNode("N" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) {
+        EXPECT_TRUE(dag.AddEdge(nodes[i], nodes[j]).ok());
+      }
+    }
+  }
+  *nodes_out = std::move(nodes);
+  return dag;
+}
+
+/// Brute force: all subsets of eligible candidates that satisfy the
+/// criterion, filtered to inclusion-minimal ones.
+std::vector<NodeSet> BruteForceMinimalSets(const Dag& dag, NodeId t,
+                                           NodeId y) {
+  const NodeSet descendants = dag.Descendants(t);
+  std::vector<NodeId> candidates;
+  for (NodeId id : dag.ObservedNodes()) {
+    if (id == t || id == y || descendants.Contains(id)) continue;
+    candidates.push_back(id);
+  }
+  std::vector<NodeSet> valid;
+  const std::size_t total = std::size_t{1} << candidates.size();
+  for (std::size_t mask = 0; mask < total; ++mask) {
+    NodeSet set;
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+      if (mask & (std::size_t{1} << b)) set.Insert(candidates[b]);
+    }
+    if (SatisfiesBackdoorCriterion(dag, t, y, set)) valid.push_back(set);
+  }
+  std::vector<NodeSet> minimal;
+  for (const NodeSet& set : valid) {
+    bool has_smaller = false;
+    for (const NodeSet& other : valid) {
+      if (other.size() >= set.size()) continue;
+      bool subset = true;
+      for (NodeId id : other) {
+        if (!set.Contains(id)) {
+          subset = false;
+          break;
+        }
+      }
+      // Proper subset that is also valid -> not minimal. (Equal-size
+      // distinct sets are both minimal.)
+      if (subset && other.size() < set.size()) {
+        has_smaller = true;
+        break;
+      }
+    }
+    if (!has_smaller) minimal.push_back(set);
+  }
+  return minimal;
+}
+
+class AdjustmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdjustmentPropertyTest, SetsAreValidMinimalAndComplete) {
+  core::Rng rng(static_cast<std::uint64_t>(3000 + GetParam()));
+  std::vector<NodeId> nodes;
+  const Dag dag = RandomDag(6, 0.35, rng, &nodes);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      const NodeId t = nodes[i];
+      const NodeId y = nodes[j];
+      const auto sets =
+          MinimalAdjustmentSets(dag, t, y, /*max_size=*/6);
+      const auto brute = BruteForceMinimalSets(dag, t, y);
+      // Same count and same sets (order-insensitive compare).
+      ASSERT_EQ(sets.size(), brute.size())
+          << "t=" << dag.Name(t) << " y=" << dag.Name(y);
+      for (const NodeSet& set : sets) {
+        EXPECT_TRUE(SatisfiesBackdoorCriterion(dag, t, y, set));
+        bool found = false;
+        for (const NodeSet& expected : brute) {
+          if (expected == set) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << "unexpected set for t=" << dag.Name(t)
+                           << " y=" << dag.Name(y);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdjustmentPropertyTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sisyphus::causal

@@ -1,0 +1,139 @@
+// Tests for the advanced estimators: AIPW (double robustness) and the
+// frontdoor (mediation) estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/estimators.h"
+#include "core/rng.h"
+#include "stats/regression.h"
+#include "stats/logistic.h"
+
+namespace sisyphus::causal {
+namespace {
+
+Dataset MakeConfounded(std::size_t n, core::Rng& rng, double ate = 2.0) {
+  std::vector<double> w(n), t(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.Gaussian();
+    t[i] = rng.Bernoulli(stats::Sigmoid(1.5 * w[i])) ? 1.0 : 0.0;
+    y[i] = ate * t[i] + 3.0 * w[i] + rng.Gaussian(0.0, 0.5);
+  }
+  Dataset data;
+  EXPECT_TRUE(data.AddColumn("W", std::move(w)).ok());
+  EXPECT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  EXPECT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  return data;
+}
+
+TEST(AugmentedIpwTest, RecoversAte) {
+  core::Rng rng(1);
+  const Dataset data = MakeConfounded(20000, rng);
+  auto fit = AugmentedIpw(data, "T", "Y", {"W"});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().effect, 2.0, 0.1);
+  EXPECT_EQ(fit.value().method, "augmented_ipw");
+  EXPECT_LT(fit.value().standard_error, 0.1);
+}
+
+TEST(AugmentedIpwTest, RobustToWrongOutcomeModel) {
+  // Outcome depends on W^2 (the linear outcome model is misspecified) but
+  // the propensity model is right: AIPW stays consistent.
+  core::Rng rng(2);
+  const std::size_t n = 30000;
+  std::vector<double> w(n), t(n), y(n), w_obs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.Gaussian();
+    t[i] = rng.Bernoulli(stats::Sigmoid(1.2 * w[i])) ? 1.0 : 0.0;
+    y[i] = 1.5 * t[i] + 2.0 * w[i] * w[i] + rng.Gaussian(0.0, 0.5);
+    w_obs[i] = w[i];
+  }
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("W", std::move(w_obs)).ok());
+  ASSERT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  auto aipw = AugmentedIpw(data, "T", "Y", {"W"});
+  ASSERT_TRUE(aipw.ok());
+  EXPECT_NEAR(aipw.value().effect, 1.5, 0.25);
+}
+
+TEST(AugmentedIpwTest, AgreesWithIpwAndRegressionWhenBothRight) {
+  core::Rng rng(3);
+  const Dataset data = MakeConfounded(15000, rng);
+  auto aipw = AugmentedIpw(data, "T", "Y", {"W"});
+  auto ipw = InversePropensityWeighting(data, "T", "Y", {"W"});
+  auto regression = RegressionAdjustment(data, "T", "Y", {"W"});
+  ASSERT_TRUE(aipw.ok());
+  ASSERT_TRUE(ipw.ok());
+  ASSERT_TRUE(regression.ok());
+  EXPECT_NEAR(aipw.value().effect, regression.value().effect, 0.15);
+  EXPECT_NEAR(aipw.value().effect, ipw.value().effect, 0.3);
+}
+
+TEST(AugmentedIpwTest, RejectsNonBinaryTreatment) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("W", {1, 2, 3}).ok());
+  ASSERT_TRUE(data.AddColumn("T", {0, 0.5, 1}).ok());
+  ASSERT_TRUE(data.AddColumn("Y", {1, 2, 3}).ok());
+  EXPECT_FALSE(AugmentedIpw(data, "T", "Y", {"W"}).ok());
+}
+
+// ---- Frontdoor --------------------------------------------------------------
+
+/// Pearl's frontdoor structure: U (latent) -> T, U -> Y, T -> M -> Y.
+/// True total effect of T on Y is alpha * beta.
+Dataset MakeFrontdoorWorld(std::size_t n, double alpha, double beta,
+                           core::Rng& rng) {
+  std::vector<double> t(n), m(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.Gaussian();
+    t[i] = 1.2 * u + rng.Gaussian(0.0, 0.8);
+    m[i] = alpha * t[i] + rng.Gaussian(0.0, 0.5);
+    y[i] = beta * m[i] + 2.5 * u + rng.Gaussian(0.0, 0.5);
+  }
+  Dataset data;
+  EXPECT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  EXPECT_TRUE(data.AddColumn("M", std::move(m)).ok());
+  EXPECT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  return data;
+}
+
+TEST(FrontdoorTest, RecoversEffectUnderLatentConfounding) {
+  core::Rng rng(4);
+  const Dataset data = MakeFrontdoorWorld(30000, 0.8, 1.5, rng);
+  auto fit = FrontdoorEstimate(data, "T", "M", "Y");
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().effect, 0.8 * 1.5, 0.08);
+  EXPECT_GT(fit.value().standard_error, 0.0);
+}
+
+TEST(FrontdoorTest, DirectRegressionIsBiasedOnSameData) {
+  core::Rng rng(5);
+  const Dataset data = MakeFrontdoorWorld(30000, 0.8, 1.5, rng);
+  // Naive y ~ t regression absorbs the latent confounder.
+  stats::Matrix design(data.rows(), 1);
+  const auto t = data.ColumnOrDie("T");
+  for (std::size_t i = 0; i < data.rows(); ++i) design(i, 0) = t[i];
+  auto naive = stats::Ols(design, data.ColumnOrDie("Y"));
+  ASSERT_TRUE(naive.ok());
+  EXPECT_GT(std::abs(naive.value().coefficients[1] - 1.2), 0.3);
+}
+
+TEST(FrontdoorTest, NullEffectThroughDeadMediator) {
+  // alpha = 0: no causal channel, frontdoor must report ~0 even though
+  // T and Y are strongly correlated via U.
+  core::Rng rng(6);
+  const Dataset data = MakeFrontdoorWorld(30000, 0.0, 1.5, rng);
+  auto fit = FrontdoorEstimate(data, "T", "M", "Y");
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().effect, 0.0, 0.05);
+}
+
+TEST(FrontdoorTest, MissingColumnsFail) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("T", {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(FrontdoorEstimate(data, "T", "M", "Y").ok());
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

@@ -1,0 +1,137 @@
+// Tests for Manski partial-identification bounds.
+#include <gtest/gtest.h>
+
+#include "causal/bounds.h"
+#include "core/rng.h"
+#include "stats/logistic.h"
+
+namespace sisyphus::causal {
+namespace {
+
+/// Binary-outcome confounded DGP with true ATE known by construction.
+struct BinaryWorld {
+  Dataset data;
+  double true_ate = 0.0;
+};
+
+BinaryWorld MakeBinaryWorld(std::size_t n, core::Rng& rng) {
+  // P(Y=1 | T, U) = sigmoid(-0.5 + 1.0 T + 1.5 U); T selected on U.
+  std::vector<double> t(n), y(n);
+  double ate_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.Gaussian();
+    t[i] = rng.Bernoulli(stats::Sigmoid(1.5 * u)) ? 1.0 : 0.0;
+    const double p1 = stats::Sigmoid(-0.5 + 1.0 + 1.5 * u);
+    const double p0 = stats::Sigmoid(-0.5 + 1.5 * u);
+    ate_sum += p1 - p0;
+    const double p = t[i] == 1.0 ? p1 : p0;
+    y[i] = rng.Bernoulli(p) ? 1.0 : 0.0;
+  }
+  BinaryWorld world;
+  world.true_ate = ate_sum / static_cast<double>(n);
+  EXPECT_TRUE(world.data.AddColumn("T", std::move(t)).ok());
+  EXPECT_TRUE(world.data.AddColumn("Y", std::move(y)).ok());
+  return world;
+}
+
+TEST(ManskiBoundsTest, WidthIsOutcomeRangeWithoutAssumptions) {
+  core::Rng rng(1);
+  const auto world = MakeBinaryWorld(20000, rng);
+  BoundsOptions options;  // y in [0,1], no monotonicity
+  auto bounds = ManskiBounds(world.data, "T", "Y", options);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds.value().width(), 1.0, 1e-9);
+  EXPECT_TRUE(bounds.value().Contains(world.true_ate));
+  EXPECT_FALSE(bounds.value().mtr_applied);
+}
+
+TEST(ManskiBoundsTest, MtrClipsLowerAtZero) {
+  core::Rng rng(2);
+  const auto world = MakeBinaryWorld(20000, rng);
+  BoundsOptions options;
+  options.monotone_treatment_response = true;
+  auto bounds = ManskiBounds(world.data, "T", "Y", options);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_DOUBLE_EQ(bounds.value().lower, 0.0);
+  EXPECT_TRUE(bounds.value().Contains(world.true_ate));  // true ATE > 0
+}
+
+TEST(ManskiBoundsTest, MtsUpperIsNaiveContrast) {
+  core::Rng rng(3);
+  const auto world = MakeBinaryWorld(20000, rng);
+  BoundsOptions options;
+  options.monotone_treatment_selection = true;
+  auto bounds = ManskiBounds(world.data, "T", "Y", options);
+  ASSERT_TRUE(bounds.ok());
+  // Selection here is genuinely monotone (higher U -> both treated and
+  // better outcomes), so the bound is valid AND informative: true ATE
+  // below the naive contrast.
+  EXPECT_LT(world.true_ate, bounds.value().upper + 0.02);
+  EXPECT_LT(bounds.value().upper, 0.5);  // tighter than +1
+  EXPECT_TRUE(bounds.value().mts_applied);
+}
+
+TEST(ManskiBoundsTest, MtrPlusMtsBracketTruth) {
+  core::Rng rng(4);
+  const auto world = MakeBinaryWorld(50000, rng);
+  BoundsOptions options;
+  options.monotone_treatment_response = true;
+  options.monotone_treatment_selection = true;
+  auto bounds = ManskiBounds(world.data, "T", "Y", options);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_TRUE(bounds.value().Contains(world.true_ate))
+      << "[" << bounds.value().lower << ", " << bounds.value().upper
+      << "] vs " << world.true_ate;
+  EXPECT_LT(bounds.value().width(), 0.6);
+}
+
+TEST(ManskiBoundsTest, ContradictoryAssumptionsSurface) {
+  // Strongly NEGATIVE naive contrast + MTR(>=0) + MTS(upper = naive):
+  // empty interval -> precondition error.
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("T", {1, 1, 1, 1, 0, 0, 0, 0}).ok());
+  ASSERT_TRUE(data.AddColumn("Y", {0, 0, 0, 0, 1, 1, 1, 1}).ok());
+  BoundsOptions options;
+  options.monotone_treatment_response = true;
+  options.monotone_treatment_selection = true;
+  auto bounds = ManskiBounds(data, "T", "Y", options);
+  ASSERT_FALSE(bounds.ok());
+  EXPECT_EQ(bounds.error().code(), core::ErrorCode::kPrecondition);
+}
+
+TEST(ManskiBoundsTest, CustomOutcomeRange) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("T", {1, 0, 1, 0}).ok());
+  ASSERT_TRUE(data.AddColumn("Y", {30, 20, 40, 25}).ok());  // RTT-like
+  BoundsOptions options;
+  options.y_min = 0.0;
+  options.y_max = 100.0;
+  auto bounds = ManskiBounds(data, "T", "Y", options);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_NEAR(bounds.value().width(), 100.0, 1e-9);
+}
+
+TEST(ManskiBoundsTest, InputValidation) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("T", {1, 0, 2}).ok());
+  ASSERT_TRUE(data.AddColumn("Y", {0, 1, 0}).ok());
+  BoundsOptions options;
+  EXPECT_FALSE(ManskiBounds(data, "T", "Y", options).ok());  // non-binary
+
+  Dataset single;
+  ASSERT_TRUE(single.AddColumn("T", {1, 1}).ok());
+  ASSERT_TRUE(single.AddColumn("Y", {0, 1}).ok());
+  EXPECT_FALSE(ManskiBounds(single, "T", "Y", options).ok());  // one arm
+
+  Dataset range;
+  ASSERT_TRUE(range.AddColumn("T", {1, 0}).ok());
+  ASSERT_TRUE(range.AddColumn("Y", {0.5, 3.0}).ok());
+  EXPECT_FALSE(ManskiBounds(range, "T", "Y", options).ok());  // y > y_max
+
+  options.y_min = 2.0;
+  options.y_max = 1.0;
+  EXPECT_FALSE(ManskiBounds(range, "T", "Y", options).ok());  // bad range
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

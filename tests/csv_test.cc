@@ -1,0 +1,87 @@
+// Tests for CSV parsing into Datasets.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "causal/csv.h"
+
+namespace sisyphus::causal {
+namespace {
+
+TEST(CsvTest, ParsesSimpleTable) {
+  auto data = ParseCsvDataset("a,b\n1,2\n3.5,-4e2\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().rows(), 2u);
+  EXPECT_EQ(data.value().cols(), 2u);
+  EXPECT_DOUBLE_EQ(data.value().ColumnOrDie("a")[1], 3.5);
+  EXPECT_DOUBLE_EQ(data.value().ColumnOrDie("b")[1], -400.0);
+}
+
+TEST(CsvTest, HandlesQuotedHeadersAndCrlf) {
+  auto data = ParseCsvDataset("\"with,comma\",plain\r\n1,2\r\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data.value().HasColumn("with,comma"));
+  EXPECT_DOUBLE_EQ(data.value().ColumnOrDie("plain")[0], 2.0);
+}
+
+TEST(CsvTest, EscapedQuoteInHeader) {
+  auto data = ParseCsvDataset("\"say \"\"hi\"\"\"\n7\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data.value().HasColumn("say \"hi\""));
+}
+
+TEST(CsvTest, NoTrailingNewlineOk) {
+  auto data = ParseCsvDataset("x\n1\n2");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().rows(), 2u);
+}
+
+TEST(CsvTest, EmptyDataRowsOk) {
+  auto data = ParseCsvDataset("x,y\n");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().rows(), 0u);
+  EXPECT_EQ(data.value().cols(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto data = ParseCsvDataset("a,b\n1\n");
+  ASSERT_FALSE(data.ok());
+  EXPECT_EQ(data.error().code(), core::ErrorCode::kParseError);
+  EXPECT_NE(data.error().message().find("line 2"), std::string::npos);
+}
+
+TEST(CsvTest, RejectsNonNumericAndEmptyValues) {
+  EXPECT_FALSE(ParseCsvDataset("a\nhello\n").ok());
+  EXPECT_FALSE(ParseCsvDataset("a,b\n1,\n").ok());
+  EXPECT_FALSE(ParseCsvDataset("a\n1.2.3\n").ok());
+}
+
+TEST(CsvTest, RejectsBadHeaders) {
+  EXPECT_FALSE(ParseCsvDataset("a,a\n1,2\n").ok());   // duplicate
+  EXPECT_FALSE(ParseCsvDataset("a,\n1,2\n").ok());    // empty name
+  EXPECT_FALSE(ParseCsvDataset("").ok());             // no header
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  auto data = ParseCsvDataset("\"open\n1\n");
+  ASSERT_FALSE(data.ok());
+  EXPECT_NE(data.error().message().find("quote"), std::string::npos);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = "/tmp/sisyphus_csv_test.csv";
+  {
+    std::ofstream file(path);
+    file << "rtt,treated\n10.5,0\n12.5,1\n";
+  }
+  auto data = ReadCsvDataset(path);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value().rows(), 2u);
+  EXPECT_DOUBLE_EQ(data.value().ColumnOrDie("rtt")[1], 12.5);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvDataset("/nonexistent_dir/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

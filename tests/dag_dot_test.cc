@@ -1,0 +1,47 @@
+// Tests for Graphviz (DOT) export of causal DAGs.
+#include <gtest/gtest.h>
+
+#include "causal/dag_parser.h"
+
+namespace sisyphus::causal {
+namespace {
+
+TEST(DagDotTest, ContainsNodesAndEdges) {
+  auto dag = ParseDag("C -> R; C -> L; R -> L");
+  ASSERT_TRUE(dag.ok());
+  const std::string dot = dag.value().ToDot();
+  EXPECT_EQ(dot.substr(0, 15), "digraph causal ");
+  EXPECT_NE(dot.find("\"C\" -> \"R\";"), std::string::npos);
+  EXPECT_NE(dot.find("\"R\" -> \"L\";"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(DagDotTest, LatentsDashed) {
+  auto dag = ParseDag("R <-> L");
+  ASSERT_TRUE(dag.ok());
+  const std::string dot = dag.value().ToDot();
+  EXPECT_NE(dot.find("\"U(R,L)\" [style=dashed];"), std::string::npos);
+  EXPECT_NE(dot.find("\"U(R,L)\" -> \"R\" [style=dashed];"),
+            std::string::npos);
+}
+
+TEST(DagDotTest, TreatmentAndOutcomeHighlighted) {
+  auto dag = ParseDag("R -> L");
+  ASSERT_TRUE(dag.ok());
+  const auto r = dag.value().Node("R").value();
+  const auto l = dag.value().Node("L").value();
+  const std::string dot = dag.value().ToDot(r, l);
+  EXPECT_NE(dot.find("label=\"R (treatment)\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"L (outcome)\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(DagDotTest, EmptyDagIsValidDot) {
+  Dag dag;
+  const std::string dot = dag.ToDot();
+  EXPECT_NE(dot.find("digraph causal {"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

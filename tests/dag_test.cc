@@ -1,0 +1,164 @@
+// Tests for the causal DAG container.
+#include <gtest/gtest.h>
+
+#include "causal/dag.h"
+
+namespace sisyphus::causal {
+namespace {
+
+TEST(NodeSetTest, InsertEraseContains) {
+  NodeSet set;
+  set.Insert(NodeId(3));
+  set.Insert(NodeId(1));
+  set.Insert(NodeId(3));  // duplicate
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(NodeId(1)));
+  set.Erase(NodeId(1));
+  EXPECT_FALSE(set.Contains(NodeId(1)));
+  set.Erase(NodeId(99));  // no-op
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(NodeSetTest, IterationIsSorted) {
+  NodeSet set{NodeId(5), NodeId(2), NodeId(9)};
+  std::vector<NodeId> seen(set.begin(), set.end());
+  EXPECT_EQ(seen, (std::vector<NodeId>{NodeId(2), NodeId(5), NodeId(9)}));
+}
+
+TEST(DagTest, AddNodeIdempotent) {
+  Dag dag;
+  const NodeId a1 = dag.AddNode("A");
+  const NodeId a2 = dag.AddNode("A");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(dag.NodeCount(), 1u);
+}
+
+TEST(DagTest, NodeLookup) {
+  Dag dag;
+  dag.AddNode("Latency");
+  ASSERT_TRUE(dag.Node("Latency").ok());
+  EXPECT_FALSE(dag.Node("Nope").ok());
+  EXPECT_EQ(dag.Node("Nope").error().code(), core::ErrorCode::kNotFound);
+}
+
+TEST(DagTest, EdgesAndAdjacency) {
+  Dag dag;
+  ASSERT_TRUE(dag.AddEdge("C", "R").ok());
+  ASSERT_TRUE(dag.AddEdge("C", "L").ok());
+  ASSERT_TRUE(dag.AddEdge("R", "L").ok());
+  EXPECT_EQ(dag.EdgeCount(), 3u);
+  const NodeId c = dag.Node("C").value();
+  const NodeId l = dag.Node("L").value();
+  const NodeId r = dag.Node("R").value();
+  EXPECT_TRUE(dag.HasEdge(c, r));
+  EXPECT_FALSE(dag.HasEdge(r, c));
+  EXPECT_EQ(dag.Parents(l).size(), 2u);
+  EXPECT_EQ(dag.Children(c).size(), 2u);
+}
+
+TEST(DagTest, DuplicateEdgeIsIdempotent) {
+  Dag dag;
+  ASSERT_TRUE(dag.AddEdge("A", "B").ok());
+  ASSERT_TRUE(dag.AddEdge("A", "B").ok());
+  EXPECT_EQ(dag.EdgeCount(), 1u);
+}
+
+TEST(DagTest, SelfLoopRejected) {
+  Dag dag;
+  const NodeId a = dag.AddNode("A");
+  EXPECT_FALSE(dag.AddEdge(a, a).ok());
+}
+
+TEST(DagTest, CycleRejected) {
+  Dag dag;
+  ASSERT_TRUE(dag.AddEdge("A", "B").ok());
+  ASSERT_TRUE(dag.AddEdge("B", "C").ok());
+  const auto status = dag.AddEdge("C", "A");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), core::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(dag.EdgeCount(), 2u);  // graph unchanged
+}
+
+TEST(DagTest, TwoNodeCycleRejected) {
+  Dag dag;
+  ASSERT_TRUE(dag.AddEdge("A", "B").ok());
+  EXPECT_FALSE(dag.AddEdge("B", "A").ok());
+}
+
+TEST(DagTest, AncestorsAndDescendants) {
+  Dag dag;
+  dag.AddEdge("A", "B").ok();
+  dag.AddEdge("B", "C").ok();
+  dag.AddEdge("D", "C").ok();
+  const NodeId a = dag.Node("A").value();
+  const NodeId c = dag.Node("C").value();
+  const NodeId d = dag.Node("D").value();
+  const NodeSet anc = dag.Ancestors(c);
+  EXPECT_TRUE(anc.Contains(a));
+  EXPECT_TRUE(anc.Contains(d));
+  EXPECT_FALSE(anc.Contains(c));
+  const NodeSet desc = dag.Descendants(a);
+  EXPECT_TRUE(desc.Contains(c));
+  EXPECT_EQ(desc.size(), 2u);
+}
+
+TEST(DagTest, AncestorsOfSetIncludesMembers) {
+  Dag dag;
+  dag.AddEdge("A", "B").ok();
+  const NodeId b = dag.Node("B").value();
+  const NodeSet closure = dag.AncestorsOfSet(NodeSet{b});
+  EXPECT_TRUE(closure.Contains(b));
+  EXPECT_TRUE(closure.Contains(dag.Node("A").value()));
+}
+
+TEST(DagTest, TopologicalOrderRespectsEdges) {
+  Dag dag;
+  dag.AddEdge("C", "R").ok();
+  dag.AddEdge("C", "L").ok();
+  dag.AddEdge("R", "L").ok();
+  const auto order = dag.TopologicalOrder();
+  ASSERT_EQ(order.size(), 3u);
+  auto position = [&](std::string_view name) {
+    const NodeId id = dag.Node(name).value();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == id) return i;
+    }
+    return order.size();
+  };
+  EXPECT_LT(position("C"), position("R"));
+  EXPECT_LT(position("R"), position("L"));
+}
+
+TEST(DagTest, LatentConfounderCreatesHiddenParent) {
+  Dag dag;
+  const NodeId r = dag.AddNode("R");
+  const NodeId l = dag.AddNode("L");
+  ASSERT_TRUE(dag.AddLatentConfounder(r, l).ok());
+  EXPECT_EQ(dag.NodeCount(), 3u);
+  const auto u = dag.Node("U(R,L)");
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(dag.IsObserved(u.value()));
+  EXPECT_TRUE(dag.HasEdge(u.value(), r));
+  EXPECT_TRUE(dag.HasEdge(u.value(), l));
+  EXPECT_EQ(dag.ObservedNodes().size(), 2u);
+}
+
+TEST(DagTest, IsColliderDetectsTwoParents) {
+  Dag dag;
+  dag.AddEdge("A", "C").ok();
+  dag.AddEdge("B", "C").ok();
+  EXPECT_TRUE(dag.IsCollider(dag.Node("C").value()));
+  EXPECT_FALSE(dag.IsCollider(dag.Node("A").value()));
+}
+
+TEST(DagTest, ToTextListsEdgesAndLatents) {
+  Dag dag;
+  dag.AddEdge("A", "B").ok();
+  dag.AddNode("H", /*observed=*/false);
+  const std::string text = dag.ToText();
+  EXPECT_NE(text.find("A -> B"), std::string::npos);
+  EXPECT_NE(text.find("H [latent]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

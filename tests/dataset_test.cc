@@ -1,0 +1,77 @@
+// Tests for the Dataset table.
+#include <gtest/gtest.h>
+
+#include "causal/dataset.h"
+
+namespace sisyphus::causal {
+namespace {
+
+TEST(DatasetTest, AddAndReadColumns) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("x", {1, 2, 3}).ok());
+  ASSERT_TRUE(data.AddColumn("y", {4, 5, 6}).ok());
+  EXPECT_EQ(data.rows(), 3u);
+  EXPECT_EQ(data.cols(), 2u);
+  auto col = data.Column("y");
+  ASSERT_TRUE(col.ok());
+  EXPECT_DOUBLE_EQ(col.value()[2], 6.0);
+}
+
+TEST(DatasetTest, LengthMismatchRejected) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("x", {1, 2, 3}).ok());
+  const auto status = data.AddColumn("y", {1});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code(), core::ErrorCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, ReplaceExistingColumn) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("x", {1, 2}).ok());
+  ASSERT_TRUE(data.AddColumn("x", {7, 8}).ok());
+  EXPECT_EQ(data.cols(), 1u);
+  EXPECT_DOUBLE_EQ(data.ColumnOrDie("x")[0], 7.0);
+}
+
+TEST(DatasetTest, MissingColumnErrors) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("x", {1}).ok());
+  EXPECT_FALSE(data.HasColumn("z"));
+  EXPECT_FALSE(data.Column("z").ok());
+  EXPECT_THROW(data.ColumnOrDie("z"), std::logic_error);
+}
+
+TEST(DatasetTest, FilterByMask) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("x", {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(data.AddColumn("y", {10, 20, 30, 40}).ok());
+  const Dataset filtered = data.Filter({true, false, false, true});
+  EXPECT_EQ(filtered.rows(), 2u);
+  EXPECT_DOUBLE_EQ(filtered.ColumnOrDie("y")[1], 40.0);
+}
+
+TEST(DatasetTest, FilterEquals) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("treated", {0, 1, 1, 0}).ok());
+  ASSERT_TRUE(data.AddColumn("y", {1, 2, 3, 4}).ok());
+  const Dataset treated = data.FilterEquals("treated", 1.0);
+  EXPECT_EQ(treated.rows(), 2u);
+  EXPECT_DOUBLE_EQ(treated.ColumnOrDie("y")[0], 2.0);
+}
+
+TEST(DatasetTest, MaskSizeMismatchThrows) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("x", {1, 2}).ok());
+  EXPECT_THROW(data.Filter({true}), std::logic_error);
+}
+
+TEST(DatasetTest, HeadRendersWithoutCrashing) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("a", {1.5, 2.5}).ok());
+  const std::string head = data.Head(1);
+  EXPECT_NE(head.find("a"), std::string::npos);
+  EXPECT_NE(head.find("1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

@@ -1,0 +1,244 @@
+// Tests for QR / SVD decompositions, including property-style sweeps over
+// random matrices (TEST_P): orthogonality, reconstruction, solver
+// correctness against known systems.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "stats/decomposition.h"
+
+namespace sisyphus::stats {
+namespace {
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, core::Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.Gaussian();
+  return m;
+}
+
+bool IsOrthonormalColumns(const Matrix& q, double tol = 1e-9) {
+  const Matrix gram = q.Transposed() * q;
+  return gram.MaxAbsDiff(Matrix::Identity(q.cols())) < tol;
+}
+
+// ---- QR ---------------------------------------------------------------------
+
+TEST(QrTest, ReconstructsInput) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  auto qr = QrDecompose(a);
+  ASSERT_TRUE(qr.ok());
+  const Matrix back = qr.value().q * qr.value().r;
+  EXPECT_LT(back.MaxAbsDiff(a), 1e-10);
+  EXPECT_TRUE(IsOrthonormalColumns(qr.value().q));
+}
+
+TEST(QrTest, RIsUpperTriangular) {
+  core::Rng rng(1);
+  const Matrix a = RandomMatrix(6, 4, rng);
+  auto qr = QrDecompose(a);
+  ASSERT_TRUE(qr.ok());
+  for (std::size_t r = 1; r < 4; ++r)
+    for (std::size_t c = 0; c < r; ++c)
+      EXPECT_NEAR(qr.value().r(r, c), 0.0, 1e-12);
+}
+
+TEST(QrTest, WideMatrixRejected) {
+  const Matrix a(2, 3);
+  EXPECT_FALSE(QrDecompose(a).ok());
+}
+
+TEST(LeastSquaresTest, ExactSystem) {
+  // y = 2 + 3x at x = 0,1,2 with design [1, x].
+  const Matrix a{{1, 0}, {1, 1}, {1, 2}};
+  const Vector b{2, 5, 8};
+  auto x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, OverdeterminedMinimizesResidual) {
+  const Matrix a{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  const Vector b{0, 1, 1, 2};
+  auto x = SolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  // Normal-equation solution: slope 0.6, intercept 0.1.
+  EXPECT_NEAR(x.value()[0], 0.1, 1e-10);
+  EXPECT_NEAR(x.value()[1], 0.6, 1e-10);
+}
+
+TEST(LeastSquaresTest, RankDeficientFails) {
+  const Matrix a{{1, 2}, {2, 4}, {3, 6}};  // col2 = 2*col1
+  const Vector b{1, 2, 3};
+  auto x = SolveLeastSquares(a, b);
+  ASSERT_FALSE(x.ok());
+  EXPECT_EQ(x.error().code(), core::ErrorCode::kNumericalFailure);
+}
+
+// ---- SVD --------------------------------------------------------------------
+
+TEST(SvdTest, DiagonalMatrix) {
+  const Matrix a{{3, 0}, {0, 4}, {0, 0}};
+  auto svd = SvdDecompose(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd.value().singular_values[0], 4.0, 1e-10);
+  EXPECT_NEAR(svd.value().singular_values[1], 3.0, 1e-10);
+}
+
+TEST(SvdTest, SingularValuesSortedDescending) {
+  core::Rng rng(2);
+  const Matrix a = RandomMatrix(8, 5, rng);
+  auto svd = SvdDecompose(a);
+  ASSERT_TRUE(svd.ok());
+  const auto& s = svd.value().singular_values;
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LE(s[i], s[i - 1] + 1e-12);
+}
+
+TEST(SvdTest, WideMatrixHandledByTranspose) {
+  core::Rng rng(3);
+  const Matrix a = RandomMatrix(3, 7, rng);
+  auto svd = SvdDecompose(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(svd.value().Reconstruct().MaxAbsDiff(a), 1e-9);
+}
+
+TEST(SvdTest, EmptyMatrixRejected) {
+  EXPECT_FALSE(SvdDecompose(Matrix{}).ok());
+}
+
+TEST(SvdTest, RankAboveCountsCorrectly) {
+  const Matrix a{{5, 0}, {0, 1e-14}};
+  auto svd = SvdDecompose(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd.value().RankAbove(1e-8), 1u);
+  EXPECT_EQ(svd.value().RankAbove(10.0), 0u);
+}
+
+TEST(SvdTest, TruncationGivesBestLowRankApproximation) {
+  // Rank-1 matrix plus small noise: rank-1 truncation should recover the
+  // dominant component much better than the noise level.
+  core::Rng rng(4);
+  Matrix a(10, 6);
+  for (std::size_t r = 0; r < 10; ++r)
+    for (std::size_t c = 0; c < 6; ++c)
+      a(r, c) = (1.0 + static_cast<double>(r)) *
+                    (1.0 + static_cast<double>(c)) +
+                0.01 * rng.Gaussian();
+  auto svd = SvdDecompose(a);
+  ASSERT_TRUE(svd.ok());
+  const Matrix rank1 = svd.value().TruncatedReconstruct(1);
+  EXPECT_LT((rank1 - a).FrobeniusNorm() / a.FrobeniusNorm(), 0.01);
+}
+
+// Property sweep: SVD invariants on random shapes.
+class SvdPropertyTest : public ::testing::TestWithParam<
+                            std::tuple<std::size_t, std::size_t, int>> {};
+
+TEST_P(SvdPropertyTest, DecompositionInvariantsHold) {
+  const auto [rows, cols, seed] = GetParam();
+  core::Rng rng(static_cast<std::uint64_t>(seed));
+  const Matrix a = RandomMatrix(rows, cols, rng);
+  auto svd = SvdDecompose(a);
+  ASSERT_TRUE(svd.ok());
+  const auto& d = svd.value();
+  // Reconstruction.
+  EXPECT_LT(d.Reconstruct().MaxAbsDiff(a), 1e-8);
+  // Orthonormal factors.
+  EXPECT_TRUE(IsOrthonormalColumns(d.u, 1e-8));
+  EXPECT_TRUE(IsOrthonormalColumns(d.v, 1e-8));
+  // Non-negative singular values.
+  for (double s : d.singular_values) EXPECT_GE(s, 0.0);
+  // Frobenius norm preserved: ||A||_F^2 = sum s_i^2.
+  double sum2 = 0.0;
+  for (double s : d.singular_values) sum2 += s * s;
+  EXPECT_NEAR(std::sqrt(sum2), a.FrobeniusNorm(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPropertyTest,
+    ::testing::Values(std::make_tuple(4, 4, 1), std::make_tuple(10, 3, 2),
+                      std::make_tuple(3, 10, 3), std::make_tuple(20, 7, 4),
+                      std::make_tuple(7, 20, 5), std::make_tuple(50, 10, 6),
+                      std::make_tuple(1, 5, 7), std::make_tuple(5, 1, 8)));
+
+// ---- SVD solvers -------------------------------------------------------------
+
+TEST(SvdSolveTest, MatchesQrOnFullRank) {
+  core::Rng rng(5);
+  const Matrix a = RandomMatrix(12, 4, rng);
+  Vector b(12);
+  for (auto& x : b) x = rng.Gaussian();
+  auto qr = SolveLeastSquares(a, b);
+  auto svd = SvdSolveLeastSquares(a, b);
+  ASSERT_TRUE(qr.ok());
+  ASSERT_TRUE(svd.ok());
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(qr.value()[i], svd.value()[i], 1e-8);
+}
+
+TEST(SvdSolveTest, RankDeficientGivesMinimumNorm) {
+  const Matrix a{{1, 2}, {2, 4}, {3, 6}};
+  const Vector b{1, 2, 3};
+  auto x = SvdSolveLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  // Solutions satisfy x1 + 2 x2 = 1; the min-norm one is (0.2, 0.4).
+  EXPECT_NEAR(x.value()[0], 0.2, 1e-9);
+  EXPECT_NEAR(x.value()[1], 0.4, 1e-9);
+}
+
+TEST(PseudoInverseTest, InvertsFullRankSquare) {
+  const Matrix a{{2, 0}, {0, 5}};
+  auto pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_LT((pinv.value() * a).MaxAbsDiff(Matrix::Identity(2)), 1e-10);
+}
+
+TEST(PseudoInverseTest, MoorePenroseConditions) {
+  core::Rng rng(6);
+  const Matrix a = RandomMatrix(6, 3, rng);
+  auto pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  const Matrix& p = pinv.value();
+  EXPECT_LT((a * p * a).MaxAbsDiff(a), 1e-8);       // A A+ A = A
+  EXPECT_LT((p * a * p).MaxAbsDiff(p), 1e-8);       // A+ A A+ = A+
+}
+
+TEST(HardThresholdTest, DropsSmallComponents) {
+  const Matrix a{{10, 0}, {0, 0.1}};
+  auto denoised = HardThreshold(a, 1.0);
+  ASSERT_TRUE(denoised.ok());
+  EXPECT_NEAR(denoised.value()(0, 0), 10.0, 1e-9);
+  EXPECT_NEAR(denoised.value()(1, 1), 0.0, 1e-9);
+}
+
+TEST(HardThresholdTest, ZeroThresholdKeepsEverything) {
+  core::Rng rng(7);
+  const Matrix a = RandomMatrix(5, 4, rng);
+  auto denoised = HardThreshold(a, 0.0);
+  ASSERT_TRUE(denoised.ok());
+  EXPECT_LT(denoised.value().MaxAbsDiff(a), 1e-9);
+}
+
+TEST(DefaultThresholdTest, SeparatesSignalFromNoise) {
+  // Low-rank signal + noise: the default threshold should retain a small
+  // rank (1-3), not the full 8.
+  core::Rng rng(8);
+  Matrix a(60, 8);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      a(r, c) = 20.0 * std::sin(0.2 * static_cast<double>(r)) *
+                    (1.0 + 0.1 * static_cast<double>(c)) +
+                rng.Gaussian();
+  auto svd = SvdDecompose(a);
+  ASSERT_TRUE(svd.ok());
+  const double threshold =
+      DefaultSingularValueThreshold(svd.value(), a.rows(), a.cols());
+  const std::size_t rank = svd.value().RankAbove(threshold);
+  EXPECT_GE(rank, 1u);
+  EXPECT_LE(rank, 3u);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

@@ -1,0 +1,116 @@
+// Tests for descriptive statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace sisyphus::stats {
+namespace {
+
+TEST(DescriptiveTest, MeanVarianceStdDev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(Mean(xs), 5.0);
+  EXPECT_NEAR(Variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(StdDev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(DescriptiveTest, EmptyMeanThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(Mean(xs), std::logic_error);
+}
+
+TEST(DescriptiveTest, QuantileInterpolates) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(DescriptiveTest, QuantileUnsortedInput) {
+  const std::vector<double> xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(Median(xs), 2.5);
+}
+
+TEST(DescriptiveTest, QuantileSingleton) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.3), 42.0);
+}
+
+TEST(DescriptiveTest, MedianOddCount) {
+  const std::vector<double> xs{5, 1, 9};
+  EXPECT_DOUBLE_EQ(Median(xs), 5.0);
+}
+
+TEST(DescriptiveTest, MadRobustToOutlier) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> with_outlier{1, 2, 3, 4, 1000};
+  // MAD barely moves; SD explodes.
+  EXPECT_NEAR(MedianAbsoluteDeviation(xs),
+              MedianAbsoluteDeviation(with_outlier), 0.01);
+  EXPECT_GT(StdDev(with_outlier), 100.0 * StdDev(xs));
+}
+
+TEST(DescriptiveTest, MadMatchesSdUnderNormalityScale) {
+  // For symmetric spread {-1, 0, 1} MAD = 1 * 1.4826.
+  const std::vector<double> xs{-1, 0, 1};
+  EXPECT_NEAR(MedianAbsoluteDeviation(xs), 1.4826, 1e-12);
+}
+
+TEST(DescriptiveTest, CovarianceAndCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, zs), -1.0, 1e-12);
+  EXPECT_NEAR(Covariance(xs, ys), 2.0 * Variance(xs), 1e-12);
+}
+
+TEST(DescriptiveTest, CorrelationDegenerateThrows) {
+  const std::vector<double> xs{1, 1, 1};
+  const std::vector<double> ys{1, 2, 3};
+  EXPECT_THROW(PearsonCorrelation(xs, ys), std::logic_error);
+}
+
+TEST(DescriptiveTest, RmseAndMae) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{2, 2, 1};
+  EXPECT_NEAR(Rmse(a, b), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_NEAR(MeanAbsoluteError(a, b), 1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, RmseIdenticalSeriesIsZero) {
+  const std::vector<double> a{1.5, -2, 0};
+  EXPECT_DOUBLE_EQ(Rmse(a, a), 0.0);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> xs{3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+}
+
+TEST(DescriptiveTest, MovingAverageSmoothsAndPreservesLength) {
+  const std::vector<double> xs{0, 10, 0, 10, 0};
+  const auto smoothed = MovingAverage(xs, 3);
+  ASSERT_EQ(smoothed.size(), xs.size());
+  EXPECT_DOUBLE_EQ(smoothed[2], 20.0 / 3.0);
+  // Edges use partial windows.
+  EXPECT_DOUBLE_EQ(smoothed[0], 5.0);
+}
+
+TEST(DescriptiveTest, MovingAverageWindowOneIsIdentity) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_EQ(MovingAverage(xs, 1), xs);
+}
+
+TEST(DescriptiveTest, StandardizeHasZeroMeanUnitVariance) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  const auto z = Standardize(xs);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(Variance(z), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

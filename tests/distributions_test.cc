@@ -1,0 +1,90 @@
+// Tests for distribution functions against known reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/distributions.h"
+
+namespace sisyphus::stats {
+namespace {
+
+TEST(NormalTest, PdfAtZero) {
+  EXPECT_NEAR(NormalPdf(0.0), 0.3989422804, 1e-9);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959963985), 0.975, 1e-8);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.1586552539, 1e-8);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-7) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileEdgesThrow) {
+  EXPECT_THROW(NormalQuantile(0.0), std::logic_error);
+  EXPECT_THROW(NormalQuantile(1.0), std::logic_error);
+}
+
+TEST(LogGammaTest, MatchesFactorials) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-10);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), std::log(std::sqrt(M_PI)), 1e-10);
+}
+
+TEST(IncompleteBetaTest, EdgesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  const double x = 0.37;
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.5, x),
+              1.0 - RegularizedIncompleteBeta(1.5, 2.5, 1.0 - x), 1e-10);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, 0.42), 0.42, 1e-10);
+}
+
+TEST(StudentTTest, CdfSymmetricAtZero) {
+  EXPECT_NEAR(StudentTCdf(0.0, 7.0), 0.5, 1e-12);
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  // t_{0.975, 10} = 2.228139.
+  EXPECT_NEAR(StudentTCdf(2.228139, 10.0), 0.975, 1e-5);
+  // t with 1 dof is Cauchy: CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-8);
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDof) {
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), NormalCdf(1.96), 1e-4);
+}
+
+TEST(PValueTest, TwoSidedValues) {
+  EXPECT_NEAR(TwoSidedZPValue(1.959964), 0.05, 1e-5);
+  EXPECT_NEAR(TwoSidedZPValue(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(TwoSidedTPValue(2.228139, 10.0), 0.05, 1e-4);
+  // Sign-symmetric.
+  EXPECT_DOUBLE_EQ(TwoSidedZPValue(-2.0), TwoSidedZPValue(2.0));
+}
+
+TEST(GammaTest, RegularizedLowerKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  EXPECT_NEAR(RegularizedLowerGamma(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+  EXPECT_NEAR(RegularizedLowerGamma(3.0, 0.0), 0.0, 1e-12);
+}
+
+TEST(ChiSquaredTest, SurvivalKnownValues) {
+  // Chi2 with 1 dof: P(X > 3.841459) = 0.05.
+  EXPECT_NEAR(ChiSquaredSurvival(3.841459, 1.0), 0.05, 1e-5);
+  // Chi2 with 2 dof is Exponential(1/2): P(X > x) = e^{-x/2}.
+  EXPECT_NEAR(ChiSquaredSurvival(4.0, 2.0), std::exp(-2.0), 1e-10);
+  EXPECT_DOUBLE_EQ(ChiSquaredSurvival(-1.0, 3.0), 1.0);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

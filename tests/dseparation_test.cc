@@ -1,0 +1,169 @@
+// Tests for d-separation: textbook structures, the paper's running
+// example, and a property sweep checking the linear-time reachability
+// algorithm against the exponential path-enumeration oracle on random
+// DAGs (DESIGN.md §4).
+#include <gtest/gtest.h>
+
+#include "causal/dag_parser.h"
+#include "causal/dseparation.h"
+#include "core/rng.h"
+
+namespace sisyphus::causal {
+namespace {
+
+Dag MustParse(const char* text) {
+  auto dag = ParseDag(text);
+  EXPECT_TRUE(dag.ok()) << text;
+  return std::move(dag).value();
+}
+
+NodeId N(const Dag& dag, std::string_view name) {
+  return dag.Node(name).value();
+}
+
+// ---- Canonical three-node structures ---------------------------------------
+
+TEST(DSeparationTest, ChainBlocksWhenMiddleObserved) {
+  const Dag dag = MustParse("A -> B -> C");
+  EXPECT_FALSE(IsDSeparated(dag, N(dag, "A"), N(dag, "C"), NodeSet{}));
+  EXPECT_TRUE(
+      IsDSeparated(dag, N(dag, "A"), N(dag, "C"), NodeSet{N(dag, "B")}));
+}
+
+TEST(DSeparationTest, ForkBlocksWhenRootObserved) {
+  const Dag dag = MustParse("B -> A; B -> C");
+  EXPECT_FALSE(IsDSeparated(dag, N(dag, "A"), N(dag, "C"), NodeSet{}));
+  EXPECT_TRUE(
+      IsDSeparated(dag, N(dag, "A"), N(dag, "C"), NodeSet{N(dag, "B")}));
+}
+
+TEST(DSeparationTest, ColliderBlocksUnlessObserved) {
+  const Dag dag = MustParse("A -> B; C -> B");
+  // Collider blocks by default...
+  EXPECT_TRUE(IsDSeparated(dag, N(dag, "A"), N(dag, "C"), NodeSet{}));
+  // ...and opens when conditioned on.
+  EXPECT_FALSE(
+      IsDSeparated(dag, N(dag, "A"), N(dag, "C"), NodeSet{N(dag, "B")}));
+}
+
+TEST(DSeparationTest, ColliderOpensViaDescendant) {
+  const Dag dag = MustParse("A -> B; C -> B; B -> D");
+  EXPECT_FALSE(
+      IsDSeparated(dag, N(dag, "A"), N(dag, "C"), NodeSet{N(dag, "D")}));
+}
+
+TEST(DSeparationTest, RunningExample) {
+  // The paper's R <- C -> L with direct R -> L.
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  // R and L connected both directly and through the backdoor.
+  EXPECT_FALSE(IsDSeparated(dag, N(dag, "R"), N(dag, "L"), NodeSet{}));
+  // Conditioning on C leaves only the direct edge (still connected).
+  EXPECT_FALSE(
+      IsDSeparated(dag, N(dag, "R"), N(dag, "L"), NodeSet{N(dag, "C")}));
+  // Without the direct edge, C separates them.
+  const Dag no_direct = MustParse("C -> R; C -> L");
+  EXPECT_TRUE(IsDSeparated(no_direct, N(no_direct, "R"), N(no_direct, "L"),
+                           NodeSet{N(no_direct, "C")}));
+}
+
+TEST(DSeparationTest, MShapeBiasStructure) {
+  // The M-graph: conditioning on the collider M *creates* dependence
+  // between A and B even though they are marginally independent.
+  const Dag dag = MustParse("U1 -> A; U1 -> M; U2 -> M; U2 -> B");
+  EXPECT_TRUE(IsDSeparated(dag, N(dag, "A"), N(dag, "B"), NodeSet{}));
+  EXPECT_FALSE(
+      IsDSeparated(dag, N(dag, "A"), N(dag, "B"), NodeSet{N(dag, "M")}));
+}
+
+TEST(DSeparationTest, PreconditionsEnforced) {
+  const Dag dag = MustParse("A -> B");
+  EXPECT_THROW(IsDSeparated(dag, N(dag, "A"), N(dag, "A"), NodeSet{}),
+               std::logic_error);
+  EXPECT_THROW(
+      IsDSeparated(dag, N(dag, "A"), N(dag, "B"), NodeSet{N(dag, "A")}),
+      std::logic_error);
+}
+
+// ---- Path enumeration --------------------------------------------------------
+
+TEST(PathTest, EnumeratesAllSimplePaths) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  const auto paths = EnumeratePaths(dag, N(dag, "R"), N(dag, "L"));
+  // R -> L and R <- C -> L.
+  ASSERT_EQ(paths.size(), 2u);
+}
+
+TEST(PathTest, BackdoorClassification) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  const auto paths = EnumeratePaths(dag, N(dag, "R"), N(dag, "L"));
+  std::size_t backdoor = 0;
+  for (const auto& path : paths) {
+    if (path.StartsWithArrowIntoStart()) ++backdoor;
+  }
+  EXPECT_EQ(backdoor, 1u);
+}
+
+TEST(PathTest, ToTextRendersArrows) {
+  const Dag dag = MustParse("C -> R; C -> L");
+  const auto paths = EnumeratePaths(dag, N(dag, "R"), N(dag, "L"));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].ToText(dag), "R <- C -> L");
+}
+
+TEST(PathTest, OpenBackdoorPathsBlockedByAdjustment) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  EXPECT_EQ(
+      OpenBackdoorPaths(dag, N(dag, "R"), N(dag, "L"), NodeSet{}).size(), 1u);
+  EXPECT_TRUE(OpenBackdoorPaths(dag, N(dag, "R"), N(dag, "L"),
+                                NodeSet{N(dag, "C")})
+                  .empty());
+}
+
+// ---- Property test: fast algorithm vs path-enumeration oracle ---------------
+
+bool OracleDSeparated(const Dag& dag, NodeId x, NodeId y, const NodeSet& z) {
+  for (const Path& path : EnumeratePaths(dag, x, y)) {
+    if (IsPathOpen(dag, path, z)) return false;
+  }
+  return true;
+}
+
+class DSeparationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DSeparationPropertyTest, MatchesOracleOnRandomDags) {
+  core::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random DAG over 7 nodes: edge i->j (i<j) with probability 0.3.
+    const std::size_t n = 7;
+    Dag dag;
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(dag.AddNode("V" + std::to_string(trial) + "_" +
+                                  std::to_string(i)));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.3)) {
+          ASSERT_TRUE(dag.AddEdge(nodes[i], nodes[j]).ok());
+        }
+      }
+    }
+    // Random query: x, y distinct, z a random subset of the rest.
+    const auto xi = static_cast<std::size_t>(rng.UniformInt(0, n - 1));
+    auto yi = static_cast<std::size_t>(rng.UniformInt(0, n - 2));
+    if (yi >= xi) ++yi;
+    NodeSet z;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != xi && k != yi && rng.Bernoulli(0.3)) z.Insert(nodes[k]);
+    }
+    EXPECT_EQ(IsDSeparated(dag, nodes[xi], nodes[yi], z),
+              OracleDSeparated(dag, nodes[xi], nodes[yi], z))
+        << "trial " << trial << " x=" << xi << " y=" << yi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DSeparationPropertyTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace sisyphus::causal

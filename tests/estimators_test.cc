@@ -1,0 +1,228 @@
+// Tests for the ATE estimators: each must de-bias a confounded DGP that
+// fools the naive difference, and behave sensibly on edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/estimators.h"
+#include "core/rng.h"
+#include "stats/logistic.h"
+
+namespace sisyphus::causal {
+namespace {
+
+/// Confounded binary-treatment DGP with true ATE = 2:
+///   W ~ N(0,1);  P(T=1) = sigmoid(1.5 W);  Y = 2 T + 3 W + noise.
+Dataset MakeConfounded(std::size_t n, core::Rng& rng, double ate = 2.0) {
+  std::vector<double> w(n), t(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.Gaussian();
+    t[i] = rng.Bernoulli(stats::Sigmoid(1.5 * w[i])) ? 1.0 : 0.0;
+    y[i] = ate * t[i] + 3.0 * w[i] + rng.Gaussian(0.0, 0.5);
+  }
+  Dataset data;
+  EXPECT_TRUE(data.AddColumn("W", std::move(w)).ok());
+  EXPECT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  EXPECT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  return data;
+}
+
+TEST(NaiveDifferenceTest, BiasedUnderConfounding) {
+  core::Rng rng(1);
+  const Dataset data = MakeConfounded(20000, rng);
+  auto naive = NaiveDifference(data, "T", "Y");
+  ASSERT_TRUE(naive.ok());
+  // Treated units have higher W, so the naive contrast absorbs 3W.
+  EXPECT_GT(naive.value().effect, 3.5);
+}
+
+TEST(NaiveDifferenceTest, UnbiasedUnderRandomization) {
+  core::Rng rng(2);
+  const std::size_t n = 20000;
+  std::vector<double> t(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    y[i] = 2.0 * t[i] + rng.Gaussian();
+  }
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  auto naive = NaiveDifference(data, "T", "Y");
+  ASSERT_TRUE(naive.ok());
+  EXPECT_NEAR(naive.value().effect, 2.0, 0.05);
+  EXPECT_NEAR(naive.value().standard_error, std::sqrt(2.0 / (n / 2.0)), 0.005);
+}
+
+TEST(NaiveDifferenceTest, RejectsNonBinaryTreatment) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("T", {0, 1, 2}).ok());
+  ASSERT_TRUE(data.AddColumn("Y", {1, 2, 3}).ok());
+  EXPECT_FALSE(NaiveDifference(data, "T", "Y").ok());
+}
+
+TEST(NaiveDifferenceTest, RejectsSingleArm) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("T", {1, 1, 1}).ok());
+  ASSERT_TRUE(data.AddColumn("Y", {1, 2, 3}).ok());
+  EXPECT_FALSE(NaiveDifference(data, "T", "Y").ok());
+}
+
+TEST(RegressionAdjustmentTest, RecoversAte) {
+  core::Rng rng(3);
+  const Dataset data = MakeConfounded(20000, rng);
+  auto fit = RegressionAdjustment(data, "T", "Y", {"W"});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().effect, 2.0, 0.05);
+  EXPECT_LT(fit.value().standard_error, 0.05);
+}
+
+TEST(RegressionAdjustmentTest, MissingColumnFails) {
+  core::Rng rng(4);
+  const Dataset data = MakeConfounded(100, rng);
+  EXPECT_FALSE(RegressionAdjustment(data, "T", "Y", {"nope"}).ok());
+}
+
+TEST(StratificationTest, RecoversAte) {
+  core::Rng rng(5);
+  const Dataset data = MakeConfounded(30000, rng);
+  StratificationOptions options;
+  options.bins_per_covariate = 8;
+  auto fit = Stratification(data, "T", "Y", {"W"}, options);
+  ASSERT_TRUE(fit.ok());
+  // Coarsening leaves a little residual confounding; tolerance reflects it.
+  EXPECT_NEAR(fit.value().effect, 2.0, 0.25);
+}
+
+TEST(StratificationTest, NoCovariatesFallsBackToNaive) {
+  core::Rng rng(6);
+  const Dataset data = MakeConfounded(2000, rng);
+  auto strat = Stratification(data, "T", "Y", {});
+  auto naive = NaiveDifference(data, "T", "Y");
+  ASSERT_TRUE(strat.ok());
+  ASSERT_TRUE(naive.ok());
+  EXPECT_DOUBLE_EQ(strat.value().effect, naive.value().effect);
+}
+
+TEST(StratificationTest, FailsWithoutOverlap) {
+  // Treatment perfectly determined by W: no stratum has both arms.
+  std::vector<double> w, t, y;
+  for (int i = 0; i < 200; ++i) {
+    w.push_back(i < 100 ? -2.0 : 2.0);
+    t.push_back(i < 100 ? 0.0 : 1.0);
+    y.push_back(0.0);
+  }
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("W", std::move(w)).ok());
+  ASSERT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  auto fit = Stratification(data, "T", "Y", {"W"});
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.error().code(), core::ErrorCode::kPrecondition);
+}
+
+TEST(IpwTest, RecoversAte) {
+  core::Rng rng(7);
+  const Dataset data = MakeConfounded(30000, rng);
+  auto fit = InversePropensityWeighting(data, "T", "Y", {"W"});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().effect, 2.0, 0.15);
+}
+
+TEST(IpwTest, ClippingBoundsWeights) {
+  // Extreme propensities: without clipping the estimate would blow up;
+  // with clipping it must stay finite and near truth.
+  core::Rng rng(8);
+  const std::size_t n = 20000;
+  std::vector<double> w(n), t(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = rng.Gaussian();
+    t[i] = rng.Bernoulli(stats::Sigmoid(4.0 * w[i])) ? 1.0 : 0.0;
+    y[i] = 1.0 * t[i] + 1.0 * w[i] + rng.Gaussian(0.0, 0.3);
+  }
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("W", std::move(w)).ok());
+  ASSERT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  IpwOptions options;
+  options.clip = 0.05;
+  auto fit = InversePropensityWeighting(data, "T", "Y", {"W"}, options);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(std::isfinite(fit.value().effect));
+  // Clipping trades variance for bias; the point is boundedness.
+  EXPECT_NEAR(fit.value().effect, 1.0, 0.8);
+}
+
+TEST(MatchingTest, RecoversAtt) {
+  core::Rng rng(9);
+  const Dataset data = MakeConfounded(8000, rng);
+  auto fit = NearestNeighborMatching(data, "T", "Y", {"W"});
+  ASSERT_TRUE(fit.ok());
+  // Under a constant effect, ATT == ATE == 2.
+  EXPECT_NEAR(fit.value().effect, 2.0, 0.25);
+  EXPECT_EQ(fit.value().method, "nearest_neighbor_matching_att");
+}
+
+TEST(MatchingTest, RequiresCovariates) {
+  core::Rng rng(10);
+  const Dataset data = MakeConfounded(100, rng);
+  EXPECT_FALSE(NearestNeighborMatching(data, "T", "Y", {}).ok());
+}
+
+TEST(DidTest, RemovesUnitLevelConfounding) {
+  // Units have fixed effects correlated with treatment; a cross-sectional
+  // contrast is biased, the differenced one is not. True effect = 1.5.
+  core::Rng rng(11);
+  const std::size_t n = 5000;
+  std::vector<double> d(n), pre(n), post(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double unit_level = rng.Gaussian(0.0, 2.0);
+    d[i] = rng.Bernoulli(stats::Sigmoid(unit_level)) ? 1.0 : 0.0;
+    const double trend = 0.5;  // common time trend
+    pre[i] = unit_level + rng.Gaussian(0.0, 0.3);
+    post[i] = unit_level + trend + 1.5 * d[i] + rng.Gaussian(0.0, 0.3);
+  }
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("D", std::move(d)).ok());
+  ASSERT_TRUE(data.AddColumn("pre", std::move(pre)).ok());
+  ASSERT_TRUE(data.AddColumn("post", std::move(post)).ok());
+  auto fit = DifferenceInDifferences(data, "D", "pre", "post");
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().effect, 1.5, 0.1);
+
+  // The cross-sectional post-period contrast is badly biased.
+  auto naive = NaiveDifference(data, "D", "post");
+  ASSERT_TRUE(naive.ok());
+  EXPECT_GT(naive.value().effect, 2.5);
+}
+
+TEST(EffectEstimateTest, ConfidenceIntervalArithmetic) {
+  EffectEstimate e;
+  e.effect = 2.0;
+  e.standard_error = 0.5;
+  EXPECT_NEAR(e.ci_lower(), 1.02, 1e-9);
+  EXPECT_NEAR(e.ci_upper(), 2.98, 1e-9);
+}
+
+// Cross-estimator agreement sweep: all adjustment estimators should land
+// near the truth on the same confounded data.
+class EstimatorAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorAgreementTest, AllAdjustedEstimatorsAgree) {
+  core::Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  const Dataset data = MakeConfounded(12000, rng);
+  auto regression = RegressionAdjustment(data, "T", "Y", {"W"});
+  auto ipw = InversePropensityWeighting(data, "T", "Y", {"W"});
+  auto matching = NearestNeighborMatching(data, "T", "Y", {"W"});
+  ASSERT_TRUE(regression.ok());
+  ASSERT_TRUE(ipw.ok());
+  ASSERT_TRUE(matching.ok());
+  EXPECT_NEAR(regression.value().effect, 2.0, 0.1);
+  EXPECT_NEAR(ipw.value().effect, 2.0, 0.3);
+  EXPECT_NEAR(matching.value().effect, 2.0, 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorAgreementTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sisyphus::causal

@@ -1,0 +1,220 @@
+// Tests for the event schedule and the NetworkSimulator loop: event
+// application, TE endogeneity, route-change logging.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "netsim/simulator.h"
+
+namespace sisyphus::netsim {
+namespace {
+
+using core::Asn;
+using core::SimTime;
+
+TEST(EventScheduleTest, PopUntilReturnsInOrderAndRemoves) {
+  EventSchedule schedule;
+  NetworkEvent e1{SimTime(30), EventType::kLinkDown, true, "b", {}, 0, 0.0,
+                  SimTime(0), 0.0, 0, {}};
+  NetworkEvent e2{SimTime(10), EventType::kLinkUp, true, "a", {}, 0, 0.0,
+                  SimTime(0), 0.0, 0, {}};
+  NetworkEvent e3{SimTime(50), EventType::kLinkUp, true, "c", {}, 0, 0.0,
+                  SimTime(0), 0.0, 0, {}};
+  schedule.Add(e1);
+  schedule.Add(e2);
+  schedule.Add(e3);
+  auto due = schedule.PopUntil(SimTime(40));
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].description, "a");
+  EXPECT_EQ(due[1].description, "b");
+  EXPECT_EQ(schedule.pending(), 1u);
+}
+
+TEST(EventTypeTest, NamesStable) {
+  EXPECT_STREQ(ToString(EventType::kLinkDown), "link_down");
+  EXPECT_STREQ(ToString(EventType::kPoisonAsns), "poison_asns");
+}
+
+/// Access ISP with a primary (short) and backup (long) provider path.
+struct SimFixture {
+  Topology topo;
+  PopIndex src = 0, p1 = 0, p2 = 0, dst = 0;
+  core::LinkId primary, backup, p1_dst, p2_dst;
+
+  SimFixture() {
+    const auto city = topo.cities().Add({"X", {0, 0}, 2.0});
+    src = topo.AddPop(Asn{10}, city, AsRole::kAccess).value();
+    p1 = topo.AddPop(Asn{20}, city, AsRole::kTransit).value();
+    p2 = topo.AddPop(Asn{30}, city, AsRole::kTransit).value();
+    dst = topo.AddPop(Asn{40}, city, AsRole::kContent).value();
+    primary = topo.AddLink(src, p1, Relationship::kCustomerToProvider,
+                           std::nullopt, 0.5)
+                  .value();
+    backup = topo.AddLink(src, p2, Relationship::kCustomerToProvider,
+                          std::nullopt, 2.0)
+                 .value();
+    p1_dst =
+        topo.AddLink(p1, dst, Relationship::kPeerToPeer, std::nullopt, 0.3)
+            .value();
+    p2_dst =
+        topo.AddLink(p2, dst, Relationship::kPeerToPeer, std::nullopt, 0.3)
+            .value();
+    // Primary preferred by AS-path tie -> lower pop index (p1).
+  }
+};
+
+TEST(SimulatorTest, TimeAdvancesMonotonically) {
+  SimFixture f;
+  NetworkSimulator sim(std::move(f.topo));
+  EXPECT_EQ(sim.Now().minutes(), 0);
+  sim.AdvanceTo(SimTime::FromHours(2.0));
+  EXPECT_EQ(sim.Now(), SimTime::FromHours(2.0));
+  EXPECT_THROW(sim.AdvanceTo(SimTime::FromHours(1.0)), std::logic_error);
+}
+
+TEST(SimulatorTest, ScheduledLinkDownCausesLoggedRouteChange) {
+  SimFixture f;
+  const auto primary = f.primary;
+  NetworkSimulator sim(std::move(f.topo));
+  sim.WatchPath(f.src, f.dst);
+
+  NetworkEvent event;
+  event.time = SimTime::FromHours(1.0);
+  event.type = EventType::kLinkDown;
+  event.exogenous = true;
+  event.description = "fiber cut on primary";
+  event.link = primary;
+  sim.schedule().Add(event);
+
+  sim.AdvanceTo(SimTime::FromHours(2.0));
+  ASSERT_EQ(sim.route_changes().size(), 1u);
+  const auto& change = sim.route_changes()[0];
+  EXPECT_EQ(change.trigger, "fiber cut on primary");
+  EXPECT_TRUE(change.exogenous);
+  EXPECT_EQ(change.old_asn_path[1], Asn{20});
+  EXPECT_EQ(change.new_asn_path[1], Asn{30});
+
+  auto route = sim.RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route.value().CrossesAsn(Asn{30}));
+}
+
+TEST(SimulatorTest, LinkUpRestoresPrimary) {
+  SimFixture f;
+  const auto primary = f.primary;
+  NetworkSimulator sim(std::move(f.topo));
+  sim.WatchPath(f.src, f.dst);
+  NetworkEvent down;
+  down.time = SimTime::FromHours(1.0);
+  down.type = EventType::kLinkDown;
+  down.link = primary;
+  down.description = "maintenance start";
+  sim.schedule().Add(down);
+  NetworkEvent up;
+  up.time = SimTime::FromHours(3.0);
+  up.type = EventType::kLinkUp;
+  up.link = primary;
+  up.description = "maintenance end";
+  sim.schedule().Add(up);
+  sim.AdvanceTo(SimTime::FromHours(4.0));
+  EXPECT_EQ(sim.route_changes().size(), 2u);
+  auto route = sim.RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route.value().CrossesAsn(Asn{20}));
+}
+
+TEST(SimulatorTest, CongestionShockEventRaisesRtt) {
+  SimFixture f;
+  const auto primary = f.primary;
+  NetworkSimulator sim(std::move(f.topo));
+  core::Rng rng(1);
+  NetworkEvent shock;
+  shock.time = SimTime::FromHours(1.0);
+  shock.type = EventType::kCongestionShock;
+  shock.link = primary;
+  shock.shock_end = SimTime::FromHours(5.0);
+  shock.shock_extra = 0.5;
+  sim.schedule().Add(shock);
+
+  sim.AdvanceTo(SimTime::FromHours(0.5));
+  auto route = sim.RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(route.ok());
+  const double before = sim.latency().PathRttMs(route.value(), sim.Now());
+  sim.AdvanceTo(SimTime::FromHours(2.0));
+  const double during = sim.latency().PathRttMs(route.value(), sim.Now());
+  EXPECT_GT(during, before + 0.3);
+}
+
+TEST(SimulatorTest, TePolicyShiftsAwayUnderCongestionAndBack) {
+  SimFixture f;
+  const auto primary = f.primary;
+  NetworkSimulator sim(std::move(f.topo));
+  sim.WatchPath(f.src, f.dst);
+
+  TePolicy policy;
+  policy.pop = f.src;
+  policy.watched_link = primary;
+  policy.threshold = 0.6;
+  policy.hysteresis = 0.1;
+  sim.AddTePolicy(policy);
+
+  // Congestion shock pushes primary utilization over threshold for 2h.
+  NetworkEvent shock;
+  shock.time = SimTime::FromHours(1.0);
+  shock.type = EventType::kCongestionShock;
+  shock.exogenous = false;
+  shock.description = "demand surge";
+  shock.link = primary;
+  shock.shock_end = SimTime::FromHours(3.0);
+  shock.shock_extra = 0.5;
+  sim.schedule().Add(shock);
+
+  sim.AdvanceTo(SimTime::FromHours(2.0));
+  auto route = sim.RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route.value().CrossesAsn(Asn{30}));  // shifted away
+
+  sim.AdvanceTo(SimTime::FromHours(5.0));
+  route = sim.RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route.value().CrossesAsn(Asn{20}));  // shifted back
+
+  // Both TE shifts logged as ENDOGENOUS.
+  ASSERT_GE(sim.route_changes().size(), 2u);
+  for (const auto& change : sim.route_changes()) {
+    EXPECT_FALSE(change.exogenous);
+    EXPECT_EQ(change.trigger.substr(0, 3), "te:");
+  }
+}
+
+TEST(SimulatorTest, ApplyNowTakesEffectImmediately) {
+  SimFixture f;
+  const auto primary = f.primary;
+  NetworkSimulator sim(std::move(f.topo));
+  sim.WatchPath(f.src, f.dst);
+  NetworkEvent event;
+  event.time = sim.Now();
+  event.type = EventType::kLinkDown;
+  event.exogenous = true;
+  event.description = "manual drain";
+  event.link = primary;
+  sim.ApplyNow(event);
+  EXPECT_EQ(sim.route_changes().size(), 1u);
+  auto route = sim.RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route.value().CrossesAsn(Asn{30}));
+}
+
+TEST(SimulatorTest, SampleRttPositiveAndVariable) {
+  SimFixture f;
+  NetworkSimulator sim(std::move(f.topo));
+  core::Rng rng(2);
+  auto s1 = sim.SampleRtt(f.src, f.dst, rng);
+  auto s2 = sim.SampleRtt(f.src, f.dst, rng);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_GT(s1.value(), 0.0);
+  EXPECT_NE(s1.value(), s2.value());
+}
+
+}  // namespace
+}  // namespace sisyphus::netsim

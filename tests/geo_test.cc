@@ -1,0 +1,73 @@
+// Tests for geography and propagation delay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/geo.h"
+
+namespace sisyphus::netsim {
+namespace {
+
+TEST(HaversineTest, ZeroDistanceForSamePoint) {
+  const Coordinates jnb{-26.20, 28.04};
+  EXPECT_DOUBLE_EQ(HaversineKm(jnb, jnb), 0.0);
+}
+
+TEST(HaversineTest, KnownCityPairs) {
+  const Coordinates jnb{-26.20, 28.04};
+  const Coordinates cpt{-33.92, 18.42};
+  const Coordinates lon{51.51, -0.13};
+  // JNB - CPT is ~1260 km great circle.
+  EXPECT_NEAR(HaversineKm(jnb, cpt), 1260.0, 40.0);
+  // JNB - London ~9070 km.
+  EXPECT_NEAR(HaversineKm(jnb, lon), 9070.0, 150.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(HaversineKm(jnb, cpt), HaversineKm(cpt, jnb));
+}
+
+TEST(HaversineTest, AntipodalCapped) {
+  const Coordinates a{0.0, 0.0};
+  const Coordinates b{0.0, 180.0};
+  EXPECT_NEAR(HaversineKm(a, b), 6371.0 * M_PI, 10.0);
+}
+
+TEST(PropagationDelayTest, FiberSpeedAndStretch) {
+  // 204 km/ms: 2040 km at stretch 1.0 -> 10 ms.
+  EXPECT_NEAR(PropagationDelayMs(2040.0, 1.0), 10.0, 1e-9);
+  // Default stretch 1.6 inflates it.
+  EXPECT_NEAR(PropagationDelayMs(2040.0), 16.0, 1e-9);
+  EXPECT_DOUBLE_EQ(PropagationDelayMs(0.0), 0.0);
+}
+
+TEST(PropagationDelayTest, PreconditionsEnforced) {
+  EXPECT_THROW(PropagationDelayMs(-1.0), std::logic_error);
+  EXPECT_THROW(PropagationDelayMs(10.0, 0.5), std::logic_error);
+}
+
+TEST(CityRegistryTest, AddIsIdempotentByName) {
+  CityRegistry registry;
+  const auto a = registry.Add({"Durban", {-29.86, 31.02}, 2.0});
+  const auto b = registry.Add({"Durban", {-29.86, 31.02}, 2.0});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(CityRegistryTest, FindAndGet) {
+  CityRegistry registry;
+  registry.Add({"Polokwane", {-23.90, 29.45}, 2.0});
+  auto id = registry.Find("Polokwane");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(registry.Get(id.value()).name, "Polokwane");
+  EXPECT_DOUBLE_EQ(registry.Get(id.value()).utc_offset_hours, 2.0);
+  EXPECT_FALSE(registry.Find("Atlantis").ok());
+}
+
+TEST(CityRegistryTest, DistanceBetweenCities) {
+  CityRegistry registry;
+  const auto jnb = registry.Add({"Johannesburg", {-26.20, 28.04}, 2.0});
+  const auto dur = registry.Add({"Durban", {-29.86, 31.02}, 2.0});
+  EXPECT_NEAR(registry.DistanceKm(jnb, dur), 500.0, 30.0);
+}
+
+}  // namespace
+}  // namespace sisyphus::netsim

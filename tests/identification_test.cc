@@ -1,0 +1,219 @@
+// Tests for the identification engine: backdoor/frontdoor criteria,
+// adjustment-set enumeration, instrument discovery, and the one-call
+// Identify() strategy selection.
+#include <gtest/gtest.h>
+
+#include "causal/dag_parser.h"
+#include "causal/identification.h"
+
+namespace sisyphus::causal {
+namespace {
+
+Dag MustParse(const char* text) {
+  auto dag = ParseDag(text);
+  EXPECT_TRUE(dag.ok()) << text;
+  return std::move(dag).value();
+}
+
+NodeId N(const Dag& dag, std::string_view name) {
+  return dag.Node(name).value();
+}
+
+// ---- Backdoor criterion ------------------------------------------------------
+
+TEST(BackdoorTest, ClassicConfounderNeedsAdjustment) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  EXPECT_FALSE(
+      SatisfiesBackdoorCriterion(dag, N(dag, "R"), N(dag, "L"), NodeSet{}));
+  EXPECT_TRUE(SatisfiesBackdoorCriterion(dag, N(dag, "R"), N(dag, "L"),
+                                         NodeSet{N(dag, "C")}));
+}
+
+TEST(BackdoorTest, DescendantOfTreatmentInvalid) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L; R -> M; M -> L");
+  // M is a mediator (descendant of R): never a valid backdoor member.
+  EXPECT_FALSE(SatisfiesBackdoorCriterion(
+      dag, N(dag, "R"), N(dag, "L"), NodeSet{N(dag, "C"), N(dag, "M")}));
+}
+
+TEST(BackdoorTest, ColliderAdjustmentInvalid) {
+  // M-graph: empty set is valid; conditioning on the collider M is not.
+  const Dag dag = MustParse("U1 -> T; U1 -> M; U2 -> M; U2 -> Y; T -> Y");
+  EXPECT_TRUE(
+      SatisfiesBackdoorCriterion(dag, N(dag, "T"), N(dag, "Y"), NodeSet{}));
+  EXPECT_FALSE(SatisfiesBackdoorCriterion(dag, N(dag, "T"), N(dag, "Y"),
+                                          NodeSet{N(dag, "M")}));
+}
+
+TEST(BackdoorTest, TreatmentOrOutcomeInSetInvalid) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  EXPECT_FALSE(SatisfiesBackdoorCriterion(dag, N(dag, "R"), N(dag, "L"),
+                                          NodeSet{N(dag, "R")}));
+}
+
+// ---- Minimal adjustment sets --------------------------------------------------
+
+TEST(AdjustmentSetsTest, FindsSingletonConfounder) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  const auto sets = MinimalAdjustmentSets(dag, N(dag, "R"), N(dag, "L"));
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets[0].Contains(N(dag, "C")));
+  EXPECT_EQ(sets[0].size(), 1u);
+}
+
+TEST(AdjustmentSetsTest, EmptySetWhenUnconfounded) {
+  const Dag dag = MustParse("R -> L; R -> M");
+  const auto sets = MinimalAdjustmentSets(dag, N(dag, "R"), N(dag, "L"));
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_TRUE(sets[0].empty());
+}
+
+TEST(AdjustmentSetsTest, TwoIndependentConfounders) {
+  const Dag dag =
+      MustParse("C1 -> R; C1 -> L; C2 -> R; C2 -> L; R -> L");
+  const auto sets = MinimalAdjustmentSets(dag, N(dag, "R"), N(dag, "L"));
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets[0].size(), 2u);  // both needed
+}
+
+TEST(AdjustmentSetsTest, AlternativeMinimalSets) {
+  // Confounding path R <- A -> B -> L can be blocked at A or at B.
+  const Dag dag = MustParse("A -> R; A -> B; B -> L; R -> L");
+  const auto sets = MinimalAdjustmentSets(dag, N(dag, "R"), N(dag, "L"));
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0].size(), 1u);
+  EXPECT_EQ(sets[1].size(), 1u);
+}
+
+TEST(AdjustmentSetsTest, NoObservedSetWhenConfounderLatent) {
+  const Dag dag = MustParse("R <-> L; R -> L");
+  const auto sets = MinimalAdjustmentSets(dag, N(dag, "R"), N(dag, "L"));
+  EXPECT_TRUE(sets.empty());
+}
+
+// ---- Frontdoor ----------------------------------------------------------------
+
+TEST(FrontdoorTest, ClassicStructureAccepted) {
+  // Pearl's smoking -> tar -> cancer with latent confounding.
+  const Dag dag = MustParse("T <-> Y; T -> M; M -> Y");
+  EXPECT_TRUE(SatisfiesFrontdoorCriterion(dag, N(dag, "T"), N(dag, "Y"),
+                                          NodeSet{N(dag, "M")}));
+  const auto mediators = FindFrontdoorMediators(dag, N(dag, "T"), N(dag, "Y"));
+  ASSERT_EQ(mediators.size(), 1u);
+  EXPECT_EQ(mediators[0], N(dag, "M"));
+}
+
+TEST(FrontdoorTest, RejectsWhenMediatorConfoundedWithTreatment) {
+  const Dag dag = MustParse("T <-> Y; T -> M; M -> Y; T <-> M");
+  EXPECT_FALSE(SatisfiesFrontdoorCriterion(dag, N(dag, "T"), N(dag, "Y"),
+                                           NodeSet{N(dag, "M")}));
+}
+
+TEST(FrontdoorTest, RejectsWhenDirectPathBypassesMediator) {
+  const Dag dag = MustParse("T <-> Y; T -> M; M -> Y; T -> Y");
+  EXPECT_FALSE(SatisfiesFrontdoorCriterion(dag, N(dag, "T"), N(dag, "Y"),
+                                           NodeSet{N(dag, "M")}));
+}
+
+// ---- Instruments ----------------------------------------------------------------
+
+TEST(InstrumentTest, ValidInstrumentRecognized) {
+  // Z -> T, latent T-Y confounding: the IV textbook graph.
+  const Dag dag = MustParse("Z -> T; T -> Y; T <-> Y");
+  EXPECT_TRUE(
+      IsValidInstrument(dag, N(dag, "Z"), N(dag, "T"), N(dag, "Y"), NodeSet{}));
+  const auto instruments = FindInstruments(dag, N(dag, "T"), N(dag, "Y"));
+  ASSERT_EQ(instruments.size(), 1u);
+  EXPECT_EQ(instruments[0], N(dag, "Z"));
+}
+
+TEST(InstrumentTest, ExclusionViolationRejected) {
+  // Z also hits Y directly: exclusion restriction fails.
+  const Dag dag = MustParse("Z -> T; Z -> Y; T -> Y; T <-> Y");
+  EXPECT_FALSE(
+      IsValidInstrument(dag, N(dag, "Z"), N(dag, "T"), N(dag, "Y"), NodeSet{}));
+}
+
+TEST(InstrumentTest, RelevanceViolationRejected) {
+  // Z unrelated to T.
+  const Dag dag = MustParse("Z; T -> Y; T <-> Y");
+  EXPECT_FALSE(
+      IsValidInstrument(dag, N(dag, "Z"), N(dag, "T"), N(dag, "Y"), NodeSet{}));
+}
+
+TEST(InstrumentTest, ConfoundedInstrumentRejected) {
+  // Z <-> Y latent confounding: Z reaches Y outside T.
+  const Dag dag = MustParse("Z -> T; T -> Y; T <-> Y; Z <-> Y");
+  EXPECT_FALSE(
+      IsValidInstrument(dag, N(dag, "Z"), N(dag, "T"), N(dag, "Y"), NodeSet{}));
+}
+
+TEST(InstrumentTest, ConditionalInstrument) {
+  // Z and T share observed confounder W; conditioning on W validates Z.
+  const Dag dag = MustParse("W -> Z; W -> Y; Z -> T; T -> Y; T <-> Y");
+  EXPECT_FALSE(
+      IsValidInstrument(dag, N(dag, "Z"), N(dag, "T"), N(dag, "Y"), NodeSet{}));
+  EXPECT_TRUE(IsValidInstrument(dag, N(dag, "Z"), N(dag, "T"), N(dag, "Y"),
+                                NodeSet{N(dag, "W")}));
+}
+
+// ---- Identify() ----------------------------------------------------------------
+
+TEST(IdentifyTest, NoConfoundingStrategy) {
+  const Dag dag = MustParse("R -> L");
+  auto result = Identify(dag, "R", "L");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().strategy, IdentificationStrategy::kNoConfounding);
+  EXPECT_TRUE(result.value().identifiable());
+}
+
+TEST(IdentifyTest, BackdoorStrategyWithSmallestSet) {
+  const Dag dag = MustParse("C -> R; C -> L; R -> L");
+  auto result = Identify(dag, "R", "L");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().strategy, IdentificationStrategy::kBackdoor);
+  EXPECT_TRUE(result.value().adjustment_set.Contains(N(dag, "C")));
+}
+
+TEST(IdentifyTest, FrontdoorStrategy) {
+  const Dag dag = MustParse("T <-> Y; T -> M; M -> Y");
+  auto result = Identify(dag, "T", "Y");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().strategy, IdentificationStrategy::kFrontdoor);
+  ASSERT_EQ(result.value().frontdoor_mediators.size(), 1u);
+}
+
+TEST(IdentifyTest, InstrumentStrategy) {
+  const Dag dag = MustParse("Z -> T; T -> Y; T <-> Y");
+  auto result = Identify(dag, "T", "Y");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().strategy, IdentificationStrategy::kInstrument);
+  ASSERT_EQ(result.value().instruments.size(), 1u);
+  EXPECT_EQ(result.value().instruments[0], N(dag, "Z"));
+}
+
+TEST(IdentifyTest, NotIdentifiableExplainsOpenPaths) {
+  const Dag dag = MustParse("T <-> Y; T -> Y");
+  auto result = Identify(dag, "T", "Y");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().strategy,
+            IdentificationStrategy::kNotIdentifiable);
+  EXPECT_FALSE(result.value().identifiable());
+  EXPECT_NE(result.value().explanation.find("U(T,Y)"), std::string::npos);
+}
+
+TEST(IdentifyTest, RejectsLatentEndpointsAndSelfQueries) {
+  const Dag dag = MustParse("H [latent]; H -> Y; T -> Y");
+  EXPECT_FALSE(Identify(dag, "H", "Y").ok());
+  EXPECT_FALSE(Identify(dag, "T", "T").ok());
+  EXPECT_FALSE(Identify(dag, "Nope", "Y").ok());
+}
+
+TEST(IdentifyTest, StrategyNamesStable) {
+  EXPECT_STREQ(ToString(IdentificationStrategy::kBackdoor), "backdoor");
+  EXPECT_STREQ(ToString(IdentificationStrategy::kNotIdentifiable),
+               "not_identifiable");
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

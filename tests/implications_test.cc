@@ -1,0 +1,203 @@
+// Tests for testable implications: enumeration correctness and the
+// Fisher-z conditional-independence test against SCM-generated data.
+#include <gtest/gtest.h>
+
+#include "causal/dag_parser.h"
+#include "causal/dseparation.h"
+#include "causal/implications.h"
+#include "causal/scm.h"
+#include "core/rng.h"
+
+namespace sisyphus::causal {
+namespace {
+
+Dag MustParse(const char* text) {
+  auto dag = ParseDag(text);
+  EXPECT_TRUE(dag.ok()) << text;
+  return std::move(dag).value();
+}
+
+// ---- Enumeration -------------------------------------------------------------
+
+TEST(ImpliedIndependenciesTest, ChainImpliesEndpointsIndependentGivenMiddle) {
+  const Dag dag = MustParse("A -> B -> C");
+  const auto implications = ImpliedIndependencies(dag);
+  ASSERT_EQ(implications.size(), 1u);
+  EXPECT_EQ(implications[0].ToText(dag), "A _||_ C | B");
+}
+
+TEST(ImpliedIndependenciesTest, ColliderImpliesMarginalIndependence) {
+  const Dag dag = MustParse("A -> C; B -> C");
+  const auto implications = ImpliedIndependencies(dag);
+  ASSERT_EQ(implications.size(), 1u);
+  // Parents of A and B are empty: marginal statement.
+  EXPECT_EQ(implications[0].ToText(dag), "A _||_ B");
+}
+
+TEST(ImpliedIndependenciesTest, CompleteGraphImpliesNothing) {
+  const Dag dag = MustParse("A -> B; A -> C; B -> C");
+  EXPECT_TRUE(ImpliedIndependencies(dag).empty());
+}
+
+TEST(ImpliedIndependenciesTest, LatentConfounderSuppressesStatement) {
+  // A <-> B via a latent: A and B are NOT independent, and no observed
+  // set separates them — nothing should be emitted.
+  const Dag dag = MustParse("A <-> B");
+  EXPECT_TRUE(ImpliedIndependencies(dag).empty());
+}
+
+TEST(ImpliedIndependenciesTest, EveryEmittedStatementHoldsInGraph) {
+  // Property: re-check each emitted statement with the d-separation
+  // oracle on a richer graph.
+  const Dag dag = MustParse(
+      "A -> B; B -> C; A -> D; D -> C; C -> E; F -> D; F -> E");
+  const auto implications = ImpliedIndependencies(dag);
+  EXPECT_GE(implications.size(), 3u);
+  for (const auto& implication : implications) {
+    EXPECT_TRUE(IsDSeparated(dag, implication.x, implication.y,
+                             implication.given))
+        << implication.ToText(dag);
+  }
+}
+
+// ---- Partial correlation ------------------------------------------------------
+
+TEST(PartialCorrelationTest, RemovesCommonCause) {
+  // X <- Z -> Y: corr(X,Y) > 0 but pcor(X,Y|Z) ~ 0.
+  core::Rng rng(1);
+  const std::size_t n = 20000;
+  std::vector<double> z(n), x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    z[i] = rng.Gaussian();
+    x[i] = 1.5 * z[i] + rng.Gaussian();
+    y[i] = -2.0 * z[i] + rng.Gaussian();
+  }
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("Z", std::move(z)).ok());
+  ASSERT_TRUE(data.AddColumn("X", std::move(x)).ok());
+  ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  auto marginal = PartialCorrelation(data, "X", "Y", {});
+  auto partial = PartialCorrelation(data, "X", "Y", {"Z"});
+  ASSERT_TRUE(marginal.ok());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_LT(marginal.value(), -0.5);
+  EXPECT_NEAR(partial.value(), 0.0, 0.03);
+}
+
+TEST(PartialCorrelationTest, MissingColumnFails) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("X", {1, 2, 3}).ok());
+  EXPECT_FALSE(PartialCorrelation(data, "X", "Y", {}).ok());
+}
+
+// ---- Fisher-z test -------------------------------------------------------------
+
+TEST(IndependenceTestTest, CalibratedUnderNull) {
+  core::Rng rng(2);
+  int rejections = 0;
+  const int reps = 200;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::size_t n = 200;
+    std::vector<double> x(n), y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.Gaussian();
+      y[i] = rng.Gaussian();
+    }
+    Dataset data;
+    ASSERT_TRUE(data.AddColumn("X", std::move(x)).ok());
+    ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+    auto test = TestConditionalIndependence(data, "X", "Y", {});
+    ASSERT_TRUE(test.ok());
+    if (test.value().p_value < 0.05) ++rejections;
+  }
+  EXPECT_NEAR(rejections / static_cast<double>(reps), 0.05, 0.05);
+}
+
+TEST(IndependenceTestTest, PowerAgainstRealDependence) {
+  core::Rng rng(3);
+  const std::size_t n = 500;
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.Gaussian();
+    y[i] = 0.4 * x[i] + rng.Gaussian();
+  }
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("X", std::move(x)).ok());
+  ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  auto test = TestConditionalIndependence(data, "X", "Y", {});
+  ASSERT_TRUE(test.ok());
+  EXPECT_LT(test.value().p_value, 1e-6);
+}
+
+TEST(IndependenceTestTest, TooFewObservationsRejected) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("X", {1, 2, 3}).ok());
+  ASSERT_TRUE(data.AddColumn("Y", {2, 1, 3}).ok());
+  ASSERT_TRUE(data.AddColumn("Z", {1, 1, 2}).ok());
+  EXPECT_FALSE(TestConditionalIndependence(data, "X", "Y", {"Z"}).ok());
+}
+
+// ---- End-to-end DAG validation ---------------------------------------------------
+
+TEST(TestImpliedTest, CorrectDagSurvivesItsOwnData) {
+  // Sample from the chain SCM; the chain DAG's implications must not be
+  // rejected.
+  const Dag dag = MustParse("A -> B -> C");
+  Scm scm(dag);
+  (void)scm.SetLinear("A", 0.0, {}, 1.0);
+  (void)scm.SetLinear("B", 0.0, {{"A", 1.0}}, 1.0);
+  (void)scm.SetLinear("C", 0.0, {{"B", 1.0}}, 1.0);
+  core::Rng rng(4);
+  const Dataset data = scm.Sample(5000, rng);
+  auto results = TestImpliedIndependencies(dag, data);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 1u);
+  EXPECT_FALSE(results.value()[0].rejected);
+}
+
+TEST(TestImpliedTest, WrongDagIsRefutedByData) {
+  // Data from the FULL triangle (A->B, A->C, B->C), tested against the
+  // chain DAG that claims A _||_ C | B: must be rejected.
+  const Dag truth = MustParse("A -> B; A -> C; B -> C");
+  Scm scm(truth);
+  (void)scm.SetLinear("A", 0.0, {}, 1.0);
+  (void)scm.SetLinear("B", 0.0, {{"A", 1.0}}, 1.0);
+  (void)scm.SetLinear("C", 0.0, {{"A", 2.0}, {"B", 1.0}}, 1.0);
+  core::Rng rng(5);
+  const Dataset data = scm.Sample(5000, rng);
+
+  const Dag hypothesis = MustParse("A -> B -> C");
+  auto results = TestImpliedIndependencies(hypothesis, data);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 1u);
+  EXPECT_TRUE(results.value()[0].rejected);
+  EXPECT_GT(std::abs(results.value()[0].test.partial_correlation), 0.3);
+}
+
+TEST(TestImpliedTest, UnmeasuredVariablesSkipped) {
+  const Dag dag = MustParse("A -> B -> C; D -> C");
+  Dataset data;  // only A, B, C measured
+  core::Rng rng(6);
+  std::vector<double> a(100), b(100), c(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    a[i] = rng.Gaussian();
+    b[i] = a[i] + rng.Gaussian();
+    c[i] = b[i] + rng.Gaussian();
+  }
+  ASSERT_TRUE(data.AddColumn("A", std::move(a)).ok());
+  ASSERT_TRUE(data.AddColumn("B", std::move(b)).ok());
+  ASSERT_TRUE(data.AddColumn("C", std::move(c)).ok());
+  std::size_t skipped = 0;
+  auto results = TestImpliedIndependencies(dag, data, 0.01, &skipped);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(skipped, 0u);
+}
+
+TEST(TestImpliedTest, BadAlphaRejected) {
+  const Dag dag = MustParse("A -> B");
+  Dataset data;
+  EXPECT_FALSE(TestImpliedIndependencies(dag, data, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

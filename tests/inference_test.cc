@@ -1,0 +1,138 @@
+// Tests for resampling and classical inference.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "stats/descriptive.h"
+#include <cmath>
+
+#include "stats/inference.h"
+
+namespace sisyphus::stats {
+namespace {
+
+TEST(PermutationTest, DetectsRealDifference) {
+  core::Rng rng(1);
+  std::vector<double> a(50), b(50);
+  for (auto& x : a) x = rng.Gaussian(0.0, 1.0);
+  for (auto& x : b) x = rng.Gaussian(2.0, 1.0);
+  const auto result = PermutationMeanDifferenceTest(a, b, 500, rng);
+  EXPECT_LT(result.p_value, 0.01);
+  EXPECT_NEAR(result.observed_statistic, -2.0, 0.6);
+}
+
+TEST(PermutationTest, NullEffectGivesHighPValue) {
+  core::Rng rng(2);
+  std::vector<double> a(40), b(40);
+  for (auto& x : a) x = rng.Gaussian();
+  for (auto& x : b) x = rng.Gaussian();
+  const auto result = PermutationMeanDifferenceTest(a, b, 500, rng);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(PermutationTest, PValueNeverZero) {
+  // The +1 correction keeps p >= 1/(m+1) even for extreme statistics.
+  core::Rng rng(3);
+  std::vector<double> a{100, 101, 102};
+  std::vector<double> b{0, 1, 2};
+  const auto result = PermutationMeanDifferenceTest(a, b, 99, rng);
+  EXPECT_GE(result.p_value, 1.0 / 100.0);
+}
+
+TEST(PermutationTest, CustomStatistic) {
+  core::Rng rng(4);
+  std::vector<double> a(60), b(60);
+  // Same mean, different variance: a median-absolute statistic sees it.
+  for (auto& x : a) x = rng.Gaussian(0.0, 0.2);
+  for (auto& x : b) x = rng.Gaussian(0.0, 3.0);
+  const auto result = PermutationTest(
+      a, b,
+      [](std::span<const double> xs, std::span<const double> ys) {
+        return MedianAbsoluteDeviation(xs) - MedianAbsoluteDeviation(ys);
+      },
+      400, rng);
+  EXPECT_LT(result.p_value, 0.01);
+}
+
+TEST(BootstrapTest, CiCoversPopulationMean) {
+  core::Rng rng(5);
+  std::vector<double> sample(200);
+  for (auto& x : sample) x = rng.Gaussian(7.0, 2.0);
+  const auto ci = BootstrapCi(
+      sample, [](std::span<const double> xs) { return Mean(xs); }, 800, 0.95,
+      rng);
+  EXPECT_LT(ci.lower, 7.0);
+  EXPECT_GT(ci.upper, 7.0);
+  EXPECT_NEAR(ci.estimate, 7.0, 0.5);
+  EXPECT_NEAR(ci.standard_error, 2.0 / std::sqrt(200.0), 0.05);
+}
+
+TEST(BootstrapTest, IntervalWidthShrinksWithSampleSize) {
+  core::Rng rng(6);
+  auto width = [&](std::size_t n) {
+    std::vector<double> sample(n);
+    for (auto& x : sample) x = rng.Gaussian();
+    const auto ci = BootstrapCi(
+        sample, [](std::span<const double> xs) { return Mean(xs); }, 400,
+        0.95, rng);
+    return ci.upper - ci.lower;
+  };
+  EXPECT_GT(width(50), width(5000));
+}
+
+TEST(WelchTest, DetectsDifferenceWithUnequalVariances) {
+  core::Rng rng(7);
+  std::vector<double> a(100), b(60);
+  for (auto& x : a) x = rng.Gaussian(0.0, 0.5);
+  for (auto& x : b) x = rng.Gaussian(3.0, 3.0);
+  const auto result = WelchTTest(a, b);
+  EXPECT_LT(result.p_value, 0.01);
+  EXPECT_LT(result.mean_difference, 0.0);
+  // Welch dof is far below the pooled n-2 under variance imbalance.
+  EXPECT_LT(result.dof, 100.0);
+}
+
+TEST(WelchTest, IdenticalSamplesGivePOne) {
+  std::vector<double> a{1, 2, 3, 4};
+  const auto result = WelchTTest(a, a);
+  EXPECT_NEAR(result.statistic, 0.0, 1e-12);
+  EXPECT_NEAR(result.p_value, 1.0, 1e-9);
+}
+
+TEST(KsTest, SameDistributionHighP) {
+  core::Rng rng(8);
+  std::vector<double> a(300), b(300);
+  for (auto& x : a) x = rng.Gaussian();
+  for (auto& x : b) x = rng.Gaussian();
+  const auto result = KolmogorovSmirnovTest(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+  EXPECT_LT(result.statistic, 0.15);
+}
+
+TEST(KsTest, DetectsShapeDifference) {
+  core::Rng rng(9);
+  std::vector<double> a(300), b(300);
+  for (auto& x : a) x = rng.Gaussian();
+  for (auto& x : b) x = rng.Exponential(1.0);
+  const auto result = KolmogorovSmirnovTest(a, b);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(KsTest, StatisticIsOneForDisjointSupports) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{10, 11, 12};
+  const auto result = KolmogorovSmirnovTest(a, b);
+  EXPECT_DOUBLE_EQ(result.statistic, 1.0);
+}
+
+TEST(EmpiricalPValueTest, RankBasedValues) {
+  const std::vector<double> null_dist{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  // observed above all: (0+1)/(9+1).
+  EXPECT_DOUBLE_EQ(EmpiricalUpperPValue(10.0, null_dist), 0.1);
+  // observed below all: (9+1)/(9+1).
+  EXPECT_DOUBLE_EQ(EmpiricalUpperPValue(0.0, null_dist), 1.0);
+  // ties count as "at least as extreme".
+  EXPECT_DOUBLE_EQ(EmpiricalUpperPValue(5.0, null_dist), 0.6);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

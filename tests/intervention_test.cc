@@ -1,0 +1,107 @@
+// Tests for the exogenous-intervention API (§4 proposal 3).
+#include <gtest/gtest.h>
+
+#include "measure/intervention.h"
+
+namespace sisyphus::measure {
+namespace {
+
+using core::Asn;
+using netsim::AsRole;
+using netsim::NetworkSimulator;
+using netsim::Relationship;
+using netsim::Topology;
+
+struct Fixture {
+  std::unique_ptr<NetworkSimulator> sim;
+  netsim::PopIndex src = 0, dst = 0;
+  core::LinkId via_a, via_b;
+  Asn asn_a{20}, asn_b{30};
+
+  Fixture() {
+    Topology topo;
+    const auto city = topo.cities().Add({"X", {0, 0}, 0});
+    src = topo.AddPop(Asn{10}, city, AsRole::kAccess).value();
+    const auto a = topo.AddPop(asn_a, city, AsRole::kTransit).value();
+    const auto b = topo.AddPop(asn_b, city, AsRole::kTransit).value();
+    dst = topo.AddPop(Asn{40}, city, AsRole::kContent).value();
+    via_a =
+        topo.AddLink(src, a, Relationship::kCustomerToProvider).value();
+    via_b =
+        topo.AddLink(src, b, Relationship::kCustomerToProvider).value();
+    EXPECT_TRUE(topo.AddLink(dst, a, Relationship::kCustomerToProvider).ok());
+    EXPECT_TRUE(topo.AddLink(dst, b, Relationship::kCustomerToProvider).ok());
+    sim = std::make_unique<NetworkSimulator>(std::move(topo));
+    sim->WatchPath(src, dst);
+  }
+};
+
+TEST(InterventionTest, PoisonSteersPathAndAudits) {
+  Fixture f;
+  InterventionApi api(*f.sim);
+  auto before = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(before.ok());
+  const Asn initial = before.value().asn_path[1];
+  const Asn other = initial == f.asn_a ? f.asn_b : f.asn_a;
+
+  ASSERT_TRUE(api.PoisonAsns(f.dst, {initial},
+                             "IV experiment: steer away from initial upstream")
+                  .ok());
+  auto after = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().asn_path[1], other);
+
+  // Route change logged as exogenous with the intervention description.
+  ASSERT_EQ(f.sim->route_changes().size(), 1u);
+  EXPECT_TRUE(f.sim->route_changes()[0].exogenous);
+  EXPECT_NE(f.sim->route_changes()[0].trigger.find("poison"),
+            std::string::npos);
+
+  // Audit log captured the justification.
+  ASSERT_EQ(api.audit_log().size(), 1u);
+  EXPECT_NE(api.audit_log()[0].justification.find("IV experiment"),
+            std::string::npos);
+
+  ASSERT_TRUE(api.ClearPoison(f.dst, "experiment over").ok());
+  auto restored = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().asn_path[1], initial);
+  EXPECT_EQ(api.audit_log().size(), 2u);
+}
+
+TEST(InterventionTest, LocalPrefSteersAndClears) {
+  Fixture f;
+  InterventionApi api(*f.sim);
+  auto before = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(before.ok());
+  const bool via_a_initially = before.value().asn_path[1] == f.asn_a;
+  const core::LinkId boost = via_a_initially ? f.via_b : f.via_a;
+
+  ASSERT_TRUE(api.SetLocalPref(f.src, boost, 100.0, "shift for experiment")
+                  .ok());
+  auto after = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after.value().asn_path[1], before.value().asn_path[1]);
+
+  ASSERT_TRUE(api.ClearLocalPref(f.src, boost, "restore").ok());
+  auto restored = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().asn_path[1], before.value().asn_path[1]);
+}
+
+TEST(InterventionTest, LinkDrainAndRestore) {
+  Fixture f;
+  InterventionApi api(*f.sim);
+  auto before = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(before.ok());
+  const core::LinkId used = before.value().links[0];
+  ASSERT_TRUE(api.SetLinkState(used, false, "drain for maintenance").ok());
+  auto after = f.sim->RouteBetween(f.src, f.dst);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after.value().links[0], used);
+  ASSERT_TRUE(api.SetLinkState(used, true, "maintenance done").ok());
+  EXPECT_EQ(api.audit_log().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sisyphus::measure

@@ -1,0 +1,90 @@
+// Tests for the ladder-of-causation facade: the three rungs give the
+// textbook answers on the running example, and the confounding-bias
+// arithmetic is consistent.
+#include <gtest/gtest.h>
+
+#include "causal/dag_parser.h"
+#include "causal/ladder.h"
+
+namespace sisyphus::causal {
+namespace {
+
+Scm RunningExampleScm() {
+  auto dag = ParseDag("C -> R; C -> L; R -> L");
+  EXPECT_TRUE(dag.ok());
+  Scm scm(std::move(dag).value());
+  EXPECT_TRUE(scm.SetLinear("C", 0.0, {}, 1.0).ok());
+  EXPECT_TRUE(scm.SetLinear("R", 0.0, {{"C", 1.5}}, 0.5).ok());
+  EXPECT_TRUE(scm.SetLinear("L", 10.0, {{"C", 3.0}, {"R", 2.0}}, 0.5).ok());
+  return scm;
+}
+
+TEST(LadderTest, AssociationConditionsOnObservedBand) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("R", {0, 0, 1, 1}).ok());
+  ASSERT_TRUE(data.AddColumn("L", {10, 12, 20, 22}).ok());
+  auto high = Association(data, "R", "L", 1.0);
+  auto low = Association(data, "R", "L", 0.0);
+  ASSERT_TRUE(high.ok());
+  ASSERT_TRUE(low.ok());
+  EXPECT_DOUBLE_EQ(high.value(), 21.0);
+  EXPECT_DOUBLE_EQ(low.value(), 11.0);
+}
+
+TEST(LadderTest, AssociationEmptyBandFails) {
+  Dataset data;
+  ASSERT_TRUE(data.AddColumn("R", {0, 1}).ok());
+  ASSERT_TRUE(data.AddColumn("L", {1, 2}).ok());
+  auto result = Association(data, "R", "L", 5.0);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code(), core::ErrorCode::kPrecondition);
+}
+
+TEST(LadderTest, InterventionMatchesStructuralCoefficient) {
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(1);
+  auto high = InterventionalExpectation(scm, "R", "L", 1.0, 40000, rng);
+  auto low = InterventionalExpectation(scm, "R", "L", 0.0, 40000, rng);
+  ASSERT_TRUE(high.ok());
+  ASSERT_TRUE(low.ok());
+  EXPECT_NEAR(high.value() - low.value(), 2.0, 0.1);
+}
+
+TEST(LadderTest, CounterfactualOnConcreteUnit) {
+  const Scm scm = RunningExampleScm();
+  // Factual: C=1, R=2, L=18 (see scm_test). Had R been 0: L = 14.
+  std::unordered_map<std::string, double> factual{
+      {"C", 1.0}, {"R", 2.0}, {"L", 18.0}};
+  auto result = CounterfactualOutcome(scm, factual, "R", "L", 0.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value(), 14.0, 1e-9);
+}
+
+TEST(LadderTest, ComparisonQuantifiesConfoundingBias) {
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(2);
+  const Dataset data = scm.Sample(60000, rng);
+  auto comparison =
+      CompareLadderRungs(scm, data, "R", "L", 1.0, -1.0, 0.25, 40000, rng);
+  ASSERT_TRUE(comparison.ok());
+  const auto& c = comparison.value();
+  // Interventional contrast = 2 * (1 - (-1)) = 4.
+  EXPECT_NEAR(c.interventional_contrast(), 4.0, 0.2);
+  // Associational contrast is inflated by the C backdoor.
+  EXPECT_GT(c.associational_contrast(), c.interventional_contrast() + 1.0);
+  EXPECT_NEAR(c.confounding_bias(),
+              c.associational_contrast() - c.interventional_contrast(),
+              1e-12);
+}
+
+TEST(LadderTest, UnknownVariableNamesFail) {
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(3);
+  EXPECT_FALSE(
+      InterventionalExpectation(scm, "Nope", "L", 1.0, 10, rng).ok());
+  std::unordered_map<std::string, double> factual{{"C", 0.0}};
+  EXPECT_FALSE(CounterfactualOutcome(scm, factual, "R", "Nope", 0.0).ok());
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

@@ -1,0 +1,126 @@
+// Tests for logistic regression (IRLS).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "stats/logistic.h"
+
+namespace sisyphus::stats {
+namespace {
+
+TEST(SigmoidTest, KnownValuesAndStability) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  // No overflow at extremes.
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(Sigmoid(3.0) + Sigmoid(-3.0), 1.0, 1e-12);
+}
+
+TEST(LogisticTest, RecoversCoefficients) {
+  core::Rng rng(5);
+  const std::size_t n = 20000;
+  Matrix x(n, 2);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    x(i, 1) = rng.Gaussian();
+    const double p = Sigmoid(-0.5 + 1.2 * x(i, 0) - 0.8 * x(i, 1));
+    y[i] = rng.Bernoulli(p) ? 1.0 : 0.0;
+  }
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_TRUE(fit.value().converged);
+  EXPECT_NEAR(fit.value().coefficients[0], -0.5, 0.08);
+  EXPECT_NEAR(fit.value().coefficients[1], 1.2, 0.08);
+  EXPECT_NEAR(fit.value().coefficients[2], -0.8, 0.08);
+}
+
+TEST(LogisticTest, PredictProbabilityMonotonic) {
+  core::Rng rng(6);
+  const std::size_t n = 2000;
+  Matrix x(n, 1);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    y[i] = rng.Bernoulli(Sigmoid(2.0 * x(i, 0))) ? 1.0 : 0.0;
+  }
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  const Vector lo{-1.0}, mid{0.0}, hi{1.0};
+  EXPECT_LT(fit.value().PredictProbability(lo),
+            fit.value().PredictProbability(mid));
+  EXPECT_LT(fit.value().PredictProbability(mid),
+            fit.value().PredictProbability(hi));
+}
+
+TEST(LogisticTest, BalancedInterceptOnlyModel) {
+  core::Rng rng(8);
+  const std::size_t n = 1000;
+  Matrix x(n, 1);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();  // irrelevant covariate
+    y[i] = i % 2 == 0 ? 1.0 : 0.0;
+  }
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  // P(y=1) ~ 0.5 regardless of x.
+  const Vector any{0.3};
+  EXPECT_NEAR(fit.value().PredictProbability(any), 0.5, 0.05);
+}
+
+TEST(LogisticTest, SurvivesCompleteSeparation) {
+  // Perfectly separable data diverges in unpenalized MLE; the default L2
+  // penalty plus step damping must keep it finite.
+  Matrix x(10, 1);
+  Vector y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 5 ? 0.0 : 1.0;
+  }
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  for (double c : fit.value().coefficients) EXPECT_TRUE(std::isfinite(c));
+  const Vector low{0.0}, high{9.0};
+  EXPECT_LT(fit.value().PredictProbability(low), 0.5);
+  EXPECT_GT(fit.value().PredictProbability(high), 0.5);
+}
+
+TEST(LogisticTest, RejectsNonBinaryLabels) {
+  Matrix x(5, 1);
+  Vector y{0, 1, 2, 0, 1};
+  auto fit = LogisticRegression(x, y);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.error().code(), core::ErrorCode::kInvalidArgument);
+}
+
+TEST(LogisticTest, RejectsShapeMismatch) {
+  Matrix x(5, 1);
+  Vector y{0, 1, 0};
+  EXPECT_FALSE(LogisticRegression(x, y).ok());
+}
+
+TEST(LogisticTest, LogLikelihoodImprovesOverNull) {
+  core::Rng rng(10);
+  const std::size_t n = 3000;
+  Matrix x(n, 1);
+  Vector y(n);
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    y[i] = rng.Bernoulli(Sigmoid(1.5 * x(i, 0))) ? 1.0 : 0.0;
+    positives += static_cast<std::size_t>(y[i]);
+  }
+  auto fit = LogisticRegression(x, y);
+  ASSERT_TRUE(fit.ok());
+  const double p = static_cast<double>(positives) / static_cast<double>(n);
+  const double null_ll = static_cast<double>(n) *
+                         (p * std::log(p) + (1.0 - p) * std::log(1.0 - p));
+  EXPECT_GT(fit.value().log_likelihood, null_ll);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

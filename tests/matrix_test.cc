@@ -1,0 +1,169 @@
+// Tests for stats::Matrix and the free-function vector algebra.
+#include <gtest/gtest.h>
+
+#include "stats/matrix.h"
+
+namespace sisyphus::stats {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::logic_error);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::Identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(eye(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, FromColumnsAndColumn) {
+  const Matrix m = Matrix::FromColumns({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.Column(1), (Vector{4, 5, 6}));
+}
+
+TEST(MatrixTest, SetColumnAndRow) {
+  Matrix m(2, 2);
+  const Vector col{7, 8};
+  m.SetColumn(0, col);
+  EXPECT_DOUBLE_EQ(m(1, 0), 8.0);
+  const Vector row{1, 2};
+  m.SetRow(0, row);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Block) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const Matrix b = m.Block(1, 3, 0, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_EQ(b.cols(), 2u);
+  EXPECT_DOUBLE_EQ(b(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 8.0);
+}
+
+TEST(MatrixTest, Multiplication) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplicationShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, std::logic_error);
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{1, 1}, {1, 1}};
+  EXPECT_DOUBLE_EQ((a + b)(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ((a - b)(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ((2.0 * a)(1, 0), 6.0);
+}
+
+TEST(MatrixTest, ApplyAndApplyTransposed) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const Vector x{1, -1};
+  EXPECT_EQ(m.Apply(x), (Vector{-1, -1, -1}));
+  const Vector y{1, 0, 1};
+  EXPECT_EQ(m.ApplyTransposed(y), (Vector{6, 8}));
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{1, 2.5}, {3, 3}};
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.0);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  const Vector a{3, 4};
+  const Vector b{1, 2};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+}
+
+TEST(VectorOpsTest, AxpyAddSubtractScale) {
+  const Vector a{1, 2};
+  const Vector b{10, 20};
+  EXPECT_EQ(Axpy(a, 0.5, b), (Vector{6, 12}));
+  EXPECT_EQ(Add(a, b), (Vector{11, 22}));
+  EXPECT_EQ(Subtract(b, a), (Vector{9, 18}));
+  EXPECT_EQ(Scale(3.0, a), (Vector{3, 6}));
+}
+
+TEST(VectorOpsTest, SizeMismatchThrows) {
+  const Vector a{1, 2};
+  const Vector b{1};
+  EXPECT_THROW(Dot(a, b), std::logic_error);
+}
+
+// ---- Simplex projection -----------------------------------------------------
+
+TEST(SimplexTest, AlreadyOnSimplexIsFixedPoint) {
+  const Vector v{0.2, 0.3, 0.5};
+  const Vector p = ProjectToSimplex(v);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_NEAR(p[i], v[i], 1e-12);
+}
+
+TEST(SimplexTest, ProjectionSumsToOneAndNonNegative) {
+  const Vector v{2.0, -1.0, 0.5, 3.0};
+  const Vector p = ProjectToSimplex(v);
+  double sum = 0.0;
+  for (double x : p) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SimplexTest, DominantCoordinateTakesAll) {
+  const Vector v{10.0, 0.0, 0.0};
+  const Vector p = ProjectToSimplex(v);
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_NEAR(p[1], 0.0, 1e-12);
+}
+
+TEST(SimplexTest, UniformNegativeInput) {
+  const Vector v{-5.0, -5.0};
+  const Vector p = ProjectToSimplex(v);
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

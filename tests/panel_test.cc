@@ -1,0 +1,135 @@
+// Tests for panel construction from raw measurements.
+#include <gtest/gtest.h>
+
+#include "measure/panel.h"
+
+namespace sisyphus::measure {
+namespace {
+
+using core::SimTime;
+
+SpeedTestRecord MakeRecord(const std::string& unit_asn,
+                           const std::string& city, SimTime time,
+                           double rtt) {
+  SpeedTestRecord record;
+  record.asn = core::Asn{static_cast<std::uint32_t>(std::stoul(unit_asn))};
+  record.city = city;
+  record.time = time;
+  record.rtt_ms = rtt;
+  return record;
+}
+
+TEST(PanelTest, BucketedMediansPerUnit) {
+  MeasurementStore store;
+  // Unit A: rtt 10 in bucket 0, 20 in bucket 1.
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(1), 9));
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(2), 10));
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(3), 11));
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(7), 20));
+  // Unit B: constant 30.
+  store.Add(MakeRecord("200", "Y", SimTime::FromHours(1), 30));
+  store.Add(MakeRecord("200", "Y", SimTime::FromHours(8), 30));
+
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 2;
+  const Panel panel = BuildRttPanel(store, options);
+  ASSERT_EQ(panel.units.size(), 2u);
+  auto a = panel.Find("100 / X");
+  ASSERT_TRUE(a.ok());
+  EXPECT_DOUBLE_EQ(panel.units[a.value()].values[0], 10.0);
+  EXPECT_DOUBLE_EQ(panel.units[a.value()].values[1], 20.0);
+  EXPECT_FALSE(panel.Find("300 / Z").ok());
+}
+
+TEST(PanelTest, SparseUnitsDropped) {
+  MeasurementStore store;
+  // Unit with data only in 1 of 8 buckets (87% missing > 25% cap).
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(1), 10));
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 8;
+  const Panel panel = BuildRttPanel(store, options);
+  EXPECT_TRUE(panel.units.empty());
+}
+
+TEST(PanelTest, InterpolationFillsGaps) {
+  MeasurementStore store;
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(1), 10));
+  // bucket 1 empty
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(13), 30));
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 3;
+  options.max_missing_fraction = 0.5;
+  const Panel panel = BuildRttPanel(store, options);
+  ASSERT_EQ(panel.units.size(), 1u);
+  EXPECT_DOUBLE_EQ(panel.units[0].values[1], 20.0);  // midpoint
+  EXPECT_NEAR(panel.units[0].missing_fraction, 1.0 / 3.0, 1e-12);
+}
+
+MeasurementStore MakeStoreWithUnits(const std::vector<std::string>& asns,
+                                    std::size_t periods, double base) {
+  MeasurementStore store;
+  for (std::size_t u = 0; u < asns.size(); ++u) {
+    for (std::size_t t = 0; t < periods; ++t) {
+      store.Add(MakeRecord(asns[u], "City",
+                           SimTime::FromHours(6.0 * t + 1.0),
+                           base + static_cast<double>(u) +
+                               0.1 * static_cast<double>(t)));
+    }
+  }
+  return store;
+}
+
+TEST(SyntheticControlInputBuilderTest, AssemblesTreatedAndDonors) {
+  const auto store =
+      MakeStoreWithUnits({"100", "200", "300", "400"}, 10, 20.0);
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 10;
+  const Panel panel = BuildRttPanel(store, options);
+  std::vector<std::string> skipped;
+  auto input = MakeSyntheticControlInput(
+      panel, "100 / City", {"200 / City", "300 / City", "ghost / City"},
+      SimTime::FromHours(36), &skipped);
+  ASSERT_TRUE(input.ok());
+  EXPECT_EQ(input.value().donors.cols(), 2u);
+  EXPECT_EQ(input.value().pre_periods, 6u);
+  EXPECT_EQ(input.value().treated.size(), 10u);
+  ASSERT_EQ(skipped.size(), 1u);
+  EXPECT_EQ(skipped[0], "ghost / City");
+  // Treated unit in the donor list is ignored, not used as its own donor.
+  auto self_input = MakeSyntheticControlInput(
+      panel, "100 / City", {"100 / City", "200 / City", "300 / City"},
+      SimTime::FromHours(36));
+  ASSERT_TRUE(self_input.ok());
+  EXPECT_EQ(self_input.value().donors.cols(), 2u);
+}
+
+TEST(SyntheticControlInputBuilderTest, ErrorsSurface) {
+  const auto store = MakeStoreWithUnits({"100", "200"}, 10, 20.0);
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 10;
+  const Panel panel = BuildRttPanel(store, options);
+  // Unknown treated unit.
+  EXPECT_FALSE(MakeSyntheticControlInput(panel, "nope / X", {"200 / City"},
+                                         SimTime::FromHours(36))
+                   .ok());
+  // No usable donors.
+  EXPECT_FALSE(MakeSyntheticControlInput(panel, "100 / City", {"ghost / X"},
+                                         SimTime::FromHours(36))
+                   .ok());
+  // Treatment before origin.
+  EXPECT_FALSE(MakeSyntheticControlInput(panel, "100 / City", {"200 / City"},
+                                         SimTime::FromHours(0))
+                   .ok());
+  // Treatment beyond the panel: no post periods -> Validate fails.
+  EXPECT_FALSE(MakeSyntheticControlInput(panel, "100 / City", {"200 / City"},
+                                         SimTime::FromHours(600))
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sisyphus::measure

@@ -1,0 +1,209 @@
+// Tests for the measurement platform: baseline scheduling, endogenous
+// user-triggered testing (the collider mechanism), conditional
+// activation, intent tagging.
+#include <gtest/gtest.h>
+
+#include "measure/platform.h"
+
+namespace sisyphus::measure {
+namespace {
+
+using core::Asn;
+using core::SimTime;
+using netsim::AsRole;
+using netsim::NetworkEvent;
+using netsim::NetworkSimulator;
+using netsim::Relationship;
+using netsim::Topology;
+
+struct Fixture {
+  std::unique_ptr<NetworkSimulator> sim;
+  netsim::PopIndex user = 0, server = 0;
+  core::LinkId primary, backup;
+
+  Fixture() {
+    Topology topo;
+    const auto city = topo.cities().Add({"X", {0, 0}, 2.0});
+    user = topo.AddPop(Asn{100}, city, AsRole::kAccess).value();
+    const auto t1 = topo.AddPop(Asn{2}, city, AsRole::kTransit).value();
+    const auto t2 = topo.AddPop(Asn{3}, city, AsRole::kTransit).value();
+    server = topo.AddPop(Asn{4}, city, AsRole::kMeasurement).value();
+    primary = topo.AddLink(user, t1, Relationship::kCustomerToProvider,
+                           std::nullopt, 0.5)
+                  .value();
+    backup = topo.AddLink(user, t2, Relationship::kCustomerToProvider,
+                          std::nullopt, 3.0)
+                 .value();
+    EXPECT_TRUE(topo.AddLink(server, t1, Relationship::kCustomerToProvider,
+                             std::nullopt, 0.3)
+                    .ok());
+    EXPECT_TRUE(topo.AddLink(server, t2, Relationship::kCustomerToProvider,
+                             std::nullopt, 0.3)
+                    .ok());
+    sim = std::make_unique<NetworkSimulator>(std::move(topo));
+  }
+};
+
+TEST(PlatformTest, BaselineRateApproximatelyHonored) {
+  Fixture f;
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 24.0;
+  platform.AddVantage(vantage);
+  core::Rng rng(1);
+  platform.Run(SimTime::FromDays(10), rng);
+  // Expect ~240 tests, Poisson sd ~ 15.5.
+  EXPECT_NEAR(static_cast<double>(platform.store().size()), 240.0, 60.0);
+  EXPECT_EQ(platform.CountByIntent(Intent::kBaseline),
+            platform.store().size());
+}
+
+TEST(PlatformTest, UserTestingRateRisesWithDegradation) {
+  // Two identical vantages; halfway through, a congestion shock degrades
+  // the path. User-initiated volume after the shock should exceed before.
+  Fixture f;
+  const auto primary = f.primary;
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 0.0;
+  vantage.user_tests_per_day = 20.0;
+  vantage.dissatisfaction_gain = 10.0;
+  platform.AddVantage(vantage);
+
+  NetworkEvent shock;
+  shock.time = SimTime::FromDays(5);
+  shock.type = netsim::EventType::kCongestionShock;
+  shock.link = primary;
+  shock.shock_end = SimTime::FromDays(10);
+  shock.shock_extra = 0.55;
+  f.sim->schedule().Add(shock);
+
+  core::Rng rng(2);
+  platform.Run(SimTime::FromDays(10), rng);
+
+  std::size_t before = 0, after = 0;
+  for (const auto& record : platform.store().records()) {
+    (record.time < SimTime::FromDays(5) ? before : after)++;
+  }
+  EXPECT_GT(after, before + before / 4);
+}
+
+TEST(PlatformTest, ConditionalActivationFiresOnRouteChange) {
+  Fixture f;
+  const auto primary = f.primary;
+  PlatformOptions options;
+  options.server = f.server;
+  options.conditional_activation = true;
+  options.event_burst_tests = 6;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 0.0;
+  platform.AddVantage(vantage);
+
+  NetworkEvent down;
+  down.time = SimTime::FromDays(1);
+  down.type = netsim::EventType::kLinkDown;
+  down.exogenous = true;
+  down.description = "maintenance";
+  down.link = primary;
+  f.sim->schedule().Add(down);
+
+  core::Rng rng(3);
+  platform.Run(SimTime::FromDays(2), rng);
+  EXPECT_EQ(platform.CountByIntent(Intent::kEventTriggered), 6u);
+  // All triggered tests happened at/after the event.
+  for (const auto& record : platform.store().records()) {
+    if (record.intent == Intent::kEventTriggered) {
+      EXPECT_GE(record.time, SimTime::FromDays(1));
+    }
+  }
+}
+
+TEST(PlatformTest, NoConditionalActivationWithoutEvents) {
+  Fixture f;
+  PlatformOptions options;
+  options.server = f.server;
+  options.conditional_activation = true;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 5.0;
+  platform.AddVantage(vantage);
+  core::Rng rng(4);
+  platform.Run(SimTime::FromDays(3), rng);
+  EXPECT_EQ(platform.CountByIntent(Intent::kEventTriggered), 0u);
+}
+
+TEST(PlatformTest, MultipleVantagesProduceDistinctUnits) {
+  Fixture f;
+  // Second user AS.
+  auto& topo = f.sim->topology();
+  const auto city2 = topo.cities().Add({"Y", {1, 1}, 2.0});
+  const auto user2 = topo.AddPop(Asn{200}, city2, AsRole::kAccess).value();
+  ASSERT_TRUE(topo.AddLink(user2, 1 /* t1 */,
+                           Relationship::kCustomerToProvider)
+                  .ok());
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.baseline_tests_per_day = 12.0;
+  vantage.pop = f.user;
+  platform.AddVantage(vantage);
+  vantage.pop = user2;
+  platform.AddVantage(vantage);
+  core::Rng rng(5);
+  platform.Run(SimTime::FromDays(4), rng);
+  EXPECT_EQ(platform.store().Units().size(), 2u);
+}
+
+
+TEST(PlatformTest, EdgeSteeringRoutesTestsAcrossSites) {
+  Fixture f;
+  // Second measurement site behind the backup transit.
+  auto& topo = f.sim->topology();
+  const auto city2 = topo.cities().Add({"Z", {2, 2}, 2.0});
+  const auto site2 =
+      topo.AddPop(Asn{5}, city2, AsRole::kMeasurement).value();
+  ASSERT_TRUE(
+      topo.AddLink(site2, 2 /* t2 */, Relationship::kCustomerToProvider)
+          .ok());
+
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 48.0;
+  platform.AddVantage(vantage);
+
+  EdgeSteering steering(*f.sim, {f.server, site2});
+  steering.SetMode(SteeringMode::kRandomSite);
+  platform.SetEdgeSteering(&steering);
+  core::Rng rng(9);
+  platform.Run(SimTime::FromDays(5), rng);
+
+  std::size_t to_site2 = 0;
+  for (const auto& record : platform.store().records()) {
+    if (record.server_pop == site2) ++to_site2;
+  }
+  EXPECT_GT(to_site2, 0u);
+  EXPECT_LT(to_site2, platform.store().size());
+  EXPECT_EQ(steering.decisions().size(), platform.store().size());
+
+  // Reverting steering pins back to the configured server.
+  platform.SetEdgeSteering(nullptr);
+  platform.Run(SimTime::FromDays(5) + SimTime::FromHours(6), rng);
+  const auto& records = platform.store().records();
+  EXPECT_EQ(records.back().server_pop, f.server);
+}
+
+}  // namespace
+}  // namespace sisyphus::measure

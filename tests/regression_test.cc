@@ -1,0 +1,210 @@
+// Tests for OLS (coefficients, classical + HC1 robust SEs, R^2) and Ridge.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "stats/regression.h"
+
+namespace sisyphus::stats {
+namespace {
+
+TEST(OlsTest, RecoversLineExactly) {
+  const Matrix x{{0}, {1}, {2}, {3}};
+  const Vector y{1, 3, 5, 7};  // y = 1 + 2x
+  auto fit = Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().coefficients[0], 1.0, 1e-10);
+  EXPECT_NEAR(fit.value().coefficients[1], 2.0, 1e-10);
+  EXPECT_NEAR(fit.value().r_squared, 1.0, 1e-12);
+}
+
+TEST(OlsTest, RecoversCoefficientsUnderNoise) {
+  core::Rng rng(42);
+  const std::size_t n = 5000;
+  Matrix x(n, 2);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    x(i, 1) = rng.Gaussian();
+    y[i] = 0.5 - 1.5 * x(i, 0) + 3.0 * x(i, 1) + rng.Gaussian(0.0, 0.5);
+  }
+  auto fit = Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit.value().coefficients[0], 0.5, 0.05);
+  EXPECT_NEAR(fit.value().coefficients[1], -1.5, 0.05);
+  EXPECT_NEAR(fit.value().coefficients[2], 3.0, 0.05);
+}
+
+TEST(OlsTest, StandardErrorsCoverTruth) {
+  // Repeat small regressions; the true slope should fall inside the 95% CI
+  // roughly 95% of the time.
+  core::Rng rng(7);
+  int covered = 0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    const std::size_t n = 60;
+    Matrix x(n, 1);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x(i, 0) = rng.Gaussian();
+      y[i] = 2.0 * x(i, 0) + rng.Gaussian();
+    }
+    auto fit = Ols(x, y);
+    ASSERT_TRUE(fit.ok());
+    const double slope = fit.value().coefficients[1];
+    const double se = fit.value().standard_errors[1];
+    if (std::abs(slope - 2.0) <= 1.96 * se) ++covered;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(reps), 0.95, 0.05);
+}
+
+TEST(OlsTest, RobustSeLargerUnderHeteroskedasticity) {
+  // Error variance grows with |x|: HC1 SEs should exceed classical ones
+  // for the slope.
+  core::Rng rng(9);
+  const std::size_t n = 4000;
+  Matrix x(n, 1);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    y[i] = x(i, 0) + rng.Gaussian(0.0, 0.2 + 2.0 * std::abs(x(i, 0)));
+  }
+  auto fit = Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_GT(fit.value().robust_errors[1], fit.value().standard_errors[1]);
+}
+
+TEST(OlsTest, PValueSignificantSlopeInsignificantNoise) {
+  core::Rng rng(11);
+  const std::size_t n = 500;
+  Matrix x(n, 2);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    x(i, 1) = rng.Gaussian();  // pure noise regressor
+    y[i] = 1.0 * x(i, 0) + rng.Gaussian();
+  }
+  auto fit = Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit.value().PValue(1), 1e-6);
+  EXPECT_GT(fit.value().PValue(2), 0.01);
+}
+
+TEST(OlsTest, PredictMatchesFitted) {
+  const Matrix x{{0.0}, {1.0}, {2.0}, {3.0}};
+  const Vector y{1, 3, 5, 7};
+  auto fit = Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  const Vector row{2.0};
+  EXPECT_NEAR(fit.value().Predict(row), 5.0, 1e-9);
+}
+
+TEST(OlsTest, NoInterceptOption) {
+  const Matrix x{{1.0}, {2.0}, {3.0}, {4.0}};
+  const Vector y{2, 4, 6, 8};
+  OlsOptions options;
+  options.add_intercept = false;
+  auto fit = Ols(x, y, options);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit.value().coefficients.size(), 1u);
+  EXPECT_NEAR(fit.value().coefficients[0], 2.0, 1e-10);
+}
+
+TEST(OlsTest, TooFewObservationsRejected) {
+  const Matrix x{{1.0}, {2.0}};
+  const Vector y{1, 2};
+  EXPECT_FALSE(Ols(x, y).ok());  // n == p with intercept
+}
+
+TEST(OlsTest, LengthMismatchRejected) {
+  const Matrix x{{1.0}, {2.0}, {3.0}};
+  const Vector y{1, 2};
+  EXPECT_FALSE(Ols(x, y).ok());
+}
+
+TEST(OlsTest, CollinearDesignRejected) {
+  Matrix x(10, 2);
+  Vector y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 2.0 * static_cast<double>(i);  // collinear
+    y[i] = static_cast<double>(i);
+  }
+  EXPECT_FALSE(Ols(x, y).ok());
+}
+
+TEST(OlsTest, AdjustedRSquaredBelowRSquared) {
+  core::Rng rng(21);
+  const std::size_t n = 50;
+  Matrix x(n, 3);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) x(i, j) = rng.Gaussian();
+    y[i] = x(i, 0) + rng.Gaussian();
+  }
+  auto fit = Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit.value().adjusted_r_squared, fit.value().r_squared);
+}
+
+// ---- Ridge ------------------------------------------------------------------
+
+TEST(RidgeTest, ZeroLambdaMatchesOls) {
+  core::Rng rng(31);
+  const std::size_t n = 200;
+  Matrix x(n, 2);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    x(i, 1) = rng.Gaussian();
+    y[i] = 1.0 + 2.0 * x(i, 0) - 1.0 * x(i, 1) + rng.Gaussian(0.0, 0.1);
+  }
+  auto ols = Ols(x, y);
+  auto ridge = Ridge(x, y, 0.0);
+  ASSERT_TRUE(ols.ok());
+  ASSERT_TRUE(ridge.ok());
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(ridge.value()[j], ols.value().coefficients[j], 1e-6);
+}
+
+TEST(RidgeTest, ShrinksCoefficients) {
+  core::Rng rng(33);
+  const std::size_t n = 100;
+  Matrix x(n, 1);
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    y[i] = 5.0 * x(i, 0) + rng.Gaussian(0.0, 0.1);
+  }
+  auto small = Ridge(x, y, 1.0);
+  auto large = Ridge(x, y, 1000.0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_GT(std::abs(small.value()[1]), std::abs(large.value()[1]));
+  EXPECT_LT(std::abs(large.value()[1]), 5.0);
+}
+
+TEST(RidgeTest, HandlesCollinearDesign) {
+  // Where OLS fails, ridge regularizes through.
+  Matrix x(10, 2);
+  Vector y(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = 2.0 * static_cast<double>(i);
+    y[i] = 3.0 * static_cast<double>(i);
+  }
+  auto fit = Ridge(x, y, 0.1);
+  ASSERT_TRUE(fit.ok());
+  // Combined effect ~ 3 split across the two collinear columns.
+  EXPECT_NEAR(fit.value()[1] + 2.0 * fit.value()[2], 3.0, 0.1);
+}
+
+TEST(RidgeTest, NegativeLambdaThrows) {
+  const Matrix x{{1.0}, {2.0}, {3.0}};
+  const Vector y{1, 2, 3};
+  EXPECT_THROW(Ridge(x, y, -1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

@@ -1,0 +1,149 @@
+// Tests for PoiRoot-style root-cause localization, including an accuracy
+// sweep over random failures in random Internets where the ground-truth
+// culprit is known.
+#include <gtest/gtest.h>
+
+#include "netsim/root_cause.h"
+#include "netsim/scenario_random.h"
+
+namespace sisyphus::netsim {
+namespace {
+
+using core::Asn;
+using core::LinkId;
+
+/// Chain src -> t1 -> t2 -> dst (providers upward), plus a backup
+/// src -> b -> dst.
+struct Fixture {
+  Topology topo;
+  PopIndex src = 0, t1 = 0, t2 = 0, b = 0, dst = 0;
+  LinkId t1_t2, t2_dst, src_b;
+
+  Fixture() {
+    const auto city = topo.cities().Add({"X", {0, 0}, 0});
+    src = topo.AddPop(Asn{10}, city, AsRole::kAccess).value();
+    t1 = topo.AddPop(Asn{20}, city, AsRole::kTransit).value();
+    t2 = topo.AddPop(Asn{30}, city, AsRole::kTransit).value();
+    b = topo.AddPop(Asn{40}, city, AsRole::kTransit).value();
+    dst = topo.AddPop(Asn{50}, city, AsRole::kContent).value();
+    (void)topo.AddLink(src, t1, Relationship::kCustomerToProvider);
+    t1_t2 = topo.AddLink(t1, t2, Relationship::kCustomerToProvider).value();
+    t2_dst = topo.AddLink(dst, t2, Relationship::kCustomerToProvider).value();
+    src_b = topo.AddLink(src, b, Relationship::kCustomerToProvider).value();
+    (void)topo.AddLink(dst, b, Relationship::kCustomerToProvider);
+    // Prefer the t1 path initially: shorter tie broken by pop index, but
+    // t1 path is LONGER (4 asns vs 3) — so boost it via... actually the
+    // backup (src->b->dst) is shorter and wins; drain it initially so the
+    // deep chain is primary.
+    topo.MutableLink(src_b).up = false;
+  }
+};
+
+TEST(RootCauseTest, DeepLinkFailureLocalizedAtClosestChangedHop) {
+  Fixture f;
+  BgpSimulator bgp(f.topo);
+  const RouteTable before = bgp.RoutesTo(f.dst);
+  ASSERT_TRUE(before.best[f.src].has_value());
+
+  // Fail the deep t2 -> dst link AND bring the backup up, so src shifts.
+  f.topo.MutableLink(f.t2_dst).up = false;
+  f.topo.MutableLink(f.src_b).up = true;
+  bgp.InvalidateCache();
+  const RouteTable after = bgp.RoutesTo(f.dst);
+
+  auto result = LocalizeRouteChange(f.topo, before, after, f.src);
+  ASSERT_TRUE(result.ok());
+  // t2 lost its customer route to dst: it is the closest-to-destination
+  // changed hop on the old path.
+  EXPECT_EQ(result.value().culprit, f.t2);
+  EXPECT_EQ(result.value().kind, RouteChangeKind::kWithdrawal);
+  EXPECT_NE(result.value().explanation.find("AS30"), std::string::npos);
+}
+
+TEST(RootCauseTest, NewPreferredRouteClassified) {
+  Fixture f;
+  BgpSimulator bgp(f.topo);
+  const RouteTable before = bgp.RoutesTo(f.dst);
+  // Bring up the backup: src switches to the shorter path even though
+  // nothing on the old path changed.
+  f.topo.MutableLink(f.src_b).up = true;
+  bgp.InvalidateCache();
+  const RouteTable after = bgp.RoutesTo(f.dst);
+  auto result = LocalizeRouteChange(f.topo, before, after, f.src);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().kind, RouteChangeKind::kNewRoute);
+  // The new option originates at src itself (its new adjacency).
+  EXPECT_EQ(result.value().culprit, f.src);
+}
+
+TEST(RootCauseTest, NoChangeDetected) {
+  Fixture f;
+  BgpSimulator bgp(f.topo);
+  const RouteTable before = bgp.RoutesTo(f.dst);
+  auto result = LocalizeRouteChange(f.topo, before, before, f.src);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().kind, RouteChangeKind::kNoChange);
+}
+
+TEST(RootCauseTest, ValidationErrors) {
+  Fixture f;
+  BgpSimulator bgp(f.topo);
+  const RouteTable to_dst = bgp.RoutesTo(f.dst);
+  const RouteTable to_t1 = bgp.RoutesTo(f.t1);
+  EXPECT_FALSE(LocalizeRouteChange(f.topo, to_dst, to_t1, f.src).ok());
+}
+
+TEST(RootCauseTest, KindNamesStable) {
+  EXPECT_STREQ(ToString(RouteChangeKind::kWithdrawal), "withdrawal");
+  EXPECT_STREQ(ToString(RouteChangeKind::kNewRoute), "new_route");
+}
+
+// Accuracy sweep: random internets, random single-link failures with a
+// known culprit; localization should put the blame on one of the two
+// endpoint ASes of the failed link in the vast majority of cases.
+class RootCauseAccuracyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RootCauseAccuracyTest, BlamesAnEndpointOfTheFailedLink) {
+  RandomInternetOptions options;
+  options.seed = static_cast<std::uint64_t>(100 + GetParam());
+  options.access_count = 20;
+  options.multihoming_probability = 0.8;  // ensure reroutes, not blackouts
+  auto world = BuildRandomInternet(options);
+  auto& sim = *world.simulator;
+  const PopIndex dst = world.content.front();
+
+  std::size_t changes = 0, endpoint_blamed = 0;
+  for (core::LinkId::underlying_type raw = 0;
+       raw < sim.topology().LinkCount(); ++raw) {
+    const LinkId link{raw};
+    const RouteTable before = sim.bgp().RoutesTo(dst);
+    sim.topology().MutableLink(link).up = false;
+    sim.bgp().InvalidateCache();
+    const RouteTable after = sim.bgp().RoutesTo(dst);
+    const auto& l = sim.topology().GetLink(link);
+    for (PopIndex src : world.access) {
+      if (!before.best[src].has_value() || !after.best[src].has_value()) {
+        continue;
+      }
+      if (before.best[src]->pop_path == after.best[src]->pop_path) continue;
+      ++changes;
+      auto result = LocalizeRouteChange(sim.topology(), before, after, src);
+      ASSERT_TRUE(result.ok());
+      if (result.value().culprit == l.a || result.value().culprit == l.b) {
+        ++endpoint_blamed;
+      }
+    }
+    sim.topology().MutableLink(link).up = true;
+    sim.bgp().InvalidateCache();
+  }
+  ASSERT_GT(changes, 0u);
+  EXPECT_GT(static_cast<double>(endpoint_blamed) /
+                static_cast<double>(changes),
+            0.9)
+      << endpoint_blamed << "/" << changes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RootCauseAccuracyTest, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace sisyphus::netsim

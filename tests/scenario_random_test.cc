@@ -1,0 +1,173 @@
+// Tests for the random Internet generator plus the Newey–West HAC
+// standard errors and the Dataset-level IV wrapper (new API surface).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/estimators.h"
+#include "core/rng.h"
+#include "netsim/scenario_random.h"
+#include "stats/regression.h"
+
+namespace sisyphus {
+namespace {
+
+// ---- Random Internet -----------------------------------------------------------
+
+class RandomInternetTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomInternetTest, EveryAccessReachesEveryContent) {
+  netsim::RandomInternetOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam());
+  options.access_count = 25;
+  const auto world = netsim::BuildRandomInternet(options);
+  auto& bgp = world.simulator->bgp();
+  for (netsim::PopIndex content : world.content) {
+    for (netsim::PopIndex access : world.access) {
+      EXPECT_TRUE(bgp.Route(access, content).ok())
+          << "access pop " << access << " cannot reach content " << content;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomInternetTest, ::testing::Range(1, 6));
+
+TEST(RandomInternetTest, DeterministicForSeed) {
+  netsim::RandomInternetOptions options;
+  options.seed = 9;
+  const auto a = netsim::BuildRandomInternet(options);
+  const auto b = netsim::BuildRandomInternet(options);
+  EXPECT_EQ(a.simulator->topology().PopCount(),
+            b.simulator->topology().PopCount());
+  EXPECT_EQ(a.simulator->topology().LinkCount(),
+            b.simulator->topology().LinkCount());
+}
+
+TEST(RandomInternetTest, RespectsCounts) {
+  netsim::RandomInternetOptions options;
+  options.tier1_count = 4;
+  options.transit_count = 6;
+  options.access_count = 10;
+  options.content_count = 3;
+  options.ixp_count = 2;
+  const auto world = netsim::BuildRandomInternet(options);
+  EXPECT_EQ(world.tier1.size(), 4u);
+  EXPECT_EQ(world.transits.size(), 6u);
+  EXPECT_EQ(world.access.size(), 10u);
+  EXPECT_EQ(world.content.size(), 3u);
+  EXPECT_EQ(world.ixps.size(), 2u);
+  EXPECT_EQ(world.simulator->topology().PopCount(), 23u);
+}
+
+TEST(RandomInternetTest, SomeIxpPeeringWhenColocated) {
+  // With high membership probability and one city, IXP links appear.
+  netsim::RandomInternetOptions options;
+  options.city_count = 1;
+  options.ixp_count = 1;
+  options.access_count = 20;
+  options.ixp_membership_probability = 0.9;
+  const auto world = netsim::BuildRandomInternet(options);
+  const auto& topo = world.simulator->topology();
+  std::size_t ixp_links = 0;
+  for (core::LinkId::underlying_type i = 0; i < topo.LinkCount(); ++i) {
+    if (topo.GetLink(core::LinkId{i}).ixp.has_value()) ++ixp_links;
+  }
+  EXPECT_GT(ixp_links, 5u);
+}
+
+// ---- Newey–West ------------------------------------------------------------------
+
+TEST(NeweyWestTest, MatchesHc1WhenNoAutocorrelation) {
+  core::Rng rng(1);
+  const std::size_t n = 2000;
+  stats::Matrix x(n, 1);
+  stats::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    y[i] = 2.0 * x(i, 0) + rng.Gaussian();
+  }
+  auto fit = stats::Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  auto nw = stats::NeweyWestErrors(x, fit.value(), 0);
+  ASSERT_TRUE(nw.ok());
+  // lags=0 Newey-West IS the HC0 sandwich ~ HC1 up to n/(n-p).
+  EXPECT_NEAR(nw.value()[1], fit.value().robust_errors[1], 0.01);
+}
+
+TEST(NeweyWestTest, WidensUnderAutocorrelatedErrors) {
+  // AR(1) errors with rho = 0.9: classical SEs are far too small; NW with
+  // enough lags should be several times larger.
+  core::Rng rng(2);
+  const std::size_t n = 4000;
+  stats::Matrix x(n, 1);
+  stats::Vector y(n);
+  double e = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.Gaussian();
+    e = 0.9 * e + rng.Gaussian(0.0, 0.4);
+    y[i] = 1.0 * x(i, 0) + e;
+  }
+  auto fit = stats::Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  auto nw = stats::NeweyWestErrors(
+      x, fit.value(), stats::NeweyWestDefaultLags(n) * 4);
+  ASSERT_TRUE(nw.ok());
+  // The INTERCEPT variance is what AR(1) noise inflates.
+  EXPECT_GT(nw.value()[0], 2.0 * fit.value().standard_errors[0]);
+}
+
+TEST(NeweyWestTest, DefaultLagRule) {
+  EXPECT_EQ(stats::NeweyWestDefaultLags(100), 4u);
+  EXPECT_GT(stats::NeweyWestDefaultLags(10000), 6u);
+}
+
+TEST(NeweyWestTest, ValidationErrors) {
+  core::Rng rng(3);
+  stats::Matrix x(50, 1);
+  stats::Vector y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Gaussian();
+    y[i] = x(i, 0);
+  }
+  auto fit = stats::Ols(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_FALSE(stats::NeweyWestErrors(x, fit.value(), 50).ok());  // lags >= n
+  stats::Matrix wrong(40, 1);
+  EXPECT_FALSE(stats::NeweyWestErrors(wrong, fit.value(), 2).ok());
+}
+
+// ---- Dataset-level IV wrapper -------------------------------------------------------
+
+TEST(IvEstimateTest, RecoversEffectAndFlagsWeakInstruments) {
+  core::Rng rng(4);
+  const std::size_t n = 10000;
+  std::vector<double> y(n), t(n), z(n), weak(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.Gaussian();
+    z[i] = rng.Gaussian();
+    weak[i] = rng.Gaussian();
+    t[i] = z[i] + 0.005 * weak[i] + u + rng.Gaussian(0.0, 0.5);
+    y[i] = 2.0 * t[i] + 2.0 * u + rng.Gaussian(0.0, 0.5);
+  }
+  causal::Dataset data;
+  ASSERT_TRUE(data.AddColumn("Y", std::move(y)).ok());
+  ASSERT_TRUE(data.AddColumn("T", std::move(t)).ok());
+  ASSERT_TRUE(data.AddColumn("Z", std::move(z)).ok());
+  ASSERT_TRUE(data.AddColumn("Weak", std::move(weak)).ok());
+
+  auto strong = causal::InstrumentalVariableEstimate(data, "T", "Y", {"Z"});
+  ASSERT_TRUE(strong.ok());
+  EXPECT_NEAR(strong.value().effect, 2.0, 0.1);
+  EXPECT_EQ(strong.value().method, "iv");
+
+  auto weak_fit =
+      causal::InstrumentalVariableEstimate(data, "T", "Y", {"Weak"});
+  ASSERT_TRUE(weak_fit.ok());
+  EXPECT_EQ(weak_fit.value().method.substr(0, 8), "iv[WEAK ");
+
+  EXPECT_FALSE(
+      causal::InstrumentalVariableEstimate(data, "T", "Y", {"nope"}).ok());
+}
+
+}  // namespace
+}  // namespace sisyphus

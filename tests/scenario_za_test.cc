@@ -1,0 +1,139 @@
+// Tests for the South Africa scenario: structure, pre/post-treatment
+// routing, and the calibration invariants Table 1 depends on.
+#include <gtest/gtest.h>
+
+#include "netsim/scenario_za.h"
+
+namespace sisyphus::netsim {
+namespace {
+
+using core::SimTime;
+
+TEST(ScenarioZaTest, StructureMatchesPaper) {
+  const ScenarioZa scenario = BuildScenarioZa();
+  EXPECT_EQ(scenario.treated.size(), 8u);  // Table 1's eight units
+  EXPECT_EQ(scenario.donors.size(), 30u);
+  EXPECT_EQ(scenario.donor_names.size(), scenario.donors.size());
+  EXPECT_EQ(scenario.simulator->topology().GetIxp(scenario.napafrica_jnb).name,
+            "NAPAfrica-JNB");
+  // Unit labels match the paper's rows.
+  EXPECT_EQ(scenario.treated[0].name, "3741 / East London");
+  EXPECT_EQ(scenario.treated[5].name, "327966 / Polokwane");
+}
+
+TEST(ScenarioZaTest, TreatmentLinksDownBeforeTreatmentTime) {
+  const ScenarioZa scenario = BuildScenarioZa();
+  const auto& topo = scenario.simulator->topology();
+  for (const auto& unit : scenario.treated) {
+    EXPECT_FALSE(topo.GetLink(unit.ixp_link).up) << unit.name;
+    ASSERT_TRUE(topo.GetLink(unit.ixp_link).ixp.has_value());
+    EXPECT_EQ(*topo.GetLink(unit.ixp_link).ixp, scenario.napafrica_jnb);
+  }
+}
+
+TEST(ScenarioZaTest, AllUnitsReachContentPreTreatment) {
+  ScenarioZa scenario = BuildScenarioZa();
+  auto& bgp = scenario.simulator->bgp();
+  for (const auto& unit : scenario.treated) {
+    auto route = bgp.Route(unit.access_pop, scenario.content_jnb);
+    ASSERT_TRUE(route.ok()) << unit.name;
+    EXPECT_FALSE(route.value().CrossesIxp(scenario.simulator->topology(),
+                                          scenario.napafrica_jnb))
+        << unit.name;
+  }
+  for (std::size_t i = 0; i < scenario.donors.size(); ++i) {
+    auto route = bgp.Route(scenario.donors[i], scenario.content_jnb);
+    ASSERT_TRUE(route.ok()) << scenario.donor_names[i];
+  }
+}
+
+TEST(ScenarioZaTest, TreatedCrossIxpAfterTreatmentDonorsNever) {
+  ScenarioZa scenario = BuildScenarioZa();
+  scenario.simulator->AdvanceTo(scenario.options.treatment_time +
+                                SimTime::FromHours(1));
+  auto& bgp = scenario.simulator->bgp();
+  const auto& topo = scenario.simulator->topology();
+  for (const auto& unit : scenario.treated) {
+    auto route = bgp.Route(unit.access_pop, scenario.content_jnb);
+    ASSERT_TRUE(route.ok()) << unit.name;
+    EXPECT_TRUE(route.value().CrossesIxp(topo, scenario.napafrica_jnb))
+        << unit.name;
+  }
+  for (std::size_t i = 0; i < scenario.donors.size(); ++i) {
+    auto route = bgp.Route(scenario.donors[i], scenario.content_jnb);
+    ASSERT_TRUE(route.ok());
+    EXPECT_FALSE(route.value().CrossesIxp(topo, scenario.napafrica_jnb))
+        << scenario.donor_names[i];
+  }
+}
+
+TEST(ScenarioZaTest, TreatmentChangesAreLoggedExogenous) {
+  ScenarioZa scenario = BuildScenarioZa();
+  scenario.simulator->AdvanceTo(scenario.options.horizon);
+  std::size_t peering_changes = 0;
+  for (const auto& change : scenario.simulator->route_changes()) {
+    if (change.trigger.find("NAPAfrica") != std::string::npos) {
+      EXPECT_TRUE(change.exogenous);
+      EXPECT_GE(change.time, scenario.options.treatment_time);
+      ++peering_changes;
+    }
+  }
+  EXPECT_GE(peering_changes, scenario.treated.size());
+}
+
+TEST(ScenarioZaTest, RttDeltasHaveCalibratedSigns) {
+  // The deterministic mean-RTT shift at a fixed off-peak hour should have
+  // the sign Table 1 reports for the clearly-signed units.
+  ScenarioZa scenario = BuildScenarioZa();
+  auto& sim = *scenario.simulator;
+  const SimTime probe_pre = SimTime::FromDays(27);   // 00:00, off-peak
+  std::map<std::string, double> pre_rtt;
+  for (const auto& unit : scenario.treated) {
+    auto route = sim.bgp().Route(unit.access_pop, scenario.content_jnb);
+    ASSERT_TRUE(route.ok());
+    pre_rtt[unit.name] = sim.latency().PathRttMs(route.value(), probe_pre);
+  }
+  sim.AdvanceTo(scenario.options.treatment_time + SimTime::FromHours(1));
+  const SimTime probe_post = SimTime::FromDays(29);
+  for (const auto& unit : scenario.treated) {
+    auto route = sim.bgp().Route(unit.access_pop, scenario.content_jnb);
+    ASSERT_TRUE(route.ok());
+    const double delta =
+        sim.latency().PathRttMs(route.value(), probe_post) -
+        pre_rtt[unit.name];
+    if (unit.paper_delta_ms > 1.0) {
+      EXPECT_GT(delta, 0.0) << unit.name;
+    } else if (unit.paper_delta_ms < -1.0) {
+      EXPECT_LT(delta, 0.5) << unit.name;
+    }
+  }
+}
+
+TEST(ScenarioZaTest, DonorPoolHasTromboneHeterogeneity) {
+  ScenarioZa scenario = BuildScenarioZa();
+  auto& sim = *scenario.simulator;
+  double min_rtt = 1e9, max_rtt = 0.0;
+  for (PopIndex donor : scenario.donors) {
+    auto route = sim.bgp().Route(donor, scenario.content_jnb);
+    ASSERT_TRUE(route.ok());
+    const double rtt =
+        sim.latency().PathRttMs(route.value(), SimTime::FromDays(1));
+    min_rtt = std::min(min_rtt, rtt);
+    max_rtt = std::max(max_rtt, rtt);
+  }
+  EXPECT_LT(min_rtt, 20.0);    // domestic donors
+  EXPECT_GT(max_rtt, 120.0);   // tromboned donors via London
+}
+
+TEST(ScenarioZaTest, CustomOptionsRespected) {
+  ScenarioZaOptions options;
+  options.donor_units = 12;
+  options.treatment_time = SimTime::FromDays(10);
+  options.horizon = SimTime::FromDays(20);
+  const ScenarioZa scenario = BuildScenarioZa(options);
+  EXPECT_EQ(scenario.donors.size(), 12u);
+  EXPECT_EQ(scenario.options.treatment_time, SimTime::FromDays(10));
+}
+
+}  // namespace
+}  // namespace sisyphus::netsim

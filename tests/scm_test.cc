@@ -1,0 +1,169 @@
+// Tests for the structural causal model: sampling, do-interventions, and
+// exact abduction-action-prediction counterfactuals on the paper's
+// routing/latency running example.
+#include <gtest/gtest.h>
+
+#include "causal/dag_parser.h"
+#include "causal/scm.h"
+#include "stats/descriptive.h"
+
+namespace sisyphus::causal {
+namespace {
+
+/// The paper's running example: C -> R, C -> L, R -> L, with known linear
+/// coefficients. True causal effect of R on L is 2.0; the confounding via
+/// C inflates the naive association.
+Scm RunningExampleScm() {
+  auto dag = ParseDag("C -> R; C -> L; R -> L");
+  EXPECT_TRUE(dag.ok());
+  Scm scm(std::move(dag).value());
+  EXPECT_TRUE(scm.SetLinear("C", 0.0, {}, 1.0).ok());
+  EXPECT_TRUE(scm.SetLinear("R", 0.0, {{"C", 1.5}}, 0.5).ok());
+  EXPECT_TRUE(scm.SetLinear("L", 10.0, {{"C", 3.0}, {"R", 2.0}}, 0.5).ok());
+  return scm;
+}
+
+TEST(ScmTest, SampleShapesAndColumns) {
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(1);
+  const Dataset data = scm.Sample(100, rng);
+  EXPECT_EQ(data.rows(), 100u);
+  EXPECT_TRUE(data.HasColumn("C"));
+  EXPECT_TRUE(data.HasColumn("R"));
+  EXPECT_TRUE(data.HasColumn("L"));
+}
+
+TEST(ScmTest, SampleRespectsStructure) {
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(2);
+  const Dataset data = scm.Sample(50000, rng);
+  // E[L] = 10 (C and R centered).
+  EXPECT_NEAR(stats::Mean(data.ColumnOrDie("L")), 10.0, 0.1);
+  // Corr(C, R) strong and positive.
+  EXPECT_GT(stats::PearsonCorrelation(data.ColumnOrDie("C"),
+                                      data.ColumnOrDie("R")),
+            0.8);
+}
+
+TEST(ScmTest, LatentsExcludedUnlessRequested) {
+  auto dag = ParseDag("H [latent]; H -> Y");
+  ASSERT_TRUE(dag.ok());
+  Scm scm(std::move(dag).value());
+  core::Rng rng(3);
+  EXPECT_FALSE(scm.Sample(5, rng).HasColumn("H"));
+  EXPECT_TRUE(scm.Sample(5, rng, {}, /*include_latents=*/true).HasColumn("H"));
+}
+
+TEST(ScmTest, InterventionBreaksConfounding) {
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(4);
+  // Under do(R = r): E[L] = 10 + 2 r (the C -> R edge is severed).
+  const auto r = scm.dag().Node("R").value();
+  const auto l = scm.dag().Node("L").value();
+  EXPECT_NEAR(scm.ExpectedUnderIntervention(l, {{r, 1.0}}, 40000, rng), 12.0,
+              0.1);
+  EXPECT_NEAR(scm.ExpectedUnderIntervention(l, {{r, 0.0}}, 40000, rng), 10.0,
+              0.1);
+}
+
+TEST(ScmTest, AverageTreatmentEffectMatchesCoefficient) {
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(5);
+  const auto r = scm.dag().Node("R").value();
+  const auto l = scm.dag().Node("L").value();
+  EXPECT_NEAR(scm.AverageTreatmentEffect(r, l, 1.0, 0.0, 60000, rng), 2.0,
+              0.1);
+}
+
+TEST(ScmTest, AssociationExceedsCausalEffectUnderConfounding) {
+  // The observational slope of L on R is 2 + 3*cov(C,R)/var(R) > 2.
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(6);
+  const Dataset data = scm.Sample(50000, rng);
+  const auto r_col = data.ColumnOrDie("R");
+  const auto l_col = data.ColumnOrDie("L");
+  const double slope = stats::Covariance(r_col, l_col) /
+                       stats::Variance(r_col);
+  EXPECT_GT(slope, 3.0);  // true effect is 2.0
+}
+
+TEST(ScmTest, CounterfactualExactInDeterministicWorld) {
+  const Scm scm = RunningExampleScm();
+  // Hand-built factual world: C=1, R=2 (noise 0.5), L=10+3+4+1=18
+  // (noise 1).
+  std::unordered_map<std::string, double> factual{
+      {"C", 1.0}, {"R", 2.0}, {"L", 18.0}};
+  // Counterfactual: had R been 0, L = 10 + 3*1 + 0 + noise(L)=1 -> 14.
+  auto world = scm.Counterfactual(factual, {{scm.dag().Node("R").value(), 0.0}});
+  ASSERT_TRUE(world.ok());
+  EXPECT_NEAR(world.value().at("L"), 14.0, 1e-9);
+  // C unchanged (not downstream of R).
+  EXPECT_NEAR(world.value().at("C"), 1.0, 1e-12);
+}
+
+TEST(ScmTest, CounterfactualConsistency) {
+  // Intervening with the factual treatment value must reproduce the
+  // factual world exactly (Pearl's consistency property).
+  const Scm scm = RunningExampleScm();
+  core::Rng rng(7);
+  const auto factual = scm.SampleWorld(rng);
+  auto world = scm.Counterfactual(
+      factual, {{scm.dag().Node("R").value(), factual.at("R")}});
+  ASSERT_TRUE(world.ok());
+  for (const auto& [name, value] : factual) {
+    EXPECT_NEAR(world.value().at(name), value, 1e-9) << name;
+  }
+}
+
+TEST(ScmTest, CounterfactualRequiresCompleteWorld) {
+  const Scm scm = RunningExampleScm();
+  std::unordered_map<std::string, double> incomplete{{"R", 1.0}};
+  auto world =
+      scm.Counterfactual(incomplete, {{scm.dag().Node("R").value(), 0.0}});
+  ASSERT_FALSE(world.ok());
+  EXPECT_EQ(world.error().code(), core::ErrorCode::kInvalidArgument);
+}
+
+TEST(ScmTest, CustomMechanismUsed) {
+  auto dag = ParseDag("X -> Y");
+  ASSERT_TRUE(dag.ok());
+  Scm scm(std::move(dag).value());
+  const auto x = scm.dag().Node("X").value();
+  const auto y = scm.dag().Node("Y").value();
+  ASSERT_TRUE(scm.SetLinear(x, {2.0, {}, 0.0}).ok());
+  CustomEquation eq;
+  eq.mechanism = [](std::span<const double> parents) {
+    return parents[0] * parents[0];  // Y = X^2
+  };
+  eq.noise_sd = 0.0;
+  ASSERT_TRUE(scm.SetCustom(y, std::move(eq)).ok());
+  core::Rng rng(8);
+  const Dataset data = scm.Sample(3, rng);
+  EXPECT_DOUBLE_EQ(data.ColumnOrDie("Y")[0], 4.0);
+}
+
+TEST(ScmTest, SetLinearValidatesParents) {
+  auto dag = ParseDag("A -> B");
+  ASSERT_TRUE(dag.ok());
+  Scm scm(std::move(dag).value());
+  // Wrong parent name.
+  EXPECT_FALSE(scm.SetLinear("B", 0.0, {{"Z", 1.0}}, 1.0).ok());
+  // Wrong coefficient count via the id-based overload.
+  EXPECT_FALSE(
+      scm.SetLinear(scm.dag().Node("B").value(), {0.0, {1.0, 2.0}, 1.0}).ok());
+  // Negative noise.
+  EXPECT_FALSE(scm.SetLinear("A", 0.0, {}, -1.0).ok());
+}
+
+TEST(ScmTest, LinearCoefficientIntrospection) {
+  const Scm scm = RunningExampleScm();
+  const auto c = scm.dag().Node("C").value();
+  const auto r = scm.dag().Node("R").value();
+  const auto l = scm.dag().Node("L").value();
+  EXPECT_DOUBLE_EQ(scm.LinearCoefficient(r, l), 2.0);
+  EXPECT_DOUBLE_EQ(scm.LinearCoefficient(c, l), 3.0);
+  EXPECT_DOUBLE_EQ(scm.LinearCoefficient(l, r), 0.0);
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

@@ -1,0 +1,141 @@
+// Tests for sensitivity analysis (E-values, omitted-variable-bias grid)
+// and the conditional-instrument search.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "causal/dag_parser.h"
+#include "causal/identification.h"
+#include "causal/sensitivity.h"
+
+namespace sisyphus::causal {
+namespace {
+
+// ---- E-values -----------------------------------------------------------------
+
+TEST(EValueTest, KnownValue) {
+  // RR = 2: E = 2 + sqrt(2) ~ 3.41 (the canonical textbook number).
+  auto result = EValueForRiskRatio(2.0, 1.5, 2.7);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().e_value, 3.414, 0.01);
+  // CI bound closer to null (1.5): E = 1.5 + sqrt(1.5*0.5) ~ 2.37.
+  EXPECT_NEAR(result.value().e_value_ci, 2.366, 0.01);
+}
+
+TEST(EValueTest, ProtectiveEffectSymmetric) {
+  auto protective = EValueForRiskRatio(0.5, 0.37, 0.67);
+  auto harmful = EValueForRiskRatio(2.0, 1.0 / 0.67, 1.0 / 0.37);
+  ASSERT_TRUE(protective.ok());
+  ASSERT_TRUE(harmful.ok());
+  EXPECT_NEAR(protective.value().e_value, harmful.value().e_value, 1e-9);
+}
+
+TEST(EValueTest, NullEffectGivesOne) {
+  auto result = EValueForRiskRatio(1.0, 0.8, 1.2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result.value().e_value, 1.0);
+  EXPECT_DOUBLE_EQ(result.value().e_value_ci, 1.0);
+}
+
+TEST(EValueTest, CiCrossingNullZeroesRobustness) {
+  auto result = EValueForRiskRatio(1.5, 0.9, 2.5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().e_value, 1.0);
+  EXPECT_DOUBLE_EQ(result.value().e_value_ci, 1.0);
+}
+
+TEST(EValueTest, InvalidInputsRejected) {
+  EXPECT_FALSE(EValueForRiskRatio(-1.0, 0.5, 2.0).ok());
+  EXPECT_FALSE(EValueForRiskRatio(2.0, 2.5, 3.0).ok());  // rr < ci_lower
+  EXPECT_FALSE(EValueForRiskRatio(2.0, 1.0, 0.5).ok());  // upper < lower
+}
+
+TEST(EValueTest, RiskRatioFromProportions) {
+  auto rr = RiskRatioFromProportions(0.2, 0.1);
+  ASSERT_TRUE(rr.ok());
+  EXPECT_NEAR(rr.value(), 1.5, 1e-12);
+  EXPECT_FALSE(RiskRatioFromProportions(0.0, 0.1).ok());
+  EXPECT_FALSE(RiskRatioFromProportions(0.9, 0.2).ok());
+}
+
+// ---- Linear sensitivity grid ----------------------------------------------------
+
+TEST(SensitivityGridTest, BiasIsProductAndSignFlipDetected) {
+  const auto grid = LinearSensitivityGrid(2.0, {0.5, 1.0, 2.0}, {1.0, 3.0});
+  ASSERT_EQ(grid.size(), 6u);
+  for (const auto& point : grid) {
+    EXPECT_DOUBLE_EQ(point.induced_bias,
+                     point.delta_confounder * point.outcome_effect);
+    EXPECT_DOUBLE_EQ(point.adjusted_effect, 2.0 - point.induced_bias);
+    EXPECT_EQ(point.sign_flips, point.adjusted_effect <= 0.0);
+  }
+  // delta=2, effect=3 -> bias 6 -> adjusted -4: flips.
+  EXPECT_TRUE(grid.back().sign_flips);
+  // delta=0.5, effect=1 -> adjusted 1.5: holds.
+  EXPECT_FALSE(grid.front().sign_flips);
+}
+
+TEST(SensitivityGridTest, BreakevenMatchesEstimateMagnitude) {
+  EXPECT_DOUBLE_EQ(BreakevenConfounding(-3.2), 3.2);
+  EXPECT_DOUBLE_EQ(BreakevenConfounding(0.0), 0.0);
+}
+
+TEST(SensitivityGridTest, EmptyAxesRejected) {
+  EXPECT_THROW(LinearSensitivityGrid(1.0, {}, {1.0}), std::logic_error);
+}
+
+// ---- Conditional instruments -----------------------------------------------------
+
+Dag MustParse(const char* text) {
+  auto dag = ParseDag(text);
+  EXPECT_TRUE(dag.ok()) << text;
+  return std::move(dag).value();
+}
+
+TEST(ConditionalInstrumentTest, UnconditionalReportedWithEmptySet) {
+  const Dag dag = MustParse("Z -> T; T -> Y; T <-> Y");
+  const auto found = FindConditionalInstruments(
+      dag, dag.Node("T").value(), dag.Node("Y").value());
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].instrument, dag.Node("Z").value());
+  EXPECT_TRUE(found[0].conditioning.empty());
+}
+
+TEST(ConditionalInstrumentTest, FindsRequiredConditioningSet) {
+  // W confounds Z and Y: Z only works given W.
+  const Dag dag =
+      MustParse("W -> Z; W -> Y; Z -> T; T -> Y; T <-> Y");
+  const auto found = FindConditionalInstruments(
+      dag, dag.Node("T").value(), dag.Node("Y").value());
+  ASSERT_FALSE(found.empty());
+  bool z_found = false;
+  for (const auto& ci : found) {
+    if (ci.instrument == dag.Node("Z").value()) {
+      z_found = true;
+      EXPECT_EQ(ci.conditioning.size(), 1u);
+      EXPECT_TRUE(ci.conditioning.Contains(dag.Node("W").value()));
+    }
+  }
+  EXPECT_TRUE(z_found);
+}
+
+TEST(ConditionalInstrumentTest, NoInstrumentWhenNoneExists) {
+  const Dag dag = MustParse("T <-> Y; T -> Y");
+  EXPECT_TRUE(FindConditionalInstruments(dag, dag.Node("T").value(),
+                                         dag.Node("Y").value())
+                  .empty());
+}
+
+TEST(ConditionalInstrumentTest, RespectsConditioningSizeCap) {
+  const Dag dag =
+      MustParse("W -> Z; W -> Y; Z -> T; T -> Y; T <-> Y");
+  const auto found = FindConditionalInstruments(
+      dag, dag.Node("T").value(), dag.Node("Y").value(),
+      /*max_conditioning_size=*/0);
+  for (const auto& ci : found) {
+    EXPECT_NE(ci.instrument, dag.Node("Z").value());
+  }
+}
+
+}  // namespace
+}  // namespace sisyphus::causal

@@ -1,0 +1,212 @@
+// Tests for speed-test execution and the measurement store.
+#include <gtest/gtest.h>
+
+#include "measure/store.h"
+#include "netsim/simulator.h"
+
+namespace sisyphus::measure {
+namespace {
+
+using core::Asn;
+using core::SimTime;
+using netsim::AsRole;
+using netsim::NetworkSimulator;
+using netsim::Relationship;
+using netsim::Topology;
+
+struct Fixture {
+  std::unique_ptr<NetworkSimulator> sim;
+  netsim::PopIndex user = 0, server = 0;
+  core::LinkId peering;
+  core::IxpId ixp;
+
+  Fixture() {
+    Topology topo;
+    const auto jnb = topo.cities().Add({"Johannesburg", {-26.2, 28.0}, 2.0});
+    user = topo.AddPop(Asn{3741}, jnb, AsRole::kAccess).value();
+    const auto transit = topo.AddPop(Asn{2}, jnb, AsRole::kTransit).value();
+    server = topo.AddPop(Asn{3}, jnb, AsRole::kMeasurement).value();
+    ixp = topo.AddIxp("NAPAfrica-JNB", jnb);
+    EXPECT_TRUE(
+        topo.AddLink(user, transit, Relationship::kCustomerToProvider).ok());
+    EXPECT_TRUE(
+        topo.AddLink(server, transit, Relationship::kCustomerToProvider)
+            .ok());
+    peering =
+        topo.AddLink(user, server, Relationship::kPeerToPeer, ixp).value();
+    topo.MutableLink(peering).up = false;
+    sim = std::make_unique<NetworkSimulator>(std::move(topo));
+  }
+};
+
+TEST(SpeedTestTest, RecordFieldsPopulated) {
+  Fixture f;
+  core::Rng rng(1);
+  auto record =
+      RunSpeedTest(*f.sim, f.user, f.server, Intent::kBaseline, rng);
+  ASSERT_TRUE(record.ok());
+  const auto& r = record.value();
+  EXPECT_EQ(r.asn, Asn{3741});
+  EXPECT_EQ(r.city, "Johannesburg");
+  EXPECT_EQ(r.UnitKey(), "3741 / Johannesburg");
+  EXPECT_GT(r.rtt_ms, 0.0);
+  EXPECT_GT(r.throughput_mbps, 0.0);
+  EXPECT_LT(r.throughput_mbps, 150.0);
+  EXPECT_EQ(r.intent, Intent::kBaseline);
+  EXPECT_EQ(r.asn_path.size(), 3u);
+  EXPECT_EQ(r.traceroute.hops.size(), 3u);
+}
+
+TEST(SpeedTestTest, RttIncludesLastMileOverhead) {
+  Fixture f;
+  core::Rng rng(2);
+  auto route = f.sim->RouteBetween(f.user, f.server);
+  ASSERT_TRUE(route.ok());
+  const double path_rtt =
+      f.sim->latency().PathRttMs(route.value(), f.sim->Now());
+  double sum = 0.0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    auto record =
+        RunSpeedTest(*f.sim, f.user, f.server, Intent::kBaseline, rng);
+    ASSERT_TRUE(record.ok());
+    sum += record.value().rtt_ms;
+  }
+  // Mean last-mile overhead ~2 ms plus occasional spikes.
+  EXPECT_GT(sum / n, path_rtt + 1.0);
+  EXPECT_LT(sum / n, path_rtt + 6.0);
+}
+
+TEST(SpeedTestTest, ThroughputDecreasesWithRtt) {
+  SpeedTestModelOptions options;
+  // Compare two fixtures: one direct, one with a long link.
+  Fixture fast;
+  core::Rng rng(3);
+  // Slow path: add shock... simpler: compare model formula monotonicity
+  // through samples at different path RTTs by toggling peering (shorter).
+  fast.sim->topology().MutableLink(fast.peering).up = true;
+  fast.sim->bgp().InvalidateCache();
+  double fast_sum = 0.0, slow_sum = 0.0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    auto record = RunSpeedTest(*fast.sim, fast.user, fast.server,
+                               Intent::kBaseline, rng, options);
+    ASSERT_TRUE(record.ok());
+    fast_sum += record.value().throughput_mbps;
+  }
+  fast.sim->topology().MutableLink(fast.peering).up = false;
+  fast.sim->bgp().InvalidateCache();
+  for (int i = 0; i < n; ++i) {
+    auto record = RunSpeedTest(*fast.sim, fast.user, fast.server,
+                               Intent::kBaseline, rng, options);
+    ASSERT_TRUE(record.ok());
+    slow_sum += record.value().throughput_mbps;
+  }
+  EXPECT_GT(fast_sum, slow_sum);
+}
+
+TEST(SpeedTestTest, UnreachableDestinationFails) {
+  Fixture f;
+  // Partition the user.
+  for (core::LinkId link : f.sim->topology().LinksOf(f.user)) {
+    f.sim->topology().MutableLink(link).up = false;
+  }
+  f.sim->bgp().InvalidateCache();
+  core::Rng rng(4);
+  auto record =
+      RunSpeedTest(*f.sim, f.user, f.server, Intent::kUserInitiated, rng);
+  ASSERT_FALSE(record.ok());
+  EXPECT_EQ(record.error().code(), core::ErrorCode::kNotFound);
+}
+
+TEST(IntentTest, NamesStable) {
+  EXPECT_STREQ(ToString(Intent::kBaseline), "baseline");
+  EXPECT_STREQ(ToString(Intent::kUserInitiated), "user_initiated");
+  EXPECT_STREQ(ToString(Intent::kEventTriggered), "event_triggered");
+}
+
+TEST(StoreTest, UnitsIndexedAndOrdered) {
+  Fixture f;
+  core::Rng rng(5);
+  MeasurementStore store;
+  for (int i = 0; i < 5; ++i) {
+    f.sim->AdvanceTo(SimTime::FromHours(static_cast<double>(i + 1)));
+    auto record =
+        RunSpeedTest(*f.sim, f.user, f.server, Intent::kBaseline, rng);
+    ASSERT_TRUE(record.ok());
+    store.Add(std::move(record).value());
+  }
+  EXPECT_EQ(store.size(), 5u);
+  ASSERT_EQ(store.Units().size(), 1u);
+  EXPECT_EQ(store.Units()[0], "3741 / Johannesburg");
+  const auto unit_records = store.ForUnit("3741 / Johannesburg");
+  ASSERT_EQ(unit_records.size(), 5u);
+  for (std::size_t i = 1; i < unit_records.size(); ++i) {
+    EXPECT_LE(unit_records[i - 1]->time, unit_records[i]->time);
+  }
+  EXPECT_TRUE(store.ForUnit("nope").empty());
+}
+
+TEST(StoreTest, SelectByPredicate) {
+  Fixture f;
+  core::Rng rng(6);
+  MeasurementStore store;
+  for (int i = 0; i < 4; ++i) {
+    auto record = RunSpeedTest(*f.sim, f.user, f.server,
+                               i % 2 == 0 ? Intent::kBaseline
+                                          : Intent::kUserInitiated,
+                               rng);
+    ASSERT_TRUE(record.ok());
+    store.Add(std::move(record).value());
+  }
+  const auto baseline = store.Select([](const SpeedTestRecord& r) {
+    return r.intent == Intent::kBaseline;
+  });
+  EXPECT_EQ(baseline.size(), 2u);
+}
+
+TEST(StoreTest, FirstIxpCrossingDetectsTreatmentOnset) {
+  Fixture f;
+  core::Rng rng(7);
+  MeasurementStore store;
+  // Two pre-treatment tests.
+  for (int i = 0; i < 2; ++i) {
+    f.sim->AdvanceTo(SimTime::FromHours(static_cast<double>(i + 1)));
+    auto record =
+        RunSpeedTest(*f.sim, f.user, f.server, Intent::kBaseline, rng);
+    ASSERT_TRUE(record.ok());
+    store.Add(std::move(record).value());
+  }
+  // Peering turns up at t = 3h.
+  f.sim->AdvanceTo(SimTime::FromHours(3.0));
+  f.sim->topology().MutableLink(f.peering).up = true;
+  f.sim->bgp().InvalidateCache();
+  for (int i = 0; i < 2; ++i) {
+    f.sim->AdvanceTo(SimTime::FromHours(4.0 + i));
+    auto record =
+        RunSpeedTest(*f.sim, f.user, f.server, Intent::kBaseline, rng);
+    ASSERT_TRUE(record.ok());
+    store.Add(std::move(record).value());
+  }
+  const auto& topo = f.sim->topology();
+  const auto first =
+      store.FirstIxpCrossing(topo, "3741 / Johannesburg", f.ixp);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, SimTime::FromHours(4.0));
+  // Crossing share: 0 before, 1 after.
+  EXPECT_DOUBLE_EQ(store.IxpCrossingShare(topo, "3741 / Johannesburg", f.ixp,
+                                          SimTime(0), SimTime::FromHours(3.0)),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      store.IxpCrossingShare(topo, "3741 / Johannesburg", f.ixp,
+                             SimTime::FromHours(3.5), SimTime::FromHours(6.0)),
+      1.0);
+  // Empty window: share 0.
+  EXPECT_DOUBLE_EQ(
+      store.IxpCrossingShare(topo, "3741 / Johannesburg", f.ixp,
+                             SimTime::FromHours(50), SimTime::FromHours(60)),
+      0.0);
+}
+
+}  // namespace
+}  // namespace sisyphus::measure

@@ -1,0 +1,98 @@
+// Tests for TimeSeries bucketing and missing-data handling.
+#include <gtest/gtest.h>
+
+#include "stats/timeseries.h"
+
+namespace sisyphus::stats {
+namespace {
+
+using core::SimTime;
+
+TEST(TimeSeriesTest, AppendEnforcesOrder) {
+  TimeSeries series;
+  series.Append(SimTime(10), 1.0);
+  series.Append(SimTime(10), 2.0);  // equal time ok
+  EXPECT_THROW(series.Append(SimTime(5), 3.0), std::logic_error);
+}
+
+TEST(TimeSeriesTest, ValuesInWindowHalfOpen) {
+  TimeSeries series;
+  for (int minute : {0, 10, 20, 30}) {
+    series.Append(SimTime(minute), static_cast<double>(minute));
+  }
+  const auto values = series.ValuesInWindow(SimTime(10), SimTime(30));
+  EXPECT_EQ(values, (std::vector<double>{10, 20}));
+}
+
+TEST(TimeSeriesTest, MedianInWindow) {
+  TimeSeries series;
+  series.Append(SimTime(1), 5.0);
+  series.Append(SimTime(2), 1.0);
+  series.Append(SimTime(3), 9.0);
+  const auto median = series.MedianInWindow(SimTime(0), SimTime(10));
+  ASSERT_TRUE(median.has_value());
+  EXPECT_DOUBLE_EQ(*median, 5.0);
+  EXPECT_FALSE(series.MedianInWindow(SimTime(10), SimTime(20)).has_value());
+}
+
+TEST(TimeSeriesTest, BucketedMediansWithGaps) {
+  TimeSeries series;
+  series.Append(SimTime(0), 1.0);
+  series.Append(SimTime(1), 3.0);
+  // bucket [10,20) empty
+  series.Append(SimTime(25), 7.0);
+  const auto buckets =
+      series.BucketedMedians(SimTime(0), SimTime(10), 3);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(*buckets[0], 2.0);
+  EXPECT_FALSE(buckets[1].has_value());
+  EXPECT_DOUBLE_EQ(*buckets[2], 7.0);
+}
+
+TEST(TimeSeriesTest, MissingHelpers) {
+  std::vector<std::optional<double>> buckets{1.0, std::nullopt, 3.0,
+                                             std::nullopt};
+  EXPECT_FALSE(AllMissing(buckets));
+  EXPECT_DOUBLE_EQ(MissingFraction(buckets), 0.5);
+  std::vector<std::optional<double>> empty{std::nullopt, std::nullopt};
+  EXPECT_TRUE(AllMissing(empty));
+}
+
+TEST(TimeSeriesTest, InterpolateLinearInInterior) {
+  std::vector<std::optional<double>> buckets{0.0, std::nullopt, std::nullopt,
+                                             3.0};
+  const auto filled = InterpolateMissing(buckets);
+  EXPECT_DOUBLE_EQ(filled[1], 1.0);
+  EXPECT_DOUBLE_EQ(filled[2], 2.0);
+}
+
+TEST(TimeSeriesTest, InterpolatePropagatesEdges) {
+  std::vector<std::optional<double>> buckets{std::nullopt, 5.0, std::nullopt};
+  const auto filled = InterpolateMissing(buckets);
+  EXPECT_DOUBLE_EQ(filled[0], 5.0);
+  EXPECT_DOUBLE_EQ(filled[2], 5.0);
+}
+
+TEST(TimeSeriesTest, InterpolateAllMissingThrows) {
+  std::vector<std::optional<double>> buckets{std::nullopt, std::nullopt};
+  EXPECT_THROW(InterpolateMissing(buckets), std::logic_error);
+}
+
+TEST(TimeSeriesTest, DifferenceOperator) {
+  const std::vector<double> xs{1, 4, 9, 16};
+  EXPECT_EQ(Difference(xs), (std::vector<double>{3, 5, 7}));
+  const std::vector<double> single{1};
+  EXPECT_TRUE(Difference(single).empty());
+}
+
+TEST(TimeSeriesTest, ValuesDropTimestamps) {
+  TimeSeries series;
+  series.Append(SimTime(0), 1.5);
+  series.Append(SimTime(60), 2.5);
+  EXPECT_EQ(series.Values(), (std::vector<double>{1.5, 2.5}));
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[1].value, 2.5);
+}
+
+}  // namespace
+}  // namespace sisyphus::stats

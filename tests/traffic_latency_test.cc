@@ -1,0 +1,152 @@
+// Tests for the diurnal traffic model and the latency model.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "netsim/latency.h"
+
+namespace sisyphus::netsim {
+namespace {
+
+using core::Asn;
+using core::SimTime;
+
+TEST(DiurnalTest, DemandBoundedAndPeaksInEvening) {
+  double peak_value = 0.0, peak_hour = 0.0;
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    const double demand = DiurnalDemand(h);
+    EXPECT_GE(demand, 0.0);
+    EXPECT_LE(demand, 1.0);
+    if (demand > peak_value) {
+      peak_value = demand;
+      peak_hour = h;
+    }
+  }
+  EXPECT_NEAR(peak_hour, 20.5, 1.0);
+  // Trough in the small hours.
+  EXPECT_LT(DiurnalDemand(4.0), 0.15);
+}
+
+TEST(DiurnalTest, ProfileShiftsWithTimeZone) {
+  DiurnalProfile utc{0.3, 0.4, 0.0, 0.0};
+  DiurnalProfile plus2{0.3, 0.4, 2.0, 0.0};
+  // At 18:30 UTC, the +2 profile is at its local 20:30 peak.
+  const SimTime t = SimTime::FromHours(18.5);
+  EXPECT_GT(plus2.MeanUtilization(t), utc.MeanUtilization(t));
+}
+
+TEST(DiurnalTest, UtilizationClampedAndNoisy) {
+  DiurnalProfile hot{0.9, 0.5, 0.0, 0.05};
+  core::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double u = hot.Utilization(SimTime::FromHours(20.5), rng);
+    EXPECT_LE(u, 0.97);
+    EXPECT_GE(u, 0.0);
+  }
+  // Noise-free accessor is deterministic.
+  EXPECT_DOUBLE_EQ(hot.MeanUtilization(SimTime::FromHours(3.0)),
+                   hot.MeanUtilization(SimTime::FromHours(3.0)));
+}
+
+struct LatencyFixture {
+  Topology topo;
+  PopIndex a, b, c;
+  core::LinkId ab, bc;
+
+  LatencyFixture() {
+    const auto x = topo.cities().Add({"X", {0, 0}, 0});
+    const auto y = topo.cities().Add({"Y", {0, 5}, 0});
+    a = topo.AddPop(Asn{1}, x, AsRole::kAccess).value();
+    b = topo.AddPop(Asn{2}, y, AsRole::kTransit).value();
+    c = topo.AddPop(Asn{3}, y, AsRole::kContent).value();
+    ab = topo.AddLink(a, b, Relationship::kCustomerToProvider, std::nullopt,
+                      3.0)
+             .value();
+    bc = topo.AddLink(b, c, Relationship::kPeerToPeer, std::nullopt, 0.5)
+             .value();
+  }
+};
+
+TEST(LatencyTest, LinkDelayIsPropagationPlusQueueing) {
+  LatencyFixture f;
+  LatencyModel model(f.topo);
+  // At the 04:00 trough utilization is near base (0.3): queue small.
+  const double trough = model.LinkDelayMs(f.ab, SimTime::FromHours(4.0));
+  EXPECT_GT(trough, 3.0);
+  EXPECT_LT(trough, 3.8);
+  // At the evening peak the queue term grows.
+  const double peak = model.LinkDelayMs(f.ab, SimTime::FromHours(20.5));
+  EXPECT_GT(peak, trough + 0.2);
+}
+
+TEST(LatencyTest, PathRttIsTwiceOneWaySum) {
+  LatencyFixture f;
+  LatencyModel model(f.topo);
+  BgpSimulator bgp(f.topo);
+  auto route = bgp.Route(f.a, f.c);
+  ASSERT_TRUE(route.ok());
+  const SimTime t = SimTime::FromHours(4.0);
+  const double rtt = model.PathRttMs(route.value(), t);
+  const double expected =
+      2.0 * (model.LinkDelayMs(f.ab, t) + model.LinkDelayMs(f.bc, t));
+  EXPECT_DOUBLE_EQ(rtt, expected);
+  EXPECT_GT(rtt, 7.0);  // 2 * (3 + 0.5) propagation alone
+}
+
+TEST(LatencyTest, ShocksRaiseUtilizationInWindowOnly) {
+  LatencyFixture f;
+  LatencyModel model(f.topo);
+  const SimTime before = SimTime::FromHours(3.0);
+  const SimTime during = SimTime::FromHours(5.0);
+  const SimTime after = SimTime::FromHours(7.0);
+  const double baseline = model.LinkUtilization(f.ab, during);
+  model.AddUtilizationShock(f.ab, SimTime::FromHours(4.0),
+                            SimTime::FromHours(6.0), 0.3);
+  EXPECT_NEAR(model.LinkUtilization(f.ab, during), baseline + 0.3, 1e-9);
+  EXPECT_NEAR(model.LinkUtilization(f.ab, before),
+              model.LinkUtilization(f.ab, after), 0.05);
+  model.ClearShocks();
+  EXPECT_NEAR(model.LinkUtilization(f.ab, during), baseline, 1e-9);
+}
+
+TEST(LatencyTest, ShockOnOtherLinkDoesNotLeak) {
+  LatencyFixture f;
+  LatencyModel model(f.topo);
+  const SimTime t = SimTime::FromHours(5.0);
+  const double baseline = model.LinkUtilization(f.bc, t);
+  model.AddUtilizationShock(f.ab, SimTime(0), SimTime::FromHours(10.0), 0.4);
+  EXPECT_DOUBLE_EQ(model.LinkUtilization(f.bc, t), baseline);
+}
+
+TEST(LatencyTest, UtilizationCappedUnderExtremeShock) {
+  LatencyFixture f;
+  LatencyModel model(f.topo);
+  model.AddUtilizationShock(f.ab, SimTime(0), SimTime::FromHours(24.0), 5.0);
+  EXPECT_LE(model.LinkUtilization(f.ab, SimTime::FromHours(12.0)), 0.97);
+  // Queue delay capped too.
+  const double delay = model.LinkDelayMs(f.ab, SimTime::FromHours(12.0));
+  EXPECT_LE(delay, 3.0 + model.options().max_queue_ms +
+                       model.options().per_hop_ms + 1e-9);
+}
+
+TEST(LatencyTest, SampleJitterIsMultiplicativeAndCentered) {
+  LatencyFixture f;
+  LatencyModel model(f.topo);
+  BgpSimulator bgp(f.topo);
+  auto route = bgp.Route(f.a, f.c);
+  ASSERT_TRUE(route.ok());
+  core::Rng rng(3);
+  const SimTime t = SimTime::FromHours(12.0);
+  const double mean_rtt = model.PathRttMs(route.value(), t);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double sample = model.SampleRttMs(route.value(), t, rng);
+    EXPECT_GT(sample, 0.0);
+    sum += sample;
+  }
+  // Lognormal(0, 0.04): mean ~ exp(0.0008) ~ 1.0008.
+  EXPECT_NEAR(sum / n, mean_rtt, mean_rtt * 0.01);
+}
+
+}  // namespace
+}  // namespace sisyphus::netsim

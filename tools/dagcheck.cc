@@ -1,0 +1,225 @@
+// dagcheck — dagitty-style command-line checker for causal DAGs.
+//
+// The paper (§4): "Before collecting data, one should be able to define a
+// causal question, specify the relevant variables, and assess whether the
+// planned setup can identify the desired effect." This tool is that
+// pre-registration step as a shell command:
+//
+//   dagcheck "C -> R; C -> L; R -> L" --treatment R --outcome L
+//   dagcheck "Z -> T; T -> Y; T <-> Y" -t T -y Y --dot
+//   dagcheck model.dag -t IxpMember -y RttMs --data panel.csv
+//
+// Prints: identification strategy (+ adjustment sets / mediators /
+// instruments, including conditional ones), open backdoor paths, the
+// DAG's testable implications (tested against --data when given), and
+// optionally Graphviz output.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "causal/csv.h"
+#include "causal/dag_parser.h"
+#include "causal/dseparation.h"
+#include "causal/identification.h"
+#include "causal/implications.h"
+
+namespace {
+
+using namespace sisyphus;
+
+void PrintUsage() {
+  std::printf(
+      "usage: dagcheck <dag-dsl-or-file> --treatment NAME --outcome NAME\n"
+      "                [--data file.csv] [--alpha 0.01] [--dot]\n"
+      "\n"
+      "DSL: 'A -> B; B -> C; X <-> Y; H [latent]' (chains allowed). If the\n"
+      "argument names a readable file, the DSL is read from it.\n"
+      "\n"
+      "  --treatment/-t  treatment variable\n"
+      "  --outcome/-y    outcome variable\n"
+      "  --data          CSV with numeric columns named like DAG variables;\n"
+      "                  testable implications are checked against it\n"
+      "  --alpha         rejection level for implication tests (default 0.01)\n"
+      "  --dot           print Graphviz instead of the report\n");
+}
+
+std::string LoadDagText(const std::string& argument) {
+  std::ifstream file(argument);
+  if (!file) return argument;  // treat as inline DSL
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  std::string dag_argument, treatment, outcome, data_path;
+  double alpha = 0.01;
+  bool dot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dagcheck: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--treatment" || arg == "-t") {
+      treatment = next("--treatment");
+    } else if (arg == "--outcome" || arg == "-y") {
+      outcome = next("--outcome");
+    } else if (arg == "--data") {
+      data_path = next("--data");
+    } else if (arg == "--alpha") {
+      alpha = std::atof(next("--alpha"));
+    } else if (arg == "--dot") {
+      dot = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (dag_argument.empty()) {
+      dag_argument = arg;
+    } else {
+      std::fprintf(stderr, "dagcheck: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (dag_argument.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto dag = causal::ParseDag(LoadDagText(dag_argument));
+  if (!dag.ok()) {
+    std::fprintf(stderr, "dagcheck: %s\n", dag.error().ToText().c_str());
+    return 1;
+  }
+
+  if (dot) {
+    std::optional<causal::NodeId> t, y;
+    if (!treatment.empty()) {
+      if (auto id = dag.value().Node(treatment); id.ok()) t = id.value();
+    }
+    if (!outcome.empty()) {
+      if (auto id = dag.value().Node(outcome); id.ok()) y = id.value();
+    }
+    std::printf("%s", dag.value().ToDot(t, y).c_str());
+    return 0;
+  }
+
+  std::printf("model: %s\n", dag.value().ToText().c_str());
+  std::printf("nodes: %zu (%zu observed), edges: %zu\n\n",
+              dag.value().NodeCount(), dag.value().ObservedNodes().size(),
+              dag.value().EdgeCount());
+
+  // ---- Identification report ----
+  if (!treatment.empty() && !outcome.empty()) {
+    auto how = causal::Identify(dag.value(), treatment, outcome);
+    if (!how.ok()) {
+      std::fprintf(stderr, "dagcheck: %s\n", how.error().ToText().c_str());
+      return 1;
+    }
+    std::printf("effect of %s on %s: %s\n", treatment.c_str(),
+                outcome.c_str(), causal::ToString(how.value().strategy));
+    std::printf("  %s\n", how.value().explanation.c_str());
+
+    const auto t_id = dag.value().Node(treatment).value();
+    const auto y_id = dag.value().Node(outcome).value();
+    const auto sets = causal::MinimalAdjustmentSets(dag.value(), t_id, y_id);
+    if (!sets.empty()) {
+      std::printf("  minimal adjustment sets:\n");
+      for (const auto& set : sets) {
+        std::printf("    {");
+        bool first = true;
+        for (auto id : set) {
+          std::printf("%s%s", first ? "" : ", ",
+                      dag.value().Name(id).c_str());
+          first = false;
+        }
+        std::printf("}\n");
+      }
+    }
+    const auto instruments =
+        causal::FindConditionalInstruments(dag.value(), t_id, y_id);
+    if (!instruments.empty()) {
+      std::printf("  instruments:\n");
+      for (const auto& ci : instruments) {
+        std::printf("    %s", dag.value().Name(ci.instrument).c_str());
+        if (!ci.conditioning.empty()) {
+          std::printf(" given {");
+          bool first = true;
+          for (auto id : ci.conditioning) {
+            std::printf("%s%s", first ? "" : ", ",
+                        dag.value().Name(id).c_str());
+            first = false;
+          }
+          std::printf("}");
+        }
+        std::printf("\n");
+      }
+    }
+    const auto open =
+        causal::OpenBackdoorPaths(dag.value(), t_id, y_id, {});
+    if (!open.empty()) {
+      std::printf("  open backdoor paths (unadjusted):\n");
+      for (const auto& path : open) {
+        std::printf("    %s\n", path.ToText(dag.value()).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+
+  // ---- Testable implications ----
+  const auto implications = causal::ImpliedIndependencies(dag.value());
+  std::printf("testable implications (%zu):\n", implications.size());
+  if (data_path.empty()) {
+    for (const auto& implication : implications) {
+      std::printf("  %s\n", implication.ToText(dag.value()).c_str());
+    }
+  } else {
+    auto data = causal::ReadCsvDataset(data_path);
+    if (!data.ok()) {
+      std::fprintf(stderr, "dagcheck: %s\n", data.error().ToText().c_str());
+      return 1;
+    }
+    std::size_t skipped = 0;
+    auto results = causal::TestImpliedIndependencies(
+        dag.value(), data.value(), alpha, &skipped);
+    if (!results.ok()) {
+      std::fprintf(stderr, "dagcheck: %s\n",
+                   results.error().ToText().c_str());
+      return 1;
+    }
+    std::size_t rejected = 0;
+    for (const auto& result : results.value()) {
+      std::printf("  %-40s pcor=%+.3f p=%.4f %s\n",
+                  result.implication.ToText(dag.value()).c_str(),
+                  result.test.partial_correlation, result.test.p_value,
+                  result.rejected ? "REJECTED" : "ok");
+      if (result.rejected) ++rejected;
+    }
+    if (skipped > 0) {
+      std::printf("  (%zu implications skipped: variables not in the "
+                  "data)\n",
+                  skipped);
+    }
+    std::printf("verdict: %zu/%zu implications rejected at alpha=%.3g — "
+                "%s\n",
+                rejected, results.value().size(), alpha,
+                rejected == 0 ? "the data do not refute this model"
+                              : "the model is inconsistent with the data");
+    return rejected == 0 ? 0 : 3;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
