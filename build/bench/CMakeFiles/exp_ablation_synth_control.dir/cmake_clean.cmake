@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_synth_control.dir/exp_ablation_synth_control.cc.o"
+  "CMakeFiles/exp_ablation_synth_control.dir/exp_ablation_synth_control.cc.o.d"
+  "exp_ablation_synth_control"
+  "exp_ablation_synth_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_synth_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_causal_protocol.dir/exp_causal_protocol.cc.o"
+  "CMakeFiles/exp_causal_protocol.dir/exp_causal_protocol.cc.o.d"
+  "exp_causal_protocol"
+  "exp_causal_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_causal_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp_collider_speedtest.cc" "bench/CMakeFiles/exp_collider_speedtest.dir/exp_collider_speedtest.cc.o" "gcc" "bench/CMakeFiles/exp_collider_speedtest.dir/exp_collider_speedtest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/causal/CMakeFiles/sisyphus_causal.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sisyphus_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/measure/CMakeFiles/sisyphus_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sisyphus_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sisyphus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_collider_speedtest.dir/exp_collider_speedtest.cc.o"
+  "CMakeFiles/exp_collider_speedtest.dir/exp_collider_speedtest.cc.o.d"
+  "exp_collider_speedtest"
+  "exp_collider_speedtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_collider_speedtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_collider_speedtest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_confounding_cellular.dir/exp_confounding_cellular.cc.o"
+  "CMakeFiles/exp_confounding_cellular.dir/exp_confounding_cellular.cc.o.d"
+  "exp_confounding_cellular"
+  "exp_confounding_cellular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_confounding_cellular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_counterfactual_resilience.dir/exp_counterfactual_resilience.cc.o"
+  "CMakeFiles/exp_counterfactual_resilience.dir/exp_counterfactual_resilience.cc.o.d"
+  "exp_counterfactual_resilience"
+  "exp_counterfactual_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_counterfactual_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_instrumental_variables.dir/exp_instrumental_variables.cc.o"
+  "CMakeFiles/exp_instrumental_variables.dir/exp_instrumental_variables.cc.o.d"
+  "exp_instrumental_variables"
+  "exp_instrumental_variables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_instrumental_variables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ladder_of_causation.dir/exp_ladder_of_causation.cc.o"
+  "CMakeFiles/exp_ladder_of_causation.dir/exp_ladder_of_causation.cc.o.d"
+  "exp_ladder_of_causation"
+  "exp_ladder_of_causation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ladder_of_causation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

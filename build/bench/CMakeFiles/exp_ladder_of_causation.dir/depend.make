@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_ladder_of_causation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_mlab_randomization.dir/exp_mlab_randomization.cc.o"
+  "CMakeFiles/exp_mlab_randomization.dir/exp_mlab_randomization.cc.o.d"
+  "exp_mlab_randomization"
+  "exp_mlab_randomization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_mlab_randomization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_platform_design.dir/exp_platform_design.cc.o"
+  "CMakeFiles/exp_platform_design.dir/exp_platform_design.cc.o.d"
+  "exp_platform_design"
+  "exp_platform_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_platform_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

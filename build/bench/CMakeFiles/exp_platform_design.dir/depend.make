@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_platform_design.
+# This may be replaced when dependencies are built.

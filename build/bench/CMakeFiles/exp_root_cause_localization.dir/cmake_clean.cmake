@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_root_cause_localization.dir/exp_root_cause_localization.cc.o"
+  "CMakeFiles/exp_root_cause_localization.dir/exp_root_cause_localization.cc.o.d"
+  "exp_root_cause_localization"
+  "exp_root_cause_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_root_cause_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_root_cause_localization.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_causal.dir/perf_causal.cc.o"
+  "CMakeFiles/perf_causal.dir/perf_causal.cc.o.d"
+  "perf_causal"
+  "perf_causal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_netsim.dir/perf_netsim.cc.o"
+  "CMakeFiles/perf_netsim.dir/perf_netsim.cc.o.d"
+  "perf_netsim"
+  "perf_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_ixp_synth_control.dir/table1_ixp_synth_control.cc.o"
+  "CMakeFiles/table1_ixp_synth_control.dir/table1_ixp_synth_control.cc.o.d"
+  "table1_ixp_synth_control"
+  "table1_ixp_synth_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_ixp_synth_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table1_ixp_synth_control.
+# This may be replaced when dependencies are built.

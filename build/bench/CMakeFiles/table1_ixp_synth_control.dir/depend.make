@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_ixp_synth_control.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measurement_design.dir/measurement_design.cpp.o"
+  "CMakeFiles/measurement_design.dir/measurement_design.cpp.o.d"
+  "measurement_design"
+  "measurement_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measurement_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_diagnosis.dir/outage_diagnosis.cpp.o"
+  "CMakeFiles/outage_diagnosis.dir/outage_diagnosis.cpp.o.d"
+  "outage_diagnosis"
+  "outage_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

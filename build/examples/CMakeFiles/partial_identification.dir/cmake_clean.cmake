@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partial_identification.dir/partial_identification.cpp.o"
+  "CMakeFiles/partial_identification.dir/partial_identification.cpp.o.d"
+  "partial_identification"
+  "partial_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partial_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causal/bounds.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/bounds.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/bounds.cc.o.d"
+  "/root/repo/src/causal/csv.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/csv.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/csv.cc.o.d"
+  "/root/repo/src/causal/dag.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/dag.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/dag.cc.o.d"
+  "/root/repo/src/causal/dag_parser.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/dag_parser.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/dag_parser.cc.o.d"
+  "/root/repo/src/causal/dataset.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/dataset.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/dataset.cc.o.d"
+  "/root/repo/src/causal/dseparation.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/dseparation.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/dseparation.cc.o.d"
+  "/root/repo/src/causal/estimators.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/estimators.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/estimators.cc.o.d"
+  "/root/repo/src/causal/event_study.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/event_study.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/event_study.cc.o.d"
+  "/root/repo/src/causal/identification.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/identification.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/identification.cc.o.d"
+  "/root/repo/src/causal/implications.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/implications.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/implications.cc.o.d"
+  "/root/repo/src/causal/ladder.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/ladder.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/ladder.cc.o.d"
+  "/root/repo/src/causal/placebo.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/placebo.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/placebo.cc.o.d"
+  "/root/repo/src/causal/refutation.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/refutation.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/refutation.cc.o.d"
+  "/root/repo/src/causal/robust_synthetic_control.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/robust_synthetic_control.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/robust_synthetic_control.cc.o.d"
+  "/root/repo/src/causal/scm.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/scm.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/scm.cc.o.d"
+  "/root/repo/src/causal/sensitivity.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/sensitivity.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/sensitivity.cc.o.d"
+  "/root/repo/src/causal/synthetic_control.cc" "src/causal/CMakeFiles/sisyphus_causal.dir/synthetic_control.cc.o" "gcc" "src/causal/CMakeFiles/sisyphus_causal.dir/synthetic_control.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sisyphus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sisyphus_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisyphus_core.dir/logging.cc.o"
+  "CMakeFiles/sisyphus_core.dir/logging.cc.o.d"
+  "CMakeFiles/sisyphus_core.dir/rng.cc.o"
+  "CMakeFiles/sisyphus_core.dir/rng.cc.o.d"
+  "CMakeFiles/sisyphus_core.dir/sim_time.cc.o"
+  "CMakeFiles/sisyphus_core.dir/sim_time.cc.o.d"
+  "libsisyphus_core.a"
+  "libsisyphus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisyphus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

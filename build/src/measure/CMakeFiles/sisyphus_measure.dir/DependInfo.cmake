@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/measure/edge_steering.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/edge_steering.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/edge_steering.cc.o.d"
+  "/root/repo/src/measure/export.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/export.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/export.cc.o.d"
+  "/root/repo/src/measure/intervention.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/intervention.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/intervention.cc.o.d"
+  "/root/repo/src/measure/panel.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/panel.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/panel.cc.o.d"
+  "/root/repo/src/measure/platform.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/platform.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/platform.cc.o.d"
+  "/root/repo/src/measure/speedtest.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/speedtest.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/speedtest.cc.o.d"
+  "/root/repo/src/measure/store.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/store.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/store.cc.o.d"
+  "/root/repo/src/measure/traceroute.cc" "src/measure/CMakeFiles/sisyphus_measure.dir/traceroute.cc.o" "gcc" "src/measure/CMakeFiles/sisyphus_measure.dir/traceroute.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sisyphus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sisyphus_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/sisyphus_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/causal/CMakeFiles/sisyphus_causal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisyphus_measure.dir/edge_steering.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/edge_steering.cc.o.d"
+  "CMakeFiles/sisyphus_measure.dir/export.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/export.cc.o.d"
+  "CMakeFiles/sisyphus_measure.dir/intervention.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/intervention.cc.o.d"
+  "CMakeFiles/sisyphus_measure.dir/panel.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/panel.cc.o.d"
+  "CMakeFiles/sisyphus_measure.dir/platform.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/platform.cc.o.d"
+  "CMakeFiles/sisyphus_measure.dir/speedtest.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/speedtest.cc.o.d"
+  "CMakeFiles/sisyphus_measure.dir/store.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/store.cc.o.d"
+  "CMakeFiles/sisyphus_measure.dir/traceroute.cc.o"
+  "CMakeFiles/sisyphus_measure.dir/traceroute.cc.o.d"
+  "libsisyphus_measure.a"
+  "libsisyphus_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisyphus_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/bgp.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/bgp.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/bgp.cc.o.d"
+  "/root/repo/src/netsim/events.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/events.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/events.cc.o.d"
+  "/root/repo/src/netsim/geo.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/geo.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/geo.cc.o.d"
+  "/root/repo/src/netsim/latency.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/latency.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/latency.cc.o.d"
+  "/root/repo/src/netsim/root_cause.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/root_cause.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/root_cause.cc.o.d"
+  "/root/repo/src/netsim/scenario_random.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/scenario_random.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/scenario_random.cc.o.d"
+  "/root/repo/src/netsim/scenario_za.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/scenario_za.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/scenario_za.cc.o.d"
+  "/root/repo/src/netsim/simulator.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/simulator.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/simulator.cc.o.d"
+  "/root/repo/src/netsim/topology.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/topology.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/topology.cc.o.d"
+  "/root/repo/src/netsim/traffic.cc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/traffic.cc.o" "gcc" "src/netsim/CMakeFiles/sisyphus_netsim.dir/traffic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sisyphus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/sisyphus_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

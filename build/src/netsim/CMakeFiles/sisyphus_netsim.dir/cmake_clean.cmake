@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisyphus_netsim.dir/bgp.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/bgp.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/events.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/events.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/geo.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/geo.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/latency.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/latency.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/root_cause.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/root_cause.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/scenario_random.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/scenario_random.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/scenario_za.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/scenario_za.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/simulator.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/simulator.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/topology.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/topology.cc.o.d"
+  "CMakeFiles/sisyphus_netsim.dir/traffic.cc.o"
+  "CMakeFiles/sisyphus_netsim.dir/traffic.cc.o.d"
+  "libsisyphus_netsim.a"
+  "libsisyphus_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisyphus_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

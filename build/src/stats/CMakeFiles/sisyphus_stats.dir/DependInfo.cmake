@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/decomposition.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/decomposition.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/decomposition.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/inference.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/inference.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/inference.cc.o.d"
+  "/root/repo/src/stats/iv.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/iv.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/iv.cc.o.d"
+  "/root/repo/src/stats/logistic.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/logistic.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/logistic.cc.o.d"
+  "/root/repo/src/stats/matrix.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/matrix.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/matrix.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/timeseries.cc" "src/stats/CMakeFiles/sisyphus_stats.dir/timeseries.cc.o" "gcc" "src/stats/CMakeFiles/sisyphus_stats.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sisyphus_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sisyphus_stats.dir/decomposition.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/decomposition.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/descriptive.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/distributions.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/inference.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/inference.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/iv.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/iv.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/logistic.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/logistic.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/matrix.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/matrix.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/regression.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/regression.cc.o.d"
+  "CMakeFiles/sisyphus_stats.dir/timeseries.cc.o"
+  "CMakeFiles/sisyphus_stats.dir/timeseries.cc.o.d"
+  "libsisyphus_stats.a"
+  "libsisyphus_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sisyphus_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adjustment_property_test.dir/adjustment_property_test.cc.o"
+  "CMakeFiles/adjustment_property_test.dir/adjustment_property_test.cc.o.d"
+  "adjustment_property_test"
+  "adjustment_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adjustment_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

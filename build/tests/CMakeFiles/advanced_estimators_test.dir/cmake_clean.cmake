@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_estimators_test.dir/advanced_estimators_test.cc.o"
+  "CMakeFiles/advanced_estimators_test.dir/advanced_estimators_test.cc.o.d"
+  "advanced_estimators_test"
+  "advanced_estimators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_estimators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_parser_test.dir/dag_parser_test.cc.o"
+  "CMakeFiles/dag_parser_test.dir/dag_parser_test.cc.o.d"
+  "dag_parser_test"
+  "dag_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dseparation_test.dir/dseparation_test.cc.o"
+  "CMakeFiles/dseparation_test.dir/dseparation_test.cc.o.d"
+  "dseparation_test"
+  "dseparation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dseparation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_steering_export_test.dir/edge_steering_export_test.cc.o"
+  "CMakeFiles/edge_steering_export_test.dir/edge_steering_export_test.cc.o.d"
+  "edge_steering_export_test"
+  "edge_steering_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_steering_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

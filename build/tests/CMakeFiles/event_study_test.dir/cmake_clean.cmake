@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_study_test.dir/event_study_test.cc.o"
+  "CMakeFiles/event_study_test.dir/event_study_test.cc.o.d"
+  "event_study_test"
+  "event_study_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implications_test.dir/implications_test.cc.o"
+  "CMakeFiles/implications_test.dir/implications_test.cc.o.d"
+  "implications_test"
+  "implications_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implications_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iv_test.dir/iv_test.cc.o"
+  "CMakeFiles/iv_test.dir/iv_test.cc.o.d"
+  "iv_test"
+  "iv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ladder_test.dir/ladder_test.cc.o"
+  "CMakeFiles/ladder_test.dir/ladder_test.cc.o.d"
+  "ladder_test"
+  "ladder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ladder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

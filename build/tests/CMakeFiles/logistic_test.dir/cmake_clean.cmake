@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logistic_test.dir/logistic_test.cc.o"
+  "CMakeFiles/logistic_test.dir/logistic_test.cc.o.d"
+  "logistic_test"
+  "logistic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

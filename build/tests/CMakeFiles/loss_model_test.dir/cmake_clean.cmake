@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_model_test.dir/loss_model_test.cc.o"
+  "CMakeFiles/loss_model_test.dir/loss_model_test.cc.o.d"
+  "loss_model_test"
+  "loss_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panel_test.dir/panel_test.cc.o"
+  "CMakeFiles/panel_test.dir/panel_test.cc.o.d"
+  "panel_test"
+  "panel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placebo_test.dir/placebo_test.cc.o"
+  "CMakeFiles/placebo_test.dir/placebo_test.cc.o.d"
+  "placebo_test"
+  "placebo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placebo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

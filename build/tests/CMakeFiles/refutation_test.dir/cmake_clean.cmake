@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refutation_test.dir/refutation_test.cc.o"
+  "CMakeFiles/refutation_test.dir/refutation_test.cc.o.d"
+  "refutation_test"
+  "refutation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

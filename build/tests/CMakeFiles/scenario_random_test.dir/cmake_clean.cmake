@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_random_test.dir/scenario_random_test.cc.o"
+  "CMakeFiles/scenario_random_test.dir/scenario_random_test.cc.o.d"
+  "scenario_random_test"
+  "scenario_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_za_test.dir/scenario_za_test.cc.o"
+  "CMakeFiles/scenario_za_test.dir/scenario_za_test.cc.o.d"
+  "scenario_za_test"
+  "scenario_za_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_za_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

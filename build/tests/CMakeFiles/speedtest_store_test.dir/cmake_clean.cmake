@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedtest_store_test.dir/speedtest_store_test.cc.o"
+  "CMakeFiles/speedtest_store_test.dir/speedtest_store_test.cc.o.d"
+  "speedtest_store_test"
+  "speedtest_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedtest_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_control_test.dir/synthetic_control_test.cc.o"
+  "CMakeFiles/synthetic_control_test.dir/synthetic_control_test.cc.o.d"
+  "synthetic_control_test"
+  "synthetic_control_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_latency_test.dir/traffic_latency_test.cc.o"
+  "CMakeFiles/traffic_latency_test.dir/traffic_latency_test.cc.o.d"
+  "traffic_latency_test"
+  "traffic_latency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_latency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

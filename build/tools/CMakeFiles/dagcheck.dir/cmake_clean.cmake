@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagcheck.dir/dagcheck.cc.o"
+  "CMakeFiles/dagcheck.dir/dagcheck.cc.o.d"
+  "dagcheck"
+  "dagcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
