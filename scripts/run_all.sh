@@ -10,6 +10,10 @@ ctest --test-dir build --output-on-failure
 
 echo
 echo "=== experiments ==="
+# The glob includes exp_fault_resilience (F1), which exits non-zero if
+# fault-plan replay is not byte-identical or the degraded-data estimate
+# leaves the 25% budget (DESIGN.md "Failure model & degraded-data
+# semantics").
 for bench in build/bench/table1_ixp_synth_control build/bench/exp_*; do
   "$bench" || echo "SHAPE REGRESSION: $bench"
 done

@@ -21,17 +21,29 @@ Result<SyntheticControlFit> FitWithMethod(const SyntheticControlInput& input,
   return std::move(fit).value().base;
 }
 
+/// Mirrors placebo.cc: donor `j` plays treated, masks follow the series so
+/// ragged donors are tolerated.
 SyntheticControlInput PlaceboInput(const SyntheticControlInput& input,
                                    std::size_t j) {
   SyntheticControlInput out;
   out.pre_periods = input.pre_periods;
   out.treated = input.donors.Column(j);
   out.donors = stats::Matrix(input.donors.rows(), input.donors.cols() - 1);
+  const bool masked = !input.donor_observed.empty();
+  if (masked) {
+    out.treated_observed = input.donor_observed.Column(j);
+    out.donor_observed =
+        stats::Matrix(input.donors.rows(), input.donors.cols() - 1);
+  }
   std::size_t dst = 0;
   for (std::size_t c = 0; c < input.donors.cols(); ++c) {
     if (c == j) continue;
     const auto col = input.donors.Column(c);
     out.donors.SetColumn(dst, col);
+    if (masked) {
+      const auto mask = input.donor_observed.Column(c);
+      out.donor_observed.SetColumn(dst, mask);
+    }
     ++dst;
   }
   return out;

@@ -25,18 +25,29 @@ Result<SyntheticControlFit> FitWithMethod(const SyntheticControlInput& input,
 
 /// Builds the placebo input where donor `j` plays the treated unit; the
 /// pool is all other donors (the truly-treated series is excluded so its
-/// real effect cannot contaminate the null).
+/// real effect cannot contaminate the null). Missingness masks follow the
+/// series, so placebo runs over ragged donors stay mask-aware.
 SyntheticControlInput PlaceboInput(const SyntheticControlInput& input,
                                    std::size_t j) {
   SyntheticControlInput out;
   out.pre_periods = input.pre_periods;
   out.treated = input.donors.Column(j);
   out.donors = stats::Matrix(input.donors.rows(), input.donors.cols() - 1);
+  const bool masked = !input.donor_observed.empty();
+  if (masked) {
+    out.treated_observed = input.donor_observed.Column(j);
+    out.donor_observed =
+        stats::Matrix(input.donors.rows(), input.donors.cols() - 1);
+  }
   std::size_t dst = 0;
   for (std::size_t c = 0; c < input.donors.cols(); ++c) {
     if (c == j) continue;
     const auto col = input.donors.Column(c);
     out.donors.SetColumn(dst, col);
+    if (masked) {
+      const auto mask = input.donor_observed.Column(c);
+      out.donor_observed.SetColumn(dst, mask);
+    }
     if (!input.donor_names.empty()) out.donor_names.push_back(input.donor_names[c]);
     ++dst;
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "core/error.h"
 #include "stats/decomposition.h"
@@ -18,29 +20,89 @@ Result<RobustSyntheticControlFit> FitRobustSyntheticControl(
     const RobustSyntheticControlOptions& options) {
   if (auto s = input.Validate(); !s.ok()) return s.error();
 
-  // Step 1: denoise the full donor matrix by hard singular-value
-  // thresholding.
-  auto svd = stats::SvdDecompose(input.donors);
+  const bool masked = options.use_mask && !input.donor_observed.empty();
+
+  // Step 0 (masked path): zero-fill unobserved donor entries and compute
+  // the observed fraction p̂. The rescaled reconstruction (1/p̂) Y_k is an
+  // unbiased estimate of the low-rank signal under uniform missingness
+  // (Amjad, Shah & Shen §3).
+  stats::Matrix donors = input.donors;
+  double p_hat = 1.0;
+  if (masked) {
+    std::size_t observed = 0;
+    for (std::size_t r = 0; r < donors.rows(); ++r) {
+      for (std::size_t c = 0; c < donors.cols(); ++c) {
+        if (input.donor_observed(r, c) != 0.0) {
+          ++observed;
+        } else {
+          donors(r, c) = 0.0;
+        }
+      }
+    }
+    p_hat = static_cast<double>(observed) /
+            static_cast<double>(donors.rows() * donors.cols());
+    if (observed == 0) {
+      return Error(ErrorCode::kNumericalFailure,
+                   "FitRobustSyntheticControl: donor matrix entirely "
+                   "unobserved");
+    }
+    if (p_hat < options.min_observed_fraction) {
+      return Error(ErrorCode::kNumericalFailure,
+                   "FitRobustSyntheticControl: donor matrix too sparse "
+                   "(observed fraction " + std::to_string(p_hat) + " < " +
+                       std::to_string(options.min_observed_fraction) + ")");
+    }
+  }
+
+  // Step 1: denoise the (masked) donor matrix by hard singular-value
+  // thresholding, rescaling by 1/p̂ on the masked path.
+  auto svd = stats::SvdDecompose(donors);
   if (!svd.ok()) return svd.error();
   double threshold = options.singular_value_threshold;
   if (threshold < 0.0) {
     threshold = stats::DefaultSingularValueThreshold(
-        svd.value(), input.donors.rows(), input.donors.cols());
+        svd.value(), donors.rows(), donors.cols());
   }
   std::size_t rank = svd.value().RankAbove(threshold);
   rank = std::max(rank, std::min(options.min_rank,
                                  svd.value().singular_values.size()));
-  const stats::Matrix denoised = svd.value().TruncatedReconstruct(rank);
+  stats::Matrix denoised = svd.value().TruncatedReconstruct(rank);
+  if (masked) denoised = (1.0 / p_hat) * denoised;
 
   // Step 2: ridge regression of the treated pre-period series on the
   // denoised donor pre-period columns (no intercept, matching the RSC
-  // formulation where the donor span absorbs levels).
+  // formulation where the donor span absorbs levels). On the masked path
+  // only OBSERVED treated pre-periods enter the regression.
   const std::size_t t0 = input.pre_periods;
-  const stats::Matrix pre = denoised.Block(0, t0, 0, denoised.cols());
-  std::span<const double> y(input.treated.data(), t0);
+  stats::Matrix pre;
+  stats::Vector y_pre;
+  if (!input.treated_observed.empty()) {
+    std::vector<std::size_t> rows;
+    for (std::size_t t = 0; t < t0; ++t) {
+      if (input.treated_observed[t] != 0.0) rows.push_back(t);
+    }
+    if (rows.size() < std::max<std::size_t>(options.min_observed_pre_periods,
+                                            1)) {
+      return Error(ErrorCode::kNumericalFailure,
+                   "FitRobustSyntheticControl: only " +
+                       std::to_string(rows.size()) +
+                       " observed treated pre-periods (need >= " +
+                       std::to_string(options.min_observed_pre_periods) +
+                       ")");
+    }
+    pre = stats::Matrix(rows.size(), denoised.cols());
+    y_pre.resize(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      pre.SetRow(i, denoised.Row(rows[i]));
+      y_pre[i] = input.treated[rows[i]];
+    }
+  } else {
+    pre = denoised.Block(0, t0, 0, denoised.cols());
+    y_pre.assign(input.treated.data(), input.treated.data() + t0);
+  }
   stats::OlsOptions no_intercept;
   no_intercept.add_intercept = false;
-  auto weights = stats::Ridge(pre, y, options.ridge_lambda, no_intercept);
+  auto weights = stats::Ridge(pre, y_pre, options.ridge_lambda, no_intercept);
   if (!weights.ok()) return weights.error();
 
   // Step 3: the counterfactual is the denoised donors combined with the
@@ -51,6 +113,7 @@ Result<RobustSyntheticControlFit> FitRobustSyntheticControl(
   out.base = DiagnoseWeights(denoised_input, std::move(weights).value());
   out.retained_rank = rank;
   out.threshold_used = threshold;
+  out.observed_fraction = p_hat;
   return out;
 }
 

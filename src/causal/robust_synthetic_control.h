@@ -9,6 +9,12 @@
 //     pre-period series on the *denoised* donors — weights may be negative
 //     and need not sum to one, which matters when no convex combination of
 //     donors tracks the treated unit.
+//  3. Missing data: the estimator was designed for PARTIALLY OBSERVED
+//     donor matrices. When the input carries missingness masks, unobserved
+//     donor entries are zero-filled and the thresholded reconstruction is
+//     rescaled by the inverse observed fraction 1/p̂ (the Amjad masked
+//     matrix-completion step), and the treated regression uses observed
+//     pre-periods only.
 #pragma once
 
 #include "causal/synthetic_control.h"
@@ -24,12 +30,22 @@ struct RobustSyntheticControlOptions {
   double ridge_lambda = 1e-2;
   /// Keep at least this many singular values regardless of threshold.
   std::size_t min_rank = 1;
+  /// Use the masked/rescaled path when the input carries masks. Off, the
+  /// estimator treats interpolated entries as real measurements.
+  bool use_mask = true;
+  /// Donor matrices with a smaller observed fraction fail with
+  /// kNumericalFailure instead of returning meaningless estimates.
+  double min_observed_fraction = 0.05;
+  /// Minimum observed treated pre-periods for the masked regression.
+  std::size_t min_observed_pre_periods = 2;
 };
 
 struct RobustSyntheticControlFit {
   SyntheticControlFit base;      ///< weights, trajectory, diagnostics
   std::size_t retained_rank = 0; ///< singular values kept by the threshold
   double threshold_used = 0.0;
+  /// Observed fraction p̂ of the donor matrix (1.0 without a mask).
+  double observed_fraction = 1.0;
 };
 
 /// Fits robust synthetic control. Same input contract as

@@ -5,7 +5,6 @@
 #include <cstdio>
 
 #include "core/error.h"
-#include "stats/descriptive.h"
 
 namespace sisyphus::causal {
 
@@ -32,7 +31,30 @@ core::Status SyntheticControlInput::Validate() const {
     return Error(ErrorCode::kInvalidArgument,
                  "SyntheticControlInput: donor_names size mismatch");
   }
+  if (!treated_observed.empty() &&
+      treated_observed.size() != treated.size()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SyntheticControlInput: treated_observed size mismatch");
+  }
+  if (!donor_observed.empty() &&
+      (donor_observed.rows() != donors.rows() ||
+       donor_observed.cols() != donors.cols())) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "SyntheticControlInput: donor_observed shape mismatch");
+  }
   return core::Status::Ok();
+}
+
+double SyntheticControlInput::DonorObservedFraction() const {
+  if (donor_observed.empty()) return 1.0;
+  std::size_t observed = 0;
+  for (std::size_t r = 0; r < donor_observed.rows(); ++r) {
+    for (double entry : donor_observed.Row(r)) {
+      if (entry != 0.0) ++observed;
+    }
+  }
+  return static_cast<double>(observed) /
+         static_cast<double>(donor_observed.rows() * donor_observed.cols());
 }
 
 std::vector<std::string> SyntheticControlFit::ActiveDonors(
@@ -59,24 +81,53 @@ SyntheticControlFit DiagnoseWeights(const SyntheticControlInput& input,
   const std::size_t periods = input.treated.size();
   fit.synthetic = input.donors.Apply(fit.weights);
 
-  std::span<const double> observed(input.treated);
-  std::span<const double> synthetic(fit.synthetic);
-  fit.rmse_pre = stats::Rmse(observed.subspan(0, input.pre_periods),
-                             synthetic.subspan(0, input.pre_periods));
-  fit.rmse_post = stats::Rmse(observed.subspan(input.pre_periods),
-                              synthetic.subspan(input.pre_periods));
+  // With a treated-side mask, errors and effects are computed on observed
+  // periods only — interpolated entries are artifacts, not measurements.
+  // If a whole segment is unobserved, fall back to all its periods rather
+  // than returning NaNs.
+  const auto observed_at = [&](std::size_t t) {
+    return input.treated_observed.empty() || input.treated_observed[t] != 0.0;
+  };
+  const auto masked_rmse = [&](std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t t = begin; t < end; ++t) {
+      if (!observed_at(t)) continue;
+      const double gap = input.treated[t] - fit.synthetic[t];
+      sum += gap * gap;
+      ++n;
+    }
+    if (n == 0) {
+      for (std::size_t t = begin; t < end; ++t) {
+        const double gap = input.treated[t] - fit.synthetic[t];
+        sum += gap * gap;
+        ++n;
+      }
+    }
+    return std::sqrt(sum / static_cast<double>(n));
+  };
+  fit.rmse_pre = masked_rmse(0, input.pre_periods);
+  fit.rmse_post = masked_rmse(input.pre_periods, periods);
   // Guard the ratio against a (near-)perfect pre fit.
   const double floor = 1e-9;
   fit.rmse_ratio = fit.rmse_post / std::max(fit.rmse_pre, floor);
 
   fit.post_effects.resize(periods - input.pre_periods);
   double sum = 0.0;
+  std::size_t observed_post = 0;
   for (std::size_t t = input.pre_periods; t < periods; ++t) {
     const double effect = input.treated[t] - fit.synthetic[t];
     fit.post_effects[t - input.pre_periods] = effect;
-    sum += effect;
+    if (observed_at(t)) {
+      sum += effect;
+      ++observed_post;
+    }
   }
-  fit.average_effect = sum / static_cast<double>(fit.post_effects.size());
+  if (observed_post == 0) {
+    for (double effect : fit.post_effects) sum += effect;
+    observed_post = fit.post_effects.size();
+  }
+  fit.average_effect = sum / static_cast<double>(observed_post);
   return fit;
 }
 

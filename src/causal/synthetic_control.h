@@ -27,6 +27,20 @@ struct SyntheticControlInput {
   std::vector<std::string> donor_names;  ///< optional; sized 0 or donor count
   std::size_t pre_periods = 0;
 
+  /// Optional missingness masks (1 = observed, 0 = missing/interpolated).
+  /// Empty means fully observed. When present, `treated_observed` is sized
+  /// like `treated` and `donor_observed` is shaped like `donors`.
+  /// Mask-aware estimators (robust synthetic control) fit on observed
+  /// entries only; the classical simplex estimator ignores the masks.
+  stats::Vector treated_observed;
+  stats::Matrix donor_observed;
+
+  bool HasMask() const {
+    return !treated_observed.empty() || !donor_observed.empty();
+  }
+  /// Fraction of donor entries observed (1.0 without a mask).
+  double DonorObservedFraction() const;
+
   /// Shape/parameter validation shared by both estimators.
   core::Status Validate() const;
 };

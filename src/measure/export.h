@@ -12,9 +12,13 @@
 namespace sisyphus::measure {
 
 /// One row per speed test:
-/// id,time_minutes,asn,city,intent,rtt_ms,throughput_mbps,asn_path,
-/// traceroute. Fields containing commas are quoted.
+/// id,time_minutes,asn,city,intent,rtt_ms,throughput_mbps,attempts,
+/// asn_path,traceroute. Fields containing commas are quoted.
 std::string StoreToCsv(const MeasurementStore& store);
+
+/// One row per quarantined record: the same fields plus the rejection
+/// reason — the inspectable side-channel for corrupt data.
+std::string QuarantineToCsv(const MeasurementStore& store);
 
 /// Wide format: period index column then one column per unit (interpolated
 /// median RTT).

@@ -1,0 +1,123 @@
+#include "measure/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sisyphus::measure {
+
+const char* ToString(ProbeFault fault) {
+  switch (fault) {
+    case ProbeFault::kNone: return "none";
+    case ProbeFault::kProbeLoss: return "probe_loss";
+    case ProbeFault::kVantageOutage: return "vantage_outage";
+    case ProbeFault::kCollectorOutage: return "collector_outage";
+    case ProbeFault::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+std::vector<OutageWindow> GenerateOutageWindows(std::uint64_t seed,
+                                                core::SimTime horizon,
+                                                std::size_t count,
+                                                core::SimTime duration) {
+  core::Rng rng(seed);
+  std::vector<OutageWindow> out;
+  out.reserve(count);
+  const std::int64_t latest_start =
+      std::max<std::int64_t>(0, horizon.minutes() - duration.minutes());
+  for (std::size_t i = 0; i < count; ++i) {
+    const core::SimTime start(rng.UniformInt(0, latest_start));
+    out.push_back({start, start + duration});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OutageWindow& a, const OutageWindow& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+bool FaultInjector::VantageDark(netsim::PopIndex pop, core::SimTime t) const {
+  for (const VantageOutagePlan& vantage : plan_.vantage_outages) {
+    if (vantage.pop != pop) continue;
+    for (const OutageWindow& window : vantage.windows) {
+      if (window.Contains(t)) return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::CollectorDark(core::SimTime t) const {
+  for (const OutageWindow& window : plan_.collector_outages) {
+    if (window.Contains(t)) return true;
+  }
+  return false;
+}
+
+ProbeFault FaultInjector::SampleProbeFault(double congestion_signal) {
+  const double loss = std::clamp(
+      plan_.probe_loss_probability +
+          plan_.mnar_loss_gain * std::max(0.0, congestion_signal),
+      0.0, 1.0);
+  if (rng_.Bernoulli(loss)) {
+    ++stats_.probes_lost;
+    return ProbeFault::kProbeLoss;
+  }
+  return ProbeFault::kNone;
+}
+
+bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record) {
+  // Clock skew first so corruption can still override the timestamp.
+  const double skew_minutes = rng_.Uniform(
+      -static_cast<double>(plan_.max_clock_skew.minutes()),
+      static_cast<double>(plan_.max_clock_skew.minutes()));
+  if (plan_.max_clock_skew.minutes() > 0) {
+    record.time =
+        record.time + core::SimTime(static_cast<std::int64_t>(skew_minutes));
+    ++stats_.records_skewed;
+  }
+
+  const bool truncate = rng_.Bernoulli(plan_.traceroute_truncation_probability);
+  const std::size_t hops = record.traceroute.hops.size();
+  // Drawn unconditionally to keep the stream aligned (see header).
+  const std::int64_t drop = rng_.UniformInt(1, std::max<std::int64_t>(
+                                                   1, static_cast<std::int64_t>(
+                                                          hops)));
+  if (truncate && hops > plan_.truncation_min_hops) {
+    const std::size_t keep = std::max(
+        plan_.truncation_min_hops, hops - static_cast<std::size_t>(drop));
+    if (keep < hops) {
+      record.traceroute.hops.resize(keep);
+      ++stats_.traceroutes_truncated;
+    }
+  }
+
+  const bool corrupt = rng_.Bernoulli(plan_.corruption_probability);
+  const std::int64_t variant = rng_.UniformInt(0, 3);
+  if (corrupt) {
+    switch (variant) {
+      case 0:  // negative RTT
+        record.rtt_ms = -std::abs(record.rtt_ms) - 1.0;
+        break;
+      case 1:  // timestamp before the epoch
+        record.time = core::SimTime(-1 - std::abs(record.time.minutes()));
+        break;
+      case 2:  // impossible loss rate
+        record.loss_rate = 2.0;
+        break;
+      default:  // non-finite throughput
+        record.throughput_mbps = std::numeric_limits<double>::quiet_NaN();
+        break;
+    }
+    ++stats_.records_corrupted;
+  }
+
+  const bool duplicate = rng_.Bernoulli(plan_.duplicate_probability);
+  if (duplicate) ++stats_.records_duplicated;
+  return duplicate;
+}
+
+}  // namespace sisyphus::measure

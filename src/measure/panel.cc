@@ -1,5 +1,8 @@
 #include "measure/panel.h"
 
+#include <algorithm>
+#include <cstdio>
+
 #include "core/error.h"
 #include "stats/timeseries.h"
 
@@ -13,6 +16,16 @@ Result<std::size_t> Panel::Find(const std::string& unit) const {
   for (std::size_t i = 0; i < units.size(); ++i) {
     if (units[i].unit == unit) return i;
   }
+  for (const DroppedUnit& drop : dropped) {
+    if (drop.unit == unit) {
+      char detail[96];
+      std::snprintf(detail, sizeof(detail),
+                    "': dropped for sparsity (missing_fraction %.2f > "
+                    "max_missing_fraction %.2f)",
+                    drop.missing_fraction, options.max_missing_fraction);
+      return Error(ErrorCode::kNotFound, "Panel: unit '" + unit + detail);
+    }
+  }
   return Error(ErrorCode::kNotFound, "Panel: no unit '" + unit + "'");
 }
 
@@ -21,19 +34,32 @@ Panel BuildRttPanel(const MeasurementStore& store,
   Panel panel;
   panel.options = options;
   for (const std::string& unit : store.Units()) {
+    // Sort by time: retry backoff and clock skew can reorder records.
+    auto records = store.ForUnit(unit);
+    std::stable_sort(records.begin(), records.end(),
+                     [](const SpeedTestRecord* a, const SpeedTestRecord* b) {
+                       return a->time < b->time;
+                     });
     stats::TimeSeries series;
-    for (const SpeedTestRecord* record : store.ForUnit(unit)) {
+    for (const SpeedTestRecord* record : records) {
       series.Append(record->time, record->rtt_ms);
     }
     const auto buckets = series.BucketedMedians(options.origin, options.bucket,
                                                 options.periods);
     if (stats::AllMissing(buckets)) continue;
     const double missing = stats::MissingFraction(buckets);
-    if (missing > options.max_missing_fraction) continue;
+    if (missing > options.max_missing_fraction) {
+      panel.dropped.push_back({unit, missing});
+      continue;
+    }
     UnitSeries out;
     out.unit = unit;
     out.values = stats::InterpolateMissing(buckets);
     out.missing_fraction = missing;
+    out.observed.reserve(buckets.size());
+    for (const auto& bucket : buckets) {
+      out.observed.push_back(bucket.has_value());
+    }
     panel.units.push_back(std::move(out));
   }
   return panel;
@@ -47,6 +73,7 @@ Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
   if (!treated_index.ok()) return treated_index.error();
 
   std::vector<stats::Vector> donor_columns;
+  std::vector<stats::Vector> donor_masks;
   std::vector<std::string> donor_names;
   for (const std::string& donor : donor_units) {
     if (donor == treated_unit) continue;
@@ -55,7 +82,13 @@ Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
       if (skipped != nullptr) skipped->push_back(donor);
       continue;
     }
-    donor_columns.push_back(panel.units[index.value()].values);
+    const UnitSeries& series = panel.units[index.value()];
+    donor_columns.push_back(series.values);
+    stats::Vector mask(series.values.size(), 1.0);
+    for (std::size_t t = 0; t < series.observed.size(); ++t) {
+      mask[t] = series.observed[t] ? 1.0 : 0.0;
+    }
+    donor_masks.push_back(std::move(mask));
     donor_names.push_back(donor);
   }
   if (donor_columns.empty()) {
@@ -72,9 +105,15 @@ Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
   const std::size_t pre_periods = static_cast<std::size_t>(
       minutes_from_origin / panel.options.bucket.minutes());
 
+  const UnitSeries& treated = panel.units[treated_index.value()];
   causal::SyntheticControlInput input;
-  input.treated = panel.units[treated_index.value()].values;
+  input.treated = treated.values;
+  input.treated_observed.assign(treated.values.size(), 1.0);
+  for (std::size_t t = 0; t < treated.observed.size(); ++t) {
+    input.treated_observed[t] = treated.observed[t] ? 1.0 : 0.0;
+  }
   input.donors = stats::Matrix::FromColumns(donor_columns);
+  input.donor_observed = stats::Matrix::FromColumns(donor_masks);
   input.donor_names = std::move(donor_names);
   input.pre_periods = pre_periods;
   if (auto s = input.Validate(); !s.ok()) return s.error();

@@ -30,26 +30,43 @@ struct UnitSeries {
   std::string unit;
   std::vector<double> values;       ///< interpolated, length = periods
   double missing_fraction = 0.0;
+  /// Per-period missingness mask (true = the bucket had data). Values at
+  /// unobserved periods are interpolation artifacts, and missing-aware
+  /// estimators must not treat them as measurements.
+  std::vector<bool> observed;
+};
+
+/// A unit excluded from the panel, with enough context to tell "never
+/// measured" apart from "measured but dropped as too sparse".
+struct DroppedUnit {
+  std::string unit;
+  double missing_fraction = 0.0;
 };
 
 /// The assembled panel.
 struct Panel {
   PanelOptions options;
   std::vector<UnitSeries> units;
+  /// Units dropped for sparsity (missing_fraction > max_missing_fraction).
+  std::vector<DroppedUnit> dropped;
 
-  /// Index of a unit by key; kNotFound when absent (e.g. dropped for
-  /// sparsity).
+  /// Index of a unit by key. kNotFound when absent; for a unit dropped for
+  /// sparsity the message names the max_missing_fraction cause.
   core::Result<std::size_t> Find(const std::string& unit) const;
 };
 
 /// Builds the panel over every unit in the store (RTT medians per bucket).
-/// Units that are entirely empty or too sparse are dropped.
+/// Units that are entirely empty or too sparse are dropped (and listed in
+/// panel.dropped). Records are sorted per unit before bucketing, so
+/// clock-skewed archives do not break panel construction.
 Panel BuildRttPanel(const MeasurementStore& store, const PanelOptions& options);
 
 /// Assembles a synthetic-control input: `treated_unit`'s series versus the
 /// given donor units (donors absent from the panel are skipped; their
 /// names are reported in `skipped`). `pre_periods` = buckets before the
-/// treatment time.
+/// treatment time. The input carries the panel's missingness masks, so
+/// mask-aware estimators (robust synthetic control) can ignore
+/// interpolated entries.
 core::Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
     const Panel& panel, const std::string& treated_unit,
     const std::vector<std::string>& donor_units, core::SimTime treatment_time,

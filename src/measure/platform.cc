@@ -9,8 +9,10 @@ namespace sisyphus::measure {
 
 Platform::Platform(netsim::NetworkSimulator& simulator,
                    PlatformOptions options)
-    : simulator_(simulator), options_(options) {
+    : simulator_(simulator), options_(options), store_(options.validation) {
   SISYPHUS_REQUIRE(options.step.minutes() > 0, "Platform: zero step");
+  SISYPHUS_REQUIRE(options.retry.max_attempts > 0,
+                   "Platform: zero max_attempts");
   route_change_cursor_ = simulator_.route_changes().size();
 }
 
@@ -22,19 +24,84 @@ void Platform::AddVantage(VantageConfig config) {
 }
 
 void Platform::RunTests(VantageState& vantage, std::size_t count,
-                        Intent intent, core::Rng& rng) {
+                        Intent intent, double congestion_signal,
+                        core::Rng& rng) {
   for (std::size_t i = 0; i < count; ++i) {
-    netsim::PopIndex server = options_.server;
-    if (steering_ != nullptr) {
-      auto chosen = steering_->ChooseServer(vantage.config.pop, rng);
-      if (!chosen.ok()) continue;  // no reachable site right now
-      server = chosen.value();
-    }
-    auto record = RunSpeedTest(simulator_, vantage.config.pop, server,
-                               intent, rng, options_.test_model);
-    if (record.ok()) store_.Add(std::move(record).value());
-    // Unreachable vantage: silently no data, like a real platform.
+    RunOneTest(vantage, intent, congestion_signal, rng);
   }
+}
+
+void Platform::RunOneTest(VantageState& vantage, Intent intent,
+                          double congestion_signal, core::Rng& rng) {
+  const netsim::PopIndex pop = vantage.config.pop;
+  netsim::PopIndex server = options_.server;
+  if (steering_ != nullptr) {
+    auto chosen = steering_->ChooseServer(pop, rng);
+    if (!chosen.ok()) {
+      failures_.push_back({simulator_.Now(), pop, intent,
+                           ProbeFault::kUnreachable, 1});
+      return;
+    }
+    server = chosen.value();
+  }
+
+  // Retry with exponential backoff in simulated time. Each attempt is
+  // timestamped at its (backoff-shifted) send time, so records that only
+  // exist because of a retry are visibly late.
+  core::SimTime attempt_time = simulator_.Now();
+  core::SimTime backoff = options_.retry.backoff_base;
+  ProbeFault last_fault = ProbeFault::kNone;
+  for (std::uint32_t attempt = 1;
+       attempt <= options_.retry.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      attempt_time = attempt_time + backoff;
+      backoff = core::SimTime(static_cast<std::int64_t>(
+          static_cast<double>(backoff.minutes()) *
+          options_.retry.backoff_multiplier));
+    }
+
+    if (simulator_.PopDark(pop, attempt_time) ||
+        (injector_ != nullptr &&
+         injector_->VantageDark(pop, attempt_time))) {
+      last_fault = ProbeFault::kVantageOutage;
+      continue;
+    }
+    if (simulator_.PopDark(server, attempt_time) ||
+        (injector_ != nullptr && injector_->CollectorDark(attempt_time))) {
+      last_fault = ProbeFault::kCollectorOutage;
+      continue;
+    }
+    if (injector_ != nullptr) {
+      const ProbeFault fault = injector_->SampleProbeFault(congestion_signal);
+      if (fault != ProbeFault::kNone) {
+        last_fault = fault;
+        continue;
+      }
+    }
+
+    auto record = RunSpeedTest(simulator_, pop, server, intent, rng,
+                               options_.test_model);
+    if (!record.ok()) {
+      // No route: retrying within the step cannot help (routing only
+      // changes between steps), so fail fast.
+      failures_.push_back({simulator_.Now(), pop, intent,
+                           ProbeFault::kUnreachable, attempt});
+      return;
+    }
+    record.value().id = core::MeasurementId(next_record_id_++);
+    record.value().time = attempt_time;
+    record.value().attempts = attempt;
+    bool duplicate = false;
+    if (injector_ != nullptr) {
+      duplicate = injector_->ApplyRecordFaults(record.value());
+    }
+    if (duplicate) store_.Add(record.value());
+    store_.Add(std::move(record).value());
+    return;
+  }
+  failures_.push_back({simulator_.Now(), pop, intent, last_fault,
+                       static_cast<std::uint32_t>(
+                           options_.retry.max_attempts)});
 }
 
 std::size_t Platform::CountByIntent(Intent intent) const {
@@ -66,19 +133,23 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
                     vantage.config.pop) != changed_pops.end();
 
       // Current network-level RTT (deterministic mean) drives perceived
-      // performance.
+      // performance; the path loss rate doubles as the congestion signal
+      // that MNAR fault plans couple probe loss to.
       double current_rtt = -1.0;
+      double congestion_signal = 0.0;
       if (auto route =
               simulator_.RouteBetween(vantage.config.pop, options_.server);
           route.ok()) {
         current_rtt =
             simulator_.latency().PathRttMs(route.value(), simulator_.Now());
+        congestion_signal =
+            simulator_.latency().PathLossRate(route.value(), simulator_.Now());
       }
 
       // Baseline schedule: timing independent of network state.
       const std::uint32_t baseline = rng.Poisson(
           vantage.config.baseline_tests_per_day * step_days);
-      RunTests(vantage, baseline, Intent::kBaseline, rng);
+      RunTests(vantage, baseline, Intent::kBaseline, congestion_signal, rng);
 
       // User-initiated: rate inflated by dissatisfaction and route churn —
       // the collider mechanism.
@@ -90,13 +161,14 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
           rate *= 1.0 + vantage.config.dissatisfaction_gain * excess;
         }
         if (path_changed) rate *= vantage.config.route_change_multiplier;
-        RunTests(vantage, rng.Poisson(rate), Intent::kUserInitiated, rng);
+        RunTests(vantage, rng.Poisson(rate), Intent::kUserInitiated,
+                 congestion_signal, rng);
       }
 
       // §4 proposal 1: conditional activation on external signals.
       if (options_.conditional_activation && path_changed) {
         RunTests(vantage, options_.event_burst_tests, Intent::kEventTriggered,
-                 rng);
+                 congestion_signal, rng);
       }
 
       // Habituate.

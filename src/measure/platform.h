@@ -19,6 +19,7 @@
 
 #include "core/rng.h"
 #include "measure/edge_steering.h"
+#include "measure/faults.h"
 #include "measure/speedtest.h"
 #include "measure/store.h"
 #include "netsim/simulator.h"
@@ -39,6 +40,15 @@ struct VantageConfig {
   double route_change_multiplier = 3.0;
 };
 
+/// Retry policy for failed probes: attempt, then exponential backoff in
+/// simulated time within the step. Retries help against transient probe
+/// loss; they cannot help against outage windows or missing routes.
+struct RetryOptions {
+  std::size_t max_attempts = 3;
+  core::SimTime backoff_base = core::SimTime(1);
+  double backoff_multiplier = 2.0;
+};
+
 struct PlatformOptions {
   netsim::PopIndex server = 0;
   core::SimTime step = core::SimTime::FromHours(1);
@@ -48,6 +58,20 @@ struct PlatformOptions {
   /// EWMA smoothing for the user's habituated RTT (per step).
   double ewma_alpha = 0.05;
   SpeedTestModelOptions test_model;
+  RetryOptions retry;
+  /// Ingest bounds for the platform's store (quarantine thresholds).
+  StoreValidationOptions validation;
+};
+
+/// A probe that produced no record even after retries — the failure-side
+/// counterpart of intent tagging (§4): the archive records not only why a
+/// measurement exists but why one is absent.
+struct ProbeFailure {
+  core::SimTime time;
+  netsim::PopIndex vantage = 0;
+  Intent intent = Intent::kBaseline;
+  ProbeFault reason = ProbeFault::kNone;
+  std::uint32_t attempts = 0;
 };
 
 class Platform {
@@ -66,6 +90,11 @@ class Platform {
   /// the platform while installed.
   void SetEdgeSteering(EdgeSteering* steering) { steering_ = steering; }
 
+  /// Installs a fault injector consulted on every probe attempt and every
+  /// successful record. Non-owning; pass nullptr for a failure-free
+  /// platform. Must outlive the platform while installed.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
   /// Runs the campaign from the simulator's current time to `until`,
   /// advancing the network and generating tests step by step.
   void Run(core::SimTime until, core::Rng& rng);
@@ -77,6 +106,9 @@ class Platform {
   /// Total tests by intent (diagnostics).
   std::size_t CountByIntent(Intent intent) const;
 
+  /// Probes that produced no record even after retries, in time order.
+  const std::vector<ProbeFailure>& failures() const { return failures_; }
+
  private:
   struct VantageState {
     VantageConfig config;
@@ -84,14 +116,24 @@ class Platform {
   };
 
   void RunTests(VantageState& vantage, std::size_t count, Intent intent,
-                core::Rng& rng);
+                double congestion_signal, core::Rng& rng);
+
+  /// One probe with retry/backoff; archives the record or logs a failure.
+  void RunOneTest(VantageState& vantage, Intent intent,
+                  double congestion_signal, core::Rng& rng);
 
   netsim::NetworkSimulator& simulator_;
   PlatformOptions options_;
   std::vector<VantageState> vantages_;
   MeasurementStore store_;
+  std::vector<ProbeFailure> failures_;
   std::size_t route_change_cursor_ = 0;
+  /// Campaign-local record ids (1-based). RunSpeedTest's process-global
+  /// counter would differ across campaigns in one process, breaking the
+  /// byte-identical-replay guarantee of seeded fault plans.
+  std::uint64_t next_record_id_ = 1;
   EdgeSteering* steering_ = nullptr;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace sisyphus::measure

@@ -40,6 +40,10 @@ struct SpeedTestRecord {
   double throughput_mbps = 0.0;
   Intent intent = Intent::kBaseline;
   netsim::AddressFamily address_family = netsim::AddressFamily::kIpv4;
+  /// Probe attempts consumed before this record existed (1 = first try).
+  /// Extends §4 intent tagging to *failure* provenance: analysts can see
+  /// that a record only exists because the platform retried through loss.
+  std::uint32_t attempts = 1;
   Traceroute traceroute;
   std::vector<core::Asn> asn_path;
 

@@ -1,10 +1,53 @@
 #include "measure/store.h"
 
+#include <cmath>
+
 #include "core/error.h"
 
 namespace sisyphus::measure {
 
+using core::Error;
+using core::ErrorCode;
+
+core::Status ValidateRecord(const SpeedTestRecord& record,
+                            const StoreValidationOptions& options) {
+  if (!std::isfinite(record.rtt_ms) || record.rtt_ms <= 0.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "rtt_ms not a positive finite number: " +
+                     std::to_string(record.rtt_ms));
+  }
+  if (record.rtt_ms > options.max_rtt_ms) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "rtt_ms " + std::to_string(record.rtt_ms) +
+                     " exceeds max_rtt_ms " +
+                     std::to_string(options.max_rtt_ms));
+  }
+  if (!std::isfinite(record.loss_rate) || record.loss_rate < 0.0 ||
+      record.loss_rate > 1.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "loss_rate outside [0, 1]: " +
+                     std::to_string(record.loss_rate));
+  }
+  if (!std::isfinite(record.throughput_mbps) ||
+      record.throughput_mbps < 0.0) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "throughput_mbps not a non-negative finite number: " +
+                     std::to_string(record.throughput_mbps));
+  }
+  if (record.time < options.min_time || options.max_time < record.time) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "timestamp " + std::to_string(record.time.minutes()) +
+                     "min outside the valid window");
+  }
+  return core::Status::Ok();
+}
+
 void MeasurementStore::Add(SpeedTestRecord record) {
+  if (auto status = ValidateRecord(record, validation_); !status.ok()) {
+    quarantine_.push_back(
+        {std::move(record), status.error().ToText()});
+    return;
+  }
   by_unit_[record.UnitKey()].push_back(records_.size());
   records_.push_back(std::move(record));
 }

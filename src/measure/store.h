@@ -1,23 +1,59 @@
 // MeasurementStore: the archive of speed-test records, queryable by
 // ⟨ASN, city⟩ unit, time window, intent, and IXP-crossing status.
+//
+// Ingest is validating: records that cannot be physically right (negative
+// RTT, out-of-range timestamps, impossible loss rates, non-finite
+// throughput) never enter the archive — they land in an inspectable
+// quarantine with a reason, so corrupt data cannot poison downstream
+// panels and estimators while remaining available for debugging.
 #pragma once
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/result.h"
 #include "measure/speedtest.h"
 
 namespace sisyphus::measure {
 
+/// What Add() accepts into the archive. Everything outside these bounds is
+/// quarantined, not dropped.
+struct StoreValidationOptions {
+  double max_rtt_ms = 60'000.0;  ///< 1 minute: beyond any sane speed test
+  core::SimTime min_time{0};
+  core::SimTime max_time{std::numeric_limits<std::int64_t>::max()};
+};
+
+/// Ok, or the reason a record is implausible.
+core::Status ValidateRecord(const SpeedTestRecord& record,
+                            const StoreValidationOptions& options = {});
+
+/// A rejected record plus why it was rejected.
+struct QuarantinedRecord {
+  SpeedTestRecord record;
+  std::string reason;
+};
+
 class MeasurementStore {
  public:
+  MeasurementStore() = default;
+  explicit MeasurementStore(StoreValidationOptions validation)
+      : validation_(validation) {}
+
+  /// Archives a valid record; quarantines an invalid one.
   void Add(SpeedTestRecord record);
 
   std::size_t size() const { return records_.size(); }
   const std::vector<SpeedTestRecord>& records() const { return records_; }
+
+  const std::vector<QuarantinedRecord>& quarantine() const {
+    return quarantine_;
+  }
+  const StoreValidationOptions& validation() const { return validation_; }
 
   /// Distinct unit keys, sorted.
   std::vector<std::string> Units() const;
@@ -41,7 +77,9 @@ class MeasurementStore {
                           core::SimTime start, core::SimTime end) const;
 
  private:
+  StoreValidationOptions validation_;
   std::vector<SpeedTestRecord> records_;
+  std::vector<QuarantinedRecord> quarantine_;
   std::map<std::string, std::vector<std::size_t>> by_unit_;
 };
 

@@ -13,6 +13,7 @@ const char* ToString(EventType type) {
     case EventType::kCongestionShock: return "congestion_shock";
     case EventType::kPoisonAsns: return "poison_asns";
     case EventType::kClearPoison: return "clear_poison";
+    case EventType::kPopOutage: return "pop_outage";
   }
   return "?";
 }

@@ -28,6 +28,7 @@ enum class EventType {
   kCongestionShock,   ///< extra utilization on a link for a window
   kPoisonAsns,        ///< origin poisons ASNs in its announcements
   kClearPoison,
+  kPopOutage,         ///< a PoP goes dark (no probes in/out) for a window
 };
 
 const char* ToString(EventType type);
@@ -40,9 +41,9 @@ struct NetworkEvent {
 
   // Parameters (used per type).
   std::optional<core::LinkId> link;
-  PopIndex pop = 0;               ///< kLocalPrefChange/Clear: deciding PoP
+  PopIndex pop = 0;               ///< kLocalPrefChange/Clear, kPopOutage
   double pref_delta = 0.0;        ///< kLocalPrefChange
-  core::SimTime shock_end;        ///< kCongestionShock window end
+  core::SimTime shock_end;        ///< kCongestionShock / kPopOutage window end
   double shock_extra = 0.0;       ///< kCongestionShock utilization bump
   PopIndex destination = 0;       ///< kPoisonAsns origin
   std::set<core::Asn> asns;       ///< kPoisonAsns

@@ -65,6 +65,11 @@ void NetworkSimulator::ApplyEvent(const NetworkEvent& event) {
     case EventType::kClearPoison:
       bgp_.ClearPoisonedAsns(event.destination);
       break;
+    case EventType::kPopOutage:
+      SISYPHUS_REQUIRE(event.shock_end > event.time,
+                       "kPopOutage: empty window");
+      pop_outages_.push_back({event.pop, event.time, event.shock_end});
+      break;
   }
   SISYPHUS_LOG(kDebug) << "event @" << event.time.ToText() << " "
                        << ToString(event.type) << " (" << event.description
@@ -144,6 +149,13 @@ Result<BgpRoute> NetworkSimulator::RouteBetween(PopIndex source,
                                                 PopIndex destination,
                                                 AddressFamily af) {
   return bgp_.Route(source, destination, af);
+}
+
+bool NetworkSimulator::PopDark(PopIndex pop, core::SimTime t) const {
+  for (const PopOutage& outage : pop_outages_) {
+    if (outage.pop == pop && outage.start <= t && t < outage.end) return true;
+  }
+  return false;
 }
 
 Result<double> NetworkSimulator::SampleRtt(PopIndex source,

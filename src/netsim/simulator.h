@@ -85,6 +85,11 @@ class NetworkSimulator {
                                  core::Rng& rng,
                                  AddressFamily af = AddressFamily::kIpv4);
 
+  /// True while `pop` is inside a kPopOutage window at time `t`. Routing is
+  /// unaffected (the control plane stays up); measurement layers consult
+  /// this to decide whether probes from/to the PoP can run.
+  bool PopDark(PopIndex pop, core::SimTime t) const;
+
   const std::vector<RouteChangeRecord>& route_changes() const {
     return route_changes_;
   }
@@ -109,6 +114,12 @@ class NetworkSimulator {
   };
   std::vector<WatchedPair> watched_;
   std::vector<RouteChangeRecord> route_changes_;
+
+  struct PopOutage {
+    PopIndex pop = 0;
+    core::SimTime start, end;
+  };
+  std::vector<PopOutage> pop_outages_;
 };
 
 }  // namespace sisyphus::netsim

@@ -1,0 +1,196 @@
+// Tests for the fault-injection layer: deterministic replay, outage
+// window semantics, MNAR coupling, and record-level fault application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "measure/faults.h"
+
+namespace sisyphus::measure {
+namespace {
+
+using core::SimTime;
+
+SpeedTestRecord MakeRecord(std::size_t hops = 5) {
+  SpeedTestRecord record;
+  record.time = SimTime::FromHours(12);
+  record.rtt_ms = 25.0;
+  record.loss_rate = 0.01;
+  record.throughput_mbps = 40.0;
+  for (std::size_t i = 0; i < hops; ++i) {
+    record.traceroute.hops.push_back({});
+  }
+  return record;
+}
+
+TEST(OutageWindowTest, HalfOpenContainment) {
+  const OutageWindow window{SimTime(10), SimTime(20)};
+  EXPECT_FALSE(window.Contains(SimTime(9)));
+  EXPECT_TRUE(window.Contains(SimTime(10)));
+  EXPECT_TRUE(window.Contains(SimTime(19)));
+  EXPECT_FALSE(window.Contains(SimTime(20)));
+}
+
+TEST(GenerateOutageWindowsTest, DeterministicSortedAndBounded) {
+  const auto a = GenerateOutageWindows(7, SimTime::FromDays(10), 5,
+                                       SimTime::FromHours(6));
+  const auto b = GenerateOutageWindows(7, SimTime::FromDays(10), 5,
+                                       SimTime::FromHours(6));
+  ASSERT_EQ(a.size(), 5u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].end, b[i].end);
+    EXPECT_EQ(a[i].end - a[i].start, SimTime::FromHours(6));
+    EXPECT_GE(a[i].start, SimTime(0));
+    EXPECT_LE(a[i].end, SimTime::FromDays(10));
+    if (i > 0) {
+      EXPECT_GE(a[i].start, a[i - 1].start);
+    }
+  }
+  // A different seed moves the windows.
+  const auto c = GenerateOutageWindows(8, SimTime::FromDays(10), 5,
+                                       SimTime::FromHours(6));
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].start != c[i].start) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FaultInjectorTest, DarkWindowQueriesAreConstAndExact) {
+  FaultPlan plan;
+  plan.vantage_outages.push_back(
+      {3, {{SimTime::FromHours(2), SimTime::FromHours(4)}}});
+  plan.collector_outages.push_back(
+      {SimTime::FromHours(10), SimTime::FromHours(11)});
+  const FaultInjector injector(plan);
+  EXPECT_TRUE(injector.VantageDark(3, SimTime::FromHours(3)));
+  EXPECT_FALSE(injector.VantageDark(3, SimTime::FromHours(4)));
+  EXPECT_FALSE(injector.VantageDark(4, SimTime::FromHours(3)));
+  EXPECT_TRUE(injector.CollectorDark(SimTime::FromHours(10)));
+  EXPECT_FALSE(injector.CollectorDark(SimTime::FromHours(12)));
+  // Pure queries leave the stats untouched.
+  EXPECT_EQ(injector.stats().vantage_outage_hits, 0u);
+}
+
+TEST(FaultInjectorTest, ProbeFaultStreamIsSeedDeterministic) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.probe_loss_probability = 0.3;
+  FaultInjector a(plan), b(plan);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.SampleProbeFault(0.0), b.SampleProbeFault(0.0));
+  }
+  EXPECT_EQ(a.stats().probes_lost, b.stats().probes_lost);
+  EXPECT_GT(a.stats().probes_lost, 20u);  // ~60 expected
+  EXPECT_LT(a.stats().probes_lost, 120u);
+}
+
+TEST(FaultInjectorTest, MnarGainCouplesLossToCongestion) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.probe_loss_probability = 0.05;
+  plan.mnar_loss_gain = 20.0;  // 2% path loss -> +40 pp probe loss
+  FaultInjector calm(plan), congested(plan);
+  int calm_lost = 0, congested_lost = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (calm.SampleProbeFault(0.0) == ProbeFault::kProbeLoss) ++calm_lost;
+    if (congested.SampleProbeFault(0.02) == ProbeFault::kProbeLoss) {
+      ++congested_lost;
+    }
+  }
+  EXPECT_GT(congested_lost, calm_lost + 50);
+  // Gain saturates at certainty: loss probability clamps to 1.
+  FaultInjector saturated(plan);
+  EXPECT_EQ(saturated.SampleProbeFault(1.0), ProbeFault::kProbeLoss);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityPlanIsTransparent) {
+  FaultInjector injector(FaultPlan{});
+  auto record = MakeRecord();
+  const auto before = record;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(injector.SampleProbeFault(0.0), ProbeFault::kNone);
+    EXPECT_FALSE(injector.ApplyRecordFaults(record));
+  }
+  EXPECT_EQ(record.time, before.time);
+  EXPECT_EQ(record.rtt_ms, before.rtt_ms);
+  EXPECT_EQ(record.traceroute.hops.size(), before.traceroute.hops.size());
+  EXPECT_EQ(injector.stats().records_corrupted, 0u);
+  EXPECT_EQ(injector.stats().records_skewed, 0u);
+}
+
+TEST(FaultInjectorTest, TruncationKeepsMinimumHops) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.traceroute_truncation_probability = 1.0;
+  plan.truncation_min_hops = 2;
+  FaultInjector injector(plan);
+  for (int i = 0; i < 100; ++i) {
+    auto record = MakeRecord(6);
+    injector.ApplyRecordFaults(record);
+    EXPECT_GE(record.traceroute.hops.size(), 2u);
+    EXPECT_LE(record.traceroute.hops.size(), 6u);
+  }
+  EXPECT_GT(injector.stats().traceroutes_truncated, 50u);
+}
+
+TEST(FaultInjectorTest, CorruptionProducesInvalidRecords) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.corruption_probability = 1.0;
+  FaultInjector injector(plan);
+  std::size_t invalid = 0;
+  for (int i = 0; i < 100; ++i) {
+    auto record = MakeRecord();
+    injector.ApplyRecordFaults(record);
+    const bool bad_rtt = record.rtt_ms <= 0.0;
+    const bool bad_time = record.time < SimTime(0);
+    const bool bad_loss = record.loss_rate > 1.0;
+    const bool bad_throughput = !std::isfinite(record.throughput_mbps);
+    if (bad_rtt || bad_time || bad_loss || bad_throughput) ++invalid;
+  }
+  EXPECT_EQ(invalid, 100u);
+  EXPECT_EQ(injector.stats().records_corrupted, 100u);
+}
+
+TEST(FaultInjectorTest, ClockSkewIsBounded) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.max_clock_skew = SimTime(5);
+  FaultInjector injector(plan);
+  for (int i = 0; i < 200; ++i) {
+    auto record = MakeRecord();
+    const SimTime original = record.time;
+    injector.ApplyRecordFaults(record);
+    EXPECT_GE(record.time, original - SimTime(5));
+    EXPECT_LE(record.time, original + SimTime(5));
+  }
+  EXPECT_EQ(injector.stats().records_skewed, 200u);
+}
+
+TEST(FaultInjectorTest, DuplicationFlagRateMatchesPlan) {
+  FaultPlan plan;
+  plan.seed = 19;
+  plan.duplicate_probability = 0.5;
+  FaultInjector injector(plan);
+  int duplicates = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto record = MakeRecord();
+    if (injector.ApplyRecordFaults(record)) ++duplicates;
+  }
+  EXPECT_NEAR(duplicates, 200, 60);
+  EXPECT_EQ(injector.stats().records_duplicated,
+            static_cast<std::size_t>(duplicates));
+}
+
+TEST(ProbeFaultTest, NamesStable) {
+  EXPECT_STREQ(ToString(ProbeFault::kNone), "none");
+  EXPECT_STREQ(ToString(ProbeFault::kProbeLoss), "probe_loss");
+  EXPECT_STREQ(ToString(ProbeFault::kVantageOutage), "vantage_outage");
+  EXPECT_STREQ(ToString(ProbeFault::kCollectorOutage), "collector_outage");
+  EXPECT_STREQ(ToString(ProbeFault::kUnreachable), "unreachable");
+}
+
+}  // namespace
+}  // namespace sisyphus::measure

@@ -131,5 +131,106 @@ TEST(SyntheticControlInputBuilderTest, ErrorsSurface) {
                    .ok());
 }
 
+TEST(PanelTest, DroppedUnitFindNamesSparsityCause) {
+  MeasurementStore store;
+  // One healthy unit and one sparse unit (1 of 8 buckets observed).
+  for (int t = 0; t < 8; ++t) {
+    store.Add(MakeRecord("100", "X", SimTime::FromHours(6.0 * t + 1), 10));
+  }
+  store.Add(MakeRecord("200", "Y", SimTime::FromHours(1), 30));
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 8;
+  const Panel panel = BuildRttPanel(store, options);
+  ASSERT_EQ(panel.units.size(), 1u);
+  ASSERT_EQ(panel.dropped.size(), 1u);
+  EXPECT_EQ(panel.dropped[0].unit, "200 / Y");
+  EXPECT_NEAR(panel.dropped[0].missing_fraction, 7.0 / 8.0, 1e-12);
+
+  auto found = panel.Find("200 / Y");
+  ASSERT_FALSE(found.ok());
+  EXPECT_EQ(found.error().code(), core::ErrorCode::kNotFound);
+  EXPECT_NE(found.error().message().find("max_missing_fraction"),
+            std::string::npos);
+  EXPECT_NE(found.error().message().find("sparsity"), std::string::npos);
+  // A unit that never existed gets the plain not-found message.
+  auto ghost = panel.Find("300 / Z");
+  ASSERT_FALSE(ghost.ok());
+  EXPECT_EQ(ghost.error().message().find("max_missing_fraction"),
+            std::string::npos);
+}
+
+TEST(PanelTest, ObservedMaskMarksInterpolatedBuckets) {
+  MeasurementStore store;
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(1), 10));
+  // bucket 1 empty -> interpolated
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(13), 30));
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 3;
+  options.max_missing_fraction = 0.5;
+  const Panel panel = BuildRttPanel(store, options);
+  ASSERT_EQ(panel.units.size(), 1u);
+  const auto& unit = panel.units[0];
+  ASSERT_EQ(unit.observed.size(), 3u);
+  EXPECT_TRUE(unit.observed[0]);
+  EXPECT_FALSE(unit.observed[1]);
+  EXPECT_TRUE(unit.observed[2]);
+}
+
+TEST(PanelTest, OutOfOrderRecordsAreSortedBeforeBucketing) {
+  // Clock-skewed / retried records arrive out of time order; the panel
+  // builder must tolerate that rather than tripping the time-series
+  // monotonicity requirement.
+  MeasurementStore store;
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(13), 30));
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(1), 10));
+  store.Add(MakeRecord("100", "X", SimTime::FromHours(7), 20));
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 3;
+  const Panel panel = BuildRttPanel(store, options);
+  ASSERT_EQ(panel.units.size(), 1u);
+  EXPECT_DOUBLE_EQ(panel.units[0].values[0], 10.0);
+  EXPECT_DOUBLE_EQ(panel.units[0].values[1], 20.0);
+  EXPECT_DOUBLE_EQ(panel.units[0].values[2], 30.0);
+}
+
+TEST(SyntheticControlInputBuilderTest, MissingnessMaskPropagates) {
+  MeasurementStore store;
+  // Treated: fully observed. Donor: bucket 1 of 4 missing.
+  for (int t = 0; t < 4; ++t) {
+    store.Add(MakeRecord("100", "X", SimTime::FromHours(6.0 * t + 1), 20));
+    if (t != 1) {
+      store.Add(MakeRecord("200", "Y", SimTime::FromHours(6.0 * t + 1), 30));
+    }
+  }
+  store.Add(MakeRecord("300", "Z", SimTime::FromHours(1), 25));
+  store.Add(MakeRecord("300", "Z", SimTime::FromHours(7), 25));
+  store.Add(MakeRecord("300", "Z", SimTime::FromHours(13), 25));
+  store.Add(MakeRecord("300", "Z", SimTime::FromHours(19), 25));
+  PanelOptions options;
+  options.bucket = SimTime::FromHours(6);
+  options.periods = 4;
+  options.max_missing_fraction = 0.5;
+  const Panel panel = BuildRttPanel(store, options);
+  auto input = MakeSyntheticControlInput(panel, "100 / X",
+                                         {"200 / Y", "300 / Z"},
+                                         SimTime::FromHours(14));
+  ASSERT_TRUE(input.ok());
+  ASSERT_TRUE(input.value().HasMask());
+  ASSERT_EQ(input.value().treated_observed.size(), 4u);
+  for (double v : input.value().treated_observed) {
+    EXPECT_DOUBLE_EQ(v, 1.0);
+  }
+  const auto& donor_mask = input.value().donor_observed;
+  ASSERT_EQ(donor_mask.rows(), 4u);
+  ASSERT_EQ(donor_mask.cols(), 2u);
+  EXPECT_DOUBLE_EQ(donor_mask(1, 0), 0.0);  // 200 / Y missing bucket 1
+  EXPECT_DOUBLE_EQ(donor_mask(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(donor_mask(1, 1), 1.0);  // 300 / Z fully observed
+  EXPECT_NEAR(input.value().DonorObservedFraction(), 7.0 / 8.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace sisyphus::measure

@@ -1,8 +1,10 @@
 // Tests for the measurement platform: baseline scheduling, endogenous
 // user-triggered testing (the collider mechanism), conditional
-// activation, intent tagging.
+// activation, intent tagging, and fault-injected campaigns (probe loss,
+// retries, outage windows, deterministic replay).
 #include <gtest/gtest.h>
 
+#include "measure/export.h"
 #include "measure/platform.h"
 
 namespace sisyphus::measure {
@@ -203,6 +205,182 @@ TEST(PlatformTest, EdgeSteeringRoutesTestsAcrossSites) {
   platform.Run(SimTime::FromDays(5) + SimTime::FromHours(6), rng);
   const auto& records = platform.store().records();
   EXPECT_EQ(records.back().server_pop, f.server);
+}
+
+// ---- Fault-injected campaigns ---------------------------------------------
+
+TEST(PlatformFaultTest, CertainProbeLossLogsFailuresWithProvenance) {
+  Fixture f;
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 24.0;
+  platform.AddVantage(vantage);
+
+  FaultPlan plan;
+  plan.probe_loss_probability = 1.0;
+  FaultInjector injector(plan);
+  platform.SetFaultInjector(&injector);
+
+  core::Rng rng(21);
+  platform.Run(SimTime::FromDays(2), rng);
+  EXPECT_EQ(platform.store().size(), 0u);
+  ASSERT_GT(platform.failures().size(), 10u);
+  for (const auto& failure : platform.failures()) {
+    EXPECT_EQ(failure.reason, ProbeFault::kProbeLoss);
+    EXPECT_EQ(failure.attempts, options.retry.max_attempts);
+    EXPECT_EQ(failure.vantage, f.user);
+  }
+}
+
+TEST(PlatformFaultTest, RetriesRecoverFromTransientLoss) {
+  Fixture f;
+  PlatformOptions options;
+  options.server = f.server;
+  options.retry.max_attempts = 6;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 48.0;
+  platform.AddVantage(vantage);
+
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.probe_loss_probability = 0.5;
+  FaultInjector injector(plan);
+  platform.SetFaultInjector(&injector);
+
+  core::Rng rng(22);
+  platform.Run(SimTime::FromDays(3), rng);
+  ASSERT_GT(platform.store().size(), 50u);
+  std::size_t retried = 0;
+  for (const auto& record : platform.store().records()) {
+    EXPECT_GE(record.attempts, 1u);
+    EXPECT_LE(record.attempts, 6u);
+    if (record.attempts > 1) ++retried;
+  }
+  // At 50% per-attempt loss, roughly half of surviving records were
+  // rescued by a retry.
+  EXPECT_GT(retried, platform.store().size() / 5);
+  // Final failures need ~6 consecutive losses: rare but accounted for.
+  EXPECT_LT(platform.failures().size(), platform.store().size() / 10);
+}
+
+TEST(PlatformFaultTest, VantageOutageWindowSuppressesRecords) {
+  Fixture f;
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 24.0;
+  platform.AddVantage(vantage);
+
+  FaultPlan plan;
+  plan.vantage_outages.push_back(
+      {f.user, {{SimTime::FromDays(1), SimTime::FromDays(2)}}});
+  FaultInjector injector(plan);
+  platform.SetFaultInjector(&injector);
+
+  core::Rng rng(23);
+  platform.Run(SimTime::FromDays(3), rng);
+  // Retries back off by minutes; a day-long window swallows all attempts.
+  for (const auto& record : platform.store().records()) {
+    EXPECT_TRUE(record.time < SimTime::FromDays(1) ||
+                record.time >= SimTime::FromDays(2));
+  }
+  std::size_t outage_failures = 0;
+  for (const auto& failure : platform.failures()) {
+    if (failure.reason == ProbeFault::kVantageOutage) ++outage_failures;
+  }
+  EXPECT_GT(outage_failures, 5u);
+}
+
+TEST(PlatformFaultTest, CollectorOutageAffectsAllVantages) {
+  Fixture f;
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 24.0;
+  platform.AddVantage(vantage);
+
+  FaultPlan plan;
+  plan.collector_outages.push_back(
+      {SimTime::FromDays(1), SimTime::FromDays(2)});
+  FaultInjector injector(plan);
+  platform.SetFaultInjector(&injector);
+
+  core::Rng rng(24);
+  platform.Run(SimTime::FromDays(3), rng);
+  for (const auto& record : platform.store().records()) {
+    EXPECT_TRUE(record.time < SimTime::FromDays(1) ||
+                record.time >= SimTime::FromDays(2));
+  }
+  std::size_t collector_failures = 0;
+  for (const auto& failure : platform.failures()) {
+    if (failure.reason == ProbeFault::kCollectorOutage) ++collector_failures;
+  }
+  EXPECT_GT(collector_failures, 5u);
+}
+
+TEST(PlatformFaultTest, CorruptRecordsAreQuarantinedNotArchived) {
+  Fixture f;
+  PlatformOptions options;
+  options.server = f.server;
+  Platform platform(*f.sim, options);
+  VantageConfig vantage;
+  vantage.pop = f.user;
+  vantage.baseline_tests_per_day = 48.0;
+  platform.AddVantage(vantage);
+
+  FaultPlan plan;
+  plan.seed = 29;
+  plan.corruption_probability = 0.3;
+  FaultInjector injector(plan);
+  platform.SetFaultInjector(&injector);
+
+  core::Rng rng(25);
+  platform.Run(SimTime::FromDays(3), rng);
+  EXPECT_GT(platform.store().quarantine().size(), 10u);
+  // Everything that made it into the archive still validates.
+  for (const auto& record : platform.store().records()) {
+    EXPECT_TRUE(ValidateRecord(record, options.validation).ok());
+  }
+  for (const auto& entry : platform.store().quarantine()) {
+    EXPECT_FALSE(entry.reason.empty());
+  }
+}
+
+TEST(PlatformFaultTest, SameFaultSeedReplaysByteIdenticalStream) {
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.probe_loss_probability = 0.2;
+  plan.duplicate_probability = 0.05;
+  plan.max_clock_skew = SimTime(2);
+
+  auto run_campaign = [&plan]() {
+    Fixture f;
+    PlatformOptions options;
+    options.server = f.server;
+    Platform platform(*f.sim, options);
+    VantageConfig vantage;
+    vantage.pop = f.user;
+    vantage.baseline_tests_per_day = 24.0;
+    platform.AddVantage(vantage);
+    FaultInjector injector(plan);
+    platform.SetFaultInjector(&injector);
+    core::Rng rng(26);
+    platform.Run(SimTime::FromDays(4), rng);
+    return StoreToCsv(platform.store());
+  };
+  const std::string first = run_campaign();
+  const std::string second = run_campaign();
+  EXPECT_GT(first.size(), 100u);
+  EXPECT_EQ(first, second);
 }
 
 }  // namespace

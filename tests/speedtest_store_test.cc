@@ -1,6 +1,8 @@
 // Tests for speed-test execution and the measurement store.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "measure/store.h"
 #include "netsim/simulator.h"
 
@@ -206,6 +208,94 @@ TEST(StoreTest, FirstIxpCrossingDetectsTreatmentOnset) {
       store.IxpCrossingShare(topo, "3741 / Johannesburg", f.ixp,
                              SimTime::FromHours(50), SimTime::FromHours(60)),
       0.0);
+}
+
+// ---- Validating ingest / quarantine ---------------------------------------
+
+SpeedTestRecord PlausibleRecord() {
+  SpeedTestRecord record;
+  record.time = SimTime::FromHours(3);
+  record.asn = Asn{100};
+  record.city = "X";
+  record.rtt_ms = 20.0;
+  record.loss_rate = 0.01;
+  record.throughput_mbps = 50.0;
+  return record;
+}
+
+TEST(StoreValidationTest, ValidateRecordCatchesEachDefect) {
+  EXPECT_TRUE(ValidateRecord(PlausibleRecord()).ok());
+
+  auto negative_rtt = PlausibleRecord();
+  negative_rtt.rtt_ms = -5.0;
+  EXPECT_FALSE(ValidateRecord(negative_rtt).ok());
+
+  auto huge_rtt = PlausibleRecord();
+  huge_rtt.rtt_ms = 1e9;
+  EXPECT_FALSE(ValidateRecord(huge_rtt).ok());
+
+  auto impossible_loss = PlausibleRecord();
+  impossible_loss.loss_rate = 2.0;
+  EXPECT_FALSE(ValidateRecord(impossible_loss).ok());
+
+  auto nan_throughput = PlausibleRecord();
+  nan_throughput.throughput_mbps =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(ValidateRecord(nan_throughput).ok());
+
+  auto pre_epoch = PlausibleRecord();
+  pre_epoch.time = SimTime(-10);
+  EXPECT_FALSE(ValidateRecord(pre_epoch).ok());
+
+  StoreValidationOptions window;
+  window.max_time = SimTime::FromHours(1);
+  EXPECT_FALSE(ValidateRecord(PlausibleRecord(), window).ok());
+}
+
+TEST(StoreValidationTest, CorruptRecordsQuarantinedWithReason) {
+  MeasurementStore store;
+  store.Add(PlausibleRecord());
+
+  auto negative_rtt = PlausibleRecord();
+  negative_rtt.rtt_ms = -1.0;
+  store.Add(negative_rtt);
+
+  auto pre_epoch = PlausibleRecord();
+  pre_epoch.time = SimTime(-99);
+  store.Add(pre_epoch);
+
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_EQ(store.quarantine().size(), 2u);
+  EXPECT_NE(store.quarantine()[0].reason.find("rtt"), std::string::npos);
+  EXPECT_NE(store.quarantine()[1].reason.find("timestamp"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(store.quarantine()[0].record.rtt_ms, -1.0);
+  // Quarantined units never surface in queries.
+  for (const auto& record : store.records()) {
+    EXPECT_TRUE(ValidateRecord(record).ok());
+  }
+}
+
+TEST(StoreValidationTest, CustomBoundsRespected) {
+  StoreValidationOptions validation;
+  validation.max_rtt_ms = 100.0;
+  validation.min_time = SimTime::FromHours(1);
+  validation.max_time = SimTime::FromHours(10);
+  MeasurementStore store(validation);
+
+  auto ok_record = PlausibleRecord();
+  store.Add(ok_record);
+
+  auto slow = PlausibleRecord();
+  slow.rtt_ms = 500.0;  // valid by default bounds, not by these
+  store.Add(slow);
+
+  auto late = PlausibleRecord();
+  late.time = SimTime::FromHours(11);
+  store.Add(late);
+
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.quarantine().size(), 2u);
 }
 
 }  // namespace
