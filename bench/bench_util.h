@@ -1,10 +1,18 @@
-// Shared helpers for the experiment benches: fixed-width table printing
-// and the standard header block every bench emits.
+// Shared helpers for the experiment benches: fixed-width table printing,
+// the standard header block every bench emits, and the --obs-out wiring
+// (metrics + tracing + run-manifest artifacts).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
+
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sisyphus::bench {
 
@@ -50,6 +58,49 @@ class TableWriter {
 
   std::vector<std::pair<std::string, int>> columns_;
   std::size_t cursor_ = 0;
+};
+
+/// Shared `--obs-out <dir>` wiring. When a directory is given, enables the
+/// metrics registry (reset to zero so artifacts cover exactly this run)
+/// and the tracer; Finish() writes the manifest.json / metrics.json /
+/// trace.json trio. When the directory is empty everything stays in the
+/// disabled fast path and Finish() is a no-op.
+class ObsRun {
+ public:
+  ObsRun(std::string tool, std::string obs_dir, std::uint64_t seed)
+      : obs_dir_(std::move(obs_dir)) {
+    manifest_.tool = std::move(tool);
+    manifest_.seed = seed;
+    if (!active()) return;
+    obs::Registry::Enable(true);
+    obs::Registry::Global().ResetAll();
+    obs::Tracer::Global().Clear();
+    obs::Tracer::Global().Enable(true);
+  }
+
+  bool active() const { return !obs_dir_.empty(); }
+  obs::RunManifest& manifest() { return manifest_; }
+
+  /// Writes the artifact trio; returns 0 on success (and when inactive).
+  int Finish() {
+    if (!active()) return 0;
+    std::error_code ec;
+    std::filesystem::create_directories(obs_dir_, ec);
+    const auto status = obs::WriteRunArtifacts(
+        obs_dir_, manifest_, obs::Registry::Global(), obs::Tracer::Global());
+    if (!status.ok()) {
+      std::printf("obs artifacts failed: %s\n",
+                  status.error().ToText().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/{manifest,metrics,trace}.json\n",
+                obs_dir_.c_str());
+    return 0;
+  }
+
+ private:
+  std::string obs_dir_;
+  obs::RunManifest manifest_;
 };
 
 }  // namespace sisyphus::bench

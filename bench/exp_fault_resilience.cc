@@ -16,11 +16,13 @@
 //      relative error of the clean estimate (mirrored by a tier-1 test).
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "causal/robust_synthetic_control.h"
+#include "core/hash.h"
 #include "core/rng.h"
 #include "measure/export.h"
 #include "measure/faults.h"
@@ -126,11 +128,20 @@ measure::FaultPlan AcceptancePlan(const netsim::ScenarioZa& scenario,
   return plan;
 }
 
-int Main() {
+int Main(const std::string& obs_dir) {
   bench::PrintHeader("F1", "fault resilience of the Table 1 pipeline",
                      "robustness extension (degraded-data semantics, "
                      "DESIGN.md failure model)");
 
+  const netsim::ScenarioZaOptions scenario_defaults;
+  bench::ObsRun obs("exp_fault_resilience", obs_dir, scenario_defaults.seed);
+  obs::RunManifest& manifest = obs.manifest();
+  manifest.AddOption("horizon_days",
+                     std::to_string(scenario_defaults.horizon.days()));
+  manifest.AddOption("acceptance_plan_seed", "42");
+
+  std::unique_ptr<obs::ScopedPhase> phase =
+      std::make_unique<obs::ScopedPhase>(manifest, "clean_campaign");
   const CampaignResult clean = RunCampaign(nullptr);
   std::printf("clean campaign: %zu records, %zu panel units, mean IXP "
               "effect %+.3f ms over %zu treated units\n\n",
@@ -160,6 +171,7 @@ int Main() {
   // Estimator noise floor: clean data, different platform RNG seeds. Fault
   // plans below perturb the RNG stream too, so drift smaller than this
   // floor is sampling noise, not fault-induced bias.
+  phase = std::make_unique<obs::ScopedPhase>(manifest, "noise_floor");
   for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
     const CampaignResult reseed = RunCampaign(nullptr, false, seed);
     std::printf("noise floor (clean, platform seed %llu): effect %+.3f ms "
@@ -170,6 +182,7 @@ int Main() {
   }
   std::printf("\n");
 
+  phase = std::make_unique<obs::ScopedPhase>(manifest, "fault_sweep");
   bench::TableWriter table({{"fault plan", 20},
                             {"records", 8},
                             {"quar.", 6},
@@ -207,7 +220,10 @@ int Main() {
   }
 
   // ---- Invariant 1: determinism under a fixed FaultPlan seed ----
+  phase = std::make_unique<obs::ScopedPhase>(manifest, "determinism_check");
   const measure::FaultPlan acceptance = AcceptancePlan(reference, 42);
+  manifest.fault_plan_hash =
+      core::Fnv1a64Hex(measure::FaultPlanFingerprint(acceptance));
   const CampaignResult run_a = RunCampaign(&acceptance, /*keep_csv=*/true);
   const CampaignResult run_b = RunCampaign(&acceptance, /*keep_csv=*/true);
   const bool deterministic = run_a.store_csv == run_b.store_csv;
@@ -236,9 +252,19 @@ int Main() {
   const bool ok = deterministic && rel_err <= 0.25;
   std::printf("\nconclusion: the masked estimator %s the paper's degraded-"
               "data bar.\n", ok ? "clears" : "MISSES");
-  return ok ? 0 : 1;
+  phase.reset();
+  const int obs_status = obs.Finish();
+  return ok ? obs_status : 1;
 }
 
 }  // namespace
 
-int main() { return Main(); }
+int main(int argc, char** argv) {
+  std::string obs_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+      obs_dir = argv[++i];
+    }
+  }
+  return Main(obs_dir);
+}

@@ -3,6 +3,11 @@
 // campaign throughput on the Table 1 scenario.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/rng.h"
 #include "measure/platform.h"
 #include "netsim/scenario_za.h"
@@ -124,4 +129,28 @@ BENCHMARK(BM_CampaignDayThroughput)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Console output for humans plus BENCH_netsim.json (google-benchmark JSON
+// schema) in the working directory for CI artifact upload and diffing.
+// An explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_netsim.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("wrote BENCH_netsim.json\n");
+  return 0;
+}

@@ -18,10 +18,12 @@
 // simplex-weight estimator for comparison (DESIGN.md §4).
 #include <cstring>
 #include <map>
+#include <memory>
 
 #include "bench_util.h"
 #include "causal/event_study.h"
 #include "causal/placebo.h"
+#include "core/hash.h"
 #include "core/rng.h"
 #include "measure/export.h"
 #include "measure/panel.h"
@@ -86,14 +88,38 @@ int ExportArtifacts(const std::string& directory,
   return 0;
 }
 
-int Main(bool ablation, const std::string& export_dir) {
+int Main(bool ablation, const std::string& export_dir,
+         const std::string& obs_dir) {
   bench::PrintHeader("T1", "IXP case study via robust synthetic control",
                      "Table 1 (HotNets '25 Sisyphus paper)");
 
   // ---- 1. Scenario + campaign ----
   netsim::ScenarioZaOptions scenario_options;
-  netsim::ScenarioZa scenario = netsim::BuildScenarioZa(scenario_options);
 
+  bench::ObsRun obs("table1_ixp_synth_control", obs_dir,
+                    scenario_options.seed);
+  obs::RunManifest& manifest = obs.manifest();
+  manifest.AddOption("ablation", ablation ? "true" : "false");
+  manifest.AddOption("horizon_days",
+                     std::to_string(scenario_options.horizon.days()));
+  manifest.AddOption("treatment_day",
+                     std::to_string(scenario_options.treatment_time.days()));
+  manifest.AddOption("donor_units",
+                     std::to_string(scenario_options.donor_units));
+
+  std::unique_ptr<obs::ScopedPhase> phase =
+      std::make_unique<obs::ScopedPhase>(manifest, "build_scenario");
+  netsim::ScenarioZa scenario = netsim::BuildScenarioZa(scenario_options);
+  manifest.scenario_hash = core::Fnv1a64Hex(
+      "za seed=" + std::to_string(scenario_options.seed) +
+      " donors=" + std::to_string(scenario_options.donor_units) +
+      " treatment_min=" +
+      std::to_string(scenario_options.treatment_time.minutes()) +
+      " horizon_min=" + std::to_string(scenario_options.horizon.minutes()) +
+      " pops=" + std::to_string(scenario.simulator->topology().PopCount()) +
+      " links=" + std::to_string(scenario.simulator->topology().LinkCount()));
+
+  phase = std::make_unique<obs::ScopedPhase>(manifest, "run_campaign");
   measure::PlatformOptions platform_options;
   platform_options.server = scenario.content_jnb;
   platform_options.step = core::SimTime::FromHours(1);
@@ -113,6 +139,7 @@ int Main(bool ablation, const std::string& export_dir) {
 
   core::Rng rng(scenario_options.seed);
   platform.Run(scenario_options.horizon, rng);
+  phase->SetSimSpan(core::SimTime(0), scenario_options.horizon);
   std::printf("campaign: %zu speed tests over %.0f days (%zu baseline, "
               "%zu user-initiated)\n",
               platform.store().size(), scenario_options.horizon.days(),
@@ -120,6 +147,7 @@ int Main(bool ablation, const std::string& export_dir) {
               platform.CountByIntent(measure::Intent::kUserInitiated));
 
   // ---- 2. Detection: which units began crossing the IXP? ----
+  phase = std::make_unique<obs::ScopedPhase>(manifest, "detect_crossings");
   const auto& topology = scenario.simulator->topology();
   std::size_t detected = 0;
   for (const auto& unit : scenario.treated) {
@@ -133,6 +161,7 @@ int Main(bool ablation, const std::string& export_dir) {
               scenario_options.treatment_time.days());
 
   // ---- 3. Panel ----
+  phase = std::make_unique<obs::ScopedPhase>(manifest, "build_panel");
   measure::PanelOptions panel_options;
   panel_options.bucket = core::SimTime::FromHours(6);
   panel_options.periods = static_cast<std::size_t>(
@@ -143,6 +172,7 @@ int Main(bool ablation, const std::string& export_dir) {
               panel.units.size(), panel_options.periods);
 
   // ---- 4. Robust synthetic control + placebo per treated unit ----
+  phase = std::make_unique<obs::ScopedPhase>(manifest, "synthetic_control");
   auto run_method = [&](causal::SyntheticControlMethod method) {
     std::vector<Row> rows;
     for (const auto& unit : scenario.treated) {
@@ -230,7 +260,8 @@ int Main(bool ablation, const std::string& export_dir) {
       ablation_table.Cell(row.p_value, "%.3f");
     }
   }
-  return 0;
+  phase.reset();
+  return obs.Finish();
 }
 
 }  // namespace
@@ -238,12 +269,15 @@ int Main(bool ablation, const std::string& export_dir) {
 int main(int argc, char** argv) {
   bool ablation = false;
   std::string export_dir;
+  std::string obs_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) {
       ablation = true;
     } else if (std::strcmp(argv[i], "--export-dir") == 0 && i + 1 < argc) {
       export_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+      obs_dir = argv[++i];
     }
   }
-  return Main(ablation, export_dir);
+  return Main(ablation, export_dir, obs_dir);
 }

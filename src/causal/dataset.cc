@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/error.h"
+#include "core/logging.h"
 
 namespace sisyphus::causal {
 
@@ -60,6 +61,9 @@ Dataset Dataset::Filter(const std::vector<bool>& keep) const {
     const auto status = out.AddColumn(names_[c], std::move(values));
     SISYPHUS_REQUIRE(status.ok(), "Filter: column copy failed");
   }
+  (SISYPHUS_LOG(kDebug) << "dataset filtered")
+      .With("rows_in", rows_)
+      .With("rows_out", out.rows());
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "core/error.h"
+#include "core/logging.h"
 #include "stats/descriptive.h"
 #include "stats/logistic.h"
 #include "stats/matrix.h"
@@ -450,6 +451,9 @@ Result<EffectEstimate> InstrumentalVariableEstimate(
     std::snprintf(buffer, sizeof(buffer), "iv[WEAK F=%.1f]",
                   fit.value().first_stage_f);
     out.method = buffer;
+    (SISYPHUS_LOG(kWarn) << "weak instrument: IV estimate unreliable")
+        .With("first_stage_f", fit.value().first_stage_f)
+        .With("n", data.rows());
   }
   out.n = data.rows();
   out.effect = fit.value().TreatmentEffect();

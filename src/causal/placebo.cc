@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 #include "stats/inference.h"
 
 namespace sisyphus::causal {
@@ -72,8 +73,10 @@ Result<PlaceboResult> RunPlaceboAnalysis(const SyntheticControlInput& input,
 
   for (std::size_t j = 0; j < input.donors.cols(); ++j) {
     const SyntheticControlInput placebo = PlaceboInput(input, j);
+    SISYPHUS_METRIC_COUNT("causal.placebo.runs", 1);
     auto fit = FitWithMethod(placebo, options);
     if (!fit.ok()) {
+      SISYPHUS_METRIC_COUNT("causal.placebo.skipped", 1);
       ++out.skipped_donors;
       continue;
     }
@@ -81,6 +84,7 @@ Result<PlaceboResult> RunPlaceboAnalysis(const SyntheticControlInput& input,
         fit.value().rmse_pre >
             options.max_pre_rmse_multiple *
                 std::max(out.treated_fit.rmse_pre, 1e-9)) {
+      SISYPHUS_METRIC_COUNT("causal.placebo.skipped", 1);
       ++out.skipped_donors;
       continue;
     }

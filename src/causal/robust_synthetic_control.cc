@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 #include "stats/decomposition.h"
 #include "stats/regression.h"
 
@@ -18,6 +19,7 @@ using core::Result;
 Result<RobustSyntheticControlFit> FitRobustSyntheticControl(
     const SyntheticControlInput& input,
     const RobustSyntheticControlOptions& options) {
+  SISYPHUS_METRIC_COUNT("causal.rsc.fits_attempted", 1);
   if (auto s = input.Validate(); !s.ok()) return s.error();
 
   const bool masked = options.use_mask && !input.donor_observed.empty();
@@ -114,6 +116,18 @@ Result<RobustSyntheticControlFit> FitRobustSyntheticControl(
   out.retained_rank = rank;
   out.threshold_used = threshold;
   out.observed_fraction = p_hat;
+  SISYPHUS_METRIC_COUNT("causal.rsc.fits_succeeded", 1);
+#if !defined(SISYPHUS_OBS_DISABLED)
+  // Fit-quality summaries: retained rank is small by construction (hard
+  // thresholding), pre-period RMSE is the fit residual headline.
+  static obs::Histogram* rank_hist = obs::Registry::Global().GetHistogram(
+      "causal.rsc.retained_rank", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
+  rank_hist->Observe(static_cast<double>(rank));
+  static obs::Histogram* rmse_hist = obs::Registry::Global().GetHistogram(
+      "causal.rsc.pre_rmse_ms",
+      {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
+  rmse_hist->Observe(out.base.rmse_pre);
+#endif
   return out;
 }
 

@@ -1,0 +1,32 @@
+// FNV-1a hashing for provenance fingerprints (run manifests hash the
+// scenario options and fault plan so a reader can tell two runs apart
+// without diffing configs). Not cryptographic — collision resistance is
+// not a requirement here, stability across runs and platforms is.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sisyphus::core {
+
+/// 64-bit FNV-1a over bytes. Stable across platforms and runs.
+constexpr std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+/// Hash rendered as fixed-width lowercase hex ("a1b2...", 16 chars).
+inline std::string Fnv1a64Hex(std::string_view bytes) {
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(bytes)));
+  return buffer;
+}
+
+}  // namespace sisyphus::core

@@ -1,0 +1,401 @@
+#include "core/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace sisyphus::core::json {
+
+using core::Error;
+using core::ErrorCode;
+using core::Result;
+
+std::string Escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);  // UTF-8 passes through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Shortest precision that round-trips; deterministic on one platform.
+  char buffer[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void Writer::NewlineIndent() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void Writer::BeforeValue() {
+  SISYPHUS_REQUIRE(!done_, "json::Writer: write after document finished");
+  if (stack_.empty()) return;
+  if (stack_.back() == Scope::kObject) {
+    SISYPHUS_REQUIRE(key_pending_, "json::Writer: object value without Key");
+    key_pending_ = false;
+    return;
+  }
+  if (scope_has_items_.back()) out_ += ',';
+  scope_has_items_.back() = true;
+  NewlineIndent();
+}
+
+void Writer::Key(std::string_view key) {
+  SISYPHUS_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                   "json::Writer: Key outside an object");
+  SISYPHUS_REQUIRE(!key_pending_, "json::Writer: Key after Key");
+  if (scope_has_items_.back()) out_ += ',';
+  scope_has_items_.back() = true;
+  NewlineIndent();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  key_pending_ = true;
+}
+
+void Writer::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  scope_has_items_.push_back(false);
+}
+
+void Writer::EndObject() {
+  SISYPHUS_REQUIRE(!stack_.empty() && stack_.back() == Scope::kObject,
+                   "json::Writer: EndObject without BeginObject");
+  SISYPHUS_REQUIRE(!key_pending_, "json::Writer: EndObject after dangling Key");
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+}
+
+void Writer::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  scope_has_items_.push_back(false);
+}
+
+void Writer::EndArray() {
+  SISYPHUS_REQUIRE(!stack_.empty() && stack_.back() == Scope::kArray,
+                   "json::Writer: EndArray without BeginArray");
+  const bool had_items = scope_has_items_.back();
+  stack_.pop_back();
+  scope_has_items_.pop_back();
+  if (had_items) NewlineIndent();
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+}
+
+void Writer::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+}
+
+void Writer::Int(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  if (stack_.empty()) done_ = true;
+}
+
+void Writer::UInt(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  if (stack_.empty()) done_ = true;
+}
+
+void Writer::Double(double value) {
+  BeforeValue();
+  out_ += FormatDouble(value);
+  if (stack_.empty()) done_ = true;
+}
+
+void Writer::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+}
+
+void Writer::Null() {
+  BeforeValue();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+}
+
+std::string Writer::str() && {
+  SISYPHUS_REQUIRE(stack_.empty(), "json::Writer: unclosed scopes");
+  return std::move(out_);
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Minimal recursive-descent parser; positions reported in error text.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    auto value = ParseValue();
+    if (!value.ok()) return value;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return value;
+  }
+
+ private:
+  Error Fail(const std::string& what) const {
+    return Error(ErrorCode::kInvalidArgument,
+                 "json: " + what + " at byte " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    if (++depth_ > 128) return Fail("nesting too deep");
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{depth_};
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't':
+      case 'f': return ParseBool();
+      case 'n': return ParseNull();
+      default: return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject() {
+    ++pos_;  // '{'
+    Value out;
+    out.kind = Value::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      auto key = ParseString();
+      if (!key.ok()) return key.error();
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':'");
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      out.object.emplace_back(std::move(key).value().string,
+                              std::move(value).value());
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return out;
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray() {
+    ++pos_;  // '['
+    Value out;
+    out.kind = Value::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return out;
+    while (true) {
+      auto value = ParseValue();
+      if (!value.ok()) return value;
+      out.array.push_back(std::move(value).value());
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return out;
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  Result<Value> ParseString() {
+    ++pos_;  // '"'
+    Value out;
+    out.kind = Value::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return Fail("truncated escape");
+        const char escape = text_[pos_ + 1];
+        pos_ += 2;
+        switch (escape) {
+          case '"': out.string += '"'; break;
+          case '\\': out.string += '\\'; break;
+          case '/': out.string += '/'; break;
+          case 'b': out.string += '\b'; break;
+          case 'f': out.string += '\f'; break;
+          case 'n': out.string += '\n'; break;
+          case 'r': out.string += '\r'; break;
+          case 't': out.string += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char hex = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
+              else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
+              else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
+              else return Fail("bad \\u escape");
+            }
+            pos_ += 4;
+            // UTF-8 encode (no surrogate-pair handling; the writer only
+            // emits \u for control characters).
+            if (code < 0x80) {
+              out.string += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out.string += static_cast<char>(0xC0 | (code >> 6));
+              out.string += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out.string += static_cast<char>(0xE0 | (code >> 12));
+              out.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out.string += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: return Fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("raw control character in string");
+      }
+      out.string += c;
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Value> ParseBool() {
+    Value out;
+    out.kind = Value::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      out.boolean = true;
+      pos_ += 4;
+      return out;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      out.boolean = false;
+      pos_ += 5;
+      return out;
+    }
+    return Fail("bad literal");
+  }
+
+  Result<Value> ParseNull() {
+    if (text_.substr(pos_, 4) != "null") return Fail("bad literal");
+    pos_ += 4;
+    return Value{};
+  }
+
+  Result<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      return Fail("malformed number");
+    }
+    Value out;
+    out.kind = Value::Kind::kNumber;
+    out.number = value;
+    return out;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace sisyphus::core::json

@@ -1,0 +1,101 @@
+// Dependency-free JSON: a streaming writer for the observability layer
+// (metrics snapshots, run manifests, Chrome trace streams) and a minimal
+// recursive-descent parser used by tests and the obscheck validator.
+//
+// The writer is deterministic: identical call sequences produce identical
+// bytes (doubles are formatted with a fixed shortest-round-trip recipe,
+// non-finite values become null), which is what lets two runs with the
+// same seed emit byte-identical metrics.json files.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+
+namespace sisyphus::core::json {
+
+/// JSON-escapes `text` (quotes, backslashes, control characters). Does not
+/// add surrounding quotes.
+std::string Escape(std::string_view text);
+
+/// Canonical number formatting: shortest representation that round-trips a
+/// double ("%.17g" fallback), "null" for NaN/Inf. Deterministic across
+/// runs on one platform.
+std::string FormatDouble(double value);
+
+/// Streaming JSON writer with explicit Begin/End scopes. Misuse (a value
+/// where a key is required, unbalanced End) aborts via SISYPHUS_REQUIRE —
+/// writer bugs are programming errors, not recoverable conditions.
+///
+///   Writer w(/*indent=*/2);
+///   w.BeginObject();
+///   w.Key("counters"); w.BeginArray(); w.Int(1); w.EndArray();
+///   w.EndObject();
+///   std::string text = std::move(w).str();
+class Writer {
+ public:
+  /// `indent` spaces per nesting level; 0 = compact single-line output.
+  explicit Writer(int indent = 0) : indent_(indent) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Writes an object key; must be inside an object, before a value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  void UInt(std::uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Finished document. Requires all scopes closed.
+  std::string str() &&;
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+  void NewlineIndent();
+
+  int indent_ = 0;
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> scope_has_items_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+/// Parsed JSON value (tree form). Numbers are kept as doubles — adequate
+/// for validating manifests and metric snapshots.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  /// Insertion-ordered object members.
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* Find(std::string_view key) const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error). kInvalidArgument with a byte offset on malformed input.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace sisyphus::core::json

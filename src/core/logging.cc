@@ -1,10 +1,17 @@
 #include "core/logging.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace sisyphus::core {
 namespace {
+
 LogLevel g_level = LogLevel::kWarn;
+
+// Startup hook: honour SISYPHUS_LOG_LEVEL before main() runs.
+[[maybe_unused]] const bool g_env_level_applied =
+    (InitLogLevelFromEnv(), true);
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -16,14 +23,98 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+std::optional<LogLevel> InitLogLevelFromEnv() {
+  const char* value = std::getenv("SISYPHUS_LOG_LEVEL");
+  if (value == nullptr) return std::nullopt;
+  const auto level = ParseLogLevel(value);
+  if (level.has_value()) {
+    g_level = *level;
+  } else {
+    std::fprintf(stderr,
+                 "[WARN] SISYPHUS_LOG_LEVEL: unknown level '%s' "
+                 "(expected debug|info|warn|error|off)\n",
+                 value);
+  }
+  return level;
+}
+
+LogField::LogField(std::string_view k, double v) : key(k) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%g", v);
+  value = buffer;
+}
+
+std::string LogField::Render() const {
+  const bool needs_quotes =
+      value.find_first_of(" =\"") != std::string::npos || value.empty();
+  if (!needs_quotes) return key + "=" + value;
+  std::string quoted = key + "=\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
 void LogLine(LogLevel level, const std::string& message) {
   if (level < g_level || g_level == LogLevel::kOff) return;
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
+
+namespace {
+
+void LogLineWithFields(LogLevel level, const std::string& message,
+                       const LogField* begin, const LogField* end) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::string line = message;
+  for (const LogField* field = begin; field != end; ++field) {
+    line += ' ';
+    line += field->Render();
+  }
+  LogLine(level, line);
+}
+
+}  // namespace
+
+void LogLine(LogLevel level, const std::string& message,
+             std::initializer_list<LogField> fields) {
+  LogLineWithFields(level, message, fields.begin(), fields.end());
+}
+
+void LogLine(LogLevel level, const std::string& message,
+             const std::vector<LogField>& fields) {
+  LogLineWithFields(level, message, fields.data(),
+                    fields.data() + fields.size());
+}
+
+namespace internal {
+
+LogMessage::~LogMessage() {
+  LogLine(level_, stream_.str() + fields_.str());
+}
+
+}  // namespace internal
 
 }  // namespace sisyphus::core

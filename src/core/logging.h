@@ -1,12 +1,20 @@
-// Minimal leveled logger.
+// Minimal leveled logger with structured key=value context fields.
 //
 // The library itself logs nothing at Info by default; benches and examples
-// raise the level for progress reporting. Not thread-safe by design — the
-// simulator and estimators are single-threaded (DESIGN.md §5).
+// raise the level for progress reporting. The initial level honours the
+// SISYPHUS_LOG_LEVEL environment variable (debug|info|warn|error|off), so
+// benches and CI can raise verbosity without recompiling; SetLogLevel
+// overrides it. Not thread-safe by design — the simulator and estimators
+// are single-threaded (DESIGN.md §5).
 #pragma once
 
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace sisyphus::core {
 
@@ -16,15 +24,56 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// nullopt on anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+/// Re-reads SISYPHUS_LOG_LEVEL and applies it; returns the parsed level or
+/// nullopt when the variable is unset/invalid (level left unchanged).
+/// Applied once automatically at startup; exposed for tests.
+std::optional<LogLevel> InitLogLevelFromEnv();
+
+/// One structured context field, rendered as key=value after the message.
+/// Values containing spaces, '=' or '"' are double-quoted.
+struct LogField {
+  std::string key;
+  std::string value;
+
+  LogField(std::string_view k, std::string_view v) : key(k), value(v) {}
+  LogField(std::string_view k, const char* v) : key(k), value(v) {}
+  LogField(std::string_view k, double v);
+  LogField(std::string_view k, std::int64_t v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, std::uint64_t v)
+      : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, int v) : key(k), value(std::to_string(v)) {}
+  LogField(std::string_view k, bool v) : key(k), value(v ? "true" : "false") {}
+
+  /// "key=value", quoting the value when it contains spaces/'='/'"'.
+  std::string Render() const;
+};
+
 /// Writes one formatted line to stderr if `level` passes the global filter.
 void LogLine(LogLevel level, const std::string& message);
 
+/// Structured variant: "[WARN] message key=value key2=value2".
+void LogLine(LogLevel level, const std::string& message,
+             std::initializer_list<LogField> fields);
+
+/// Same, for field sets assembled at runtime (e.g. per-reason counts).
+void LogLine(LogLevel level, const std::string& message,
+             const std::vector<LogField>& fields);
+
 namespace internal {
-/// Stream-style one-shot log statement; emits on destruction.
+/// Stream-style one-shot log statement; emits on destruction:
+///   (SISYPHUS_LOG(kWarn) << "panel unit dropped")
+///       .With("unit", name).With("missing", fraction);
+/// Structured fields always render after the free-text message, however
+/// the calls interleave.
 class LogMessage {
  public:
   explicit LogMessage(LogLevel level) : level_(level) {}
-  ~LogMessage() { LogLine(level_, stream_.str()); }
+  ~LogMessage();
   LogMessage(const LogMessage&) = delete;
   LogMessage& operator=(const LogMessage&) = delete;
 
@@ -34,9 +83,17 @@ class LogMessage {
     return *this;
   }
 
+  /// Appends one structured key=value field (chainable).
+  template <typename T>
+  LogMessage& With(std::string_view key, const T& value) {
+    fields_ << ' ' << LogField(key, value).Render();
+    return *this;
+  }
+
  private:
   LogLevel level_;
   std::ostringstream stream_;
+  std::ostringstream fields_;
 };
 }  // namespace internal
 

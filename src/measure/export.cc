@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "core/logging.h"
+
 namespace sisyphus::measure {
 
 namespace {
@@ -114,14 +116,19 @@ std::string DatasetToCsv(const causal::Dataset& data) {
 core::Status WriteTextFile(const std::string& path, const std::string& text) {
   std::ofstream file(path, std::ios::binary);
   if (!file) {
+    (SISYPHUS_LOG(kError) << "export open failed").With("path", path);
     return core::Error(core::ErrorCode::kInvalidArgument,
                        "WriteTextFile: cannot open '" + path + "'");
   }
   file << text;
   if (!file) {
+    (SISYPHUS_LOG(kError) << "export write failed").With("path", path);
     return core::Error(core::ErrorCode::kInvalidArgument,
                        "WriteTextFile: write failed for '" + path + "'");
   }
+  (SISYPHUS_LOG(kDebug) << "export written")
+      .With("path", path)
+      .With("bytes", text.size());
   return core::Status::Ok();
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 namespace sisyphus::measure {
 
@@ -34,6 +36,35 @@ std::vector<OutageWindow> GenerateOutageWindows(std::uint64_t seed,
             [](const OutageWindow& a, const OutageWindow& b) {
               return a.start < b.start;
             });
+  return out;
+}
+
+std::string FaultPlanFingerprint(const FaultPlan& plan) {
+  const auto num = [](double v) {
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return std::string(buffer);
+  };
+  std::string out = "seed=" + std::to_string(plan.seed);
+  out += " loss=" + num(plan.probe_loss_probability);
+  out += " mnar=" + num(plan.mnar_loss_gain);
+  out += " trunc=" + num(plan.traceroute_truncation_probability);
+  out += " trunc_min=" + std::to_string(plan.truncation_min_hops);
+  out += " dup=" + num(plan.duplicate_probability);
+  out += " corrupt=" + num(plan.corruption_probability);
+  out += " skew=" + std::to_string(plan.max_clock_skew.minutes());
+  for (const VantageOutagePlan& vantage : plan.vantage_outages) {
+    out += " v" + std::to_string(vantage.pop) + "=[";
+    for (const OutageWindow& window : vantage.windows) {
+      out += std::to_string(window.start.minutes()) + "-" +
+             std::to_string(window.end.minutes()) + ";";
+    }
+    out += "]";
+  }
+  for (const OutageWindow& window : plan.collector_outages) {
+    out += " c=" + std::to_string(window.start.minutes()) + "-" +
+           std::to_string(window.end.minutes());
+  }
   return out;
 }
 

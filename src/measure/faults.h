@@ -90,6 +90,10 @@ std::vector<OutageWindow> GenerateOutageWindows(std::uint64_t seed,
                                                 std::size_t count,
                                                 core::SimTime duration);
 
+/// Canonical one-line serialization of a plan — equal plans produce equal
+/// strings. Hash it (core::Fnv1a64Hex) for run-manifest provenance.
+std::string FaultPlanFingerprint(const FaultPlan& plan);
+
 /// Counters of what the injector actually did (diagnostics).
 struct FaultStats {
   std::size_t probes_lost = 0;

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "core/error.h"
+#include "core/logging.h"
+#include "obs/metrics.h"
 #include "stats/timeseries.h"
 
 namespace sisyphus::measure {
@@ -46,12 +48,30 @@ Panel BuildRttPanel(const MeasurementStore& store,
     }
     const auto buckets = series.BucketedMedians(options.origin, options.bucket,
                                                 options.periods);
-    if (stats::AllMissing(buckets)) continue;
+    if (stats::AllMissing(buckets)) {
+      SISYPHUS_METRIC_COUNT("measure.panel.units_empty", 1);
+      (SISYPHUS_LOG(kDebug) << "panel unit skipped: no observed buckets")
+          .With("unit", unit);
+      continue;
+    }
     const double missing = stats::MissingFraction(buckets);
+    std::size_t observed_cells = 0;
+    for (const auto& bucket : buckets) {
+      if (bucket.has_value()) ++observed_cells;
+    }
+    SISYPHUS_METRIC_COUNT("measure.panel.cells_observed", observed_cells);
+    SISYPHUS_METRIC_COUNT("measure.panel.cells_masked",
+                          buckets.size() - observed_cells);
     if (missing > options.max_missing_fraction) {
+      SISYPHUS_METRIC_COUNT("measure.panel.units_dropped", 1);
+      (SISYPHUS_LOG(kDebug) << "panel unit dropped for sparsity")
+          .With("unit", unit)
+          .With("missing_fraction", missing)
+          .With("max_missing_fraction", options.max_missing_fraction);
       panel.dropped.push_back({unit, missing});
       continue;
     }
+    SISYPHUS_METRIC_COUNT("measure.panel.units_kept", 1);
     UnitSeries out;
     out.unit = unit;
     out.values = stats::InterpolateMissing(buckets);
@@ -79,6 +99,10 @@ Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
     if (donor == treated_unit) continue;
     auto index = panel.Find(donor);
     if (!index.ok()) {
+      SISYPHUS_METRIC_COUNT("measure.panel.donors_skipped", 1);
+      (SISYPHUS_LOG(kDebug) << "donor skipped")
+          .With("donor", donor)
+          .With("reason", index.error().ToText());
       if (skipped != nullptr) skipped->push_back(donor);
       continue;
     }

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace sisyphus::measure {
 
@@ -33,13 +35,14 @@ void Platform::RunTests(VantageState& vantage, std::size_t count,
 
 void Platform::RunOneTest(VantageState& vantage, Intent intent,
                           double congestion_signal, core::Rng& rng) {
+  SISYPHUS_METRIC_COUNT("measure.probes.attempted", 1);
   const netsim::PopIndex pop = vantage.config.pop;
   netsim::PopIndex server = options_.server;
   if (steering_ != nullptr) {
     auto chosen = steering_->ChooseServer(pop, rng);
     if (!chosen.ok()) {
-      failures_.push_back({simulator_.Now(), pop, intent,
-                           ProbeFault::kUnreachable, 1});
+      RecordFailure({simulator_.Now(), pop, intent,
+                     ProbeFault::kUnreachable, 1});
       return;
     }
     server = chosen.value();
@@ -54,6 +57,7 @@ void Platform::RunOneTest(VantageState& vantage, Intent intent,
   for (std::uint32_t attempt = 1;
        attempt <= options_.retry.max_attempts; ++attempt) {
     if (attempt > 1) {
+      SISYPHUS_METRIC_COUNT("measure.probes.retried", 1);
       attempt_time = attempt_time + backoff;
       backoff = core::SimTime(static_cast<std::int64_t>(
           static_cast<double>(backoff.minutes()) *
@@ -84,13 +88,14 @@ void Platform::RunOneTest(VantageState& vantage, Intent intent,
     if (!record.ok()) {
       // No route: retrying within the step cannot help (routing only
       // changes between steps), so fail fast.
-      failures_.push_back({simulator_.Now(), pop, intent,
-                           ProbeFault::kUnreachable, attempt});
+      RecordFailure({simulator_.Now(), pop, intent,
+                     ProbeFault::kUnreachable, attempt});
       return;
     }
     record.value().id = core::MeasurementId(next_record_id_++);
     record.value().time = attempt_time;
     record.value().attempts = attempt;
+    SISYPHUS_METRIC_COUNT("measure.probes.succeeded", 1);
     bool duplicate = false;
     if (injector_ != nullptr) {
       duplicate = injector_->ApplyRecordFaults(record.value());
@@ -99,9 +104,34 @@ void Platform::RunOneTest(VantageState& vantage, Intent intent,
     store_.Add(std::move(record).value());
     return;
   }
-  failures_.push_back({simulator_.Now(), pop, intent, last_fault,
-                       static_cast<std::uint32_t>(
-                           options_.retry.max_attempts)});
+  RecordFailure({simulator_.Now(), pop, intent, last_fault,
+                 static_cast<std::uint32_t>(options_.retry.max_attempts)});
+}
+
+void Platform::RecordFailure(ProbeFailure failure) {
+  SISYPHUS_METRIC_COUNT("measure.probes.failed", 1);
+#if !defined(SISYPHUS_OBS_DISABLED)
+  // Per-reason counters mirror the ProbeFault provenance of failures().
+  obs::Registry::Global()
+      .GetCounter(std::string("measure.probes.failed.") +
+                  std::string(ToString(failure.reason)))
+      ->Add(1);
+#endif
+  failures_.push_back(failure);
+}
+
+std::map<std::string, std::size_t> Platform::FailureReasonCounts() const {
+  std::map<std::string, std::size_t> counts;
+  for (const ProbeFailure& failure : failures_) {
+    ++counts[std::string(ToString(failure.reason))];
+  }
+  return counts;
+}
+
+std::map<netsim::PopIndex, std::size_t> Platform::FailuresByVantage() const {
+  std::map<netsim::PopIndex, std::size_t> counts;
+  for (const ProbeFailure& failure : failures_) ++counts[failure.vantage];
+  return counts;
 }
 
 std::size_t Platform::CountByIntent(Intent intent) const {
@@ -181,6 +211,22 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
       }
     }
   }
+  LogCampaignSummary();
+}
+
+void Platform::LogCampaignSummary() const {
+  std::vector<core::LogField> fields;
+  fields.emplace_back("archived", store_.records().size());
+  fields.emplace_back("quarantined", store_.quarantine().size());
+  fields.emplace_back("failed_probes", failures_.size());
+  fields.emplace_back("vantages", vantages_.size());
+  for (const auto& [tag, count] : store_.QuarantineReasonCounts()) {
+    fields.emplace_back("quarantine." + tag, count);
+  }
+  for (const auto& [reason, count] : FailureReasonCounts()) {
+    fields.emplace_back("fail." + reason, count);
+  }
+  core::LogLine(core::LogLevel::kInfo, "campaign complete", fields);
 }
 
 }  // namespace sisyphus::measure

@@ -15,6 +15,7 @@
 // Proposal (3), the exogenous-intervention API, lives in intervention.h.
 #pragma once
 
+#include <map>
 #include <vector>
 
 #include "core/rng.h"
@@ -109,6 +110,18 @@ class Platform {
   /// Probes that produced no record even after retries, in time order.
   const std::vector<ProbeFailure>& failures() const { return failures_; }
 
+  /// Terminal probe-failure counts by reason (mirrors the ProbeFault
+  /// provenance of failures(), pre-aggregated for manifests and logs).
+  std::map<std::string, std::size_t> FailureReasonCounts() const;
+
+  /// Failed-probe counts per vantage PoP — the per-vantage outage/loss
+  /// picture, queryable without walking failures().
+  std::map<netsim::PopIndex, std::size_t> FailuresByVantage() const;
+
+  /// Emits the campaign-end summary line (archive/quarantine/failure
+  /// counts, broken down by reason) at Info level. Called by Run().
+  void LogCampaignSummary() const;
+
  private:
   struct VantageState {
     VantageConfig config;
@@ -121,6 +134,10 @@ class Platform {
   /// One probe with retry/backoff; archives the record or logs a failure.
   void RunOneTest(VantageState& vantage, Intent intent,
                   double congestion_signal, core::Rng& rng);
+
+  /// Appends to failures_ and bumps the failure metrics (total + per
+  /// ProbeFault reason), keeping the two views consistent.
+  void RecordFailure(ProbeFailure failure);
 
   netsim::NetworkSimulator& simulator_;
   PlatformOptions options_;

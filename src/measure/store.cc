@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace sisyphus::measure {
 
@@ -42,12 +44,35 @@ core::Status ValidateRecord(const SpeedTestRecord& record,
   return core::Status::Ok();
 }
 
+std::string QuarantineReasonTag(const std::string& reason) {
+  if (reason.find("rtt_ms") != std::string::npos) return "rtt";
+  if (reason.find("loss_rate") != std::string::npos) return "loss_rate";
+  if (reason.find("throughput") != std::string::npos) return "throughput";
+  if (reason.find("timestamp") != std::string::npos) return "timestamp";
+  return "other";
+}
+
 void MeasurementStore::Add(SpeedTestRecord record) {
   if (auto status = ValidateRecord(record, validation_); !status.ok()) {
-    quarantine_.push_back(
-        {std::move(record), status.error().ToText()});
+    const std::string reason = status.error().ToText();
+    const std::string tag = QuarantineReasonTag(reason);
+    ++quarantine_reason_counts_[tag];
+    SISYPHUS_METRIC_COUNT("measure.store.quarantined", 1);
+#if !defined(SISYPHUS_OBS_DISABLED)
+    // Per-reason counters need a dynamic name; quarantine is rare enough
+    // that the registry lookup is fine off the fast path.
+    obs::Registry::Global()
+        .GetCounter("measure.store.quarantined." + tag)
+        ->Add(1);
+#endif
+    (SISYPHUS_LOG(kDebug) << "record quarantined")
+        .With("unit", record.UnitKey())
+        .With("tag", tag)
+        .With("reason", reason);
+    quarantine_.push_back({std::move(record), reason});
     return;
   }
+  SISYPHUS_METRIC_COUNT("measure.store.archived", 1);
   by_unit_[record.UnitKey()].push_back(records_.size());
   records_.push_back(std::move(record));
 }

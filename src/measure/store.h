@@ -38,6 +38,11 @@ struct QuarantinedRecord {
   std::string reason;
 };
 
+/// Short stable tag for a quarantine reason ("rtt", "loss_rate",
+/// "throughput", "timestamp", "other") — the key of the queryable
+/// quarantine counter map.
+std::string QuarantineReasonTag(const std::string& reason);
+
 class MeasurementStore {
  public:
   MeasurementStore() = default;
@@ -53,6 +58,13 @@ class MeasurementStore {
   const std::vector<QuarantinedRecord>& quarantine() const {
     return quarantine_;
   }
+
+  /// Quarantine counts per reason tag (see QuarantineReasonTag) —
+  /// queryable without iterating the quarantined records themselves.
+  const std::map<std::string, std::size_t>& QuarantineReasonCounts() const {
+    return quarantine_reason_counts_;
+  }
+
   const StoreValidationOptions& validation() const { return validation_; }
 
   /// Distinct unit keys, sorted.
@@ -80,6 +92,7 @@ class MeasurementStore {
   StoreValidationOptions validation_;
   std::vector<SpeedTestRecord> records_;
   std::vector<QuarantinedRecord> quarantine_;
+  std::map<std::string, std::size_t> quarantine_reason_counts_;
   std::map<std::string, std::vector<std::size_t>> by_unit_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "obs/metrics.h"
 
 namespace sisyphus::netsim {
 
@@ -94,7 +95,11 @@ const RouteTable& BgpSimulator::RoutesTo(PopIndex destination,
                                          AddressFamily af) {
   const auto key = std::make_pair(destination, af);
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    SISYPHUS_METRIC_COUNT("netsim.bgp.route_cache_hits", 1);
+    return it->second;
+  }
+  SISYPHUS_METRIC_COUNT("netsim.bgp.route_cache_misses", 1);
   return cache_.emplace(key, Compute(destination, af)).first->second;
 }
 
@@ -233,6 +238,9 @@ RouteTable BgpSimulator::Compute(PopIndex destination,
       }
     }
   }
+  SISYPHUS_METRIC_COUNT("netsim.bgp.tables_computed", 1);
+  SISYPHUS_METRIC_OBSERVE("netsim.bgp.convergence_sweeps",
+                          static_cast<double>(table.sweeps));
   return table;
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "obs/metrics.h"
 
 namespace sisyphus::netsim {
 
@@ -71,19 +72,32 @@ void NetworkSimulator::ApplyEvent(const NetworkEvent& event) {
       pop_outages_.push_back({event.pop, event.time, event.shock_end});
       break;
   }
-  SISYPHUS_LOG(kDebug) << "event @" << event.time.ToText() << " "
-                       << ToString(event.type) << " (" << event.description
-                       << ")";
+  SISYPHUS_METRIC_COUNT("netsim.events.applied", 1);
+  if (event.exogenous) SISYPHUS_METRIC_COUNT("netsim.events.exogenous", 1);
+  (SISYPHUS_LOG(kDebug) << "event applied")
+      .With("time", event.time.ToText())
+      .With("type", ToString(event.type))
+      .With("description", event.description);
 }
 
 void NetworkSimulator::ApplyTePolicies() {
   for (TePolicy& policy : te_policies_) {
     const double utilization =
         latency_.LinkUtilization(policy.watched_link, now_);
+    // Utilization summary over every watched link at every tick — the
+    // netsim-side congestion picture behind MNAR loss coupling.
+#if !defined(SISYPHUS_OBS_DISABLED)
+    static obs::Histogram* utilization_hist =
+        obs::Registry::Global().GetHistogram(
+            "netsim.link.utilization",
+            {0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.25, 1.5, 2.0});
+    utilization_hist->Observe(utilization);
+#endif
     if (!policy.active && utilization > policy.threshold) {
       bgp_.SetLocalPrefOverride(policy.pop, policy.watched_link,
                                 policy.shift_delta);
       policy.active = true;
+      SISYPHUS_METRIC_COUNT("netsim.te.shifts", 1);
       RecordPathChanges(
           "te:" + topology_.GetPop(policy.pop).label + " shift-away",
           /*exogenous=*/false);
@@ -116,6 +130,7 @@ void NetworkSimulator::RecordPathChanges(const std::string& trigger,
       record.exogenous = exogenous;
       route_changes_.push_back(std::move(record));
       pair.last_asn_path = current;
+      SISYPHUS_METRIC_COUNT("netsim.route_changes.recorded", 1);
     }
   }
 }
@@ -132,6 +147,8 @@ void NetworkSimulator::AdvanceTo(core::SimTime until) {
   SISYPHUS_REQUIRE(now_ <= until, "AdvanceTo: time moves forward only");
   while (now_ < until) {
     now_ = std::min(until, now_ + tick_);
+    SISYPHUS_METRIC_GAUGE("netsim.events.pending",
+                          static_cast<double>(schedule_.pending()));
     // Events due strictly before (or at) the new time.
     for (const NetworkEvent& event :
          schedule_.PopUntil(now_ + core::SimTime(1))) {

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "core/error.h"
+#include "core/logging.h"
 
 namespace sisyphus::netsim {
 
@@ -115,6 +116,11 @@ Result<LinkId> Topology::AddLink(PopIndex a, PopIndex b,
   const LinkId id(static_cast<LinkId::underlying_type>(links_.size() - 1));
   adjacency_[a].push_back(id);
   adjacency_[b].push_back(id);
+  (SISYPHUS_LOG(kDebug) << "link added")
+      .With("a", pops_[a].label)
+      .With("b", pops_[b].label)
+      .With("relationship", ToString(relationship))
+      .With("propagation_ms", link.propagation_ms);
   return id;
 }
 

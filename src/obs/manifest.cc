@@ -1,0 +1,130 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+
+#include "core/error.h"
+#include "core/json.h"
+
+namespace sisyphus::obs {
+
+using core::Error;
+using core::ErrorCode;
+
+std::string RunManifest::ToJson(const Registry& metrics, int indent) const {
+  core::json::Writer w(indent);
+  w.BeginObject();
+  w.Key("schema");
+  w.String(schema);
+  w.Key("tool");
+  w.String(tool);
+  w.Key("seed");
+  w.UInt(seed);
+  w.Key("scenario_hash");
+  w.String(scenario_hash);
+  w.Key("fault_plan_hash");
+  w.String(fault_plan_hash);
+  w.Key("options");
+  w.BeginObject();
+  for (const auto& [key, value] : options) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+  w.Key("phases");
+  w.BeginArray();
+  for (const PhaseTiming& phase : phases) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(phase.name);
+    w.Key("wall_ms");
+    w.Double(phase.wall_ms);
+    if (phase.sim_start_min >= 0) {
+      w.Key("sim_start_min");
+      w.Int(phase.sim_start_min);
+      w.Key("sim_end_min");
+      w.Int(phase.sim_end_min);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  // A rollup of headline counters so a human skimming the manifest sees
+  // run activity at a glance; the full per-name breakdown is metrics.json.
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("schema");
+  w.String("sisyphus.metrics/1");
+  for (const char* name :
+       {"measure.probes.attempted", "measure.store.quarantined",
+        "measure.panel.cells_masked", "causal.placebo.runs"}) {
+    w.Key(name);
+    w.UInt(metrics.CounterValue(name));
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+ScopedPhase::ScopedPhase(RunManifest& manifest, std::string name)
+    : manifest_(manifest),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ScopedPhase::SetSimSpan(core::SimTime start, core::SimTime end) {
+  sim_start_min_ = start.minutes();
+  sim_end_min_ = end.minutes();
+}
+
+void ScopedPhase::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  const auto end = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(end - start_).count();
+  manifest_.AddPhase(name_, wall_ms, sim_start_min_, sim_end_min_);
+  Tracer::Global().RecordWallSpan(name_, "phase", start_, end);
+  if (sim_start_min_ >= 0) {
+    Tracer::Global().RecordSimSpan(name_, "phase",
+                                   core::SimTime(sim_start_min_),
+                                   core::SimTime(sim_end_min_));
+  }
+}
+
+ScopedPhase::~ScopedPhase() { Stop(); }
+
+namespace {
+
+core::Status WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "WriteRunArtifacts: cannot open '" + path + "'");
+  }
+  out << text << '\n';
+  if (!out.good()) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "WriteRunArtifacts: short write to '" + path + "'");
+  }
+  return core::Status::Ok();
+}
+
+}  // namespace
+
+core::Status WriteRunArtifacts(const std::string& directory,
+                               const RunManifest& manifest,
+                               const Registry& metrics,
+                               const Tracer& tracer) {
+  if (auto s = WriteFile(directory + "/manifest.json",
+                         manifest.ToJson(metrics));
+      !s.ok()) {
+    return s;
+  }
+  if (auto s = WriteFile(directory + "/metrics.json",
+                         metrics.SnapshotJson());
+      !s.ok()) {
+    return s;
+  }
+  return WriteFile(directory + "/trace.json",
+                   tracer.ToChromeTraceJson(/*indent=*/0));
+}
+
+}  // namespace sisyphus::obs

@@ -1,0 +1,91 @@
+// RunManifest: machine-readable provenance for one experiment run —
+// seeds, config hashes, option key/values, per-phase timings, and the
+// final metric snapshot — written as manifest.json next to metrics.json
+// and trace.json (the `--obs-out <dir>` artifact trio).
+//
+// The manifest is the *non*-deterministic artifact (it carries wall-clock
+// phase timings); metrics.json is the deterministic one. obscheck and the
+// schema test validate both (schema sisyphus.run_manifest/1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sisyphus::obs {
+
+/// One named phase of a run with wall-clock duration and (optionally) the
+/// simulated time span it covered. sim_start/end < 0 = no sim span.
+struct PhaseTiming {
+  std::string name;
+  double wall_ms = 0.0;
+  std::int64_t sim_start_min = -1;
+  std::int64_t sim_end_min = -1;
+};
+
+struct RunManifest {
+  std::string tool;    ///< binary/experiment name, e.g. "table1_ixp_synth_control"
+  std::string schema = "sisyphus.run_manifest/1";
+  std::uint64_t seed = 0;
+  /// FNV-1a fingerprints of the run's configuration (empty = not
+  /// applicable); see core::Fnv1a64Hex.
+  std::string scenario_hash;
+  std::string fault_plan_hash;
+  /// Flat key/value option dump (platform options, CLI flags...),
+  /// serialized in insertion order.
+  std::vector<std::pair<std::string, std::string>> options;
+  std::vector<PhaseTiming> phases;
+
+  void AddOption(std::string key, std::string value) {
+    options.emplace_back(std::move(key), std::move(value));
+  }
+  void AddPhase(std::string name, double wall_ms,
+                std::int64_t sim_start_min = -1,
+                std::int64_t sim_end_min = -1) {
+    phases.push_back({std::move(name), wall_ms, sim_start_min, sim_end_min});
+  }
+
+  /// Manifest JSON including the registry's metric snapshot under
+  /// "metrics" (so the manifest alone is a complete run record).
+  std::string ToJson(const Registry& metrics, int indent = 2) const;
+};
+
+/// RAII phase timer: measures wall time from construction to Stop() (or
+/// destruction), appends a PhaseTiming to the manifest, and mirrors the
+/// span into the tracer. Independent of Tracer::enabled() — manifests
+/// always carry phase timings.
+class ScopedPhase {
+ public:
+  ScopedPhase(RunManifest& manifest, std::string name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  /// Attaches the simulated time span this phase covered.
+  void SetSimSpan(core::SimTime start, core::SimTime end);
+
+  /// Finishes the phase early (idempotent).
+  void Stop();
+
+ private:
+  RunManifest& manifest_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::int64_t sim_start_min_ = -1;
+  std::int64_t sim_end_min_ = -1;
+  bool stopped_ = false;
+};
+
+/// Writes the artifact trio — manifest.json, metrics.json, trace.json —
+/// into `directory` (which must exist). kInvalidArgument when a file
+/// cannot be opened.
+core::Status WriteRunArtifacts(const std::string& directory,
+                               const RunManifest& manifest,
+                               const Registry& metrics, const Tracer& tracer);
+
+}  // namespace sisyphus::obs

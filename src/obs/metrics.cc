@@ -1,0 +1,152 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/json.h"
+
+namespace sisyphus::obs {
+
+namespace internal {
+bool g_enabled = false;
+}  // namespace internal
+
+Histogram::Histogram(std::string name, std::vector<double> upper_bounds)
+    : name_(std::move(name)), upper_bounds_(std::move(upper_bounds)) {
+  SISYPHUS_REQUIRE(!upper_bounds_.empty(), "Histogram: no buckets");
+  SISYPHUS_REQUIRE(
+      std::is_sorted(upper_bounds_.begin(), upper_bounds_.end()),
+      "Histogram: bounds must be sorted");
+  counts_.assign(upper_bounds_.size() + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  if (!internal::g_enabled) return;
+  if (!std::isfinite(value)) return;  // non-finite observations are dropped
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - upper_bounds_.begin())];
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+const std::vector<double>& DefaultHistogramBounds() {
+  static const std::vector<double> kBounds = [] {
+    std::vector<double> bounds;
+    for (double decade = 1.0; decade <= 1e6; decade *= 10.0) {
+      bounds.push_back(decade);
+      bounds.push_back(2.0 * decade);
+      bounds.push_back(5.0 * decade);
+    }
+    return bounds;
+  }();
+  return kBounds;
+}
+
+Registry& Registry::Global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::Enable(bool on) { internal::g_enabled = on; }
+bool Registry::enabled() { return internal::g_enabled; }
+
+Counter* Registry::GetCounter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::vector<double> upper_bounds) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = DefaultHistogramBounds();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name),
+                                                  std::move(upper_bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void Registry::ResetAll() {
+  for (auto& [_, counter] : counters_) counter->Reset();
+  for (auto& [_, gauge] : gauges_) gauge->Reset();
+  for (auto& [_, histogram] : histograms_) histogram->Reset();
+}
+
+std::uint64_t Registry::CounterValue(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::string Registry::SnapshotJson(int indent) const {
+  // std::map iteration is already name-sorted — the determinism guarantee.
+  core::json::Writer w(indent);
+  w.BeginObject();
+  w.Key("schema");
+  w.String("sisyphus.metrics/1");
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    w.Key(name);
+    w.UInt(counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    w.Key(name);
+    w.Double(gauge->value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.UInt(histogram->count());
+    w.Key("sum");
+    w.Double(histogram->sum());
+    w.Key("upper_bounds");
+    w.BeginArray();
+    for (double bound : histogram->upper_bounds()) w.Double(bound);
+    w.EndArray();
+    w.Key("bucket_counts");
+    w.BeginArray();
+    for (std::uint64_t count : histogram->bucket_counts()) w.UInt(count);
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+}  // namespace sisyphus::obs

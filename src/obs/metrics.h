@@ -1,0 +1,171 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms,
+// cheap enough to leave compiled into the hot paths (netsim probe loops,
+// BGP convergence, estimator fits).
+//
+// Three cost tiers:
+//  - compiled out (-DSISYPHUS_OBS_DISABLED, cmake -DSISYPHUS_OBS=OFF): the
+//    SISYPHUS_METRIC_* macros expand to nothing;
+//  - compiled in, registry disabled (the default): one relaxed global-flag
+//    load and branch per call site;
+//  - enabled: a pointer chase and an integer add (counters/gauges) or a
+//    small branchless-ish bucket scan (histograms).
+//
+// Determinism contract: metric values reflect only what the instrumented
+// code did — never wall-clock time — so a seeded run snapshots to
+// byte-identical JSON every time (ISSUE 3 acceptance bar; wall-clock spans
+// live in obs::Tracer instead). Single-threaded by design, like the rest
+// of the library (DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sisyphus::obs {
+
+/// Monotonically increasing count of events (probes attempted, cache
+/// hits, placebo runs...). Naming scheme: "layer.noun.verbed", e.g.
+/// "measure.probes.attempted" (DESIGN.md §6).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(std::uint64_t n = 1);
+  std::uint64_t value() const { return value_; }
+  const std::string& name() const { return name_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::string name_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value (event-queue depth, panel dimensions...).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value);
+  double value() const { return value_; }
+  const std::string& name() const { return name_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  std::string name_;
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: counts per upper bound plus an overflow bucket,
+/// with sum/count for mean recovery. Bounds are fixed at registration; the
+/// snapshot is deterministic because bucket assignment depends only on the
+/// observed values.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> upper_bounds);
+
+  void Observe(double value);
+  const std::string& name() const { return name_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  /// bucket_counts()[i] counts observations <= upper_bounds()[i]; the last
+  /// entry (size = bounds + 1) is the overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  void Reset();
+
+ private:
+  std::string name_;
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Default histogram bounds: 1, 2, 5 decades from 1 to 1e6 — adequate for
+/// iteration counts, queue depths, and millisecond timings alike.
+const std::vector<double>& DefaultHistogramBounds();
+
+/// Owns every metric. Registration is idempotent by name; returned
+/// pointers are stable for the registry's lifetime, so call sites cache
+/// them in function-local statics (see the SISYPHUS_METRIC_* macros).
+class Registry {
+ public:
+  /// The process-wide registry the macros write to.
+  static Registry& Global();
+
+  /// Collection on/off switch (off by default: library users who never
+  /// opt in pay only the flag check). Enabling mid-run is fine; metrics
+  /// count from wherever they were.
+  static void Enable(bool on);
+  static bool enabled();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `upper_bounds` is consulted only on first registration; pass {} to
+  /// use DefaultHistogramBounds().
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> upper_bounds = {});
+
+  /// Zeroes every registered metric (pointers stay valid). Call at the
+  /// start of a run so artifacts cover exactly that run.
+  void ResetAll();
+
+  /// Deterministic snapshot: metrics sorted by name, schema
+  /// sisyphus.metrics/1. Byte-identical across runs that performed the
+  /// same instrumented work.
+  std::string SnapshotJson(int indent = 2) const;
+
+  /// Value of a counter, 0 when absent — convenience for tests/benches.
+  std::uint64_t CounterValue(std::string_view name) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+namespace internal {
+extern bool g_enabled;
+}  // namespace internal
+
+inline void Counter::Add(std::uint64_t n) {
+  if (!internal::g_enabled) return;
+  value_ += n;
+}
+
+inline void Gauge::Set(double value) {
+  if (!internal::g_enabled) return;
+  value_ = value;
+}
+
+}  // namespace sisyphus::obs
+
+// Instrumentation macros. `name` must be a string literal (it is looked up
+// once and cached in a function-local static).
+#if defined(SISYPHUS_OBS_DISABLED)
+#define SISYPHUS_METRIC_COUNT(name, n) ((void)0)
+#define SISYPHUS_METRIC_GAUGE(name, v) ((void)0)
+#define SISYPHUS_METRIC_OBSERVE(name, v) ((void)0)
+#else
+#define SISYPHUS_METRIC_COUNT(name, n)                        \
+  do {                                                        \
+    static ::sisyphus::obs::Counter* sisyphus_metric_c =      \
+        ::sisyphus::obs::Registry::Global().GetCounter(name); \
+    sisyphus_metric_c->Add(n);                                \
+  } while (0)
+#define SISYPHUS_METRIC_GAUGE(name, v)                      \
+  do {                                                      \
+    static ::sisyphus::obs::Gauge* sisyphus_metric_g =      \
+        ::sisyphus::obs::Registry::Global().GetGauge(name); \
+    sisyphus_metric_g->Set(v);                              \
+  } while (0)
+#define SISYPHUS_METRIC_OBSERVE(name, v)                        \
+  do {                                                          \
+    static ::sisyphus::obs::Histogram* sisyphus_metric_h =      \
+        ::sisyphus::obs::Registry::Global().GetHistogram(name); \
+    sisyphus_metric_h->Observe(v);                              \
+  } while (0)
+#endif

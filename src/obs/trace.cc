@@ -1,0 +1,83 @@
+#include "obs/trace.h"
+
+#include "core/json.h"
+
+namespace sisyphus::obs {
+
+Tracer& Tracer::Global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::Enable(bool on) {
+  if (on && !enabled_) epoch_ = std::chrono::steady_clock::now();
+  enabled_ = on;
+}
+
+void Tracer::Clear() { events_.clear(); }
+
+void Tracer::RecordWallSpan(std::string_view name, std::string_view category,
+                            std::chrono::steady_clock::time_point start,
+                            std::chrono::steady_clock::time_point end) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.ts_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    start - epoch_)
+                    .count();
+  event.dur_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordSimSpan(std::string_view name, std::string_view category,
+                           core::SimTime start, core::SimTime end) {
+  if (!enabled_) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.category = std::string(category);
+  event.ts_us = start.minutes();
+  event.dur_us = (end - start).minutes();
+  event.sim_clock = true;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordSimInstant(std::string_view name,
+                              std::string_view category, core::SimTime at) {
+  RecordSimSpan(name, category, at, at);
+}
+
+std::string Tracer::ToChromeTraceJson(int indent) const {
+  core::json::Writer w(indent);
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& event : events_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(event.name);
+    w.Key("cat");
+    w.String(event.category);
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Int(event.ts_us);
+    w.Key("dur");
+    w.Int(event.dur_us);
+    w.Key("pid");
+    w.Int(0);
+    // tid 1 = sim-time track (ts in simulated minutes), tid 0 = wall µs.
+    w.Key("tid");
+    w.Int(event.sim_clock ? 1 : 0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).str();
+}
+
+}  // namespace sisyphus::obs

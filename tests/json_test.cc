@@ -1,0 +1,139 @@
+// Tests for core::json — escaping, deterministic double formatting, writer
+// structure, and parser round-trips / error reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/json.h"
+
+namespace sisyphus::core::json {
+namespace {
+
+// ---- Escape ---------------------------------------------------------------
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(Escape("hello world"), "hello world");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(Escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+// ---- FormatDouble ---------------------------------------------------------
+
+TEST(JsonFormatDoubleTest, IntegersStayShort) {
+  EXPECT_EQ(FormatDouble(0.0), "0");
+  EXPECT_EQ(FormatDouble(42.0), "42");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+}
+
+TEST(JsonFormatDoubleTest, RoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 1e-12, 6.02214076e23, -123.456789012345}) {
+    const std::string text = FormatDouble(v);
+    EXPECT_EQ(std::stod(text), v) << text;
+  }
+}
+
+TEST(JsonFormatDoubleTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "null");
+}
+
+// ---- Writer ---------------------------------------------------------------
+
+TEST(JsonWriterTest, CompactObject) {
+  Writer w;
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.Key("b");
+  w.BeginArray();
+  w.String("x");
+  w.Bool(true);
+  w.Null();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).str(), R"({"a":1,"b":["x",true,null]})");
+}
+
+TEST(JsonWriterTest, IndentedOutputIsStable) {
+  Writer w(2);
+  w.BeginObject();
+  w.Key("k");
+  w.Double(0.5);
+  w.EndObject();
+  EXPECT_EQ(std::move(w).str(), "{\n  \"k\": 0.5\n}");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStrings) {
+  Writer w;
+  w.BeginObject();
+  w.Key("a\"b");
+  w.String("c\nd");
+  w.EndObject();
+  EXPECT_EQ(std::move(w).str(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+// ---- Parse ----------------------------------------------------------------
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_EQ(Parse("null").value().kind, Value::Kind::kNull);
+  EXPECT_TRUE(Parse("true").value().boolean);
+  EXPECT_DOUBLE_EQ(Parse("-1.5e2").value().number, -150.0);
+  EXPECT_EQ(Parse("\"hi\"").value().string, "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedStructure) {
+  auto parsed = Parse(R"({"a": [1, {"b": "c"}], "d": false})");
+  ASSERT_TRUE(parsed.ok());
+  const Value& root = parsed.value();
+  ASSERT_TRUE(root.is_object());
+  const Value* a = root.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_EQ(a->array[1].Find("b")->string, "c");
+  EXPECT_FALSE(root.Find("d")->boolean);
+  EXPECT_EQ(root.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesEscapesAndUnicode) {
+  auto parsed = Parse(R"("a\"\\\nAé")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().string, "a\"\\\nA\xc3\xa9");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+}
+
+TEST(JsonParseTest, WriterOutputRoundTrips) {
+  Writer w(2);
+  w.BeginObject();
+  w.Key("name");
+  w.String("quoted \"value\"");
+  w.Key("values");
+  w.BeginArray();
+  w.Double(0.1);
+  w.UInt(18446744073709551615ull);
+  w.EndArray();
+  w.EndObject();
+  const std::string text = std::move(w).str();
+
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_EQ(parsed.value().Find("name")->string, "quoted \"value\"");
+  EXPECT_DOUBLE_EQ(parsed.value().Find("values")->array[0].number, 0.1);
+}
+
+}  // namespace
+}  // namespace sisyphus::core::json

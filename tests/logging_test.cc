@@ -1,0 +1,85 @@
+// Tests for core logging: level parsing, the SISYPHUS_LOG_LEVEL
+// environment hook, and structured LogField rendering/quoting.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+
+#include "core/logging.h"
+
+namespace sisyphus::core {
+namespace {
+
+/// Saves and restores the global level (and the env var) so these tests
+/// cannot leak verbosity into the rest of the suite.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = GetLogLevel(); }
+  void TearDown() override {
+    ::unsetenv("SISYPHUS_LOG_LEVEL");
+    SetLogLevel(saved_level_);
+  }
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, ParseLogLevelIsCaseInsensitive) {
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Warn"), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, ParseLogLevelRejectsUnknownNames) {
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("warn "), std::nullopt);
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvAppliesTheVariable) {
+  ::setenv("SISYPHUS_LOG_LEVEL", "debug", 1);
+  EXPECT_EQ(InitLogLevelFromEnv(), LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvLeavesLevelOnBadValue) {
+  SetLogLevel(LogLevel::kError);
+  ::setenv("SISYPHUS_LOG_LEVEL", "shouting", 1);
+  EXPECT_EQ(InitLogLevelFromEnv(), std::nullopt);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, InitLogLevelFromEnvNoOpWhenUnset) {
+  ::unsetenv("SISYPHUS_LOG_LEVEL");
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(InitLogLevelFromEnv(), std::nullopt);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST_F(LoggingTest, LogFieldRendersPlainValuesUnquoted) {
+  EXPECT_EQ(LogField("unit", "za-7").Render(), "unit=za-7");
+  EXPECT_EQ(LogField("count", std::int64_t{42}).Render(), "count=42");
+  EXPECT_EQ(LogField("ok", true).Render(), "ok=true");
+}
+
+TEST_F(LoggingTest, LogFieldQuotesValuesNeedingIt) {
+  EXPECT_EQ(LogField("msg", "two words").Render(), "msg=\"two words\"");
+  EXPECT_EQ(LogField("expr", "a=b").Render(), "expr=\"a=b\"");
+  EXPECT_EQ(LogField("q", "say \"hi\"").Render(), "q=\"say \\\"hi\\\"\"");
+  EXPECT_EQ(LogField("empty", "").Render(), "empty=\"\"");
+}
+
+TEST_F(LoggingTest, LogFieldFormatsDoublesCompactly) {
+  EXPECT_EQ(LogField("f", 0.25).Render(), "f=0.25");
+  EXPECT_EQ(LogField("f", 3.0).Render(), "f=3");
+}
+
+}  // namespace
+}  // namespace sisyphus::core

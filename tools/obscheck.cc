@@ -1,0 +1,229 @@
+// obscheck — schema validator for the --obs-out artifact trio.
+//
+//   obscheck <dir>            validates <dir>/{manifest,metrics,trace}.json
+//   obscheck --manifest FILE  validates a single artifact by role
+//   obscheck --metrics FILE
+//   obscheck --trace FILE
+//
+// Checks that each file parses as JSON (core::json::Parse, no third-party
+// dependency) and conforms to its schema: sisyphus.run_manifest/1 for the
+// manifest (tool, seed, options, phases, headline metric rollup),
+// sisyphus.metrics/1 for the metric snapshot (counters / gauges /
+// histograms with consistent bucket shapes), and Chrome trace format for
+// trace.json. Exit 0 = all good; 1 = any violation (each printed with its
+// JSON path). CI runs this after the table1 --obs-out smoke run, and a
+// tier-1 ctest runs it against a real campaign's artifacts.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace {
+
+using sisyphus::core::json::Parse;
+using sisyphus::core::json::Value;
+
+int g_errors = 0;
+
+void Fail(const std::string& where, const std::string& what) {
+  std::printf("FAIL %s: %s\n", where.c_str(), what.c_str());
+  ++g_errors;
+}
+
+/// Fetches `key` from `parent` (path `where`), requiring `kind`; nullptr
+/// (and one recorded failure) when missing or mistyped.
+const Value* Require(const Value& parent, const std::string& where,
+                     const std::string& key, Value::Kind kind) {
+  const Value* found = parent.Find(key);
+  if (found == nullptr) {
+    Fail(where + "." + key, "missing");
+    return nullptr;
+  }
+  if (found->kind != kind) {
+    Fail(where + "." + key, "wrong type");
+    return nullptr;
+  }
+  return found;
+}
+
+void CheckMetricsObject(const Value& metrics, const std::string& where) {
+  if (const Value* schema =
+          Require(metrics, where, "schema", Value::Kind::kString);
+      schema != nullptr && schema->string != "sisyphus.metrics/1") {
+    Fail(where + ".schema", "expected sisyphus.metrics/1, got '" +
+                                schema->string + "'");
+  }
+}
+
+void CheckManifest(const Value& root) {
+  const std::string where = "manifest";
+  if (!root.is_object()) {
+    Fail(where, "root is not an object");
+    return;
+  }
+  if (const Value* schema =
+          Require(root, where, "schema", Value::Kind::kString);
+      schema != nullptr && schema->string != "sisyphus.run_manifest/1") {
+    Fail(where + ".schema", "expected sisyphus.run_manifest/1, got '" +
+                                schema->string + "'");
+  }
+  if (const Value* tool = Require(root, where, "tool", Value::Kind::kString);
+      tool != nullptr && tool->string.empty()) {
+    Fail(where + ".tool", "empty");
+  }
+  (void)Require(root, where, "seed", Value::Kind::kNumber);
+  (void)Require(root, where, "options", Value::Kind::kObject);
+  if (const Value* phases =
+          Require(root, where, "phases", Value::Kind::kArray);
+      phases != nullptr) {
+    for (std::size_t i = 0; i < phases->array.size(); ++i) {
+      const std::string phase_where =
+          where + ".phases[" + std::to_string(i) + "]";
+      const Value& phase = phases->array[i];
+      if (!phase.is_object()) {
+        Fail(phase_where, "not an object");
+        continue;
+      }
+      (void)Require(phase, phase_where, "name", Value::Kind::kString);
+      (void)Require(phase, phase_where, "wall_ms", Value::Kind::kNumber);
+    }
+  }
+  if (const Value* metrics =
+          Require(root, where, "metrics", Value::Kind::kObject);
+      metrics != nullptr) {
+    CheckMetricsObject(*metrics, where + ".metrics");
+    // The headline counts the acceptance criteria name explicitly.
+    for (const char* key :
+         {"measure.probes.attempted", "measure.store.quarantined",
+          "measure.panel.cells_masked", "causal.placebo.runs"}) {
+      (void)Require(*metrics, where + ".metrics", key,
+                    Value::Kind::kNumber);
+    }
+  }
+}
+
+void CheckMetrics(const Value& root) {
+  const std::string where = "metrics";
+  if (!root.is_object()) {
+    Fail(where, "root is not an object");
+    return;
+  }
+  CheckMetricsObject(root, where);
+  const Value* counters =
+      Require(root, where, "counters", Value::Kind::kObject);
+  if (counters != nullptr) {
+    for (const auto& [name, value] : counters->object) {
+      if (!value.is_number()) Fail(where + ".counters." + name, "not a number");
+    }
+  }
+  (void)Require(root, where, "gauges", Value::Kind::kObject);
+  const Value* histograms =
+      Require(root, where, "histograms", Value::Kind::kObject);
+  if (histograms != nullptr) {
+    for (const auto& [name, histogram] : histograms->object) {
+      const std::string h_where = where + ".histograms." + name;
+      if (!histogram.is_object()) {
+        Fail(h_where, "not an object");
+        continue;
+      }
+      (void)Require(histogram, h_where, "count", Value::Kind::kNumber);
+      (void)Require(histogram, h_where, "sum", Value::Kind::kNumber);
+      const Value* bounds =
+          Require(histogram, h_where, "upper_bounds", Value::Kind::kArray);
+      const Value* buckets =
+          Require(histogram, h_where, "bucket_counts", Value::Kind::kArray);
+      if (bounds != nullptr && buckets != nullptr &&
+          buckets->array.size() != bounds->array.size() + 1) {
+        Fail(h_where, "bucket_counts must have upper_bounds + 1 entries");
+      }
+    }
+  }
+}
+
+void CheckTrace(const Value& root) {
+  const std::string where = "trace";
+  if (!root.is_object()) {
+    Fail(where, "root is not an object");
+    return;
+  }
+  const Value* events =
+      Require(root, where, "traceEvents", Value::Kind::kArray);
+  if (events == nullptr) return;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const std::string event_where =
+        where + ".traceEvents[" + std::to_string(i) + "]";
+    const Value& event = events->array[i];
+    if (!event.is_object()) {
+      Fail(event_where, "not an object");
+      continue;
+    }
+    (void)Require(event, event_where, "name", Value::Kind::kString);
+    if (const Value* ph =
+            Require(event, event_where, "ph", Value::Kind::kString);
+        ph != nullptr && ph->string != "X") {
+      Fail(event_where + ".ph", "expected complete event 'X'");
+    }
+    (void)Require(event, event_where, "ts", Value::Kind::kNumber);
+    (void)Require(event, event_where, "dur", Value::Kind::kNumber);
+    (void)Require(event, event_where, "tid", Value::Kind::kNumber);
+  }
+}
+
+bool LoadAndCheck(const std::string& path, void (*check)(const Value&)) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    Fail(path, "cannot open");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  auto parsed = Parse(text);
+  if (!parsed.ok()) {
+    Fail(path, parsed.error().ToText());
+    return false;
+  }
+  std::printf("check %s\n", path.c_str());
+  check(parsed.value());
+  return true;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: obscheck <obs-out-dir>\n"
+      "       obscheck --manifest FILE | --metrics FILE | --trace FILE\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  if (std::strcmp(argv[1], "--manifest") == 0 && argc > 2) {
+    LoadAndCheck(argv[2], CheckManifest);
+  } else if (std::strcmp(argv[1], "--metrics") == 0 && argc > 2) {
+    LoadAndCheck(argv[2], CheckMetrics);
+  } else if (std::strcmp(argv[1], "--trace") == 0 && argc > 2) {
+    LoadAndCheck(argv[2], CheckTrace);
+  } else if (argv[1][0] == '-') {
+    PrintUsage();
+    return 1;
+  } else {
+    const std::string dir = argv[1];
+    LoadAndCheck(dir + "/manifest.json", CheckManifest);
+    LoadAndCheck(dir + "/metrics.json", CheckMetrics);
+    LoadAndCheck(dir + "/trace.json", CheckTrace);
+  }
+  if (g_errors > 0) {
+    std::printf("obscheck: %d violation(s)\n", g_errors);
+    return 1;
+  }
+  std::printf("obscheck: OK\n");
+  return 0;
+}
