@@ -1,20 +1,41 @@
 // Shared helpers for the experiment benches: fixed-width table printing,
-// the standard header block every bench emits, and the --obs-out wiring
-// (metrics + tracing + run-manifest artifacts).
+// the standard header block every bench emits, the --threads flag, and the
+// --obs-out wiring (metrics + tracing + run-manifest artifacts).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <string>
 #include <system_error>
 #include <vector>
 
+#include "core/parallel.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace sisyphus::bench {
+
+/// Consumes `--threads N` from argv (mutating argc/argv so later parsers
+/// never see it) and sizes the global thread pool accordingly. Without the
+/// flag the pool obeys SISYPHUS_THREADS, else hardware concurrency; output
+/// is byte-identical at any setting (DESIGN.md §7), only wall-clock moves.
+/// Every bench binary calls this first thing in main().
+inline void ApplyThreadsFlag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") != 0 || i + 1 >= argc) continue;
+    const long parsed = std::strtol(argv[i + 1], nullptr, 10);
+    if (parsed >= 1) {
+      core::ThreadPool::SetGlobalThreadCount(static_cast<std::size_t>(parsed));
+    }
+    for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+    argc -= 2;
+    return;
+  }
+}
 
 /// Prints "== <experiment id>: <title> ==" plus a paper reference line.
 inline void PrintHeader(const std::string& id, const std::string& title,

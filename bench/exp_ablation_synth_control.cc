@@ -114,20 +114,41 @@ int Main() {
   report("DiD vs donor-pool mean", naive - (donor_post - donor_pre));
 
   // ---- RSC threshold sweep ----
+  // Sweep points are independent fits: fan them out across the pool and
+  // print in sweep order afterwards (deterministic stdout, DESIGN.md §7).
   std::printf("\nRSC singular-value threshold sweep (auto picks via the "
               "universal-threshold heuristic):\n");
   bench::TableWriter sweep({{"threshold", 10}, {"rank kept", 9},
                             {"estimate", 9}, {"pre-RMSE", 9}});
-  for (double threshold : {-1.0, 0.0, 50.0, 200.0, 1000.0}) {
-    causal::RobustSyntheticControlOptions rsc_options;
-    rsc_options.singular_value_threshold = threshold;
-    auto fit = causal::FitRobustSyntheticControl(input, rsc_options);
-    if (!fit.ok()) continue;
-    sweep.Cell(threshold < 0 ? std::string("auto")
-                             : std::to_string(static_cast<int>(threshold)));
-    sweep.Cell(static_cast<double>(fit.value().retained_rank), "%.0f");
-    sweep.Cell(fit.value().base.average_effect, "%+.2f");
-    sweep.Cell(fit.value().base.rmse_pre, "%.2f");
+  const std::vector<double> thresholds = {-1.0, 0.0, 50.0, 200.0, 1000.0};
+  struct SweepPoint {
+    bool ok = false;
+    std::size_t retained_rank = 0;
+    double estimate = 0.0;
+    double rmse_pre = 0.0;
+  };
+  const auto sweep_points = core::ParallelMap(
+      thresholds.size(), [&](std::size_t i) {
+        causal::RobustSyntheticControlOptions rsc_options;
+        rsc_options.singular_value_threshold = thresholds[i];
+        SweepPoint point;
+        auto fit = causal::FitRobustSyntheticControl(input, rsc_options);
+        if (fit.ok()) {
+          point.ok = true;
+          point.retained_rank = fit.value().retained_rank;
+          point.estimate = fit.value().base.average_effect;
+          point.rmse_pre = fit.value().base.rmse_pre;
+        }
+        return point;
+      });
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    if (!sweep_points[i].ok) continue;
+    sweep.Cell(thresholds[i] < 0
+                   ? std::string("auto")
+                   : std::to_string(static_cast<int>(thresholds[i])));
+    sweep.Cell(static_cast<double>(sweep_points[i].retained_rank), "%.0f");
+    sweep.Cell(sweep_points[i].estimate, "%+.2f");
+    sweep.Cell(sweep_points[i].rmse_pre, "%.2f");
   }
 
   // ---- Placebo pre-RMSE filter on/off ----
@@ -154,4 +175,7 @@ int Main() {
 
 }  // namespace
 
-int main() { return Main(); }
+int main(int argc, char** argv) {
+  sisyphus::bench::ApplyThreadsFlag(argc, argv);
+  return Main();
+}

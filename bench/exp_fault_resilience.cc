@@ -260,6 +260,7 @@ int Main(const std::string& obs_dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  sisyphus::bench::ApplyThreadsFlag(argc, argv);
   std::string obs_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {

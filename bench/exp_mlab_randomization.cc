@@ -153,4 +153,7 @@ int Main() {
 
 }  // namespace
 
-int main() { return Main(); }
+int main(int argc, char** argv) {
+  sisyphus::bench::ApplyThreadsFlag(argc, argv);
+  return Main();
+}

@@ -8,10 +8,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "causal/dseparation.h"
 #include "causal/identification.h"
 #include "causal/placebo.h"
 #include "causal/robust_synthetic_control.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace {
@@ -116,12 +118,36 @@ void BM_FullPlaceboAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPlaceboAnalysis)->Arg(15)->Arg(30);
 
+// The tentpole scaling number: the donor placebo fan-out at the Table 1
+// panel shape, swept over pool sizes. Results are byte-identical at every
+// thread count (deterministic parallelism, DESIGN.md §7); only wall-clock
+// should move. BENCH_causal.json carries the sweep for before/after
+// comparisons in CI.
+void BM_PlaceboFanOutThreads(benchmark::State& state) {
+  core::ThreadPool::SetGlobalThreadCount(
+      static_cast<std::size_t>(state.range(0)));
+  const auto input = PanelInput(224, 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(causal::RunPlaceboAnalysis(input));
+  }
+  core::ThreadPool::SetGlobalThreadCount(0);  // back to the default
+}
+BENCHMARK(BM_PlaceboFanOutThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 }  // namespace
 
 // Console output for humans plus BENCH_causal.json (google-benchmark JSON
 // schema) in the working directory for CI artifact upload and diffing.
 // An explicit --benchmark_out on the command line wins.
 int main(int argc, char** argv) {
+  sisyphus::bench::ApplyThreadsFlag(argc, argv);
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

@@ -1,8 +1,15 @@
-// P1 — linear-algebra microbenchmarks: QR / SVD scaling (documents the
-// one-sided-Jacobi choice from DESIGN.md §4), least-squares solve, and
+// P1 — linear-algebra microbenchmarks: the blocked matmul kernel against
+// the straightforward reference it replaced, QR / SVD scaling (documents
+// the one-sided-Jacobi choice from DESIGN.md §4), least-squares solve, and
 // the simplex projection used by classical synthetic control.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "core/rng.h"
 #include "stats/decomposition.h"
 #include "stats/matrix.h"
@@ -20,6 +27,10 @@ stats::Matrix RandomMatrix(std::size_t rows, std::size_t cols,
   return m;
 }
 
+// The production kernel (operator*: AVX2 register-tiled with a blocked
+// scalar fallback). Compare per-size
+// against BM_MatrixMultiplyReference below; matrix_test pins the two to
+// identical results, so the gap in BENCH_linalg.json is pure kernel speed.
 void BM_MatrixMultiply(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = RandomMatrix(n, n, 1);
@@ -29,7 +40,43 @@ void BM_MatrixMultiply(benchmark::State& state) {
   }
   state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_MatrixMultiply)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+BENCHMARK(BM_MatrixMultiply)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+
+// The pre-blocking ikj kernel, kept as the equality oracle.
+void BM_MatrixMultiplyReference(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomMatrix(n, n, 1);
+  const auto b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::MultiplyReference(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatrixMultiplyReference)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity();
+
+// A^T * B without materializing the transpose — the normal-equations
+// building block in regression / IV / the SVD reconstruction paths.
+void BM_MultiplyAtB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomMatrix(n, n / 4 + 2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::MultiplyAtB(a, a));
+  }
+}
+BENCHMARK(BM_MultiplyAtB)->RangeMultiplier(2)->Range(64, 512);
+
+// What MultiplyAtB replaced: materialize A^T, then multiply.
+void BM_TransposeThenMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = RandomMatrix(n, n / 4 + 2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Transposed() * a);
+  }
+}
+BENCHMARK(BM_TransposeThenMultiply)->RangeMultiplier(2)->Range(64, 512);
 
 void BM_QrDecompose(benchmark::State& state) {
   const auto rows = static_cast<std::size_t>(state.range(0));
@@ -80,4 +127,29 @@ BENCHMARK(BM_ProjectToSimplex)->RangeMultiplier(4)->Range(16, 1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Console output for humans plus BENCH_linalg.json (google-benchmark JSON
+// schema) in the working directory for CI artifact upload and diffing.
+// An explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  sisyphus::bench::ApplyThreadsFlag(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_linalg.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("wrote BENCH_linalg.json\n");
+  return 0;
+}

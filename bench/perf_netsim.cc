@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "measure/platform.h"
 #include "netsim/scenario_za.h"
@@ -92,6 +94,32 @@ void BM_PathRttEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_PathRttEvaluation);
 
+// Parallel per-destination convergence (BgpSimulator::WarmRoutes) swept
+// over thread counts: every access PoP as a destination on a 128-access
+// topology. Cache contents are thread-count-independent (DESIGN.md §7).
+void BM_WarmRoutesThreads(benchmark::State& state) {
+  core::ThreadPool::SetGlobalThreadCount(
+      static_cast<std::size_t>(state.range(0)));
+  const auto topo = RandomTopology(128, 10);
+  std::vector<netsim::PopIndex> destinations;
+  for (netsim::PopIndex p = 0; p < topo.PopCount(); ++p) {
+    destinations.push_back(p);
+  }
+  for (auto _ : state) {
+    netsim::BgpSimulator bgp(topo);
+    bgp.WarmRoutes(destinations);
+    benchmark::DoNotOptimize(bgp.Route(destinations.back(), 0));
+  }
+  core::ThreadPool::SetGlobalThreadCount(0);  // back to the default
+}
+BENCHMARK(BM_WarmRoutesThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 void BM_ScenarioZaBuild(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(netsim::BuildScenarioZa());
@@ -133,6 +161,7 @@ BENCHMARK(BM_CampaignDayThroughput)->Unit(benchmark::kMillisecond);
 // schema) in the working directory for CI artifact upload and diffing.
 // An explicit --benchmark_out on the command line wins.
 int main(int argc, char** argv) {
+  sisyphus::bench::ApplyThreadsFlag(argc, argv);
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {

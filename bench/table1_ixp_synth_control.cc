@@ -172,34 +172,65 @@ int Main(bool ablation, const std::string& export_dir,
               panel.units.size(), panel_options.periods);
 
   // ---- 4. Robust synthetic control + placebo per treated unit ----
+  // Treated units are independent analyses, so they fan out across the
+  // thread pool; errors and rows are collected per unit and emitted in
+  // unit order afterwards, keeping stdout byte-identical at any
+  // SISYPHUS_THREADS / --threads setting (DESIGN.md §7).
   phase = std::make_unique<obs::ScopedPhase>(manifest, "synthetic_control");
   auto run_method = [&](causal::SyntheticControlMethod method) {
-    std::vector<Row> rows;
-    for (const auto& unit : scenario.treated) {
-      std::vector<std::string> skipped;
-      auto input = measure::MakeSyntheticControlInput(
-          panel, unit.name, scenario.donor_names,
-          scenario_options.treatment_time, &skipped);
-      if (!input.ok()) {
-        std::printf("  %s: %s\n", unit.name.c_str(),
-                    input.error().ToText().c_str());
-        continue;
-      }
-      causal::PlaceboOptions placebo_options;
-      placebo_options.method = method;
-      auto result = causal::RunPlaceboAnalysis(input.value(), placebo_options);
-      if (!result.ok()) {
-        std::printf("  %s: %s\n", unit.name.c_str(),
-                    result.error().ToText().c_str());
-        continue;
-      }
+    struct UnitOutcome {
+      bool ok = false;
+      std::string error;
       Row row;
-      row.unit = unit.name;
-      row.delta = result.value().treated_fit.average_effect;
-      row.rmse_ratio = result.value().treated_fit.rmse_ratio;
-      row.p_value = result.value().p_value;
-      row.paper_delta = unit.paper_delta_ms;
-      rows.push_back(row);
+    };
+    const auto outcomes = core::ParallelMap(
+        scenario.treated.size(), [&](std::size_t u) {
+          const auto& unit = scenario.treated[u];
+          UnitOutcome outcome;
+          std::vector<std::string> skipped;
+          auto input = measure::MakeSyntheticControlInput(
+              panel, unit.name, scenario.donor_names,
+              scenario_options.treatment_time, &skipped);
+          if (!input.ok()) {
+            outcome.error = input.error().ToText();
+            return outcome;
+          }
+          causal::PlaceboOptions placebo_options;
+          placebo_options.method = method;
+          auto result =
+              causal::RunPlaceboAnalysis(input.value(), placebo_options);
+          if (!result.ok()) {
+            outcome.error = result.error().ToText();
+            return outcome;
+          }
+          outcome.ok = true;
+          outcome.row.unit = unit.name;
+          outcome.row.delta = result.value().treated_fit.average_effect;
+          outcome.row.rmse_ratio = result.value().treated_fit.rmse_ratio;
+          outcome.row.p_value = result.value().p_value;
+          outcome.row.paper_delta = unit.paper_delta_ms;
+          return outcome;
+        });
+    std::vector<Row> rows;
+    const char* method_label =
+        method == causal::SyntheticControlMethod::kRobust ? "robust"
+                                                          : "classical";
+    for (std::size_t u = 0; u < outcomes.size(); ++u) {
+      if (!outcomes[u].ok) {
+        std::printf("  %s: %s\n", scenario.treated[u].name.c_str(),
+                    outcomes[u].error.c_str());
+        continue;
+      }
+      // Headline estimates into metrics.json (one gauge pair per treated
+      // unit), written during the ordered merge so the snapshot is
+      // byte-identical at any thread count.
+      const std::string prefix =
+          std::string("table1.") + method_label + ".unit" + std::to_string(u);
+      obs::Registry::Global().GetGauge(prefix + ".effect_ms")
+          ->Set(outcomes[u].row.delta);
+      obs::Registry::Global().GetGauge(prefix + ".p_value")
+          ->Set(outcomes[u].row.p_value);
+      rows.push_back(outcomes[u].row);
     }
     return rows;
   };
@@ -267,6 +298,7 @@ int Main(bool ablation, const std::string& export_dir,
 }  // namespace
 
 int main(int argc, char** argv) {
+  sisyphus::bench::ApplyThreadsFlag(argc, argv);
   bool ablation = false;
   std::string export_dir;
   std::string obs_dir;

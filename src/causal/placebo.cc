@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/parallel.h"
 #include "obs/metrics.h"
 #include "stats/inference.h"
 
@@ -71,24 +72,42 @@ Result<PlaceboResult> RunPlaceboAnalysis(const SyntheticControlInput& input,
   if (!treated.ok()) return treated.error();
   out.treated_fit = std::move(treated).value();
 
-  for (std::size_t j = 0; j < input.donors.cols(); ++j) {
-    const SyntheticControlInput placebo = PlaceboInput(input, j);
-    SISYPHUS_METRIC_COUNT("causal.placebo.runs", 1);
-    auto fit = FitWithMethod(placebo, options);
-    if (!fit.ok()) {
+  // Donor placebo fits are independent and deterministic (no RNG), so they
+  // fan out across the pool; the skip-filter reduction below runs in donor
+  // index order on this thread, making the result identical to the serial
+  // loop at any SISYPHUS_THREADS (DESIGN.md §7).
+  struct PlaceboRun {
+    bool ok = false;
+    double rmse_ratio = 0.0;
+    double rmse_pre = 0.0;
+  };
+  const auto runs =
+      core::ParallelMap(input.donors.cols(), [&](std::size_t j) {
+        const SyntheticControlInput placebo = PlaceboInput(input, j);
+        SISYPHUS_METRIC_COUNT("causal.placebo.runs", 1);
+        PlaceboRun run;
+        auto fit = FitWithMethod(placebo, options);
+        if (fit.ok()) {
+          run.ok = true;
+          run.rmse_ratio = fit.value().rmse_ratio;
+          run.rmse_pre = fit.value().rmse_pre;
+        }
+        return run;
+      });
+  for (const PlaceboRun& run : runs) {
+    if (!run.ok) {
       SISYPHUS_METRIC_COUNT("causal.placebo.skipped", 1);
       ++out.skipped_donors;
       continue;
     }
     if (options.max_pre_rmse_multiple > 0.0 &&
-        fit.value().rmse_pre >
-            options.max_pre_rmse_multiple *
-                std::max(out.treated_fit.rmse_pre, 1e-9)) {
+        run.rmse_pre > options.max_pre_rmse_multiple *
+                           std::max(out.treated_fit.rmse_pre, 1e-9)) {
       SISYPHUS_METRIC_COUNT("causal.placebo.skipped", 1);
       ++out.skipped_donors;
       continue;
     }
-    out.placebo_ratios.push_back(fit.value().rmse_ratio);
+    out.placebo_ratios.push_back(run.rmse_ratio);
   }
   if (out.placebo_ratios.size() < 2) {
     return Error(ErrorCode::kNumericalFailure,

@@ -1,8 +1,10 @@
 #include "causal/refutation.h"
 
 #include <cmath>
+#include <optional>
 
 #include "core/error.h"
+#include "core/parallel.h"
 #include "stats/descriptive.h"
 
 namespace sisyphus::causal {
@@ -38,22 +40,35 @@ EstimatorFn MakeStratificationEstimator(const StratificationOptions& options) {
 
 namespace {
 
-/// Shared scaffolding: run `perturb` `replicates` times, collect effects.
+/// Shared scaffolding: run `perturbed` `replicates` times, collect effects.
+/// Each replicate draws from its own generator forked off `rng` in replicate
+/// order (seed-splitting, DESIGN.md §7), so replicates can run across the
+/// pool while the realized perturbations — and thus the refuted effect —
+/// stay a pure function of the incoming stream, independent of thread count.
 Result<RefutationResult> RunReplicates(
     const std::string& refuter, const Dataset& data,
     std::string_view treatment, std::string_view outcome,
     const std::vector<std::string>& covariates, const EstimatorFn& estimator,
-    const RefutationOptions& options,
-    const std::function<Result<EffectEstimate>(std::size_t)>& perturbed) {
+    const RefutationOptions& options, core::Rng& rng,
+    const std::function<Result<EffectEstimate>(std::size_t, core::Rng&)>&
+        perturbed) {
   auto original = estimator(data, treatment, outcome, covariates);
   if (!original.ok()) return original.error();
 
+  std::vector<std::uint64_t> replicate_seeds(options.replicates);
+  for (auto& seed : replicate_seeds) seed = rng.Next();
+  const auto replicate_effects = core::ParallelMap(
+      options.replicates,
+      [&](std::size_t rep) -> std::optional<double> {
+        core::Rng replicate_rng(replicate_seeds[rep]);
+        auto estimate = perturbed(rep, replicate_rng);
+        if (!estimate.ok()) return std::nullopt;  // e.g. a degenerate resample
+        return estimate.value().effect;
+      });
   std::vector<double> effects;
   effects.reserve(options.replicates);
-  for (std::size_t rep = 0; rep < options.replicates; ++rep) {
-    auto estimate = perturbed(rep);
-    if (!estimate.ok()) continue;  // e.g. a degenerate resample
-    effects.push_back(estimate.value().effect);
+  for (const auto& effect : replicate_effects) {
+    if (effect.has_value()) effects.push_back(*effect);
   }
   if (effects.size() < 3) {
     return Error(ErrorCode::kNumericalFailure,
@@ -81,10 +96,11 @@ Result<RefutationResult> PlaceboTreatmentRefuter(
 
   auto result = RunReplicates(
       "placebo_treatment", data, treatment, outcome, covariates, estimator,
-      options, [&](std::size_t) -> Result<EffectEstimate> {
+      options, rng,
+      [&](std::size_t, core::Rng& rep_rng) -> Result<EffectEstimate> {
         Dataset copy = data;
         std::vector<double> placebo(data.rows());
-        for (auto& v : placebo) v = rng.Bernoulli(p_treated) ? 1.0 : 0.0;
+        for (auto& v : placebo) v = rep_rng.Bernoulli(p_treated) ? 1.0 : 0.0;
         if (auto s = copy.AddColumn("placebo_treatment_", std::move(placebo));
             !s.ok()) {
           return s.error();
@@ -108,10 +124,11 @@ Result<RefutationResult> RandomCommonCauseRefuter(
     core::Rng& rng, const RefutationOptions& options) {
   auto result = RunReplicates(
       "random_common_cause", data, treatment, outcome, covariates, estimator,
-      options, [&](std::size_t) -> Result<EffectEstimate> {
+      options, rng,
+      [&](std::size_t, core::Rng& rep_rng) -> Result<EffectEstimate> {
         Dataset copy = data;
         std::vector<double> noise(data.rows());
-        for (auto& v : noise) v = rng.Gaussian();
+        for (auto& v : noise) v = rep_rng.Gaussian();
         if (auto s = copy.AddColumn("random_cause_", std::move(noise));
             !s.ok()) {
           return s.error();
@@ -142,10 +159,10 @@ Result<RefutationResult> SubsetRefuter(
   }
   auto result = RunReplicates(
       "data_subset", data, treatment, outcome, covariates, estimator, options,
-      [&](std::size_t) -> Result<EffectEstimate> {
+      rng, [&](std::size_t, core::Rng& rep_rng) -> Result<EffectEstimate> {
         std::vector<bool> keep(data.rows());
         for (std::size_t i = 0; i < data.rows(); ++i) {
-          keep[i] = rng.Bernoulli(options.subset_fraction);
+          keep[i] = rep_rng.Bernoulli(options.subset_fraction);
         }
         return estimator(data.Filter(keep), treatment, outcome, covariates);
       });
@@ -165,19 +182,32 @@ Result<std::vector<RefutationResult>> RunRefutationBattery(
     const Dataset& data, std::string_view treatment, std::string_view outcome,
     const std::vector<std::string>& covariates, const EstimatorFn& estimator,
     core::Rng& rng, const RefutationOptions& options) {
+  // The three refuters are independent given their forked generators, so
+  // they run concurrently; forking happens here, in fixed order, before any
+  // task starts, and errors are reported in refuter order — the serial and
+  // parallel results coincide.
+  core::Rng placebo_rng = rng.Split();
+  core::Rng common_rng = rng.Split();
+  core::Rng subset_rng = rng.Split();
+  using RefuterResult = std::optional<Result<RefutationResult>>;
+  const auto results = core::ParallelMap(3, [&](std::size_t i) -> RefuterResult {
+    switch (i) {
+      case 0:
+        return PlaceboTreatmentRefuter(data, treatment, outcome, covariates,
+                                       estimator, placebo_rng, options);
+      case 1:
+        return RandomCommonCauseRefuter(data, treatment, outcome, covariates,
+                                        estimator, common_rng, options);
+      default:
+        return SubsetRefuter(data, treatment, outcome, covariates, estimator,
+                             subset_rng, options);
+    }
+  });
   std::vector<RefutationResult> out;
-  auto placebo = PlaceboTreatmentRefuter(data, treatment, outcome, covariates,
-                                         estimator, rng, options);
-  if (!placebo.ok()) return placebo.error();
-  out.push_back(std::move(placebo).value());
-  auto common = RandomCommonCauseRefuter(data, treatment, outcome, covariates,
-                                         estimator, rng, options);
-  if (!common.ok()) return common.error();
-  out.push_back(std::move(common).value());
-  auto subset = SubsetRefuter(data, treatment, outcome, covariates, estimator,
-                              rng, options);
-  if (!subset.ok()) return subset.error();
-  out.push_back(std::move(subset).value());
+  for (const RefuterResult& result : results) {
+    if (!result->ok()) return result->error();
+    out.push_back(result->value());
+  }
   return out;
 }
 

@@ -120,4 +120,13 @@ std::uint32_t Rng::Poisson(double mean) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+Rng Rng::Fork(std::uint64_t seed, std::uint64_t stream) {
+  // Two SplitMix64 rounds over (seed, stream) decorrelate neighbouring
+  // stream ids; the Rng constructor then expands the result to 256 bits.
+  std::uint64_t x = seed;
+  std::uint64_t mixed = SplitMix64(x);
+  x = mixed ^ (stream * 0x9e3779b97f4a7c15ull + 0x7f4a7c15u);
+  return Rng(SplitMix64(x));
+}
+
 }  // namespace sisyphus::core

@@ -65,6 +65,13 @@ class Rng {
   /// this stream's output, so a parent seed determines the whole tree.
   Rng Split();
 
+  /// Seed-split: derives the `stream`-th independent generator of `seed`
+  /// WITHOUT consuming any parent state. This is the parallel-execution
+  /// primitive (DESIGN.md §7): task i of a fan-out draws from
+  /// Fork(region_seed, i), so results are a pure function of (seed, i) and
+  /// byte-identical regardless of how tasks are scheduled across threads.
+  static Rng Fork(std::uint64_t seed, std::uint64_t stream);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   // Marsaglia polar method caches the second deviate.

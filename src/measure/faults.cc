@@ -68,8 +68,60 @@ std::string FaultPlanFingerprint(const FaultPlan& plan) {
   return out;
 }
 
+namespace {
+
+// SplitMix64 finalizer (stateless form) for decision mixing.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), rng_(plan_.seed) {}
+    : plan_(std::move(plan)), mix_(Mix64(plan_.seed)) {}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats out;
+  out.probes_lost = stats_.probes_lost.load(std::memory_order_relaxed);
+  out.vantage_outage_hits =
+      stats_.vantage_outage_hits.load(std::memory_order_relaxed);
+  out.collector_outage_hits =
+      stats_.collector_outage_hits.load(std::memory_order_relaxed);
+  out.traceroutes_truncated =
+      stats_.traceroutes_truncated.load(std::memory_order_relaxed);
+  out.records_duplicated =
+      stats_.records_duplicated.load(std::memory_order_relaxed);
+  out.records_corrupted =
+      stats_.records_corrupted.load(std::memory_order_relaxed);
+  out.records_skewed = stats_.records_skewed.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t FaultInjector::DecisionBits(core::Rng& rng) const {
+  return Mix64(rng.Next() ^ mix_);
+}
+
+double FaultInjector::DecisionDouble(core::Rng& rng) const {
+  // 53 high bits -> [0,1), as Rng::NextDouble.
+  return static_cast<double>(DecisionBits(rng) >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::DecisionBernoulli(core::Rng& rng, double p) const {
+  return DecisionDouble(rng) < p;
+}
+
+std::int64_t FaultInjector::DecisionInt(core::Rng& rng, std::int64_t lo,
+                                        std::int64_t hi) const {
+  // Fixed-width multiply-shift: exactly one draw (no rejection loop, so
+  // consumption never depends on the drawn value); bias is span / 2^64.
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  const auto scaled = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(DecisionBits(rng)) * span) >> 64);
+  return lo + static_cast<std::int64_t>(scaled);
+}
 
 bool FaultInjector::VantageDark(netsim::PopIndex pop, core::SimTime t) const {
   for (const VantageOutagePlan& vantage : plan_.vantage_outages) {
@@ -88,46 +140,50 @@ bool FaultInjector::CollectorDark(core::SimTime t) const {
   return false;
 }
 
-ProbeFault FaultInjector::SampleProbeFault(double congestion_signal) {
+ProbeFault FaultInjector::SampleProbeFault(double congestion_signal,
+                                           core::Rng& rng) {
   const double loss = std::clamp(
       plan_.probe_loss_probability +
           plan_.mnar_loss_gain * std::max(0.0, congestion_signal),
       0.0, 1.0);
-  if (rng_.Bernoulli(loss)) {
-    ++stats_.probes_lost;
+  if (DecisionBernoulli(rng, loss)) {
+    stats_.probes_lost.fetch_add(1, std::memory_order_relaxed);
     return ProbeFault::kProbeLoss;
   }
   return ProbeFault::kNone;
 }
 
-bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record) {
+bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record,
+                                      core::Rng& rng) {
   // Clock skew first so corruption can still override the timestamp.
-  const double skew_minutes = rng_.Uniform(
-      -static_cast<double>(plan_.max_clock_skew.minutes()),
-      static_cast<double>(plan_.max_clock_skew.minutes()));
+  const double skew_span =
+      static_cast<double>(plan_.max_clock_skew.minutes());
+  const double skew_minutes =
+      -skew_span + 2.0 * skew_span * DecisionDouble(rng);
   if (plan_.max_clock_skew.minutes() > 0) {
     record.time =
         record.time + core::SimTime(static_cast<std::int64_t>(skew_minutes));
-    ++stats_.records_skewed;
+    stats_.records_skewed.fetch_add(1, std::memory_order_relaxed);
   }
 
-  const bool truncate = rng_.Bernoulli(plan_.traceroute_truncation_probability);
+  const bool truncate =
+      DecisionBernoulli(rng, plan_.traceroute_truncation_probability);
   const std::size_t hops = record.traceroute.hops.size();
   // Drawn unconditionally to keep the stream aligned (see header).
-  const std::int64_t drop = rng_.UniformInt(1, std::max<std::int64_t>(
-                                                   1, static_cast<std::int64_t>(
-                                                          hops)));
+  const std::int64_t drop = DecisionInt(
+      rng, 1,
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(hops)));
   if (truncate && hops > plan_.truncation_min_hops) {
     const std::size_t keep = std::max(
         plan_.truncation_min_hops, hops - static_cast<std::size_t>(drop));
     if (keep < hops) {
       record.traceroute.hops.resize(keep);
-      ++stats_.traceroutes_truncated;
+      stats_.traceroutes_truncated.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
-  const bool corrupt = rng_.Bernoulli(plan_.corruption_probability);
-  const std::int64_t variant = rng_.UniformInt(0, 3);
+  const bool corrupt = DecisionBernoulli(rng, plan_.corruption_probability);
+  const std::int64_t variant = DecisionInt(rng, 0, 3);
   if (corrupt) {
     switch (variant) {
       case 0:  // negative RTT
@@ -143,11 +199,11 @@ bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record) {
         record.throughput_mbps = std::numeric_limits<double>::quiet_NaN();
         break;
     }
-    ++stats_.records_corrupted;
+    stats_.records_corrupted.fetch_add(1, std::memory_order_relaxed);
   }
 
-  const bool duplicate = rng_.Bernoulli(plan_.duplicate_probability);
-  if (duplicate) ++stats_.records_duplicated;
+  const bool duplicate = DecisionBernoulli(rng, plan_.duplicate_probability);
+  if (duplicate) stats_.records_duplicated.fetch_add(1, std::memory_order_relaxed);
   return duplicate;
 }
 

@@ -15,6 +15,7 @@
 // caught by MeasurementStore's quarantine, never by downstream estimators.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -105,14 +106,27 @@ struct FaultStats {
   std::size_t records_skewed = 0;
 };
 
-/// Executes a FaultPlan. Deterministic: two injectors built from equal
-/// plans make identical decisions in an identical call sequence.
+/// Executes a FaultPlan. Decisions are drawn from a caller-provided
+/// generator (Platform passes its per-vantage forked stream, DESIGN.md §7),
+/// each decision consuming exactly ONE draw that is then mixed with a
+/// plan-seed-derived constant. Consequences:
+///  - deterministic: the same plan and the same caller stream make
+///    identical decisions in an identical call sequence;
+///  - plan.seed still matters: two plans differing only in seed realize
+///    different faults from the same caller stream;
+///  - stream-aligned: every call consumes a fixed number of caller draws
+///    regardless of plan probabilities or outcomes, so runs with different
+///    plans (or none of the optional faults firing) stay comparable;
+///  - thread-safe: the injector holds no generator state, and the stats
+///    counters are atomic, so one injector can serve concurrent
+///    per-vantage probe tasks.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan);
 
   const FaultPlan& plan() const { return plan_; }
-  const FaultStats& stats() const { return stats_; }
+  /// Snapshot of the fault counters (atomics copied into a plain struct).
+  FaultStats stats() const;
 
   /// True while `pop` / the collector is inside a planned dark window.
   /// Const queries: no randomness, no counter updates.
@@ -122,19 +136,39 @@ class FaultInjector {
   /// Decides whether one probe attempt is lost. `congestion_signal` is the
   /// probed path's current loss rate (or any non-negative congestion
   /// proxy); with mnar_loss_gain > 0 it couples missingness to treatment.
-  ProbeFault SampleProbeFault(double congestion_signal);
+  /// Consumes exactly one draw from `rng`.
+  ProbeFault SampleProbeFault(double congestion_signal, core::Rng& rng);
 
   /// Applies record-level faults in place (clock skew, traceroute
   /// truncation, corruption). Returns true when the record should ALSO be
-  /// delivered a second time (duplication). Always draws the same number
-  /// of random values regardless of outcome, so decision streams stay
-  /// aligned across plans that differ only in probabilities.
-  bool ApplyRecordFaults(SpeedTestRecord& record);
+  /// delivered a second time (duplication). Always consumes the same
+  /// number of draws from `rng` (six) regardless of outcome, so decision
+  /// streams stay aligned across plans that differ only in probabilities.
+  bool ApplyRecordFaults(SpeedTestRecord& record, core::Rng& rng);
 
  private:
+  /// Atomic mirror of FaultStats (updated from concurrent probe tasks).
+  struct AtomicFaultStats {
+    std::atomic<std::size_t> probes_lost{0};
+    std::atomic<std::size_t> vantage_outage_hits{0};
+    std::atomic<std::size_t> collector_outage_hits{0};
+    std::atomic<std::size_t> traceroutes_truncated{0};
+    std::atomic<std::size_t> records_duplicated{0};
+    std::atomic<std::size_t> records_corrupted{0};
+    std::atomic<std::size_t> records_skewed{0};
+  };
+
+  /// One caller draw mixed with the plan seed, finalized to 64 bits.
+  std::uint64_t DecisionBits(core::Rng& rng) const;
+  /// Decision helpers built on DecisionBits (one draw each, fixed cost).
+  double DecisionDouble(core::Rng& rng) const;
+  bool DecisionBernoulli(core::Rng& rng, double p) const;
+  std::int64_t DecisionInt(core::Rng& rng, std::int64_t lo,
+                           std::int64_t hi) const;
+
   FaultPlan plan_;
-  core::Rng rng_;
-  FaultStats stats_;
+  std::uint64_t mix_ = 0;  ///< plan-seed-derived decision mixing constant
+  AtomicFaultStats stats_;
 };
 
 }  // namespace sisyphus::measure

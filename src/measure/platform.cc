@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "obs/metrics.h"
 
 namespace sisyphus::measure {
@@ -27,22 +28,23 @@ void Platform::AddVantage(VantageConfig config) {
 
 void Platform::RunTests(VantageState& vantage, std::size_t count,
                         Intent intent, double congestion_signal,
-                        core::Rng& rng) {
+                        core::Rng& rng, VantageBatch& batch) {
   for (std::size_t i = 0; i < count; ++i) {
-    RunOneTest(vantage, intent, congestion_signal, rng);
+    RunOneTest(vantage, intent, congestion_signal, rng, batch);
   }
 }
 
 void Platform::RunOneTest(VantageState& vantage, Intent intent,
-                          double congestion_signal, core::Rng& rng) {
+                          double congestion_signal, core::Rng& rng,
+                          VantageBatch& batch) {
   SISYPHUS_METRIC_COUNT("measure.probes.attempted", 1);
   const netsim::PopIndex pop = vantage.config.pop;
   netsim::PopIndex server = options_.server;
   if (steering_ != nullptr) {
     auto chosen = steering_->ChooseServer(pop, rng);
     if (!chosen.ok()) {
-      RecordFailure({simulator_.Now(), pop, intent,
-                     ProbeFault::kUnreachable, 1});
+      batch.failures.push_back({simulator_.Now(), pop, intent,
+                                ProbeFault::kUnreachable, 1});
       return;
     }
     server = chosen.value();
@@ -76,7 +78,8 @@ void Platform::RunOneTest(VantageState& vantage, Intent intent,
       continue;
     }
     if (injector_ != nullptr) {
-      const ProbeFault fault = injector_->SampleProbeFault(congestion_signal);
+      const ProbeFault fault =
+          injector_->SampleProbeFault(congestion_signal, rng);
       if (fault != ProbeFault::kNone) {
         last_fault = fault;
         continue;
@@ -88,24 +91,26 @@ void Platform::RunOneTest(VantageState& vantage, Intent intent,
     if (!record.ok()) {
       // No route: retrying within the step cannot help (routing only
       // changes between steps), so fail fast.
-      RecordFailure({simulator_.Now(), pop, intent,
-                     ProbeFault::kUnreachable, attempt});
+      batch.failures.push_back({simulator_.Now(), pop, intent,
+                                ProbeFault::kUnreachable, attempt});
       return;
     }
-    record.value().id = core::MeasurementId(next_record_id_++);
     record.value().time = attempt_time;
     record.value().attempts = attempt;
     SISYPHUS_METRIC_COUNT("measure.probes.succeeded", 1);
     bool duplicate = false;
     if (injector_ != nullptr) {
-      duplicate = injector_->ApplyRecordFaults(record.value());
+      duplicate = injector_->ApplyRecordFaults(record.value(), rng);
     }
-    if (duplicate) store_.Add(record.value());
-    store_.Add(std::move(record).value());
+    // The id is assigned at merge time (vantage order), not here: task
+    // scheduling must not influence archive contents.
+    batch.records.push_back(
+        {std::move(record).value(), duplicate});
     return;
   }
-  RecordFailure({simulator_.Now(), pop, intent, last_fault,
-                 static_cast<std::uint32_t>(options_.retry.max_attempts)});
+  batch.failures.push_back(
+      {simulator_.Now(), pop, intent, last_fault,
+       static_cast<std::uint32_t>(options_.retry.max_attempts)});
 }
 
 void Platform::RecordFailure(ProbeFailure failure) {
@@ -157,57 +162,100 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
 
     const double step_days =
         static_cast<double>(options_.step.minutes()) / (24.0 * 60.0);
-    for (VantageState& vantage : vantages_) {
-      const bool path_changed =
-          std::find(changed_pops.begin(), changed_pops.end(),
-                    vantage.config.pop) != changed_pops.end();
 
+    // Serial prewarm: per-vantage network signals. Besides computing the
+    // inputs the probe tasks need, this touches every (vantage, server)
+    // route from the campaign thread, so the BGP route cache is warm and
+    // the tasks below only ever read it.
+    struct StepSignal {
+      bool path_changed = false;
+      double current_rtt = -1.0;
+      double congestion_signal = 0.0;
+    };
+    std::vector<StepSignal> signals(vantages_.size());
+    for (std::size_t i = 0; i < vantages_.size(); ++i) {
+      StepSignal& signal = signals[i];
+      signal.path_changed =
+          std::find(changed_pops.begin(), changed_pops.end(),
+                    vantages_[i].config.pop) != changed_pops.end();
       // Current network-level RTT (deterministic mean) drives perceived
       // performance; the path loss rate doubles as the congestion signal
       // that MNAR fault plans couple probe loss to.
-      double current_rtt = -1.0;
-      double congestion_signal = 0.0;
       if (auto route =
-              simulator_.RouteBetween(vantage.config.pop, options_.server);
+              simulator_.RouteBetween(vantages_[i].config.pop, options_.server);
           route.ok()) {
-        current_rtt =
+        signal.current_rtt =
             simulator_.latency().PathRttMs(route.value(), simulator_.Now());
-        congestion_signal =
+        signal.congestion_signal =
             simulator_.latency().PathLossRate(route.value(), simulator_.Now());
       }
+    }
+
+    // One campaign-stream draw per step; each vantage forks its own task
+    // stream from it, so per-vantage randomness does not depend on how
+    // tasks interleave (or on how many tests other vantages ran).
+    const std::uint64_t step_seed = rng.Next();
+    std::vector<VantageBatch> batches(vantages_.size());
+    const auto run_vantage = [&](std::size_t i) {
+      core::Rng task_rng = core::Rng::Fork(step_seed, i);
+      VantageState& vantage = vantages_[i];
+      const StepSignal& signal = signals[i];
+      VantageBatch& batch = batches[i];
 
       // Baseline schedule: timing independent of network state.
-      const std::uint32_t baseline = rng.Poisson(
+      const std::uint32_t baseline = task_rng.Poisson(
           vantage.config.baseline_tests_per_day * step_days);
-      RunTests(vantage, baseline, Intent::kBaseline, congestion_signal, rng);
+      RunTests(vantage, baseline, Intent::kBaseline, signal.congestion_signal,
+               task_rng, batch);
 
       // User-initiated: rate inflated by dissatisfaction and route churn —
       // the collider mechanism.
-      if (vantage.config.user_tests_per_day > 0.0 && current_rtt > 0.0) {
+      if (vantage.config.user_tests_per_day > 0.0 &&
+          signal.current_rtt > 0.0) {
         double rate = vantage.config.user_tests_per_day * step_days;
         if (vantage.ewma_rtt > 0.0) {
           const double excess =
-              std::max(0.0, current_rtt / vantage.ewma_rtt - 1.0);
+              std::max(0.0, signal.current_rtt / vantage.ewma_rtt - 1.0);
           rate *= 1.0 + vantage.config.dissatisfaction_gain * excess;
         }
-        if (path_changed) rate *= vantage.config.route_change_multiplier;
-        RunTests(vantage, rng.Poisson(rate), Intent::kUserInitiated,
-                 congestion_signal, rng);
+        if (signal.path_changed) rate *= vantage.config.route_change_multiplier;
+        RunTests(vantage, task_rng.Poisson(rate), Intent::kUserInitiated,
+                 signal.congestion_signal, task_rng, batch);
       }
 
       // §4 proposal 1: conditional activation on external signals.
-      if (options_.conditional_activation && path_changed) {
+      if (options_.conditional_activation && signal.path_changed) {
         RunTests(vantage, options_.event_burst_tests, Intent::kEventTriggered,
-                 congestion_signal, rng);
+                 signal.congestion_signal, task_rng, batch);
       }
 
-      // Habituate.
-      if (current_rtt > 0.0) {
+      // Habituate (this task owns vantages_[i]; no sharing).
+      if (signal.current_rtt > 0.0) {
         vantage.ewma_rtt =
             vantage.ewma_rtt < 0.0
-                ? current_rtt
+                ? signal.current_rtt
                 : (1.0 - options_.ewma_alpha) * vantage.ewma_rtt +
-                      options_.ewma_alpha * current_rtt;
+                      options_.ewma_alpha * signal.current_rtt;
+      }
+    };
+    if (steering_ != nullptr) {
+      // EdgeSteering keeps an order-sensitive decision log, so run the
+      // identical forked-stream structure serially — same output, one lane.
+      for (std::size_t i = 0; i < vantages_.size(); ++i) run_vantage(i);
+    } else {
+      core::ParallelFor(vantages_.size(), run_vantage);
+    }
+
+    // Merge in vantage order on the campaign thread: sequential ids,
+    // store_ ingestion, and failure bookkeeping are all single-threaded.
+    for (VantageBatch& batch : batches) {
+      for (PendingRecord& pending : batch.records) {
+        pending.record.id = core::MeasurementId(next_record_id_++);
+        if (pending.duplicate) store_.Add(pending.record);
+        store_.Add(std::move(pending.record));
+      }
+      for (ProbeFailure& failure : batch.failures) {
+        RecordFailure(failure);
       }
     }
   }

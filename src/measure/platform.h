@@ -98,6 +98,16 @@ class Platform {
 
   /// Runs the campaign from the simulator's current time to `until`,
   /// advancing the network and generating tests step by step.
+  ///
+  /// Within a step, vantages are independent: each one draws from a
+  /// generator forked off a per-step seed (Rng::Fork(step_seed, vantage)),
+  /// produces a local batch of records and failures, and the batches are
+  /// merged into the store in vantage order with sequential ids. The
+  /// per-vantage work therefore fans out across the core::ThreadPool with
+  /// results byte-identical to the serial order at any SISYPHUS_THREADS
+  /// (DESIGN.md §7). With edge steering installed, the same forked-stream
+  /// structure runs serially (the steering decision log is order-sensitive
+  /// shared state), producing identical output.
   void Run(core::SimTime until, core::Rng& rng);
 
   MeasurementStore& store() { return store_; }
@@ -128,12 +138,29 @@ class Platform {
     double ewma_rtt = -1.0;  ///< habituated RTT; <0 = uninitialized
   };
 
-  void RunTests(VantageState& vantage, std::size_t count, Intent intent,
-                double congestion_signal, core::Rng& rng);
+  /// A record awaiting merge: ids are assigned at merge time so they stay
+  /// sequential in vantage order regardless of task scheduling.
+  struct PendingRecord {
+    SpeedTestRecord record;
+    bool duplicate = false;  ///< deliver a second copy (injected fault)
+  };
 
-  /// One probe with retry/backoff; archives the record or logs a failure.
+  /// Per-vantage, per-step output produced inside a parallel task and
+  /// merged into store_/failures_ on the campaign thread.
+  struct VantageBatch {
+    std::vector<PendingRecord> records;
+    std::vector<ProbeFailure> failures;
+  };
+
+  void RunTests(VantageState& vantage, std::size_t count, Intent intent,
+                double congestion_signal, core::Rng& rng,
+                VantageBatch& batch);
+
+  /// One probe with retry/backoff; appends the record or a failure to the
+  /// batch.
   void RunOneTest(VantageState& vantage, Intent intent,
-                  double congestion_signal, core::Rng& rng);
+                  double congestion_signal, core::Rng& rng,
+                  VantageBatch& batch);
 
   /// Appends to failures_ and bumps the failure metrics (total + per
   /// ProbeFault reason), keeping the two views consistent.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/parallel.h"
 #include "obs/metrics.h"
 
 namespace sisyphus::netsim {
@@ -79,28 +80,63 @@ void BgpSimulator::ClearLocalPrefOverride(PopIndex pop, LinkId link) {
 void BgpSimulator::SetPoisonedAsns(PopIndex destination,
                                    std::set<Asn> asns) {
   poisoned_[destination] = std::move(asns);
+  const std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.erase({destination, AddressFamily::kIpv4});
   cache_.erase({destination, AddressFamily::kIpv6});
 }
 
 void BgpSimulator::ClearPoisonedAsns(PopIndex destination) {
   poisoned_.erase(destination);
+  const std::lock_guard<std::mutex> lock(cache_mu_);
   cache_.erase({destination, AddressFamily::kIpv4});
   cache_.erase({destination, AddressFamily::kIpv6});
 }
 
-void BgpSimulator::InvalidateCache() { cache_.clear(); }
+void BgpSimulator::InvalidateCache() {
+  const std::lock_guard<std::mutex> lock(cache_mu_);
+  cache_.clear();
+}
 
 const RouteTable& BgpSimulator::RoutesTo(PopIndex destination,
                                          AddressFamily af) {
   const auto key = std::make_pair(destination, af);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    SISYPHUS_METRIC_COUNT("netsim.bgp.route_cache_hits", 1);
-    return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      SISYPHUS_METRIC_COUNT("netsim.bgp.route_cache_hits", 1);
+      return it->second;
+    }
   }
+  // Compute outside the lock (convergence is the expensive part; node
+  // stability keeps concurrently returned references valid).
   SISYPHUS_METRIC_COUNT("netsim.bgp.route_cache_misses", 1);
-  return cache_.emplace(key, Compute(destination, af)).first->second;
+  RouteTable table = Compute(destination, af);
+  const std::lock_guard<std::mutex> lock(cache_mu_);
+  return cache_.emplace(key, std::move(table)).first->second;
+}
+
+void BgpSimulator::WarmRoutes(const std::vector<PopIndex>& destinations,
+                              AddressFamily af) {
+  // Cold destinations, deduplicated, in first-appearance order.
+  std::vector<PopIndex> cold;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mu_);
+    for (PopIndex destination : destinations) {
+      if (cache_.count({destination, af}) > 0) continue;
+      if (std::find(cold.begin(), cold.end(), destination) != cold.end()) {
+        continue;
+      }
+      cold.push_back(destination);
+    }
+  }
+  if (cold.empty()) return;
+  auto tables = core::ParallelMap(
+      cold.size(), [&](std::size_t i) { return Compute(cold[i], af); });
+  const std::lock_guard<std::mutex> lock(cache_mu_);
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    cache_.emplace(std::make_pair(cold[i], af), std::move(tables[i]));
+  }
 }
 
 Result<BgpRoute> BgpSimulator::Route(PopIndex source, PopIndex destination,

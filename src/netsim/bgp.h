@@ -17,6 +17,7 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -88,8 +89,22 @@ class BgpSimulator {
   void InvalidateCache();
 
   /// Converged routing table towards `destination` (cached per family).
+  ///
+  /// Thread-safe: the cache is mutex-guarded, so concurrent parallel tasks
+  /// may query routes (std::map node stability keeps returned references
+  /// valid across inserts). The policy/topology mutators above are NOT safe
+  /// to call while queries are in flight — event processing stays serial by
+  /// design (DESIGN.md §7).
   const RouteTable& RoutesTo(PopIndex destination,
                              AddressFamily af = AddressFamily::kIpv4);
+
+  /// Computes (and caches) tables for every destination in `destinations`,
+  /// fanning the per-destination convergence runs across the thread pool.
+  /// Already-cached destinations are skipped; insertion happens afterwards
+  /// in destination order, so cache contents — and the hit/miss metric
+  /// counts of later queries — are independent of thread count.
+  void WarmRoutes(const std::vector<PopIndex>& destinations,
+                  AddressFamily af = AddressFamily::kIpv4);
 
   /// Best route from src to dst; kNotFound when unreachable.
   core::Result<BgpRoute> Route(PopIndex source, PopIndex destination,
@@ -103,6 +118,8 @@ class BgpSimulator {
   const Topology& topology_;
   std::map<std::pair<PopIndex, core::LinkId>, double> pref_overrides_;
   std::map<PopIndex, std::set<core::Asn>> poisoned_;
+  /// Guards cache_ only (route queries are the one concurrent entry point).
+  mutable std::mutex cache_mu_;
   mutable std::map<std::pair<PopIndex, AddressFamily>, RouteTable> cache_;
 };
 

@@ -114,6 +114,14 @@ void NetworkSimulator::ApplyTePolicies() {
 
 void NetworkSimulator::RecordPathChanges(const std::string& trigger,
                                          bool exogenous) {
+  // The scan below queries one route per watched pair; computing the cold
+  // per-destination tables is the expensive part, so fan that out first.
+  std::vector<PopIndex> destinations;
+  destinations.reserve(watched_.size());
+  for (const WatchedPair& pair : watched_) {
+    destinations.push_back(pair.destination);
+  }
+  bgp_.WarmRoutes(destinations);
   for (WatchedPair& pair : watched_) {
     std::vector<core::Asn> current;
     if (auto route = bgp_.Route(pair.source, pair.destination); route.ok()) {
@@ -166,6 +174,11 @@ Result<BgpRoute> NetworkSimulator::RouteBetween(PopIndex source,
                                                 PopIndex destination,
                                                 AddressFamily af) {
   return bgp_.Route(source, destination, af);
+}
+
+void NetworkSimulator::WarmRoutes(const std::vector<PopIndex>& destinations,
+                                  AddressFamily af) {
+  bgp_.WarmRoutes(destinations, af);
 }
 
 bool NetworkSimulator::PopDark(PopIndex pop, core::SimTime t) const {

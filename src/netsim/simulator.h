@@ -80,6 +80,13 @@ class NetworkSimulator {
       PopIndex source, PopIndex destination,
       AddressFamily af = AddressFamily::kIpv4);
 
+  /// Precomputes routing tables towards `destinations` across the thread
+  /// pool (BgpSimulator::WarmRoutes). Call from a single thread; later
+  /// RouteBetween queries — including concurrent ones from parallel probe
+  /// tasks — then hit the warm cache.
+  void WarmRoutes(const std::vector<PopIndex>& destinations,
+                  AddressFamily af = AddressFamily::kIpv4);
+
   /// One RTT sample on the current best route at the current time.
   core::Result<double> SampleRtt(PopIndex source, PopIndex destination,
                                  core::Rng& rng,

@@ -1,15 +1,138 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "core/error.h"
 #include "core/json.h"
+#include "core/parallel.h"
+#include "obs/trace.h"
 
 namespace sisyphus::obs {
 
 namespace internal {
 bool g_enabled = false;
+thread_local bool t_capturing = false;
+}  // namespace internal
+
+namespace {
+
+// One buffered metric write. `metric` is a stable registry pointer, so
+// replay is a direct application with no name lookup.
+struct MetricEvent {
+  enum class Kind { kCount, kGauge, kObserve };
+  Kind kind;
+  void* metric;
+  double dvalue = 0.0;
+  std::uint64_t uvalue = 0;
+};
+
+// Per-task side-channel buffer: metric writes captured on the executing
+// thread, replayed in task-index order on the region's calling thread.
+struct TaskBuffer {
+  std::vector<MetricEvent> events;
+  std::size_t task_index = 0;
+  bool span_armed = false;
+  std::chrono::steady_clock::time_point span_start{};
+};
+
+thread_local TaskBuffer* t_buffer = nullptr;
+
+// TaskObserver wiring metric capture + per-task trace spans + pool gauges
+// into core::ParallelFor. Installed at static-init time (core holds only a
+// raw pointer, so init order against other statics is harmless).
+class ParallelMetricsObserver final : public core::TaskObserver {
+ public:
+  void RegionBegin(std::size_t task_count, std::size_t lanes) override {
+    // Deterministic across thread counts except region.lanes, which
+    // genuinely depends on the pool size.
+    SISYPHUS_METRIC_COUNT("core.parallel.regions", 1);
+    SISYPHUS_METRIC_COUNT("core.parallel.tasks", task_count);
+    SISYPHUS_METRIC_GAUGE("core.parallel.region.tasks",
+                          static_cast<double>(task_count));
+    SISYPHUS_METRIC_GAUGE("core.parallel.region.lanes",
+                          static_cast<double>(lanes));
+  }
+
+  void* TaskBegin(std::size_t task_index) override {
+    const bool tracing = Tracer::Global().enabled();
+    if (!internal::g_enabled && !tracing) return nullptr;
+    auto* buffer = new TaskBuffer;
+    buffer->task_index = task_index;
+    if (tracing) {
+      buffer->span_armed = true;
+      buffer->span_start = std::chrono::steady_clock::now();
+    }
+    if (internal::g_enabled) {
+      t_buffer = buffer;
+      internal::t_capturing = true;
+    }
+    return buffer;
+  }
+
+  void TaskEnd(void* token) override {
+    internal::t_capturing = false;
+    t_buffer = nullptr;
+    auto* buffer = static_cast<TaskBuffer*>(token);
+    if (buffer != nullptr && buffer->span_armed) {
+      Tracer::Global().RecordWallSpan("parallel.task", "parallel",
+                                      buffer->span_start,
+                                      std::chrono::steady_clock::now());
+    }
+  }
+
+  void TaskMerge(void* token) override {
+    auto* buffer = static_cast<TaskBuffer*>(token);
+    if (buffer == nullptr) return;
+    for (const MetricEvent& event : buffer->events) {
+      switch (event.kind) {
+        case MetricEvent::Kind::kCount:
+          static_cast<Counter*>(event.metric)->Add(event.uvalue);
+          break;
+        case MetricEvent::Kind::kGauge:
+          static_cast<Gauge*>(event.metric)->Set(event.dvalue);
+          break;
+        case MetricEvent::Kind::kObserve:
+          static_cast<Histogram*>(event.metric)->Observe(event.dvalue);
+          break;
+      }
+    }
+    delete buffer;
+  }
+
+  void RegionEnd() override {}
+};
+
+struct ObserverRegistrar {
+  ObserverRegistrar() {
+    static ParallelMetricsObserver observer;
+    core::SetTaskObserver(&observer);
+  }
+};
+// metrics.cc is pulled into every binary that touches the registry, so the
+// registrar reliably installs the observer before main().
+ObserverRegistrar g_observer_registrar;
+
+}  // namespace
+
+namespace internal {
+
+void CaptureCount(Counter* counter, std::uint64_t n) {
+  t_buffer->events.push_back(
+      {MetricEvent::Kind::kCount, counter, 0.0, n});
+}
+
+void CaptureGauge(Gauge* gauge, double value) {
+  t_buffer->events.push_back(
+      {MetricEvent::Kind::kGauge, gauge, value, 0});
+}
+
+void CaptureObserve(Histogram* histogram, double value) {
+  t_buffer->events.push_back(
+      {MetricEvent::Kind::kObserve, histogram, value, 0});
+}
+
 }  // namespace internal
 
 Histogram::Histogram(std::string name, std::vector<double> upper_bounds)
@@ -23,6 +146,10 @@ Histogram::Histogram(std::string name, std::vector<double> upper_bounds)
 
 void Histogram::Observe(double value) {
   if (!internal::g_enabled) return;
+  if (internal::t_capturing) {
+    internal::CaptureObserve(this, value);
+    return;
+  }
   if (!std::isfinite(value)) return;  // non-finite observations are dropped
   const auto it =
       std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
@@ -59,6 +186,7 @@ void Registry::Enable(bool on) { internal::g_enabled = on; }
 bool Registry::enabled() { return internal::g_enabled; }
 
 Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -70,6 +198,7 @@ Counter* Registry::GetCounter(std::string_view name) {
 }
 
 Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -82,6 +211,7 @@ Gauge* Registry::GetGauge(std::string_view name) {
 
 Histogram* Registry::GetHistogram(std::string_view name,
                                   std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (upper_bounds.empty()) upper_bounds = DefaultHistogramBounds();
@@ -95,17 +225,20 @@ Histogram* Registry::GetHistogram(std::string_view name,
 }
 
 void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [_, counter] : counters_) counter->Reset();
   for (auto& [_, gauge] : gauges_) gauge->Reset();
   for (auto& [_, histogram] : histograms_) histogram->Reset();
 }
 
 std::uint64_t Registry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
 }
 
 std::string Registry::SnapshotJson(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
   // std::map iteration is already name-sorted — the determinism guarantee.
   core::json::Writer w(indent);
   w.BeginObject();

@@ -13,13 +13,21 @@
 // Determinism contract: metric values reflect only what the instrumented
 // code did — never wall-clock time — so a seeded run snapshots to
 // byte-identical JSON every time (ISSUE 3 acceptance bar; wall-clock spans
-// live in obs::Tracer instead). Single-threaded by design, like the rest
-// of the library (DESIGN.md §6).
+// live in obs::Tracer instead).
+//
+// Threading (DESIGN.md §7): registration is mutex-guarded, and metric
+// writes issued from inside a core::ParallelFor task are diverted to a
+// thread-local per-task buffer that the pool replays on the calling thread
+// in ascending task-index order. Metric state is therefore only ever
+// mutated from the region's calling thread, and the snapshot stays
+// byte-identical regardless of SISYPHUS_THREADS (including histogram
+// floating-point sums, whose accumulation order is pinned by the replay).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -122,6 +130,7 @@ class Registry {
   std::uint64_t CounterValue(std::string_view name) const;
 
  private:
+  mutable std::mutex mu_;  // guards the maps (registration / snapshot)
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
@@ -129,15 +138,31 @@ class Registry {
 
 namespace internal {
 extern bool g_enabled;
+// True while this thread is executing a core::ParallelFor task: metric
+// writes are captured into the task's buffer instead of applied, and
+// replayed in task-index order by the pool's TaskObserver (installed by
+// this translation unit at static-init time).
+extern thread_local bool t_capturing;
+void CaptureCount(Counter* counter, std::uint64_t n);
+void CaptureGauge(Gauge* gauge, double value);
+void CaptureObserve(Histogram* histogram, double value);
 }  // namespace internal
 
 inline void Counter::Add(std::uint64_t n) {
   if (!internal::g_enabled) return;
+  if (internal::t_capturing) {
+    internal::CaptureCount(this, n);
+    return;
+  }
   value_ += n;
 }
 
 inline void Gauge::Set(double value) {
   if (!internal::g_enabled) return;
+  if (internal::t_capturing) {
+    internal::CaptureGauge(this, value);
+    return;
+  }
   value_ = value;
 }
 

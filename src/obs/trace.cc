@@ -14,7 +14,10 @@ void Tracer::Enable(bool on) {
   enabled_ = on;
 }
 
-void Tracer::Clear() { events_.clear(); }
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
 
 void Tracer::RecordWallSpan(std::string_view name, std::string_view category,
                             std::chrono::steady_clock::time_point start,
@@ -29,6 +32,7 @@ void Tracer::RecordWallSpan(std::string_view name, std::string_view category,
   event.dur_us =
       std::chrono::duration_cast<std::chrono::microseconds>(end - start)
           .count();
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
@@ -41,6 +45,7 @@ void Tracer::RecordSimSpan(std::string_view name, std::string_view category,
   event.ts_us = start.minutes();
   event.dur_us = (end - start).minutes();
   event.sim_clock = true;
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
@@ -50,6 +55,7 @@ void Tracer::RecordSimInstant(std::string_view name,
 }
 
 std::string Tracer::ToChromeTraceJson(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
   core::json::Writer w(indent);
   w.BeginObject();
   w.Key("displayTimeUnit");

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -56,6 +57,9 @@ class Tracer {
   void RecordSimInstant(std::string_view name, std::string_view category,
                         core::SimTime at);
 
+  /// Recorded events. Only safe while no parallel region is in flight
+  /// (the Record* methods are mutex-guarded for the per-task spans emitted
+  /// from pool worker threads; this accessor is not).
   const std::vector<TraceEvent>& events() const { return events_; }
 
   /// {"traceEvents": [...]} — wall spans on tid 0, sim spans on tid 1
@@ -66,6 +70,7 @@ class Tracer {
  private:
   bool enabled_ = false;
   std::chrono::steady_clock::time_point epoch_{};
+  mutable std::mutex mu_;  // guards events_ against worker-thread appends
   std::vector<TraceEvent> events_;
 };
 

@@ -42,11 +42,21 @@ Result<QrDecomposition> QrDecompose(const Matrix& a) {
       continue;
     }
     for (double& x : v) x /= vnorm;
-    // Apply H = I - 2 v v^T to the trailing block of R.
-    for (std::size_t j = k; j < n; ++j) {
-      double dot = 0.0;
-      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
-      for (std::size_t i = k; i < m; ++i) r(i, j) -= 2.0 * dot * v[i - k];
+    // Apply H = I - 2 v v^T to the trailing block of R. Two row-streaming
+    // passes (w = v^T R, then the rank-1 update) instead of per-column
+    // strided dots: each w[j] still accumulates over i ascending and the
+    // update rounds the same real product, so results are bit-identical to
+    // the column-at-a-time form — just contiguous along rows.
+    Vector w(n - k, 0.0);
+    for (std::size_t i = k; i < m; ++i) {
+      const double vi = v[i - k];
+      const auto row = r.Row(i);
+      for (std::size_t j = k; j < n; ++j) w[j - k] += vi * row[j];
+    }
+    for (std::size_t i = k; i < m; ++i) {
+      const double vi2 = 2.0 * v[i - k];
+      const auto row = r.Row(i);
+      for (std::size_t j = k; j < n; ++j) row[j] -= vi2 * w[j - k];
     }
     reflectors.push_back(std::move(v));
   }
@@ -63,10 +73,17 @@ Result<QrDecomposition> QrDecompose(const Matrix& a) {
         break;
       }
     if (zero) continue;
-    for (std::size_t j = 0; j < n; ++j) {
-      double dot = 0.0;
-      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * q(i, j);
-      for (std::size_t i = k; i < m; ++i) q(i, j) -= 2.0 * dot * v[i - k];
+    // Same row-streaming two-pass application as the R update above.
+    Vector w(n, 0.0);
+    for (std::size_t i = k; i < m; ++i) {
+      const double vi = v[i - k];
+      const auto row = q.Row(i);
+      for (std::size_t j = 0; j < n; ++j) w[j] += vi * row[j];
+    }
+    for (std::size_t i = k; i < m; ++i) {
+      const double vi2 = 2.0 * v[i - k];
+      const auto row = q.Row(i);
+      for (std::size_t j = 0; j < n; ++j) row[j] -= vi2 * w[j];
     }
   }
   QrDecomposition out;
@@ -111,15 +128,13 @@ Matrix SvdDecomposition::Reconstruct() const {
 Matrix SvdDecomposition::TruncatedReconstruct(std::size_t k) const {
   SISYPHUS_REQUIRE(k <= singular_values.size(),
                    "TruncatedReconstruct: k exceeds rank");
-  Matrix out(u.rows(), v.rows());
-  for (std::size_t r = 0; r < out.rows(); ++r)
-    for (std::size_t c = 0; c < out.cols(); ++c) {
-      double sum = 0.0;
-      for (std::size_t i = 0; i < k; ++i)
-        sum += u(r, i) * singular_values[i] * v(c, i);
-      out(r, c) = sum;
-    }
-  return out;
+  // (U diag(s)) V^T through the blocked A*B^T kernel; per-entry accumulation
+  // stays (u*s)*v with i ascending, matching the former triple loop bit for
+  // bit while streaming both factors along contiguous rows.
+  Matrix us(u.rows(), k);
+  for (std::size_t r = 0; r < u.rows(); ++r)
+    for (std::size_t i = 0; i < k; ++i) us(r, i) = u(r, i) * singular_values[i];
+  return MultiplyAbT(us, v.Block(0, v.rows(), 0, k));
 }
 
 std::size_t SvdDecomposition::RankAbove(double threshold) const {
@@ -147,9 +162,12 @@ Result<SvdDecomposition> JacobiSvdTall(const Matrix& a) {
       for (std::size_t q = p + 1; q < n; ++q) {
         double alpha = 0.0, beta = 0.0, gamma = 0.0;
         for (std::size_t i = 0; i < m; ++i) {
-          alpha += w(i, p) * w(i, p);
-          beta += w(i, q) * w(i, q);
-          gamma += w(i, p) * w(i, q);
+          const double* row = w.Row(i).data();
+          const double wp = row[p];
+          const double wq = row[q];
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
         }
         if (std::abs(gamma) <= kTol * std::sqrt(alpha * beta) ||
             gamma == 0.0) {
@@ -163,16 +181,18 @@ Result<SvdDecomposition> JacobiSvdTall(const Matrix& a) {
         const double c = 1.0 / std::sqrt(1.0 + t * t);
         const double s = c * t;
         for (std::size_t i = 0; i < m; ++i) {
-          const double wp = w(i, p);
-          const double wq = w(i, q);
-          w(i, p) = c * wp - s * wq;
-          w(i, q) = s * wp + c * wq;
+          double* row = w.Row(i).data();
+          const double wp = row[p];
+          const double wq = row[q];
+          row[p] = c * wp - s * wq;
+          row[q] = s * wp + c * wq;
         }
         for (std::size_t i = 0; i < n; ++i) {
-          const double vp = v(i, p);
-          const double vq = v(i, q);
-          v(i, p) = c * vp - s * vq;
-          v(i, q) = s * vp + c * vq;
+          double* row = v.Row(i).data();
+          const double vp = row[p];
+          const double vq = row[q];
+          row[p] = c * vp - s * vq;
+          row[q] = s * vp + c * vq;
         }
       }
     }
@@ -253,15 +273,24 @@ Result<Matrix> PseudoInverse(const Matrix& a, double rcond) {
   const double smax =
       d.singular_values.empty() ? 0.0 : d.singular_values.front();
   const double cutoff = smax * rcond;
-  Matrix out(a.cols(), a.rows());
+  // Gather the retained components, then (V diag(1/s)) U^T via the blocked
+  // A*B^T kernel. Retained-k order and the (v*(1/s))*u rounding sequence
+  // match the former accumulation loop exactly.
+  std::vector<std::size_t> kept;
   for (std::size_t k = 0; k < d.singular_values.size(); ++k) {
     const double s = d.singular_values[k];
     if (s <= cutoff || s == 0.0) continue;
-    for (std::size_t i = 0; i < a.cols(); ++i)
-      for (std::size_t j = 0; j < a.rows(); ++j)
-        out(i, j) += d.v(i, k) * (1.0 / s) * d.u(j, k);
+    kept.push_back(k);
   }
-  return out;
+  Matrix vs(a.cols(), kept.size());
+  Matrix uk(a.rows(), kept.size());
+  for (std::size_t idx = 0; idx < kept.size(); ++idx) {
+    const std::size_t k = kept[idx];
+    const double inv_s = 1.0 / d.singular_values[k];
+    for (std::size_t i = 0; i < a.cols(); ++i) vs(i, idx) = d.v(i, k) * inv_s;
+    for (std::size_t j = 0; j < a.rows(); ++j) uk(j, idx) = d.u(j, k);
+  }
+  return MultiplyAbT(vs, uk);
 }
 
 Result<Matrix> HardThreshold(const Matrix& a, double threshold) {

@@ -106,7 +106,7 @@ Result<TwoStageLeastSquaresFit> TwoStageLeastSquares(
     z(r, 1) = predicted[r];
     for (std::size_t c = 0; c < k_ctl; ++c) z(r, 2 + c) = controls(r, c);
   }
-  auto inv = PseudoInverse(z.Transposed() * z);
+  auto inv = PseudoInverse(MultiplyAtB(z, z));
   if (!inv.ok()) return inv.error();
   out.standard_errors.resize(p);
   for (std::size_t j = 0; j < p; ++j)

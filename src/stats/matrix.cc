@@ -5,6 +5,10 @@
 #include <cstdio>
 #include <numeric>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#endif
+
 #include "core/error.h"
 
 namespace sisyphus::stats {
@@ -110,15 +114,192 @@ Matrix operator-(const Matrix& a, const Matrix& b) {
   return out;
 }
 
+Matrix MultiplyReference(const Matrix& a, const Matrix& b) {
+  SISYPHUS_REQUIRE(a.cols() == b.rows(), "*: inner dimension mismatch");
+  Matrix out(a.rows(), b.cols());
+  // ikj order for row-major cache friendliness.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SISYPHUS_HAVE_AVX2_KERNEL 1
+// Register-tiled AVX2 microkernel: a 4x8 output tile lives in 8 ymm
+// accumulators across the full k extent and is stored exactly once.
+// Every out(i,j) is a single accumulator summed over k in ascending
+// order with separate multiply and add (target("avx2") without "fma",
+// so GCC cannot contract a*b+c into one rounding) — bit-identical to
+// MultiplyReference, just like the scalar blocked kernel below.
+__attribute__((target("avx2"))) static void MultiplyTiledAvx2(
+    const double* ad, const double* bd, double* od, std::size_t m,
+    std::size_t inner, std::size_t n) {
+  constexpr std::size_t kTileI = 4;
+  constexpr std::size_t kTileJ = 8;
+  const std::size_t m4 = m - m % kTileI;
+  const std::size_t n8 = n - n % kTileJ;
+  for (std::size_t i0 = 0; i0 < m4; i0 += kTileI) {
+    const double* a0 = ad + i0 * inner;
+    const double* a1 = a0 + inner;
+    const double* a2 = a1 + inner;
+    const double* a3 = a2 + inner;
+    for (std::size_t j0 = 0; j0 < n8; j0 += kTileJ) {
+      __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+      __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+      __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+      __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+      const double* br = bd + j0;
+      for (std::size_t k = 0; k < inner; ++k, br += n) {
+        const __m256d b0 = _mm256_loadu_pd(br);
+        const __m256d b1 = _mm256_loadu_pd(br + 4);
+        const __m256d v0 = _mm256_broadcast_sd(a0 + k);
+        c00 = _mm256_add_pd(c00, _mm256_mul_pd(v0, b0));
+        c01 = _mm256_add_pd(c01, _mm256_mul_pd(v0, b1));
+        const __m256d v1 = _mm256_broadcast_sd(a1 + k);
+        c10 = _mm256_add_pd(c10, _mm256_mul_pd(v1, b0));
+        c11 = _mm256_add_pd(c11, _mm256_mul_pd(v1, b1));
+        const __m256d v2 = _mm256_broadcast_sd(a2 + k);
+        c20 = _mm256_add_pd(c20, _mm256_mul_pd(v2, b0));
+        c21 = _mm256_add_pd(c21, _mm256_mul_pd(v2, b1));
+        const __m256d v3 = _mm256_broadcast_sd(a3 + k);
+        c30 = _mm256_add_pd(c30, _mm256_mul_pd(v3, b0));
+        c31 = _mm256_add_pd(c31, _mm256_mul_pd(v3, b1));
+      }
+      double* orow = od + i0 * n + j0;
+      _mm256_storeu_pd(orow, c00);
+      _mm256_storeu_pd(orow + 4, c01);
+      _mm256_storeu_pd(orow + n, c10);
+      _mm256_storeu_pd(orow + n + 4, c11);
+      _mm256_storeu_pd(orow + 2 * n, c20);
+      _mm256_storeu_pd(orow + 2 * n + 4, c21);
+      _mm256_storeu_pd(orow + 3 * n, c30);
+      _mm256_storeu_pd(orow + 3 * n + 4, c31);
+    }
+  }
+  // Remainder columns (j >= n8) for the tiled rows, and remainder rows
+  // (i >= m4) in full: one scalar accumulator per element, k ascending.
+  for (std::size_t i = 0; i < m4; ++i) {
+    const double* arow = ad + i * inner;
+    for (std::size_t j = n8; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) acc += arow[k] * bd[k * n + j];
+      od[i * n + j] = acc;
+    }
+  }
+  for (std::size_t i = m4; i < m; ++i) {
+    const double* arow = ad + i * inner;
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < inner; ++k) acc += arow[k] * bd[k * n + j];
+      od[i * n + j] = acc;
+    }
+  }
+}
+#endif  // SISYPHUS_HAVE_AVX2_KERNEL
+
 Matrix operator*(const Matrix& a, const Matrix& b) {
   SISYPHUS_REQUIRE(a.cols_ == b.rows_, "*: inner dimension mismatch");
   Matrix out(a.rows_, b.cols_);
-  // ikj order for row-major cache friendliness.
-  for (std::size_t i = 0; i < a.rows_; ++i) {
-    for (std::size_t k = 0; k < a.cols_; ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols_; ++j) out(i, j) += aik * b(k, j);
+  const std::size_t m = a.rows_;
+  const std::size_t inner = a.cols_;
+  const std::size_t n = b.cols_;
+  if (m == 0 || inner == 0 || n == 0) return out;
+#if SISYPHUS_HAVE_AVX2_KERNEL
+  static const bool have_avx2 = __builtin_cpu_supports("avx2");
+  if (have_avx2) {
+    MultiplyTiledAvx2(a.data_.data(), b.data_.data(), out.data_.data(), m,
+                      inner, n);
+    return out;
+  }
+#endif
+  // Portable fallback: cache-blocked ikj kernel. A k-tile of B (kBlockK
+  // rows) stays resident
+  // across a 4-row micro-panel of A, so each B row loaded from memory feeds
+  // four independent accumulator streams (better ILP, 4x the arithmetic per
+  // byte of B traffic). Each out(i,j) still accumulates over k in strictly
+  // ascending order — per-element FP semantics match MultiplyReference, so
+  // results agree to the last bit (modulo the reference's skip of exact-zero
+  // a(i,k) terms, which only affects the sign of exact zeros).
+  constexpr std::size_t kBlockK = 64;
+  constexpr std::size_t kUnrollI = 4;
+  const double* ad = a.data_.data();
+  const double* bd = b.data_.data();
+  double* od = out.data_.data();
+  for (std::size_t k0 = 0; k0 < inner; k0 += kBlockK) {
+    const std::size_t k1 = std::min(k0 + kBlockK, inner);
+    std::size_t i = 0;
+    for (; i + kUnrollI <= m; i += kUnrollI) {
+      const double* a0 = ad + i * inner;
+      const double* a1 = a0 + inner;
+      const double* a2 = a1 + inner;
+      const double* a3 = a2 + inner;
+      double* o0 = od + i * n;
+      double* o1 = o0 + n;
+      double* o2 = o1 + n;
+      double* o3 = o2 + n;
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double* br = bd + k * n;
+        const double a0k = a0[k];
+        const double a1k = a1[k];
+        const double a2k = a2[k];
+        const double a3k = a3[k];
+        for (std::size_t j = 0; j < n; ++j) {
+          const double bkj = br[j];
+          o0[j] += a0k * bkj;
+          o1[j] += a1k * bkj;
+          o2[j] += a2k * bkj;
+          o3[j] += a3k * bkj;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const double* arow = ad + i * inner;
+      double* orow = od + i * n;
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aik = arow[k];
+        const double* br = bd + k * n;
+        for (std::size_t j = 0; j < n; ++j) orow[j] += aik * br[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MultiplyAtB(const Matrix& a, const Matrix& b) {
+  SISYPHUS_REQUIRE(a.rows() == b.rows(), "MultiplyAtB: row count mismatch");
+  Matrix out(a.cols(), b.cols());
+  const std::size_t n = b.cols();
+  // Rank-1 accumulation streaming the rows of A and B once: out(c1,c2) =
+  // sum_r a(r,c1) b(r,c2) with r ascending — the exact accumulation order
+  // (and exact-zero skip) of Transposed()*b, without materializing A^T.
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto arow = a.Row(r);
+    const double* brow = b.Row(r).data();
+    for (std::size_t c1 = 0; c1 < a.cols(); ++c1) {
+      const double v = arow[c1];
+      if (v == 0.0) continue;
+      double* orow = out.Row(c1).data();
+      for (std::size_t c2 = 0; c2 < n; ++c2) orow[c2] += v * brow[c2];
+    }
+  }
+  return out;
+}
+
+Matrix MultiplyAbT(const Matrix& a, const Matrix& b) {
+  SISYPHUS_REQUIRE(a.cols() == b.cols(), "MultiplyAbT: col count mismatch");
+  Matrix out(a.rows(), b.rows());
+  // Both operands are streamed along contiguous rows; each entry is a dot
+  // with k ascending, matching a * b.Transposed() without the materialized
+  // transpose.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto arow = a.Row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      out(i, j) = Dot(arow, b.Row(j));
     }
   }
   return out;

@@ -92,6 +92,24 @@ class Matrix {
   std::vector<double> data_;
 };
 
+// ---- Multiply variants ----------------------------------------------------
+
+/// Reference naive ikj multiply (the pre-blocking kernel). Kept for
+/// equality tests and the kernel-vs-reference comparison in
+/// bench/perf_linalg; operator* is the production kernel (register-tiled
+/// AVX2 where the CPU has it, cache-blocked scalar otherwise — both
+/// accumulate each element over k in ascending order without FMA
+/// contraction, so all three kernels agree to the last bit).
+Matrix MultiplyReference(const Matrix& a, const Matrix& b);
+
+/// A^T * B without materializing the transpose. Accumulation order matches
+/// a.Transposed() * b exactly (Gram matrices: MultiplyAtB(x, x)).
+Matrix MultiplyAtB(const Matrix& a, const Matrix& b);
+
+/// A * B^T without materializing the transpose. Accumulation order matches
+/// a * b.Transposed() exactly.
+Matrix MultiplyAbT(const Matrix& a, const Matrix& b);
+
 // ---- Free-function vector algebra -----------------------------------------
 
 double Dot(std::span<const double> a, std::span<const double> b);

@@ -82,7 +82,7 @@ Result<OlsFit> Ols(const Matrix& design, std::span<const double> y,
   fit.residual_variance = ssr / dof;
 
   // (X'X)^-1 via pseudo-inverse of X'X (p x p, small).
-  const Matrix xtx = x.Transposed() * x;
+  const Matrix xtx = MultiplyAtB(x, x);
   auto xtx_inv = PseudoInverse(xtx);
   if (!xtx_inv.ok()) return xtx_inv.error();
   const Matrix& inv = xtx_inv.value();
@@ -123,7 +123,7 @@ Result<Vector> Ridge(const Matrix& design, std::span<const double> y,
   if (x.rows() != y.size()) {
     return Error(ErrorCode::kInvalidArgument, "Ridge: y length != rows");
   }
-  Matrix xtx = x.Transposed() * x;
+  Matrix xtx = MultiplyAtB(x, x);
   // Leave the intercept unpenalized.
   const std::size_t first = options.add_intercept ? 1 : 0;
   for (std::size_t j = first; j < xtx.cols(); ++j) xtx(j, j) += lambda;
@@ -156,7 +156,7 @@ Result<Vector> NeweyWestErrors(const Matrix& design, const OlsFit& fit,
   const std::size_t n = fit.n;
   const std::size_t p = fit.p;
 
-  auto xtx_inv = PseudoInverse(x.Transposed() * x);
+  auto xtx_inv = PseudoInverse(MultiplyAtB(x, x));
   if (!xtx_inv.ok()) return xtx_inv.error();
   const Matrix& bread = xtx_inv.value();
 

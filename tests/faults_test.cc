@@ -78,12 +78,54 @@ TEST(FaultInjectorTest, ProbeFaultStreamIsSeedDeterministic) {
   plan.seed = 99;
   plan.probe_loss_probability = 0.3;
   FaultInjector a(plan), b(plan);
+  core::Rng rng_a(4242), rng_b(4242);
   for (int i = 0; i < 200; ++i) {
-    EXPECT_EQ(a.SampleProbeFault(0.0), b.SampleProbeFault(0.0));
+    EXPECT_EQ(a.SampleProbeFault(0.0, rng_a), b.SampleProbeFault(0.0, rng_b));
   }
   EXPECT_EQ(a.stats().probes_lost, b.stats().probes_lost);
   EXPECT_GT(a.stats().probes_lost, 20u);  // ~60 expected
   EXPECT_LT(a.stats().probes_lost, 120u);
+}
+
+TEST(FaultInjectorTest, PlanSeedChangesDecisionsOnTheSameStream) {
+  // The plan seed is mixed into every decision, so two plans differing
+  // only in seed realize different faults from identical caller streams.
+  FaultPlan plan_a, plan_b;
+  plan_a.seed = 1;
+  plan_b.seed = 2;
+  plan_a.probe_loss_probability = plan_b.probe_loss_probability = 0.5;
+  FaultInjector a(plan_a), b(plan_b);
+  core::Rng rng_a(7), rng_b(7);
+  bool any_differ = false;
+  for (int i = 0; i < 200; ++i) {
+    if (a.SampleProbeFault(0.0, rng_a) != b.SampleProbeFault(0.0, rng_b)) {
+      any_differ = true;
+    }
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FaultInjectorTest, DecisionsConsumeAFixedNumberOfDraws) {
+  // Stream alignment: every injector call costs the same number of caller
+  // draws no matter what the plan's probabilities are or which faults
+  // fire, so runs under different plans stay draw-for-draw comparable.
+  FaultPlan heavy;
+  heavy.seed = 23;
+  heavy.probe_loss_probability = 1.0;
+  heavy.traceroute_truncation_probability = 1.0;
+  heavy.corruption_probability = 1.0;
+  heavy.duplicate_probability = 1.0;
+  heavy.max_clock_skew = SimTime(3);
+  FaultInjector none(FaultPlan{}), all(heavy);
+  core::Rng rng_none(31), rng_all(31);
+  auto record_none = MakeRecord();
+  auto record_all = MakeRecord();
+  none.SampleProbeFault(0.0, rng_none);
+  all.SampleProbeFault(0.0, rng_all);
+  none.ApplyRecordFaults(record_none, rng_none);
+  all.ApplyRecordFaults(record_all, rng_all);
+  // Equal consumption leaves the two streams at the same position.
+  EXPECT_EQ(rng_none.Next(), rng_all.Next());
 }
 
 TEST(FaultInjectorTest, MnarGainCouplesLossToCongestion) {
@@ -92,26 +134,33 @@ TEST(FaultInjectorTest, MnarGainCouplesLossToCongestion) {
   plan.probe_loss_probability = 0.05;
   plan.mnar_loss_gain = 20.0;  // 2% path loss -> +40 pp probe loss
   FaultInjector calm(plan), congested(plan);
+  core::Rng calm_rng(1), congested_rng(1);
   int calm_lost = 0, congested_lost = 0;
   for (int i = 0; i < 500; ++i) {
-    if (calm.SampleProbeFault(0.0) == ProbeFault::kProbeLoss) ++calm_lost;
-    if (congested.SampleProbeFault(0.02) == ProbeFault::kProbeLoss) {
+    if (calm.SampleProbeFault(0.0, calm_rng) == ProbeFault::kProbeLoss) {
+      ++calm_lost;
+    }
+    if (congested.SampleProbeFault(0.02, congested_rng) ==
+        ProbeFault::kProbeLoss) {
       ++congested_lost;
     }
   }
   EXPECT_GT(congested_lost, calm_lost + 50);
   // Gain saturates at certainty: loss probability clamps to 1.
   FaultInjector saturated(plan);
-  EXPECT_EQ(saturated.SampleProbeFault(1.0), ProbeFault::kProbeLoss);
+  core::Rng saturated_rng(2);
+  EXPECT_EQ(saturated.SampleProbeFault(1.0, saturated_rng),
+            ProbeFault::kProbeLoss);
 }
 
 TEST(FaultInjectorTest, ZeroProbabilityPlanIsTransparent) {
   FaultInjector injector(FaultPlan{});
+  core::Rng rng(3);
   auto record = MakeRecord();
   const auto before = record;
   for (int i = 0; i < 50; ++i) {
-    EXPECT_EQ(injector.SampleProbeFault(0.0), ProbeFault::kNone);
-    EXPECT_FALSE(injector.ApplyRecordFaults(record));
+    EXPECT_EQ(injector.SampleProbeFault(0.0, rng), ProbeFault::kNone);
+    EXPECT_FALSE(injector.ApplyRecordFaults(record, rng));
   }
   EXPECT_EQ(record.time, before.time);
   EXPECT_EQ(record.rtt_ms, before.rtt_ms);
@@ -126,9 +175,10 @@ TEST(FaultInjectorTest, TruncationKeepsMinimumHops) {
   plan.traceroute_truncation_probability = 1.0;
   plan.truncation_min_hops = 2;
   FaultInjector injector(plan);
+  core::Rng rng(4);
   for (int i = 0; i < 100; ++i) {
     auto record = MakeRecord(6);
-    injector.ApplyRecordFaults(record);
+    injector.ApplyRecordFaults(record, rng);
     EXPECT_GE(record.traceroute.hops.size(), 2u);
     EXPECT_LE(record.traceroute.hops.size(), 6u);
   }
@@ -140,10 +190,11 @@ TEST(FaultInjectorTest, CorruptionProducesInvalidRecords) {
   plan.seed = 13;
   plan.corruption_probability = 1.0;
   FaultInjector injector(plan);
+  core::Rng rng(5);
   std::size_t invalid = 0;
   for (int i = 0; i < 100; ++i) {
     auto record = MakeRecord();
-    injector.ApplyRecordFaults(record);
+    injector.ApplyRecordFaults(record, rng);
     const bool bad_rtt = record.rtt_ms <= 0.0;
     const bool bad_time = record.time < SimTime(0);
     const bool bad_loss = record.loss_rate > 1.0;
@@ -159,10 +210,11 @@ TEST(FaultInjectorTest, ClockSkewIsBounded) {
   plan.seed = 17;
   plan.max_clock_skew = SimTime(5);
   FaultInjector injector(plan);
+  core::Rng rng(6);
   for (int i = 0; i < 200; ++i) {
     auto record = MakeRecord();
     const SimTime original = record.time;
-    injector.ApplyRecordFaults(record);
+    injector.ApplyRecordFaults(record, rng);
     EXPECT_GE(record.time, original - SimTime(5));
     EXPECT_LE(record.time, original + SimTime(5));
   }
@@ -174,10 +226,11 @@ TEST(FaultInjectorTest, DuplicationFlagRateMatchesPlan) {
   plan.seed = 19;
   plan.duplicate_probability = 0.5;
   FaultInjector injector(plan);
+  core::Rng rng(8);
   int duplicates = 0;
   for (int i = 0; i < 400; ++i) {
     auto record = MakeRecord();
-    if (injector.ApplyRecordFaults(record)) ++duplicates;
+    if (injector.ApplyRecordFaults(record, rng)) ++duplicates;
   }
   EXPECT_NEAR(duplicates, 200, 60);
   EXPECT_EQ(injector.stats().records_duplicated,

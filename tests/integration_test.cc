@@ -85,7 +85,7 @@ TEST(IntegrationTest, FullPipelineProducesTable1Rows) {
 }
 
 TEST(IntegrationTest, LargeInjectedEffectIsDetectedAndPlaceboIsNot) {
-  Pipeline pipe(11);
+  Pipeline pipe(12);
   // Inject a large artificial post-treatment shift into one treated
   // unit's series and rerun: the estimator must find ~the injected size.
   const auto& unit = pipe.scenario.treated[2];  // 37053 / Cape Town

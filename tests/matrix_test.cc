@@ -1,6 +1,8 @@
 // Tests for stats::Matrix and the free-function vector algebra.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "stats/matrix.h"
 
 namespace sisyphus::stats {
@@ -81,6 +83,55 @@ TEST(MatrixTest, MultiplicationShapeMismatchThrows) {
   const Matrix a(2, 3);
   const Matrix b(2, 3);
   EXPECT_THROW(a * b, std::logic_error);
+}
+
+/// Deterministic pseudo-random fill (no RNG dependency in this test).
+Matrix Filled(std::size_t rows, std::size_t cols, double phase) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m(r, c) = std::sin(phase + 0.7 * static_cast<double>(r) +
+                         1.3 * static_cast<double>(c));
+  return m;
+}
+
+TEST(MatrixTest, BlockedMultiplyMatchesReferenceExactly) {
+  // The cache-blocked operator* iterates k ascending within each (i, j),
+  // so it must be bit-identical to the naive kernel — including at sizes
+  // that exercise partial blocks and the 256 case the benchmark pins.
+  for (const std::size_t n : {1u, 3u, 63u, 64u, 65u, 130u, 256u}) {
+    const Matrix a = Filled(n, n, 0.1);
+    const Matrix b = Filled(n, n, 2.5);
+    EXPECT_EQ((a * b).MaxAbsDiff(MultiplyReference(a, b)), 0.0) << n;
+  }
+  // Non-square shapes with every dimension off the block boundary.
+  const Matrix a = Filled(70, 33, 0.4);
+  const Matrix b = Filled(33, 129, 1.9);
+  EXPECT_EQ((a * b).MaxAbsDiff(MultiplyReference(a, b)), 0.0);
+}
+
+TEST(MatrixTest, MultiplyAtBMatchesExplicitTranspose) {
+  const Matrix a = Filled(67, 9, 0.2);
+  const Matrix b = Filled(67, 13, 1.1);
+  const Matrix fused = MultiplyAtB(a, b);
+  const Matrix naive = a.Transposed() * b;
+  ASSERT_EQ(fused.rows(), 9u);
+  ASSERT_EQ(fused.cols(), 13u);
+  EXPECT_LE(fused.MaxAbsDiff(naive), 1e-12);
+  EXPECT_THROW(MultiplyAtB(Filled(4, 2, 0.0), Filled(5, 2, 0.0)),
+               std::logic_error);
+}
+
+TEST(MatrixTest, MultiplyAbTMatchesExplicitTranspose) {
+  const Matrix a = Filled(11, 40, 0.8);
+  const Matrix b = Filled(17, 40, 1.4);
+  const Matrix fused = MultiplyAbT(a, b);
+  const Matrix naive = a * b.Transposed();
+  ASSERT_EQ(fused.rows(), 11u);
+  ASSERT_EQ(fused.cols(), 17u);
+  EXPECT_LE(fused.MaxAbsDiff(naive), 1e-12);
+  EXPECT_THROW(MultiplyAbT(Filled(4, 2, 0.0), Filled(4, 3, 0.0)),
+               std::logic_error);
 }
 
 TEST(MatrixTest, AddSubtractScale) {
