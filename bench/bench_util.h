@@ -81,11 +81,46 @@ class TableWriter {
   std::size_t cursor_ = 0;
 };
 
+/// Prints the lineage waterfall summary: one row per terminal stage with
+/// record counts and % of emitted, plus the probe/panel headline. A no-op
+/// when the ledger is empty (lineage disabled or compiled out).
+inline void PrintWaterfallSummary() {
+  const obs::LineageWaterfall totals = obs::Lineage::Global().Totals();
+  if (totals.emitted == 0 && totals.probes_failed == 0) return;
+  std::printf("\n-- measurement lineage waterfall --\n");
+  std::printf("probes attempted %llu  failed %llu  emitted %llu"
+              "  delivered copies %llu\n",
+              static_cast<unsigned long long>(totals.probes_attempted),
+              static_cast<unsigned long long>(totals.probes_failed),
+              static_cast<unsigned long long>(totals.emitted),
+              static_cast<unsigned long long>(totals.delivered));
+  TableWriter table({{"terminal stage", 18}, {"records", 10}, {"% emitted", 10}});
+  for (std::size_t s = 0; s < obs::kLineageStageCount; ++s) {
+    const std::uint64_t count = totals.terminal[s];
+    if (count == 0) continue;
+    table.Cell(obs::ToString(static_cast<obs::LineageStage>(s)));
+    table.Cell(std::to_string(count));
+    table.Cell(totals.emitted > 0
+                   ? 100.0 * static_cast<double>(count) /
+                         static_cast<double>(totals.emitted)
+                   : 0.0,
+               "%.1f");
+  }
+  std::printf("panel: units kept %llu  dropped %llu  empty %llu"
+              "  cells observed %llu  masked %llu\n",
+              static_cast<unsigned long long>(totals.units_kept),
+              static_cast<unsigned long long>(totals.units_dropped),
+              static_cast<unsigned long long>(totals.units_empty),
+              static_cast<unsigned long long>(totals.cells_observed),
+              static_cast<unsigned long long>(totals.cells_masked));
+}
+
 /// Shared `--obs-out <dir>` wiring. When a directory is given, enables the
-/// metrics registry (reset to zero so artifacts cover exactly this run)
-/// and the tracer; Finish() writes the manifest.json / metrics.json /
-/// trace.json trio. When the directory is empty everything stays in the
-/// disabled fast path and Finish() is a no-op.
+/// metrics registry (reset to zero so artifacts cover exactly this run),
+/// the tracer, the lineage ledger, and the pool stats; Finish() writes the
+/// manifest.json / metrics.json / trace.json / lineage.json quartet. When
+/// the directory is empty everything stays in the disabled fast path and
+/// Finish() is a no-op.
 class ObsRun {
  public:
   ObsRun(std::string tool, std::string obs_dir, std::uint64_t seed)
@@ -97,24 +132,33 @@ class ObsRun {
     obs::Registry::Global().ResetAll();
     obs::Tracer::Global().Clear();
     obs::Tracer::Global().Enable(true);
+    obs::Lineage::Enable(true);
+    obs::Lineage::Global().Reset();
+    // Open the first run ledger under the tool's name; a bench that runs
+    // several campaigns relabels it with its first BeginRun.
+    obs::Lineage::Global().BeginRun(manifest_.tool);
+    obs::PoolStats::Enable(true);
+    obs::PoolStats::Global().Reset();
   }
 
   bool active() const { return !obs_dir_.empty(); }
   obs::RunManifest& manifest() { return manifest_; }
 
-  /// Writes the artifact trio; returns 0 on success (and when inactive).
+  /// Writes the artifact quartet; returns 0 on success (and when inactive).
   int Finish() {
     if (!active()) return 0;
+    PrintWaterfallSummary();
     std::error_code ec;
     std::filesystem::create_directories(obs_dir_, ec);
     const auto status = obs::WriteRunArtifacts(
-        obs_dir_, manifest_, obs::Registry::Global(), obs::Tracer::Global());
+        obs_dir_, manifest_, obs::Registry::Global(), obs::Tracer::Global(),
+        obs::Lineage::Global());
     if (!status.ok()) {
       std::printf("obs artifacts failed: %s\n",
                   status.error().ToText().c_str());
       return 1;
     }
-    std::printf("wrote %s/{manifest,metrics,trace}.json\n",
+    std::printf("wrote %s/{manifest,metrics,trace,lineage}.json\n",
                 obs_dir_.c_str());
     return 0;
   }

@@ -16,6 +16,7 @@
 //      relative error of the clean estimate (mirrored by a tier-1 test).
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,11 +47,15 @@ struct CampaignResult {
 };
 
 /// One full campaign + estimation pass under `plan` (nullptr = clean).
+/// `label` names this campaign's lineage run ledger (ids restart at 1 per
+/// campaign, so each needs its own waterfall to reconcile against).
 /// `platform_seed` = 0 means "use the scenario seed"; any other value
 /// reseeds the platform RNG, which gives the estimator's noise floor.
-CampaignResult RunCampaign(const measure::FaultPlan* plan,
+CampaignResult RunCampaign(const std::string& label,
+                           const measure::FaultPlan* plan,
                            bool keep_csv = false,
                            std::uint64_t platform_seed = 0) {
+  SISYPHUS_LINEAGE(BeginRun(label));
   netsim::ScenarioZaOptions scenario_options;
   netsim::ScenarioZa scenario = netsim::BuildScenarioZa(scenario_options);
 
@@ -106,6 +111,12 @@ CampaignResult RunCampaign(const measure::FaultPlan* plan,
     if (!fit.ok()) continue;
     sum += fit.value().base.average_effect;
     ++out.units_fit;
+    if (obs::Lineage::enabled()) {
+      obs::Lineage::Global().AddEstimate(
+          "robust." + unit.name, unit.name, input.value().donor_names,
+          fit.value().base.average_effect,
+          std::numeric_limits<double>::quiet_NaN());
+    }
   }
   if (out.units_fit > 0) out.mean_effect = sum / static_cast<double>(out.units_fit);
   return out;
@@ -142,7 +153,7 @@ int Main(const std::string& obs_dir) {
 
   std::unique_ptr<obs::ScopedPhase> phase =
       std::make_unique<obs::ScopedPhase>(manifest, "clean_campaign");
-  const CampaignResult clean = RunCampaign(nullptr);
+  const CampaignResult clean = RunCampaign("clean", nullptr);
   std::printf("clean campaign: %zu records, %zu panel units, mean IXP "
               "effect %+.3f ms over %zu treated units\n\n",
               clean.records, clean.panel_units, clean.mean_effect,
@@ -173,7 +184,8 @@ int Main(const std::string& obs_dir) {
   // floor is sampling noise, not fault-induced bias.
   phase = std::make_unique<obs::ScopedPhase>(manifest, "noise_floor");
   for (std::uint64_t seed : {11ull, 12ull, 13ull}) {
-    const CampaignResult reseed = RunCampaign(nullptr, false, seed);
+    const CampaignResult reseed = RunCampaign(
+        "noise_floor.seed" + std::to_string(seed), nullptr, false, seed);
     std::printf("noise floor (clean, platform seed %llu): effect %+.3f ms "
                 "(rel. drift %.2f)\n",
                 static_cast<unsigned long long>(seed), reseed.mean_effect,
@@ -206,7 +218,7 @@ int Main(const std::string& obs_dir) {
           {reference.treated[i % reference.treated.size()].access_pop,
            {{start, start + duration}}});
     }
-    const CampaignResult result = RunCampaign(&plan);
+    const CampaignResult result = RunCampaign(point.label, &plan);
     const double rel_err =
         std::abs(result.mean_effect - clean.mean_effect) /
         std::max(std::abs(clean.mean_effect), 1e-9);
@@ -224,8 +236,10 @@ int Main(const std::string& obs_dir) {
   const measure::FaultPlan acceptance = AcceptancePlan(reference, 42);
   manifest.fault_plan_hash =
       core::Fnv1a64Hex(measure::FaultPlanFingerprint(acceptance));
-  const CampaignResult run_a = RunCampaign(&acceptance, /*keep_csv=*/true);
-  const CampaignResult run_b = RunCampaign(&acceptance, /*keep_csv=*/true);
+  const CampaignResult run_a =
+      RunCampaign("acceptance.run_a", &acceptance, /*keep_csv=*/true);
+  const CampaignResult run_b =
+      RunCampaign("acceptance.run_b", &acceptance, /*keep_csv=*/true);
   const bool deterministic = run_a.store_csv == run_b.store_csv;
   if (!deterministic) {
     // Leave the evidence where a human can diff it.

@@ -182,6 +182,7 @@ int Main(bool ablation, const std::string& export_dir,
       bool ok = false;
       std::string error;
       Row row;
+      std::vector<std::string> donors;  ///< usable donor pool (lineage)
     };
     const auto outcomes = core::ParallelMap(
         scenario.treated.size(), [&](std::size_t u) {
@@ -209,6 +210,7 @@ int Main(bool ablation, const std::string& export_dir,
           outcome.row.rmse_ratio = result.value().treated_fit.rmse_ratio;
           outcome.row.p_value = result.value().p_value;
           outcome.row.paper_delta = unit.paper_delta_ms;
+          outcome.donors = input.value().donor_names;
           return outcome;
         });
     std::vector<Row> rows;
@@ -230,6 +232,13 @@ int Main(bool ablation, const std::string& export_dir,
           ->Set(outcomes[u].row.delta);
       obs::Registry::Global().GetGauge(prefix + ".p_value")
           ->Set(outcomes[u].row.p_value);
+      // Lineage: the estimate and the units backing it, registered in the
+      // same ordered merge so lineage.json is thread-count-invariant.
+      if (obs::Lineage::enabled()) {
+        obs::Lineage::Global().AddEstimate(
+            prefix, scenario.treated[u].name, outcomes[u].donors,
+            outcomes[u].row.delta, outcomes[u].row.p_value);
+      }
       rows.push_back(outcomes[u].row);
     }
     return rows;

@@ -33,6 +33,8 @@ SyntheticControlInput PlaceboInput(const SyntheticControlInput& input,
                                    std::size_t j) {
   SyntheticControlInput out;
   out.pre_periods = input.pre_periods;
+  out.placebo = true;  // donor j stands in as treated; lineage keeps it a donor
+  if (!input.donor_names.empty()) out.treated_name = input.donor_names[j];
   out.treated = input.donors.Column(j);
   out.donors = stats::Matrix(input.donors.rows(), input.donors.cols() - 1);
   const bool masked = !input.donor_observed.empty();

@@ -1,10 +1,12 @@
 #include "causal/refutation.h"
 
 #include <cmath>
+#include <limits>
 #include <optional>
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "obs/lineage.h"
 #include "stats/descriptive.h"
 
 namespace sisyphus::causal {
@@ -207,6 +209,14 @@ Result<std::vector<RefutationResult>> RunRefutationBattery(
   for (const RefuterResult& result : results) {
     if (!result->ok()) return result->error();
     out.push_back(result->value());
+    // Refutations are estimates about estimates: register each verdict so
+    // the lineage artifact shows what was (not) refuted. No unit backing
+    // (the battery works on tabular Datasets, not panel units) and no
+    // p-value (NaN serializes as null).
+    SISYPHUS_LINEAGE(AddEstimate(
+        "refute." + out.back().refuter, /*treated_unit=*/"",
+        /*donor_units=*/{}, out.back().refuted_effect,
+        std::numeric_limits<double>::quiet_NaN()));
   }
   return out;
 }

@@ -128,6 +128,7 @@ Result<RobustSyntheticControlFit> FitRobustSyntheticControl(
       {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0});
   rmse_hist->Observe(out.base.rmse_pre);
 #endif
+  MarkFitLineage(input);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "core/error.h"
+#include "obs/lineage.h"
 
 namespace sisyphus::causal {
 
@@ -168,7 +169,25 @@ Result<SyntheticControlFit> FitSyntheticControl(
     if (std::abs(previous_objective - objective) < options.tolerance) break;
     previous_objective = objective;
   }
+  MarkFitLineage(input);
   return DiagnoseWeights(input, std::move(w));
+}
+
+void MarkFitLineage(const SyntheticControlInput& input) {
+  if (!obs::Lineage::enabled()) return;
+  obs::Lineage& lineage = obs::Lineage::Global();
+  if (!input.treated_name.empty()) {
+    // A placebo rotation fits a donor as if treated; it must not promote
+    // that donor's records to the treated terminal state.
+    if (input.placebo) {
+      lineage.MarkDonor(input.treated_name);
+    } else {
+      lineage.MarkTreated(input.treated_name);
+    }
+  }
+  for (const std::string& donor : input.donor_names) {
+    lineage.MarkDonor(donor);
+  }
 }
 
 }  // namespace sisyphus::causal

@@ -26,6 +26,11 @@ struct SyntheticControlInput {
   stats::Matrix donors;
   std::vector<std::string> donor_names;  ///< optional; sized 0 or donor count
   std::size_t pre_periods = 0;
+  /// Lineage provenance (optional): the treated unit's panel key, and
+  /// whether this input is a placebo rotation (its "treated" series is
+  /// really a donor standing in). Ignored by the estimators' math.
+  std::string treated_name;
+  bool placebo = false;
 
   /// Optional missingness masks (1 = observed, 0 = missing/interpolated).
   /// Empty means fully observed. When present, `treated_observed` is sized
@@ -80,5 +85,12 @@ core::Result<SyntheticControlFit> FitSyntheticControl(
 /// given weight vector — used by both estimators and by the placebo runs.
 SyntheticControlFit DiagnoseWeights(const SyntheticControlInput& input,
                                     stats::Vector weights);
+
+/// Marks the input's units as used by a successful fit in the lineage
+/// ledger (treated_name → treated, or donor for placebo rotations; every
+/// named donor → donor). No-op while lineage is disabled or names are
+/// absent. Called by both estimators on success; safe inside parallel
+/// tasks (events are captured and replayed deterministically).
+void MarkFitLineage(const SyntheticControlInput& input);
 
 }  // namespace sisyphus::causal

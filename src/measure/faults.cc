@@ -6,6 +6,8 @@
 #include <limits>
 #include <string>
 
+#include "obs/lineage.h"
+
 namespace sisyphus::measure {
 
 const char* ToString(ProbeFault fault) {
@@ -154,7 +156,11 @@ ProbeFault FaultInjector::SampleProbeFault(double congestion_signal,
 }
 
 bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record,
-                                      core::Rng& rng) {
+                                      core::Rng& rng,
+                                      std::uint8_t* fault_mask) {
+  const auto mark = [fault_mask](std::uint8_t bit) {
+    if (fault_mask != nullptr) *fault_mask |= bit;
+  };
   // Clock skew first so corruption can still override the timestamp.
   const double skew_span =
       static_cast<double>(plan_.max_clock_skew.minutes());
@@ -164,6 +170,7 @@ bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record,
     record.time =
         record.time + core::SimTime(static_cast<std::int64_t>(skew_minutes));
     stats_.records_skewed.fetch_add(1, std::memory_order_relaxed);
+    mark(obs::kLineageFaultSkewed);
   }
 
   const bool truncate =
@@ -179,6 +186,7 @@ bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record,
     if (keep < hops) {
       record.traceroute.hops.resize(keep);
       stats_.traceroutes_truncated.fetch_add(1, std::memory_order_relaxed);
+      mark(obs::kLineageFaultTruncated);
     }
   }
 
@@ -200,10 +208,14 @@ bool FaultInjector::ApplyRecordFaults(SpeedTestRecord& record,
         break;
     }
     stats_.records_corrupted.fetch_add(1, std::memory_order_relaxed);
+    mark(obs::kLineageFaultCorrupted);
   }
 
   const bool duplicate = DecisionBernoulli(rng, plan_.duplicate_probability);
-  if (duplicate) stats_.records_duplicated.fetch_add(1, std::memory_order_relaxed);
+  if (duplicate) {
+    stats_.records_duplicated.fetch_add(1, std::memory_order_relaxed);
+    mark(obs::kLineageFaultDuplicated);
+  }
   return duplicate;
 }
 

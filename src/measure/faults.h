@@ -144,7 +144,10 @@ class FaultInjector {
   /// delivered a second time (duplication). Always consumes the same
   /// number of draws from `rng` (six) regardless of outcome, so decision
   /// streams stay aligned across plans that differ only in probabilities.
-  bool ApplyRecordFaults(SpeedTestRecord& record, core::Rng& rng);
+  /// When `fault_mask` is non-null, the obs::kLineageFault* bits of the
+  /// faults that actually fired are OR-ed into it (lineage provenance).
+  bool ApplyRecordFaults(SpeedTestRecord& record, core::Rng& rng,
+                         std::uint8_t* fault_mask = nullptr);
 
  private:
   /// Atomic mirror of FaultStats (updated from concurrent probe tasks).

@@ -35,6 +35,7 @@ Panel BuildRttPanel(const MeasurementStore& store,
                     const PanelOptions& options) {
   Panel panel;
   panel.options = options;
+  const bool lineage = obs::Lineage::enabled();
   for (const std::string& unit : store.Units()) {
     // Sort by time: retry backoff and clock skew can reorder records.
     auto records = store.ForUnit(unit);
@@ -46,10 +47,32 @@ Panel BuildRttPanel(const MeasurementStore& store,
     for (const SpeedTestRecord* record : records) {
       series.Append(record->time, record->rtt_ms);
     }
+    // Per-bucket record attribution mirrors BucketedMedians' windows
+    // exactly: bucket i covers [origin + i*bucket, origin + (i+1)*bucket).
+    std::vector<std::vector<std::uint64_t>> bucket_ids;
+    if (lineage) {
+      bucket_ids.resize(options.periods);
+      for (const SpeedTestRecord* record : records) {
+        const std::int64_t from_origin =
+            record->time.minutes() - options.origin.minutes();
+        const std::int64_t idx =
+            from_origin >= 0 ? from_origin / options.bucket.minutes() : -1;
+        if (idx >= 0 && idx < static_cast<std::int64_t>(options.periods)) {
+          bucket_ids[static_cast<std::size_t>(idx)].push_back(
+              record->id.value());
+        } else {
+          // Skew/backoff can push a record outside the panel horizon: it
+          // terminates here, contributing to no cell.
+          obs::Lineage::Global().RecordOutOfPanel(record->id.value());
+        }
+      }
+      for (auto& ids : bucket_ids) std::sort(ids.begin(), ids.end());
+    }
     const auto buckets = series.BucketedMedians(options.origin, options.bucket,
                                                 options.periods);
     if (stats::AllMissing(buckets)) {
       SISYPHUS_METRIC_COUNT("measure.panel.units_empty", 1);
+      if (lineage) obs::Lineage::Global().PanelUnitEmpty(unit);
       (SISYPHUS_LOG(kDebug) << "panel unit skipped: no observed buckets")
           .With("unit", unit);
       continue;
@@ -64,6 +87,16 @@ Panel BuildRttPanel(const MeasurementStore& store,
                           buckets.size() - observed_cells);
     if (missing > options.max_missing_fraction) {
       SISYPHUS_METRIC_COUNT("measure.panel.units_dropped", 1);
+      if (lineage) {
+        std::vector<std::uint64_t> in_range;
+        for (const auto& ids : bucket_ids) {
+          in_range.insert(in_range.end(), ids.begin(), ids.end());
+        }
+        std::sort(in_range.begin(), in_range.end());
+        obs::Lineage::Global().PanelUnitDropped(
+            unit, missing, observed_cells, buckets.size() - observed_cells,
+            obs::IdRunSet::FromSorted(in_range));
+      }
       (SISYPHUS_LOG(kDebug) << "panel unit dropped for sparsity")
           .With("unit", unit)
           .With("missing_fraction", missing)
@@ -79,6 +112,18 @@ Panel BuildRttPanel(const MeasurementStore& store,
     out.observed.reserve(buckets.size());
     for (const auto& bucket : buckets) {
       out.observed.push_back(bucket.has_value());
+    }
+    if (lineage) {
+      obs::Lineage::Global().PanelUnitKept(
+          unit, missing, observed_cells, buckets.size() - observed_cells);
+      out.cell_ids.resize(options.periods);
+      for (std::size_t t = 0; t < bucket_ids.size(); ++t) {
+        if (bucket_ids[t].empty()) continue;
+        auto ids = obs::IdRunSet::FromSorted(bucket_ids[t]);
+        obs::Lineage::Global().PanelCell(
+            unit, static_cast<std::uint32_t>(t), ids);
+        out.cell_ids[t] = std::move(ids);
+      }
     }
     panel.units.push_back(std::move(out));
   }
@@ -131,6 +176,7 @@ Result<causal::SyntheticControlInput> MakeSyntheticControlInput(
 
   const UnitSeries& treated = panel.units[treated_index.value()];
   causal::SyntheticControlInput input;
+  input.treated_name = treated_unit;
   input.treated = treated.values;
   input.treated_observed.assign(treated.values.size(), 1.0);
   for (std::size_t t = 0; t < treated.observed.size(); ++t) {

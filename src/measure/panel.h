@@ -14,6 +14,7 @@
 #include "causal/synthetic_control.h"
 #include "core/result.h"
 #include "measure/store.h"
+#include "obs/lineage.h"
 
 namespace sisyphus::measure {
 
@@ -34,6 +35,10 @@ struct UnitSeries {
   /// unobserved periods are interpolation artifacts, and missing-aware
   /// estimators must not treat them as measurements.
   std::vector<bool> observed;
+  /// Contributing record ids per period (lineage provenance). Populated
+  /// only while obs::Lineage is enabled — empty otherwise; unobserved
+  /// periods hold empty sets.
+  std::vector<obs::IdRunSet> cell_ids;
 };
 
 /// A unit excluded from the panel, with enough context to tell "never

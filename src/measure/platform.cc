@@ -6,6 +6,7 @@
 #include "core/error.h"
 #include "core/logging.h"
 #include "core/parallel.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 
 namespace sisyphus::measure {
@@ -99,13 +100,15 @@ void Platform::RunOneTest(VantageState& vantage, Intent intent,
     record.value().attempts = attempt;
     SISYPHUS_METRIC_COUNT("measure.probes.succeeded", 1);
     bool duplicate = false;
+    std::uint8_t fault_mask = 0;
     if (injector_ != nullptr) {
-      duplicate = injector_->ApplyRecordFaults(record.value(), rng);
+      duplicate =
+          injector_->ApplyRecordFaults(record.value(), rng, &fault_mask);
     }
     // The id is assigned at merge time (vantage order), not here: task
     // scheduling must not influence archive contents.
     batch.records.push_back(
-        {std::move(record).value(), duplicate});
+        {std::move(record).value(), duplicate, fault_mask});
     return;
   }
   batch.failures.push_back(
@@ -122,6 +125,7 @@ void Platform::RecordFailure(ProbeFailure failure) {
                   std::string(ToString(failure.reason)))
       ->Add(1);
 #endif
+  SISYPHUS_LINEAGE(RecordProbeFailure(ToString(failure.reason)));
   failures_.push_back(failure);
 }
 
@@ -247,12 +251,30 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
     }
 
     // Merge in vantage order on the campaign thread: sequential ids,
-    // store_ ingestion, and failure bookkeeping are all single-threaded.
+    // store_ ingestion, lineage emission, and failure bookkeeping are all
+    // single-threaded.
     for (VantageBatch& batch : batches) {
       for (PendingRecord& pending : batch.records) {
         pending.record.id = core::MeasurementId(next_record_id_++);
-        if (pending.duplicate) store_.Add(pending.record);
-        store_.Add(std::move(pending.record));
+        if (!obs::Lineage::enabled()) {
+          if (pending.duplicate) store_.Add(pending.record);
+          store_.Add(std::move(pending.record));
+          continue;
+        }
+        obs::LineageRecordInfo info;
+        info.id = pending.record.id.value();
+        info.vantage = pending.record.vantage_pop;
+        info.intent = static_cast<std::uint8_t>(pending.record.intent);
+        info.attempts = static_cast<std::uint8_t>(
+            std::min<std::uint32_t>(pending.record.attempts, 255));
+        info.fault_mask = pending.fault_mask;
+        info.copies = pending.duplicate ? 2 : 1;
+        // Duplicate copies share id and content, so one verdict covers
+        // both Add() calls.
+        bool archived = false;
+        if (pending.duplicate) archived = store_.Add(pending.record);
+        info.archived = store_.Add(std::move(pending.record)) || archived;
+        obs::Lineage::Global().RecordEmitted(info);
       }
       for (ProbeFailure& failure : batch.failures) {
         RecordFailure(failure);

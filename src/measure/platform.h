@@ -142,7 +142,8 @@ class Platform {
   /// sequential in vantage order regardless of task scheduling.
   struct PendingRecord {
     SpeedTestRecord record;
-    bool duplicate = false;  ///< deliver a second copy (injected fault)
+    bool duplicate = false;      ///< deliver a second copy (injected fault)
+    std::uint8_t fault_mask = 0; ///< obs::kLineageFault* bits that fired
   };
 
   /// Per-vantage, per-step output produced inside a parallel task and

@@ -52,7 +52,7 @@ std::string QuarantineReasonTag(const std::string& reason) {
   return "other";
 }
 
-void MeasurementStore::Add(SpeedTestRecord record) {
+bool MeasurementStore::Add(SpeedTestRecord record) {
   if (auto status = ValidateRecord(record, validation_); !status.ok()) {
     const std::string reason = status.error().ToText();
     const std::string tag = QuarantineReasonTag(reason);
@@ -70,11 +70,12 @@ void MeasurementStore::Add(SpeedTestRecord record) {
         .With("tag", tag)
         .With("reason", reason);
     quarantine_.push_back({std::move(record), reason});
-    return;
+    return false;
   }
   SISYPHUS_METRIC_COUNT("measure.store.archived", 1);
   by_unit_[record.UnitKey()].push_back(records_.size());
   records_.push_back(std::move(record));
+  return true;
 }
 
 std::vector<std::string> MeasurementStore::Units() const {

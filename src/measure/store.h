@@ -49,8 +49,9 @@ class MeasurementStore {
   explicit MeasurementStore(StoreValidationOptions validation)
       : validation_(validation) {}
 
-  /// Archives a valid record; quarantines an invalid one.
-  void Add(SpeedTestRecord record);
+  /// Archives a valid record (returns true); quarantines an invalid one
+  /// (returns false) — the caller-facing verdict lineage records.
+  bool Add(SpeedTestRecord record);
 
   std::size_t size() const { return records_.size(); }
   const std::vector<SpeedTestRecord>& records() const { return records_; }

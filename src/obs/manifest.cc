@@ -60,6 +60,12 @@ std::string RunManifest::ToJson(const Registry& metrics, int indent) const {
     w.UInt(metrics.CounterValue(name));
   }
   w.EndObject();
+  // ThreadPool behavior stats are wall-clock and therefore live here (the
+  // chartered non-deterministic artifact), never in metrics.json.
+  if (PoolStats::enabled()) {
+    w.Key("pool");
+    PoolStats::Global().WriteJson(w);
+  }
   w.EndObject();
   return std::move(w).str();
 }
@@ -125,6 +131,18 @@ core::Status WriteRunArtifacts(const std::string& directory,
   }
   return WriteFile(directory + "/trace.json",
                    tracer.ToChromeTraceJson(/*indent=*/0));
+}
+
+core::Status WriteRunArtifacts(const std::string& directory,
+                               const RunManifest& manifest,
+                               const Registry& metrics, const Tracer& tracer,
+                               const Lineage& lineage) {
+  if (auto s = WriteRunArtifacts(directory, manifest, metrics, tracer);
+      !s.ok()) {
+    return s;
+  }
+  return WriteFile(directory + "/lineage.json",
+                   lineage.ToJson(/*indent=*/0));
 }
 
 }  // namespace sisyphus::obs

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/result.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -87,5 +88,12 @@ class ScopedPhase {
 core::Status WriteRunArtifacts(const std::string& directory,
                                const RunManifest& manifest,
                                const Registry& metrics, const Tracer& tracer);
+
+/// Quartet overload: additionally writes lineage.json (the fourth,
+/// deterministic artifact; byte-identical at any SISYPHUS_THREADS).
+core::Status WriteRunArtifacts(const std::string& directory,
+                               const RunManifest& manifest,
+                               const Registry& metrics, const Tracer& tracer,
+                               const Lineage& lineage);
 
 }  // namespace sisyphus::obs

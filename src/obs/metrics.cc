@@ -7,12 +7,14 @@
 #include "core/error.h"
 #include "core/json.h"
 #include "core/parallel.h"
+#include "obs/lineage.h"
 #include "obs/trace.h"
 
 namespace sisyphus::obs {
 
 namespace internal {
 bool g_enabled = false;
+bool g_pool_stats_enabled = false;
 thread_local bool t_capturing = false;
 }  // namespace internal
 
@@ -28,16 +30,30 @@ struct MetricEvent {
   std::uint64_t uvalue = 0;
 };
 
-// Per-task side-channel buffer: metric writes captured on the executing
-// thread, replayed in task-index order on the region's calling thread.
+// Per-task side-channel buffer: metric writes (and lineage events)
+// captured on the executing thread, replayed in task-index order on the
+// region's calling thread.
 struct TaskBuffer {
   std::vector<MetricEvent> events;
+  std::vector<internal::LineageEvent> lineage_events;
   std::size_t task_index = 0;
-  bool span_armed = false;
+  bool tracing = false;     // emit a wall span at TaskEnd
+  bool pool_stats = false;  // feed PoolStats at TaskEnd
   std::chrono::steady_clock::time_point span_start{};
 };
 
 thread_local TaskBuffer* t_buffer = nullptr;
+
+// True while this thread executes a pool task: nested inline regions
+// (RegionBegin/RegionEnd with no task hooks) must not disturb the
+// top-level region's PoolStats bookkeeping.
+thread_local bool t_in_task = false;
+
+double SteadyNowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // TaskObserver wiring metric capture + per-task trace spans + pool gauges
 // into core::ParallelFor. Installed at static-init time (core holds only a
@@ -53,32 +69,54 @@ class ParallelMetricsObserver final : public core::TaskObserver {
                           static_cast<double>(task_count));
     SISYPHUS_METRIC_GAUGE("core.parallel.region.lanes",
                           static_cast<double>(lanes));
+    if (PoolStats::enabled() && !t_in_task) {
+      PoolStats::Global().RegionBegin(task_count, lanes);
+    }
   }
 
   void* TaskBegin(std::size_t task_index) override {
+    t_in_task = true;
     const bool tracing = Tracer::Global().enabled();
-    if (!internal::g_enabled && !tracing) return nullptr;
+    const bool pool_stats = PoolStats::enabled();
+    const bool lineage = Lineage::enabled();
+    if (!internal::g_enabled && !tracing && !pool_stats && !lineage) {
+      return nullptr;
+    }
     auto* buffer = new TaskBuffer;
     buffer->task_index = task_index;
-    if (tracing) {
-      buffer->span_armed = true;
+    buffer->tracing = tracing;
+    buffer->pool_stats = pool_stats;
+    if (tracing || pool_stats) {
       buffer->span_start = std::chrono::steady_clock::now();
     }
+    if (pool_stats) PoolStats::Global().TaskStart();
     if (internal::g_enabled) {
       t_buffer = buffer;
       internal::t_capturing = true;
     }
+    if (lineage) internal::t_lineage_buffer = &buffer->lineage_events;
     return buffer;
   }
 
   void TaskEnd(void* token) override {
     internal::t_capturing = false;
     t_buffer = nullptr;
+    internal::t_lineage_buffer = nullptr;
+    t_in_task = false;
     auto* buffer = static_cast<TaskBuffer*>(token);
-    if (buffer != nullptr && buffer->span_armed) {
-      Tracer::Global().RecordWallSpan("parallel.task", "parallel",
-                                      buffer->span_start,
-                                      std::chrono::steady_clock::now());
+    if (buffer == nullptr) return;
+    if (buffer->tracing || buffer->pool_stats) {
+      const auto now = std::chrono::steady_clock::now();
+      if (buffer->tracing) {
+        Tracer::Global().RecordWallSpan("parallel.task", "parallel",
+                                        buffer->span_start, now);
+      }
+      if (buffer->pool_stats) {
+        PoolStats::Global().TaskEnd(
+            std::chrono::duration<double, std::micro>(now -
+                                                      buffer->span_start)
+                .count());
+      }
     }
   }
 
@@ -98,10 +136,15 @@ class ParallelMetricsObserver final : public core::TaskObserver {
           break;
       }
     }
+    Lineage::Global().Replay(buffer->lineage_events);
     delete buffer;
   }
 
-  void RegionEnd() override {}
+  void RegionEnd() override {
+    if (PoolStats::enabled() && !t_in_task) {
+      PoolStats::Global().RegionEnd();
+    }
+  }
 };
 
 struct ObserverRegistrar {
@@ -280,6 +323,130 @@ std::string Registry::SnapshotJson(int indent) const {
   w.EndObject();
   w.EndObject();
   return std::move(w).str();
+}
+
+namespace {
+// Last region serial this thread engaged with; a mismatch marks the lane's
+// first task of the current region (its queue-wait sample).
+thread_local std::uint64_t t_pool_region_serial = 0;
+}  // namespace
+
+PoolStats& PoolStats::Global() {
+  static PoolStats stats;
+  return stats;
+}
+
+void PoolStats::Enable(bool on) { internal::g_pool_stats_enabled = on; }
+
+bool PoolStats::internal_pool_enabled() {
+  return internal::g_pool_stats_enabled;
+}
+
+void PoolStats::Accum::Observe(double value) {
+  if (count == 0 || value < min) min = value;
+  if (value > max) max = value;
+  sum += value;
+  ++count;
+  std::size_t bucket = 0;
+  while (bucket + 1 < log2_buckets.size() &&
+         value >= static_cast<double>(std::uint64_t{1} << (bucket + 1))) {
+    ++bucket;
+  }
+  ++log2_buckets[bucket];
+}
+
+void PoolStats::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  regions_ = 0;
+  tasks_ = 0;
+  max_lanes_engaged_ = 0;
+  queue_wait_us_ = {};
+  task_us_ = {};
+  region_span_us_ = {};
+  utilization_ = {};
+  // region_serial_ stays monotonic so per-thread lane detection survives.
+  region_lanes_ = 0;
+  region_engaged_ = 0;
+  region_busy_us_ = 0.0;
+  region_start_us_ = 0.0;
+}
+
+void PoolStats::RegionBegin(std::size_t task_count, std::size_t lanes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++regions_;
+  tasks_ += task_count;
+  ++region_serial_;
+  region_lanes_ = lanes;
+  region_engaged_ = 0;
+  region_busy_us_ = 0.0;
+  region_start_us_ = SteadyNowUs();
+}
+
+void PoolStats::TaskStart() {
+  const double now_us = SteadyNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (t_pool_region_serial == region_serial_) return;  // lane already seen
+  t_pool_region_serial = region_serial_;
+  ++region_engaged_;
+  queue_wait_us_.Observe(now_us > region_start_us_
+                             ? now_us - region_start_us_
+                             : 0.0);
+}
+
+void PoolStats::TaskEnd(double task_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  task_us_.Observe(task_us);
+  region_busy_us_ += task_us;
+}
+
+void PoolStats::RegionEnd() {
+  const double now_us = SteadyNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  const double span_us =
+      now_us > region_start_us_ ? now_us - region_start_us_ : 0.0;
+  region_span_us_.Observe(span_us);
+  if (region_lanes_ > 0 && span_us > 0.0) {
+    utilization_.Observe(region_busy_us_ /
+                         (static_cast<double>(region_lanes_) * span_us));
+  }
+  if (region_engaged_ > max_lanes_engaged_) {
+    max_lanes_engaged_ = region_engaged_;
+  }
+}
+
+void PoolStats::WriteJson(core::json::Writer& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto accum = [&w](const char* key, const Accum& a, bool buckets) {
+    w.Key(key);
+    w.BeginObject();
+    w.Key("count");
+    w.UInt(a.count);
+    w.Key("mean");
+    w.Double(a.count > 0 ? a.sum / static_cast<double>(a.count) : 0.0);
+    w.Key("min");
+    w.Double(a.count > 0 ? a.min : 0.0);
+    w.Key("max");
+    w.Double(a.max);
+    if (buckets) {
+      w.Key("log2_buckets");
+      w.BeginArray();
+      for (std::uint64_t count : a.log2_buckets) w.UInt(count);
+      w.EndArray();
+    }
+    w.EndObject();
+  };
+  w.BeginObject();
+  w.Key("regions");
+  w.UInt(regions_);
+  w.Key("tasks");
+  w.UInt(tasks_);
+  w.Key("max_lanes_engaged");
+  w.UInt(max_lanes_engaged_);
+  accum("queue_wait_us", queue_wait_us_, true);
+  accum("task_us", task_us_, true);
+  accum("region_span_us", region_span_us_, true);
+  accum("lane_utilization", utilization_, false);
+  w.EndObject();
 }
 
 }  // namespace sisyphus::obs

@@ -24,6 +24,7 @@
 // floating-point sums, whose accumulation order is pinned by the replay).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,6 +32,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+namespace sisyphus::core::json {
+class Writer;
+}  // namespace sisyphus::core::json
 
 namespace sisyphus::obs {
 
@@ -136,8 +141,76 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
+/// Wall-clock statistics about the ThreadPool's own behavior: per-region
+/// queue-wait (RegionBegin → a lane's first TaskBegin), lane utilization
+/// (busy time / lanes x region span), and task-duration spread. Wall-clock
+/// means non-deterministic, so PoolStats never touches the Registry (whose
+/// snapshot must stay byte-identical across same-seed runs); it is
+/// surfaced in manifest.json's "pool" object instead — the chartered
+/// non-deterministic artifact (DESIGN.md §6).
+///
+/// The parallel observer in metrics.cc feeds top-level regions only;
+/// nested inline regions are filtered out there.
+class PoolStats {
+ public:
+  static PoolStats& Global();
+  static void Enable(bool on);
+  static bool enabled() {
+#if defined(SISYPHUS_OBS_DISABLED)
+    return false;
+#else
+    return internal_pool_enabled();
+#endif
+  }
+
+  /// Zeroes all accumulators (call at the start of an instrumented run).
+  void Reset();
+
+  // -- observer hooks (top-level parallel regions only) --
+  void RegionBegin(std::size_t task_count, std::size_t lanes);
+  /// Called per task on the executing thread; detects each lane's first
+  /// task of the region internally to derive queue-wait.
+  void TaskStart();
+  void TaskEnd(double task_us);
+  void RegionEnd();
+
+  /// Writes the aggregate object (caller wraps it in a key). Values are
+  /// wall-clock microseconds; log2_buckets[i] counts values in
+  /// [2^i, 2^(i+1)) us.
+  void WriteJson(core::json::Writer& w) const;
+
+ private:
+  static bool internal_pool_enabled();
+
+  struct Accum {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, 24> log2_buckets{};
+    void Observe(double value);
+  };
+
+  mutable std::mutex mu_;
+  std::uint64_t regions_ = 0;
+  std::uint64_t tasks_ = 0;
+  std::uint64_t max_lanes_engaged_ = 0;
+  Accum queue_wait_us_;
+  Accum task_us_;
+  Accum region_span_us_;
+  Accum utilization_;  // dimensionless fraction; buckets unused
+  // In-flight region state (serial is monotonic so per-thread lane
+  // detection survives Reset()).
+  std::uint64_t region_serial_ = 0;
+  std::size_t region_lanes_ = 0;
+  std::uint64_t region_engaged_ = 0;
+  double region_busy_us_ = 0.0;
+  double region_start_us_ = 0.0;  // steady_clock since-epoch in us
+};
+
 namespace internal {
 extern bool g_enabled;
+extern bool g_pool_stats_enabled;
 // True while this thread is executing a core::ParallelFor task: metric
 // writes are captured into the task's buffer instead of applied, and
 // replayed in task-index order by the pool's TaskObserver (installed by

@@ -1,0 +1,327 @@
+// Tests for the measurement lineage ledger: IdRunSet encoding, the
+// conservation invariant (every emitted record lands in exactly one
+// terminal state, and the waterfall reconciles with the store and the
+// platform) under every fault scenario, and the determinism headline —
+// the lineage artifact is byte-identical at 1 and 8 lanes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "causal/placebo.h"
+#include "causal/robust_synthetic_control.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "measure/faults.h"
+#include "measure/panel.h"
+#include "measure/platform.h"
+#include "netsim/scenario_za.h"
+#include "obs/lineage.h"
+
+namespace sisyphus {
+namespace {
+
+using core::SimTime;
+using core::ThreadPool;
+using measure::FaultPlan;
+using obs::IdRunSet;
+using obs::Lineage;
+using obs::LineageWaterfall;
+
+TEST(IdRunSetTest, RoundTripsSortedIds) {
+  const std::vector<std::uint64_t> ids = {1, 2, 3, 7, 8, 20};
+  const IdRunSet set = IdRunSet::FromSorted(ids);
+  EXPECT_EQ(set.size(), ids.size());
+  EXPECT_EQ(set.Expand(), ids);
+  // Three runs -> six encoded values ([gap, len] pairs).
+  EXPECT_EQ(set.encoded().size(), 6u);
+}
+
+TEST(IdRunSetTest, CollapsesDuplicates) {
+  const IdRunSet set = IdRunSet::FromSorted({5, 5, 6, 6, 6, 7});
+  EXPECT_EQ(set.Expand(), (std::vector<std::uint64_t>{5, 6, 7}));
+  EXPECT_EQ(set.encoded(), (std::vector<std::uint64_t>{5, 3}));
+}
+
+TEST(IdRunSetTest, EmptyAndDigest) {
+  const IdRunSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  const IdRunSet a = IdRunSet::FromSorted({1, 2, 3});
+  const IdRunSet b = IdRunSet::FromSorted({1, 2, 3});
+  const IdRunSet c = IdRunSet::FromSorted({1, 2, 4});
+  // The digest is a pure function of the member set.
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+/// RAII: turns the lineage ledger on for one test, off afterwards so the
+/// remaining tests in this binary see the default-disabled fast path.
+struct ScopedLineage {
+  ScopedLineage() {
+    Lineage::Enable(true);
+    Lineage::Global().Reset();
+  }
+  ~ScopedLineage() { Lineage::Enable(false); }
+};
+
+/// Runs a small ZA campaign under `plan` (nullptr = no faults), builds the
+/// panel, and fits the robust estimator for the first treated unit, which
+/// exercises the full emit -> panel -> estimate lineage path.
+struct CampaignOutcome {
+  std::size_t archived = 0;
+  std::size_t quarantined = 0;
+  std::size_t probe_failures = 0;
+};
+
+CampaignOutcome RunLineageCampaign(const FaultPlan* plan) {
+  netsim::ScenarioZaOptions options;
+  options.donor_units = 6;
+  options.treatment_time = SimTime::FromDays(3);
+  options.horizon = SimTime::FromDays(6);
+  auto scenario = netsim::BuildScenarioZa(options);
+  measure::PlatformOptions platform_options;
+  platform_options.server = scenario.content_jnb;
+  measure::Platform platform(*scenario.simulator, platform_options);
+  measure::FaultInjector injector(plan != nullptr ? *plan : FaultPlan{});
+  if (plan != nullptr) platform.SetFaultInjector(&injector);
+  measure::VantageConfig vantage;
+  vantage.baseline_tests_per_day = 10.0;
+  vantage.user_tests_per_day = 3.0;
+  for (const auto& unit : scenario.treated) {
+    vantage.pop = unit.access_pop;
+    platform.AddVantage(vantage);
+  }
+  for (auto donor : scenario.donors) {
+    vantage.pop = donor;
+    platform.AddVantage(vantage);
+  }
+  core::Rng rng(29);
+  platform.Run(options.horizon, rng);
+
+  measure::PanelOptions panel_options;
+  panel_options.bucket = SimTime::FromHours(6);
+  panel_options.periods = 4 * 6;
+  panel_options.max_missing_fraction = 0.9;
+  const auto panel = measure::BuildRttPanel(platform.store(), panel_options);
+  auto input = measure::MakeSyntheticControlInput(
+      panel, scenario.treated[0].name, scenario.donor_names,
+      options.treatment_time);
+  if (input.ok()) {
+    (void)causal::FitRobustSyntheticControl(input.value());
+  }
+
+  CampaignOutcome outcome;
+  outcome.archived = platform.store().records().size();
+  outcome.quarantined = platform.store().quarantine().size();
+  outcome.probe_failures = platform.failures().size();
+  return outcome;
+}
+
+/// The conservation invariant, checked against ground truth from the
+/// platform itself: terminal stages partition the emitted records, and
+/// copy counts reconcile with what the store actually archived and
+/// quarantined.
+void ExpectConservation(const CampaignOutcome& outcome) {
+  const LineageWaterfall totals = Lineage::Global().Totals();
+  EXPECT_EQ(totals.untracked, 0u);
+  EXPECT_EQ(totals.probes_failed, outcome.probe_failures);
+  EXPECT_EQ(totals.probes_attempted, totals.emitted + totals.probes_failed);
+  std::uint64_t terminal_sum = 0;
+  for (std::uint64_t count : totals.terminal) terminal_sum += count;
+  EXPECT_EQ(terminal_sum, totals.emitted);
+  EXPECT_EQ(totals.archived_copies, outcome.archived);
+  EXPECT_EQ(totals.quarantined_copies, outcome.quarantined);
+  EXPECT_EQ(totals.delivered, totals.archived_copies + totals.quarantined_copies);
+  EXPECT_GT(totals.emitted, 0u);
+}
+
+class LineageConservationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Lineage::enabled()) {
+      // Enable() is a no-op under SISYPHUS_OBS=OFF; nothing to test there.
+      Lineage::Enable(true);
+      if (!Lineage::enabled()) GTEST_SKIP() << "lineage compiled out";
+      Lineage::Enable(false);
+    }
+  }
+};
+
+TEST_F(LineageConservationTest, CleanCampaign) {
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("clean");
+  ExpectConservation(RunLineageCampaign(nullptr));
+}
+
+TEST_F(LineageConservationTest, ProbeLoss) {
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.probe_loss_probability = 0.3;
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("probe_loss");
+  const auto outcome = RunLineageCampaign(&plan);
+  ExpectConservation(outcome);
+  EXPECT_GT(outcome.probe_failures, 0u);
+}
+
+TEST_F(LineageConservationTest, MnarLoss) {
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.probe_loss_probability = 0.05;
+  plan.mnar_loss_gain = 20.0;
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("mnar");
+  ExpectConservation(RunLineageCampaign(&plan));
+}
+
+TEST_F(LineageConservationTest, Outages) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.vantage_outages.push_back(
+      {0, {{SimTime::FromHours(10), SimTime::FromHours(30)}}});
+  plan.collector_outages.push_back(
+      {SimTime::FromHours(50), SimTime::FromHours(60)});
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("outages");
+  ExpectConservation(RunLineageCampaign(&plan));
+}
+
+TEST_F(LineageConservationTest, Truncation) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.traceroute_truncation_probability = 1.0;
+  plan.truncation_min_hops = 2;
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("truncation");
+  ExpectConservation(RunLineageCampaign(&plan));
+}
+
+TEST_F(LineageConservationTest, CorruptionFillsQuarantine) {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.corruption_probability = 1.0;
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("corruption");
+  const auto outcome = RunLineageCampaign(&plan);
+  ExpectConservation(outcome);
+  EXPECT_GT(outcome.quarantined, 0u);
+  // Every record was corrupted in flight, so every record carries the bit.
+  const LineageWaterfall totals = Lineage::Global().Totals();
+  EXPECT_EQ(totals.terminal[static_cast<std::size_t>(
+                obs::LineageStage::kQuarantined)],
+            totals.emitted);
+}
+
+TEST_F(LineageConservationTest, ClockSkew) {
+  FaultPlan plan;
+  plan.seed = 17;
+  plan.max_clock_skew = SimTime(5);
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("skew");
+  ExpectConservation(RunLineageCampaign(&plan));
+}
+
+TEST_F(LineageConservationTest, DuplicationDeliversExtraCopies) {
+  FaultPlan plan;
+  plan.seed = 19;
+  plan.duplicate_probability = 0.5;
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("duplication");
+  ExpectConservation(RunLineageCampaign(&plan));
+  const LineageWaterfall totals = Lineage::Global().Totals();
+  // ~half the records were delivered twice; copies exceed distinct ids.
+  EXPECT_GT(totals.delivered, totals.emitted);
+}
+
+TEST_F(LineageConservationTest, CombinedPlan) {
+  FaultPlan plan;
+  plan.seed = 23;
+  plan.probe_loss_probability = 0.1;
+  plan.mnar_loss_gain = 5.0;
+  plan.traceroute_truncation_probability = 0.2;
+  plan.truncation_min_hops = 2;
+  plan.corruption_probability = 0.05;
+  plan.duplicate_probability = 0.1;
+  plan.max_clock_skew = SimTime(3);
+  plan.collector_outages.push_back(
+      {SimTime::FromHours(40), SimTime::FromHours(44)});
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("combined");
+  ExpectConservation(RunLineageCampaign(&plan));
+}
+
+TEST_F(LineageConservationTest, ArtifactByteIdenticalAt1And8Lanes) {
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.probe_loss_probability = 0.1;
+  plan.duplicate_probability = 0.1;
+  plan.corruption_probability = 0.02;
+  const auto run = [&](std::size_t lanes) {
+    ThreadPool::SetGlobalThreadCount(lanes);
+    ScopedLineage scoped;
+    Lineage::Global().BeginRun("identity");
+    RunLineageCampaign(&plan);
+    std::string artifact = Lineage::Global().ToJson(/*indent=*/1);
+    ThreadPool::SetGlobalThreadCount(0);
+    return artifact;
+  };
+  const std::string serial = run(1);
+  const std::string parallel = run(8);
+  // The whole artifact — per-record stages, cell id-sets, digests,
+  // estimate compositions — is byte-identical regardless of lane count.
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("\"schema\": \"sisyphus.lineage/1\""),
+            std::string::npos);
+}
+
+TEST_F(LineageConservationTest, PlaceboAnalysisMarksRotatedDonors) {
+  ScopedLineage scoped;
+  Lineage::Global().BeginRun("placebo");
+  netsim::ScenarioZaOptions options;
+  options.donor_units = 8;
+  options.treatment_time = SimTime::FromDays(3);
+  options.horizon = SimTime::FromDays(6);
+  auto scenario = netsim::BuildScenarioZa(options);
+  measure::PlatformOptions platform_options;
+  platform_options.server = scenario.content_jnb;
+  measure::Platform platform(*scenario.simulator, platform_options);
+  measure::VantageConfig vantage;
+  vantage.baseline_tests_per_day = 10.0;
+  for (const auto& unit : scenario.treated) {
+    vantage.pop = unit.access_pop;
+    platform.AddVantage(vantage);
+  }
+  for (auto donor : scenario.donors) {
+    vantage.pop = donor;
+    platform.AddVantage(vantage);
+  }
+  core::Rng rng(17);
+  platform.Run(options.horizon, rng);
+  measure::PanelOptions panel_options;
+  panel_options.bucket = SimTime::FromHours(6);
+  panel_options.periods = 4 * 6;
+  const auto panel = measure::BuildRttPanel(platform.store(), panel_options);
+  auto input = measure::MakeSyntheticControlInput(
+      panel, scenario.treated[0].name, scenario.donor_names,
+      options.treatment_time);
+  ASSERT_TRUE(input.ok());
+  ASSERT_TRUE(causal::RunPlaceboAnalysis(input.value()).ok());
+  // Placebo rotations fit each donor as a pseudo-treated unit, but those
+  // fits must not promote donors to the treated terminal stage: only the
+  // real treated unit's records end as kTreated.
+  const LineageWaterfall totals = Lineage::Global().Totals();
+  EXPECT_EQ(totals.untracked, 0u);
+  EXPECT_GT(totals.terminal[static_cast<std::size_t>(
+                obs::LineageStage::kTreated)],
+            0u);
+  EXPECT_GT(totals.terminal[static_cast<std::size_t>(
+                obs::LineageStage::kDonor)],
+            0u);
+}
+
+}  // namespace
+}  // namespace sisyphus

@@ -1,0 +1,453 @@
+// lineageq — audit CLI over the --obs-out lineage artifact.
+//
+//   lineageq <obs-dir> [--run LABEL]          waterfall totals per stage
+//   lineageq <obs-dir> --unit "ASN / City"    records behind a unit's series
+//   lineageq <obs-dir> --estimate LABEL       treated vs donor composition
+//   lineageq <obs-dir> --check                conservation audit
+//
+// The default mode prints, for each run in lineage.json, the terminal-state
+// waterfall: every emitted record lands in exactly one stage (quarantined,
+// out_of_panel, dropped_sparsity, aggregated, donor, treated, ...), so the
+// stage counts partition the emitted total. `--check` verifies that
+// partition per run and then reconciles the summed waterfall against the
+// probe / store / panel counters in the sibling metrics.json — any mismatch
+// means a record was double-counted or lost between layers, and the tool
+// exits 1. Built on core::json::Parse only; no third-party dependency.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace {
+
+using sisyphus::core::json::Parse;
+using sisyphus::core::json::Value;
+
+int g_errors = 0;
+
+void Fail(const std::string& where, const std::string& what) {
+  std::printf("FAIL %s: %s\n", where.c_str(), what.c_str());
+  ++g_errors;
+}
+
+/// Reads `key` as an integer count; 0 when absent (pre-lineage artifacts and
+/// compiled-out builds simply have nothing to reconcile).
+std::uint64_t Count(const Value& parent, const std::string& key) {
+  const Value* found = parent.Find(key);
+  if (found == nullptr || !found->is_number()) return 0;
+  return static_cast<std::uint64_t>(found->number);
+}
+
+std::uint64_t SumObject(const Value* object) {
+  std::uint64_t total = 0;
+  if (object == nullptr || !object->is_object()) return total;
+  for (const auto& [_, value] : object->object) {
+    if (value.is_number()) total += static_cast<std::uint64_t>(value.number);
+  }
+  return total;
+}
+
+bool LoadJson(const std::string& path, Value& out, bool required) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (required) Fail(path, "cannot open");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto parsed = Parse(buffer.str());
+  if (!parsed.ok()) {
+    Fail(path, parsed.error().ToText());
+    return false;
+  }
+  out = std::move(parsed).value();
+  return true;
+}
+
+/// Prints `count` padded plus its share of `total` ("  1234   3.2%").
+void PrintShare(std::uint64_t count, std::uint64_t total) {
+  const double pct =
+      total > 0 ? 100.0 * static_cast<double>(count) / static_cast<double>(total)
+                : 0.0;
+  std::printf("%10llu  %5.1f%%\n", static_cast<unsigned long long>(count), pct);
+}
+
+// ---------------------------------------------------------------------------
+// Waterfall mode (default)
+
+void PrintWaterfall(const Value& run) {
+  const Value* waterfall = run.Find("waterfall");
+  if (waterfall == nullptr || !waterfall->is_object()) {
+    Fail("run.waterfall", "missing");
+    return;
+  }
+  const std::uint64_t emitted = Count(*waterfall, "emitted");
+  std::printf("probes attempted %llu  failed %llu  emitted %llu  "
+              "delivered copies %llu\n",
+              static_cast<unsigned long long>(Count(*waterfall,
+                                                    "probes_attempted")),
+              static_cast<unsigned long long>(Count(*waterfall,
+                                                    "probes_failed")),
+              static_cast<unsigned long long>(emitted),
+              static_cast<unsigned long long>(Count(*waterfall, "delivered")));
+  if (const Value* reasons = waterfall->Find("failure_reasons");
+      reasons != nullptr && !reasons->object.empty()) {
+    for (const auto& [reason, count] : reasons->object) {
+      std::printf("  failure %-24s %10llu\n", reason.c_str(),
+                  static_cast<unsigned long long>(count.number));
+    }
+  }
+  const Value* terminal = waterfall->Find("terminal");
+  if (terminal != nullptr && terminal->is_object()) {
+    std::printf("  %-18s %10s  %6s\n", "terminal stage", "records", "share");
+    for (const auto& [stage, count] : terminal->object) {
+      const auto n = static_cast<std::uint64_t>(count.number);
+      if (n == 0) continue;
+      std::printf("  %-18s ", stage.c_str());
+      PrintShare(n, emitted);
+    }
+  }
+  if (const Value* panel = waterfall->Find("panel");
+      panel != nullptr && panel->is_object()) {
+    std::printf("panel: units kept %llu  dropped %llu  empty %llu  "
+                "cells observed %llu  masked %llu\n",
+                static_cast<unsigned long long>(Count(*panel, "units_kept")),
+                static_cast<unsigned long long>(Count(*panel, "units_dropped")),
+                static_cast<unsigned long long>(Count(*panel, "units_empty")),
+                static_cast<unsigned long long>(Count(*panel,
+                                                      "cells_observed")),
+                static_cast<unsigned long long>(Count(*panel,
+                                                      "cells_masked")));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --unit mode
+
+void PrintUnit(const Value& run, const std::string& unit) {
+  const Value* units = run.Find("panel_units");
+  const Value* ledger = units != nullptr ? units->Find(unit) : nullptr;
+  if (ledger == nullptr) {
+    std::printf("unit '%s': not in this run's panel\n", unit.c_str());
+    return;
+  }
+  const Value* dropped = ledger->Find("dropped");
+  const bool was_dropped = dropped != nullptr && dropped->boolean;
+  const Value* missing = ledger->Find("missing_fraction");
+  std::printf("unit '%s': %s  missing_fraction %.3f  observed cells %llu  "
+              "masked %llu\n",
+              unit.c_str(), was_dropped ? "DROPPED (sparsity)" : "kept",
+              missing != nullptr ? missing->number : 0.0,
+              static_cast<unsigned long long>(Count(*ledger, "observed_cells")),
+              static_cast<unsigned long long>(Count(*ledger, "masked_cells")));
+  const Value* used_treated = ledger->Find("used_treated");
+  const Value* used_donor = ledger->Find("used_donor");
+  std::printf("used as: treated=%s donor=%s\n",
+              used_treated != nullptr && used_treated->boolean ? "yes" : "no",
+              used_donor != nullptr && used_donor->boolean ? "yes" : "no");
+  const Value* cells = ledger->Find("cells");
+  if (cells == nullptr || !cells->is_array()) return;
+  std::uint64_t records = 0;
+  for (const Value& cell : cells->array) records += Count(cell, "count");
+  std::printf("%llu records across %zu non-empty cells\n",
+              static_cast<unsigned long long>(records), cells->array.size());
+  std::printf("  %-8s %8s  %s\n", "period", "records", "digest");
+  for (const Value& cell : cells->array) {
+    const Value* digest = cell.Find("digest");
+    std::printf("  %-8llu %8llu  %s\n",
+                static_cast<unsigned long long>(Count(cell, "period")),
+                static_cast<unsigned long long>(Count(cell, "count")),
+                digest != nullptr ? digest->string.c_str() : "?");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --estimate mode
+
+void PrintComposition(const Value& estimate, const std::string& prefix) {
+  const Value* digest = estimate.Find(prefix + "_digest");
+  std::printf("  %-7s pool: %llu records in %llu cells  digest %s\n",
+              prefix.c_str(),
+              static_cast<unsigned long long>(
+                  Count(estimate, prefix + "_records")),
+              static_cast<unsigned long long>(
+                  Count(estimate, prefix + "_cells")),
+              digest != nullptr ? digest->string.c_str() : "?");
+  for (const char* facet : {"intents", "faults", "vantages"}) {
+    const Value* breakdown = estimate.Find(prefix + "_" + facet);
+    if (breakdown == nullptr || breakdown->object.empty()) continue;
+    std::printf("    %s:", facet);
+    std::size_t shown = 0;
+    for (const auto& [name, count] : breakdown->object) {
+      if (++shown > 8) {
+        std::printf("  ... (%zu more)", breakdown->object.size() - 8);
+        break;
+      }
+      std::printf("  %s=%llu", name.c_str(),
+                  static_cast<unsigned long long>(count.number));
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintEstimate(const Value& run, const std::string& label) {
+  const Value* estimates = run.Find("estimates");
+  if (estimates == nullptr || !estimates->is_array()) return;
+  for (const Value& estimate : estimates->array) {
+    const Value* found = estimate.Find("label");
+    if (found == nullptr || found->string != label) continue;
+    const Value* treated = estimate.Find("treated");
+    const Value* effect = estimate.Find("effect");
+    const Value* p_value = estimate.Find("p_value");
+    const Value* donors = estimate.Find("donors");
+    std::printf("estimate '%s': treated '%s'  effect %.4f", label.c_str(),
+                treated != nullptr ? treated->string.c_str() : "",
+                effect != nullptr ? effect->number : 0.0);
+    if (p_value != nullptr && p_value->is_number()) {
+      std::printf("  p=%.4f", p_value->number);
+    }
+    std::printf("  donors %zu\n",
+                donors != nullptr ? donors->array.size() : 0);
+    PrintComposition(estimate, "treated");
+    PrintComposition(estimate, "donor");
+    return;
+  }
+  std::printf("estimate '%s': not found in this run\n", label.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// --check mode
+
+/// Summed-across-runs waterfall, reconciled against metrics.json at the end.
+struct CheckTotals {
+  std::uint64_t attempted = 0, failed = 0, emitted = 0;
+  std::uint64_t archived = 0, quarantined = 0;
+  std::uint64_t units_kept = 0, units_dropped = 0, units_empty = 0;
+  std::uint64_t cells_observed = 0, cells_masked = 0;
+};
+
+void CheckRun(const Value& run, const std::string& where, CheckTotals& sums) {
+  const Value* waterfall = run.Find("waterfall");
+  if (waterfall == nullptr || !waterfall->is_object()) {
+    Fail(where + ".waterfall", "missing");
+    return;
+  }
+  const std::uint64_t attempted = Count(*waterfall, "probes_attempted");
+  const std::uint64_t failed = Count(*waterfall, "probes_failed");
+  const std::uint64_t emitted = Count(*waterfall, "emitted");
+  const std::uint64_t delivered = Count(*waterfall, "delivered");
+  const std::uint64_t quarantined = Count(*waterfall, "quarantined_copies");
+  const std::uint64_t archived = Count(*waterfall, "archived_copies");
+
+  // Conservation within the run: stages partition the emitted records.
+  if (attempted != emitted + failed) {
+    Fail(where, "probes_attempted " + std::to_string(attempted) +
+                    " != emitted + failed " + std::to_string(emitted + failed));
+  }
+  if (SumObject(waterfall->Find("failure_reasons")) != failed) {
+    Fail(where, "failure_reasons do not sum to probes_failed");
+  }
+  if (const std::uint64_t untracked = Count(*waterfall, "untracked");
+      untracked != 0) {
+    Fail(where, std::to_string(untracked) +
+                    " record(s) never reached a terminal state");
+  }
+  const Value* terminal = waterfall->Find("terminal");
+  if (const std::uint64_t terminal_sum = SumObject(terminal);
+      terminal_sum != emitted) {
+    Fail(where, "terminal stages sum to " + std::to_string(terminal_sum) +
+                    ", emitted is " + std::to_string(emitted));
+  }
+  if (archived + quarantined != delivered) {
+    Fail(where, "archived + quarantined copies != delivered");
+  }
+
+  // The columnar per-record dump must agree with the rollup: recompute the
+  // stage histogram and the copy total from the arrays themselves.
+  const Value* records = run.Find("records");
+  if (records != nullptr && records->is_object()) {
+    const std::uint64_t count = Count(*records, "count");
+    if (count != emitted) {
+      Fail(where + ".records", "count " + std::to_string(count) +
+                                   " != waterfall.emitted " +
+                                   std::to_string(emitted));
+    }
+    const Value* stage = records->Find("stage");
+    const Value* copies = records->Find("copies");
+    for (const char* column :
+         {"vantage", "intent", "attempts", "fault_mask", "copies", "stage"}) {
+      const Value* array = records->Find(column);
+      if (array == nullptr || !array->is_array() ||
+          array->array.size() != count) {
+        Fail(where + ".records." + column, "missing or wrong length");
+      }
+    }
+    if (stage != nullptr && stage->is_array() && terminal != nullptr) {
+      std::map<std::size_t, std::uint64_t> histogram;
+      for (const Value& s : stage->array) {
+        ++histogram[static_cast<std::size_t>(s.number)];
+      }
+      std::size_t index = 0;
+      for (const auto& [name, stage_count] : terminal->object) {
+        const auto expected = static_cast<std::uint64_t>(stage_count.number);
+        const std::uint64_t actual =
+            histogram.count(index) ? histogram[index] : 0;
+        if (expected != actual) {
+          Fail(where + ".terminal." + name,
+               "rollup says " + std::to_string(expected) +
+                   ", per-record stages say " + std::to_string(actual));
+        }
+        ++index;
+      }
+    }
+    if (copies != nullptr && copies->is_array()) {
+      std::uint64_t copy_sum = 0;
+      for (const Value& c : copies->array) {
+        copy_sum += static_cast<std::uint64_t>(c.number);
+      }
+      if (copy_sum != delivered) {
+        Fail(where + ".records.copies",
+             "sum " + std::to_string(copy_sum) + " != waterfall.delivered " +
+                 std::to_string(delivered));
+      }
+    }
+  }
+
+  sums.attempted += attempted;
+  sums.failed += failed;
+  sums.emitted += emitted;
+  sums.archived += archived;
+  sums.quarantined += quarantined;
+  if (const Value* panel = waterfall->Find("panel");
+      panel != nullptr && panel->is_object()) {
+    sums.units_kept += Count(*panel, "units_kept");
+    sums.units_dropped += Count(*panel, "units_dropped");
+    sums.units_empty += Count(*panel, "units_empty");
+    sums.cells_observed += Count(*panel, "cells_observed");
+    sums.cells_masked += Count(*panel, "cells_masked");
+  }
+}
+
+void Reconcile(const CheckTotals& sums, const Value& metrics) {
+  const Value* counters = metrics.Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    Fail("metrics.counters", "missing");
+    return;
+  }
+  const auto expect = [&](const char* counter, std::uint64_t lineage_total) {
+    const std::uint64_t metric = Count(*counters, counter);
+    if (metric != lineage_total) {
+      Fail(std::string("reconcile.") + counter,
+           "metrics.json says " + std::to_string(metric) +
+               ", lineage waterfall sums to " + std::to_string(lineage_total));
+    }
+  };
+  expect("measure.probes.attempted", sums.attempted);
+  expect("measure.probes.failed", sums.failed);
+  expect("measure.probes.succeeded", sums.emitted);
+  expect("measure.store.archived", sums.archived);
+  expect("measure.store.quarantined", sums.quarantined);
+  expect("measure.panel.units_kept", sums.units_kept);
+  expect("measure.panel.units_dropped", sums.units_dropped);
+  expect("measure.panel.units_empty", sums.units_empty);
+  expect("measure.panel.cells_observed", sums.cells_observed);
+  expect("measure.panel.cells_masked", sums.cells_masked);
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: lineageq <obs-out-dir> [--run LABEL] [--unit \"ASN / City\"]\n"
+      "                [--estimate LABEL] [--check]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    PrintUsage();
+    return 1;
+  }
+  const std::string dir = argv[1];
+  std::string run_filter, unit, estimate;
+  bool check = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--run") == 0 && i + 1 < argc) {
+      run_filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--unit") == 0 && i + 1 < argc) {
+      unit = argv[++i];
+    } else if (std::strcmp(argv[i], "--estimate") == 0 && i + 1 < argc) {
+      estimate = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      PrintUsage();
+      return 1;
+    }
+  }
+
+  Value lineage;
+  if (!LoadJson(dir + "/lineage.json", lineage, /*required=*/true)) return 1;
+  if (const Value* schema = lineage.Find("schema");
+      schema == nullptr || schema->string != "sisyphus.lineage/1") {
+    Fail("lineage.schema", "expected sisyphus.lineage/1");
+    return 1;
+  }
+  const Value* runs = lineage.Find("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    Fail("lineage.runs", "missing");
+    return 1;
+  }
+
+  CheckTotals sums;
+  bool matched_run = run_filter.empty();
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    const Value& run = runs->array[i];
+    const Value* label = run.Find("label");
+    const std::string name =
+        label != nullptr ? label->string : ("run[" + std::to_string(i) + "]");
+    if (check) {
+      // --check always audits every run: the metrics counters accumulate
+      // across the whole process, so reconciliation needs the full sum.
+      CheckRun(run, name, sums);
+      continue;
+    }
+    if (!run_filter.empty() && name != run_filter) continue;
+    matched_run = true;
+    std::printf("== run: %s ==\n", name.c_str());
+    if (!unit.empty()) {
+      PrintUnit(run, unit);
+    } else if (!estimate.empty()) {
+      PrintEstimate(run, estimate);
+    } else {
+      PrintWaterfall(run);
+    }
+    std::printf("\n");
+  }
+  if (!check && !matched_run) {
+    std::printf("no run labeled '%s' (have %zu run(s))\n", run_filter.c_str(),
+                runs->array.size());
+    return 1;
+  }
+
+  if (check) {
+    Value metrics;
+    if (LoadJson(dir + "/metrics.json", metrics, /*required=*/true)) {
+      Reconcile(sums, metrics);
+    }
+    if (g_errors > 0) {
+      std::printf("lineageq --check: %d violation(s)\n", g_errors);
+      return 1;
+    }
+    std::printf("lineageq --check: OK — %llu emitted record(s) across %zu "
+                "run(s) all reconcile\n",
+                static_cast<unsigned long long>(sums.emitted),
+                runs->array.size());
+  }
+  return g_errors > 0 ? 1 : 0;
+}

@@ -1,16 +1,21 @@
-// obscheck — schema validator for the --obs-out artifact trio.
+// obscheck — schema validator for the --obs-out artifact quartet.
 //
 //   obscheck <dir>            validates <dir>/{manifest,metrics,trace}.json
+//                             plus lineage.json when present
 //   obscheck --manifest FILE  validates a single artifact by role
 //   obscheck --metrics FILE
 //   obscheck --trace FILE
+//   obscheck --lineage FILE
 //
 // Checks that each file parses as JSON (core::json::Parse, no third-party
 // dependency) and conforms to its schema: sisyphus.run_manifest/1 for the
-// manifest (tool, seed, options, phases, headline metric rollup),
-// sisyphus.metrics/1 for the metric snapshot (counters / gauges /
-// histograms with consistent bucket shapes), and Chrome trace format for
-// trace.json. Exit 0 = all good; 1 = any violation (each printed with its
+// manifest (tool, seed, options, phases, headline metric rollup, optional
+// thread-pool stats), sisyphus.metrics/1 for the metric snapshot
+// (counters / gauges / histograms with consistent bucket shapes), Chrome
+// trace format for trace.json, and sisyphus.lineage/1 for the lineage
+// ledger (per-run waterfall whose terminal stages partition the emitted
+// records — deep reconciliation against metrics.json lives in lineageq
+// --check). Exit 0 = all good; 1 = any violation (each printed with its
 // JSON path). CI runs this after the table1 --obs-out smoke run, and a
 // tier-1 ctest runs it against a real campaign's artifacts.
 #include <cstdio>
@@ -104,6 +109,29 @@ void CheckManifest(const Value& root) {
                     Value::Kind::kNumber);
     }
   }
+  // Thread-pool stats are optional (absent from pre-lineage manifests and
+  // compiled-out builds) but must be well-formed when present.
+  if (const Value* pool = root.Find("pool"); pool != nullptr) {
+    const std::string pool_where = where + ".pool";
+    if (!pool->is_object()) {
+      Fail(pool_where, "not an object");
+    } else {
+      (void)Require(*pool, pool_where, "regions", Value::Kind::kNumber);
+      (void)Require(*pool, pool_where, "tasks", Value::Kind::kNumber);
+      (void)Require(*pool, pool_where, "max_lanes_engaged",
+                    Value::Kind::kNumber);
+      for (const char* accum : {"queue_wait_us", "task_us", "region_span_us",
+                                "lane_utilization"}) {
+        const Value* stats =
+            Require(*pool, pool_where, accum, Value::Kind::kObject);
+        if (stats == nullptr) continue;
+        for (const char* key : {"count", "mean", "min", "max"}) {
+          (void)Require(*stats, pool_where + "." + accum, key,
+                        Value::Kind::kNumber);
+        }
+      }
+    }
+  }
 }
 
 void CheckMetrics(const Value& root) {
@@ -173,6 +201,100 @@ void CheckTrace(const Value& root) {
   }
 }
 
+void CheckLineage(const Value& root) {
+  const std::string where = "lineage";
+  if (!root.is_object()) {
+    Fail(where, "root is not an object");
+    return;
+  }
+  if (const Value* schema =
+          Require(root, where, "schema", Value::Kind::kString);
+      schema != nullptr && schema->string != "sisyphus.lineage/1") {
+    Fail(where + ".schema", "expected sisyphus.lineage/1, got '" +
+                                schema->string + "'");
+  }
+  const Value* stages = Require(root, where, "stages", Value::Kind::kArray);
+  const std::size_t stage_count =
+      stages != nullptr ? stages->array.size() : 0;
+  (void)Require(root, where, "fault_bits", Value::Kind::kArray);
+  const Value* runs = Require(root, where, "runs", Value::Kind::kArray);
+  if (runs == nullptr) return;
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    const std::string run_where = where + ".runs[" + std::to_string(i) + "]";
+    const Value& run = runs->array[i];
+    if (!run.is_object()) {
+      Fail(run_where, "not an object");
+      continue;
+    }
+    (void)Require(run, run_where, "label", Value::Kind::kString);
+    const Value* waterfall =
+        Require(run, run_where, "waterfall", Value::Kind::kObject);
+    double emitted = 0.0;
+    if (waterfall != nullptr) {
+      for (const char* key :
+           {"probes_attempted", "probes_failed", "emitted", "delivered",
+            "quarantined_copies", "archived_copies", "untracked"}) {
+        (void)Require(*waterfall, run_where + ".waterfall", key,
+                      Value::Kind::kNumber);
+      }
+      if (const Value* e = waterfall->Find("emitted");
+          e != nullptr && e->is_number()) {
+        emitted = e->number;
+      }
+      // Terminal stages must cover the legend and partition the emitted
+      // records: every record ends in exactly one stage.
+      if (const Value* terminal = Require(*waterfall, run_where + ".waterfall",
+                                          "terminal", Value::Kind::kObject);
+          terminal != nullptr) {
+        if (stage_count != 0 && terminal->object.size() != stage_count) {
+          Fail(run_where + ".waterfall.terminal",
+               "expected one entry per legend stage");
+        }
+        double sum = 0.0;
+        for (const auto& [_, count] : terminal->object) sum += count.number;
+        if (sum != emitted) {
+          Fail(run_where + ".waterfall.terminal",
+               "stage counts do not sum to emitted");
+        }
+      }
+      (void)Require(*waterfall, run_where + ".waterfall", "panel",
+                    Value::Kind::kObject);
+    }
+    if (const Value* records =
+            Require(run, run_where, "records", Value::Kind::kObject);
+        records != nullptr) {
+      const Value* count =
+          Require(*records, run_where + ".records", "count",
+                  Value::Kind::kNumber);
+      if (count != nullptr && count->number != emitted) {
+        Fail(run_where + ".records.count", "!= waterfall.emitted");
+      }
+      for (const char* column :
+           {"vantage", "intent", "attempts", "fault_mask", "copies",
+            "stage"}) {
+        const Value* array = Require(*records, run_where + ".records", column,
+                                     Value::Kind::kArray);
+        if (array != nullptr && count != nullptr &&
+            array->array.size() != static_cast<std::size_t>(count->number)) {
+          Fail(run_where + ".records." + column, "wrong length");
+        }
+        if (array != nullptr && std::strcmp(column, "stage") == 0 &&
+            stage_count != 0) {
+          for (const Value& stage : array->array) {
+            if (!stage.is_number() || stage.number < 0 ||
+                stage.number >= static_cast<double>(stage_count)) {
+              Fail(run_where + ".records.stage", "stage code out of range");
+              break;
+            }
+          }
+        }
+      }
+    }
+    (void)Require(run, run_where, "panel_units", Value::Kind::kObject);
+    (void)Require(run, run_where, "estimates", Value::Kind::kArray);
+  }
+}
+
 bool LoadAndCheck(const std::string& path, void (*check)(const Value&)) {
   std::ifstream file(path, std::ios::binary);
   if (!file) {
@@ -195,7 +317,8 @@ bool LoadAndCheck(const std::string& path, void (*check)(const Value&)) {
 void PrintUsage() {
   std::printf(
       "usage: obscheck <obs-out-dir>\n"
-      "       obscheck --manifest FILE | --metrics FILE | --trace FILE\n");
+      "       obscheck --manifest FILE | --metrics FILE | --trace FILE |"
+      " --lineage FILE\n");
 }
 
 }  // namespace
@@ -211,6 +334,8 @@ int main(int argc, char** argv) {
     LoadAndCheck(argv[2], CheckMetrics);
   } else if (std::strcmp(argv[1], "--trace") == 0 && argc > 2) {
     LoadAndCheck(argv[2], CheckTrace);
+  } else if (std::strcmp(argv[1], "--lineage") == 0 && argc > 2) {
+    LoadAndCheck(argv[2], CheckLineage);
   } else if (argv[1][0] == '-') {
     PrintUsage();
     return 1;
@@ -219,6 +344,13 @@ int main(int argc, char** argv) {
     LoadAndCheck(dir + "/manifest.json", CheckManifest);
     LoadAndCheck(dir + "/metrics.json", CheckMetrics);
     LoadAndCheck(dir + "/trace.json", CheckTrace);
+    // Lineage joined the artifact set later: absent is fine (old artifact
+    // dirs, compiled-out builds), malformed is not.
+    if (std::ifstream probe(dir + "/lineage.json"); probe) {
+      LoadAndCheck(dir + "/lineage.json", CheckLineage);
+    } else {
+      std::printf("skip %s/lineage.json (absent)\n", dir.c_str());
+    }
   }
   if (g_errors > 0) {
     std::printf("obscheck: %d violation(s)\n", g_errors);
