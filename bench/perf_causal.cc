@@ -15,6 +15,8 @@
 #include "causal/robust_synthetic_control.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/sim_time.h"
+#include "measure/platform.h"
 
 namespace {
 
@@ -139,6 +141,61 @@ BENCHMARK(BM_PlaceboFanOutThreads)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// A synthetic campaign batch shaped like the Table 1 stream: 64 ⟨ASN,
+// city⟩ units hashing across the 16 store shards, timestamps spread over
+// the 56-day horizon, values inside the default validation window.
+std::vector<measure::PendingRecord> SynthesizeStream(std::size_t count) {
+  core::Rng rng(46);
+  const auto horizon_minutes =
+      static_cast<std::int64_t>(core::SimTime::FromDays(56).minutes());
+  std::vector<measure::PendingRecord> batch(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    measure::SpeedTestRecord& r = batch[i].record;
+    r.id = core::MeasurementId(i + 1);
+    r.time = core::SimTime(static_cast<std::int64_t>(i) % horizon_minutes);
+    r.asn = core::Asn(3741 + static_cast<std::uint32_t>(i % 8));
+    r.city = "City" + std::to_string(i % 8);
+    r.vantage_pop = static_cast<netsim::PopIndex>(i % 64);
+    r.rtt_ms = 20.0 + 5.0 * rng.Gaussian();
+    if (r.rtt_ms < 1.0) r.rtt_ms = 1.0;
+    r.loss_rate = 0.01;
+    r.throughput_mbps = 50.0;
+    r.intent = (i % 4 == 0) ? measure::Intent::kUserInitiated
+                            : measure::Intent::kBaseline;
+  }
+  return batch;
+}
+
+// Streaming-ingest throughput: sharded columnar append + incremental
+// panel maintenance, fanned across the pool in per-step-sized chunks.
+// items/s is records ingested. Panel finalize is excluded (it amortizes
+// to one pass per campaign, not per batch).
+void BM_StreamingIngest(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  const std::vector<measure::PendingRecord> stream = SynthesizeStream(count);
+  measure::StreamingOptions options;
+  options.panel.bucket = core::SimTime::FromHours(6);
+  options.panel.periods = 224;  // 56 days / 6h
+  constexpr std::size_t kChunk = 8192;
+  for (auto _ : state) {
+    measure::StreamingCampaign campaign({}, options);
+    for (std::size_t begin = 0; begin < stream.size(); begin += kChunk) {
+      const std::size_t end = std::min(stream.size(), begin + kChunk);
+      campaign.IngestBatch(std::vector<measure::PendingRecord>(
+          stream.begin() + static_cast<std::ptrdiff_t>(begin),
+          stream.begin() + static_cast<std::ptrdiff_t>(end)));
+    }
+    benchmark::DoNotOptimize(campaign.store().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_StreamingIngest)
+    ->Arg(1 << 18)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 }  // namespace

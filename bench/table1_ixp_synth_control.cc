@@ -16,9 +16,12 @@
 // high p-values; a couple of units marginal (p < 0.10); the largest drop
 // NOT significant. Pass --ablation to also run the classical
 // simplex-weight estimator for comparison (DESIGN.md §4).
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
+#include <system_error>
 
 #include "bench_util.h"
 #include "causal/event_study.h"
@@ -44,11 +47,16 @@ struct Row {
 
 /// --export-dir: writes the raw measurements, the panel, and per-unit
 /// event-study gap series as CSV for external plotting (gnuplot / R /
-/// matplotlib) — the paper's public-repo artifacts, regenerated.
+/// matplotlib) — the paper's public-repo artifacts, regenerated. In
+/// streaming mode `store` is null (the full records are never held in
+/// memory) and speedtests.csv is skipped; panel.csv and the event-study
+/// series are identical either way.
 int ExportArtifacts(const std::string& directory,
-                    const measure::Platform& platform,
+                    const measure::MeasurementStore* store,
                     const measure::Panel& panel,
                     const netsim::ScenarioZa& scenario) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
   auto write = [&](const std::string& name, const std::string& text) {
     const auto status = measure::WriteTextFile(directory + "/" + name, text);
     if (!status.ok()) {
@@ -58,8 +66,10 @@ int ExportArtifacts(const std::string& directory,
     std::printf("wrote %s/%s\n", directory.c_str(), name.c_str());
     return true;
   };
-  if (!write("speedtests.csv", measure::StoreToCsv(platform.store())) ||
-      !write("panel.csv", measure::PanelToCsv(panel))) {
+  if (store != nullptr && !write("speedtests.csv", measure::StoreToCsv(*store))) {
+    return 1;
+  }
+  if (!write("panel.csv", measure::PanelToCsv(panel))) {
     return 1;
   }
   // Event-study gap series per treated unit: one CSV with columns
@@ -89,7 +99,7 @@ int ExportArtifacts(const std::string& directory,
 }
 
 int Main(bool ablation, const std::string& export_dir,
-         const std::string& obs_dir) {
+         const std::string& obs_dir, bool streaming, double scale) {
   bench::PrintHeader("T1", "IXP case study via robust synthetic control",
                      "Table 1 (HotNets '25 Sisyphus paper)");
 
@@ -100,6 +110,8 @@ int Main(bool ablation, const std::string& export_dir,
                     scenario_options.seed);
   obs::RunManifest& manifest = obs.manifest();
   manifest.AddOption("ablation", ablation ? "true" : "false");
+  manifest.AddOption("streaming", streaming ? "true" : "false");
+  manifest.AddOption("scale", std::to_string(scale));
   manifest.AddOption("horizon_days",
                      std::to_string(scenario_options.horizon.days()));
   manifest.AddOption("treatment_day",
@@ -126,8 +138,8 @@ int Main(bool ablation, const std::string& export_dir,
   measure::Platform platform(*scenario.simulator, platform_options);
 
   measure::VantageConfig vantage;
-  vantage.baseline_tests_per_day = 10.0;
-  vantage.user_tests_per_day = 4.0;
+  vantage.baseline_tests_per_day = 10.0 * scale;
+  vantage.user_tests_per_day = 4.0 * scale;
   for (const auto& unit : scenario.treated) {
     vantage.pop = unit.access_pop;
     platform.AddVantage(vantage);
@@ -137,37 +149,72 @@ int Main(bool ablation, const std::string& export_dir,
     platform.AddVantage(vantage);
   }
 
-  core::Rng rng(scenario_options.seed);
-  platform.Run(scenario_options.horizon, rng);
-  phase->SetSimSpan(core::SimTime(0), scenario_options.horizon);
-  std::printf("campaign: %zu speed tests over %.0f days (%zu baseline, "
-              "%zu user-initiated)\n",
-              platform.store().size(), scenario_options.horizon.days(),
-              platform.CountByIntent(measure::Intent::kBaseline),
-              platform.CountByIntent(measure::Intent::kUserInitiated));
-
-  // ---- 2. Detection: which units began crossing the IXP? ----
-  phase = std::make_unique<obs::ScopedPhase>(manifest, "detect_crossings");
-  const auto& topology = scenario.simulator->topology();
-  std::size_t detected = 0;
-  for (const auto& unit : scenario.treated) {
-    const auto first = platform.store().FirstIxpCrossing(
-        topology, unit.name, scenario.napafrica_jnb);
-    if (first.has_value()) ++detected;
-  }
-  std::printf("IXP-crossing detection: %zu / %zu treated units observed "
-              "crossing NAPAfrica-JNB after day %.0f\n\n",
-              detected, scenario.treated.size(),
-              scenario_options.treatment_time.days());
-
-  // ---- 3. Panel ----
-  phase = std::make_unique<obs::ScopedPhase>(manifest, "build_panel");
+  // Panel geometry is fixed up front: the streaming path folds records
+  // into cells as they arrive, so it needs the bucket grid before the
+  // campaign starts (the batch path simply uses it later).
   measure::PanelOptions panel_options;
   panel_options.bucket = core::SimTime::FromHours(6);
   panel_options.periods = static_cast<std::size_t>(
       scenario_options.horizon.minutes() / panel_options.bucket.minutes());
-  const measure::Panel panel =
-      measure::BuildRttPanel(platform.store(), panel_options);
+
+  core::Rng rng(scenario_options.seed);
+  measure::Panel panel;
+  if (streaming) {
+    measure::StreamingOptions streaming_options;
+    streaming_options.panel = panel_options;
+    measure::StreamingCampaign stream(platform_options.validation,
+                                      streaming_options);
+    platform.RunStreaming(scenario_options.horizon, rng, stream);
+    phase->SetSimSpan(core::SimTime(0), scenario_options.horizon);
+    std::printf("campaign (streaming): %llu speed tests over %.0f days "
+                "(%llu baseline, %llu user-initiated) across %zu shards in "
+                "%llu step batches\n",
+                static_cast<unsigned long long>(stream.store().size()),
+                scenario_options.horizon.days(),
+                static_cast<unsigned long long>(
+                    stream.store().CountByIntent(measure::Intent::kBaseline)),
+                static_cast<unsigned long long>(stream.store().CountByIntent(
+                    measure::Intent::kUserInitiated)),
+                stream.store().shard_count(),
+                static_cast<unsigned long long>(stream.batches()));
+
+    // ---- 2. Detection ----
+    // IXP-crossing detection matches traceroute hops, which the columnar
+    // arenas do not retain; the detection pass is a batch-only diagnostic
+    // (it feeds no metrics, lineage, or estimates).
+    std::printf("IXP-crossing detection: skipped in streaming mode "
+                "(traceroutes are not retained)\n\n");
+
+    // ---- 3. Panel (incremental finalize) ----
+    phase = std::make_unique<obs::ScopedPhase>(manifest, "build_panel");
+    panel = stream.FinalizePanel();
+  } else {
+    platform.Run(scenario_options.horizon, rng);
+    phase->SetSimSpan(core::SimTime(0), scenario_options.horizon);
+    std::printf("campaign: %zu speed tests over %.0f days (%zu baseline, "
+                "%zu user-initiated)\n",
+                platform.store().size(), scenario_options.horizon.days(),
+                platform.CountByIntent(measure::Intent::kBaseline),
+                platform.CountByIntent(measure::Intent::kUserInitiated));
+
+    // ---- 2. Detection: which units began crossing the IXP? ----
+    phase = std::make_unique<obs::ScopedPhase>(manifest, "detect_crossings");
+    const auto& topology = scenario.simulator->topology();
+    std::size_t detected = 0;
+    for (const auto& unit : scenario.treated) {
+      const auto first = platform.store().FirstIxpCrossing(
+          topology, unit.name, scenario.napafrica_jnb);
+      if (first.has_value()) ++detected;
+    }
+    std::printf("IXP-crossing detection: %zu / %zu treated units observed "
+                "crossing NAPAfrica-JNB after day %.0f\n\n",
+                detected, scenario.treated.size(),
+                scenario_options.treatment_time.days());
+
+    // ---- 3. Panel ----
+    phase = std::make_unique<obs::ScopedPhase>(manifest, "build_panel");
+    panel = measure::BuildRttPanel(platform.store(), panel_options);
+  }
   std::printf("panel: %zu units x %zu periods (6h median RTT buckets)\n\n",
               panel.units.size(), panel_options.periods);
 
@@ -278,8 +325,9 @@ int Main(bool ablation, const std::string& export_dir,
 
   if (!export_dir.empty()) {
     std::printf("\nexporting artifacts:\n");
-    if (const int status = ExportArtifacts(export_dir, platform, panel,
-                                           scenario);
+    if (const int status = ExportArtifacts(
+            export_dir, streaming ? nullptr : &platform.store(), panel,
+            scenario);
         status != 0) {
       return status;
     }
@@ -309,16 +357,26 @@ int Main(bool ablation, const std::string& export_dir,
 int main(int argc, char** argv) {
   sisyphus::bench::ApplyThreadsFlag(argc, argv);
   bool ablation = false;
+  bool streaming = false;
+  double scale = 1.0;
   std::string export_dir;
   std::string obs_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) {
       ablation = true;
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      streaming = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+      if (!(scale > 0.0)) {
+        std::fprintf(stderr, "--scale must be a positive number\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--export-dir") == 0 && i + 1 < argc) {
       export_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
       obs_dir = argv[++i];
     }
   }
-  return Main(ablation, export_dir, obs_dir);
+  return Main(ablation, export_dir, obs_dir, streaming, scale);
 }

@@ -268,6 +268,23 @@ class Parser {
     }
   }
 
+  /// Consumes 4 hex digits at pos_ into one UTF-16 code unit.
+  bool ParseHexUnit(unsigned* code) {
+    if (pos_ + 4 > text_.size()) return false;
+    unsigned out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char hex = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (hex >= '0' && hex <= '9') out |= static_cast<unsigned>(hex - '0');
+      else if (hex >= 'a' && hex <= 'f') out |= static_cast<unsigned>(hex - 'a' + 10);
+      else if (hex >= 'A' && hex <= 'F') out |= static_cast<unsigned>(hex - 'A' + 10);
+      else return false;
+    }
+    pos_ += 4;
+    *code = out;
+    return true;
+  }
+
   Result<Value> ParseString() {
     ++pos_;  // '"'
     Value out;
@@ -292,26 +309,39 @@ class Parser {
           case 'r': out.string += '\r'; break;
           case 't': out.string += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
             unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              const char hex = text_[pos_ + static_cast<std::size_t>(i)];
-              code <<= 4;
-              if (hex >= '0' && hex <= '9') code |= static_cast<unsigned>(hex - '0');
-              else if (hex >= 'a' && hex <= 'f') code |= static_cast<unsigned>(hex - 'a' + 10);
-              else if (hex >= 'A' && hex <= 'F') code |= static_cast<unsigned>(hex - 'A' + 10);
-              else return Fail("bad \\u escape");
+            if (!ParseHexUnit(&code)) return Fail("bad \\u escape");
+            // Supplementary-plane code points arrive as a UTF-16 surrogate
+            // pair: combine high + low into one code point; either half on
+            // its own is not a valid string (RFC 8259 §7 / Unicode).
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Fail("unpaired high surrogate in \\u escape");
+              }
+              pos_ += 2;
+              unsigned low = 0;
+              if (!ParseHexUnit(&low)) return Fail("bad \\u escape");
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("unpaired high surrogate in \\u escape");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Fail("unpaired low surrogate in \\u escape");
             }
-            pos_ += 4;
-            // UTF-8 encode (no surrogate-pair handling; the writer only
-            // emits \u for control characters).
+            // UTF-8 encode (1–4 bytes).
             if (code < 0x80) {
               out.string += static_cast<char>(code);
             } else if (code < 0x800) {
               out.string += static_cast<char>(0xC0 | (code >> 6));
               out.string += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
+            } else if (code < 0x10000) {
               out.string += static_cast<char>(0xE0 | (code >> 12));
+              out.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out.string += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out.string += static_cast<char>(0xF0 | (code >> 18));
+              out.string += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
               out.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
               out.string += static_cast<char>(0x80 | (code & 0x3F));
             }

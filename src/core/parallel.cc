@@ -16,10 +16,23 @@ TaskObserver* g_observer = nullptr;
 // pool, and inline execution preserves the determinism contract trivially.
 thread_local bool t_in_parallel_task = false;
 
+thread_local bool t_region_telemetry_silenced = false;
+
 }  // namespace
 
 void SetTaskObserver(TaskObserver* observer) { g_observer = observer; }
 TaskObserver* GetTaskObserver() { return g_observer; }
+
+RegionTelemetrySilencer::RegionTelemetrySilencer()
+    : previous_(t_region_telemetry_silenced) {
+  t_region_telemetry_silenced = true;
+}
+
+RegionTelemetrySilencer::~RegionTelemetrySilencer() {
+  t_region_telemetry_silenced = previous_;
+}
+
+bool RegionTelemetrySilenced() { return t_region_telemetry_silenced; }
 
 struct ThreadPool::Region {
   const std::function<void(std::size_t)>* body = nullptr;

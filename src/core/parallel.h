@@ -71,6 +71,31 @@ class TaskObserver {
 void SetTaskObserver(TaskObserver* observer);
 TaskObserver* GetTaskObserver();
 
+/// RAII scope marking parallel regions started by this thread as
+/// telemetry-silent. Some regions are internal to a data path whose output
+/// artifacts are contracted to be byte-identical across execution
+/// strategies (e.g. streaming ingest, which runs one region per batch where
+/// the batch path runs none): counting such regions in the metrics registry
+/// would leak the execution shape into metrics.json. Inside this scope the
+/// observer still buffers and replays per-task side channels (metric writes
+/// made *by* tasks, lineage events, trace spans, pool stats) -- only the
+/// engine's own region/task counters are suppressed. Scopes nest.
+class RegionTelemetrySilencer {
+ public:
+  RegionTelemetrySilencer();
+  ~RegionTelemetrySilencer();
+  RegionTelemetrySilencer(const RegionTelemetrySilencer&) = delete;
+  RegionTelemetrySilencer& operator=(const RegionTelemetrySilencer&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True while the calling thread is inside a RegionTelemetrySilencer scope.
+/// Observers consult this from RegionBegin/RegionEnd (both run on the
+/// region's calling thread, so the answer is stable across one region).
+bool RegionTelemetrySilenced();
+
 /// Fixed-size thread pool. `thread_count` counts execution lanes including
 /// the calling thread, so ThreadPool(4) spawns 3 workers and ThreadPool(1)
 /// spawns none (every region runs inline). thread_count = 0 means

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "core/error.h"
+#include "core/hash.h"
 #include "core/logging.h"
 #include "obs/metrics.h"
+#include "stats/descriptive.h"
 #include "stats/timeseries.h"
 
 namespace sisyphus::measure {
@@ -31,48 +34,88 @@ Result<std::size_t> Panel::Find(const std::string& unit) const {
   return Error(ErrorCode::kNotFound, "Panel: no unit '" + unit + "'");
 }
 
-Panel BuildRttPanel(const MeasurementStore& store,
-                    const PanelOptions& options) {
+IncrementalPanelBuilder::IncrementalPanelBuilder(PanelOptions options,
+                                                 std::size_t shard_count)
+    : options_(options), lineage_(obs::Lineage::enabled()) {
+  SISYPHUS_REQUIRE(shard_count > 0, "IncrementalPanelBuilder: zero shards");
+  SISYPHUS_REQUIRE(options.bucket.minutes() > 0,
+                   "IncrementalPanelBuilder: zero bucket");
+  shards_.resize(shard_count);
+}
+
+std::size_t IncrementalPanelBuilder::ShardOf(std::string_view unit) const {
+  return static_cast<std::size_t>(core::Fnv1a64(unit) % shards_.size());
+}
+
+void IncrementalPanelBuilder::Observe(std::size_t shard, std::string_view unit,
+                                      core::SimTime time, double rtt_ms,
+                                      std::uint64_t id) {
+  Shard& owner = shards_[shard];
+  auto it = owner.units.find(unit);
+  if (it == owner.units.end()) {
+    it = owner.units.emplace(std::string(unit), UnitCells{}).first;
+    it->second.cells.resize(options_.periods);
+  }
+  // Cell attribution mirrors the bucketed-median windows exactly: bucket i
+  // covers [origin + i*bucket, origin + (i+1)*bucket).
+  const std::int64_t from_origin =
+      time.minutes() - options_.origin.minutes();
+  const std::int64_t idx =
+      from_origin >= 0 ? from_origin / options_.bucket.minutes() : -1;
+  if (idx < 0 || idx >= static_cast<std::int64_t>(options_.periods)) {
+    // Skew/backoff can push a record outside the panel horizon: it
+    // terminates here, contributing to no cell (the unit entry above still
+    // counts it toward "unit exists but panel-empty").
+    if (lineage_) obs::Lineage::Global().RecordOutOfPanel(id);
+    return;
+  }
+  CellAccumulator& cell = it->second.cells[static_cast<std::size_t>(idx)];
+  cell.values.push_back(rtt_ms);
+  if (lineage_) cell.ids.push_back(id);
+  ++owner.observed;
+}
+
+std::uint64_t IncrementalPanelBuilder::observed() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.observed;
+  return total;
+}
+
+Panel IncrementalPanelBuilder::Finalize() const {
   Panel panel;
-  panel.options = options;
-  const bool lineage = obs::Lineage::enabled();
-  for (const std::string& unit : store.Units()) {
-    // Sort by time: retry backoff and clock skew can reorder records.
-    auto records = store.ForUnit(unit);
-    std::stable_sort(records.begin(), records.end(),
-                     [](const SpeedTestRecord* a, const SpeedTestRecord* b) {
-                       return a->time < b->time;
-                     });
-    stats::TimeSeries series;
-    for (const SpeedTestRecord* record : records) {
-      series.Append(record->time, record->rtt_ms);
+  panel.options = options_;
+  // Shards partition units, so the sorted concatenation of the per-shard
+  // maps is exactly the global sorted unit order the batch pass iterates.
+  std::vector<std::pair<std::string_view, const UnitCells*>> units;
+  for (const Shard& shard : shards_) {
+    for (const auto& [unit, cells] : shard.units) {
+      units.emplace_back(unit, &cells);
     }
-    // Per-bucket record attribution mirrors BucketedMedians' windows
-    // exactly: bucket i covers [origin + i*bucket, origin + (i+1)*bucket).
-    std::vector<std::vector<std::uint64_t>> bucket_ids;
-    if (lineage) {
-      bucket_ids.resize(options.periods);
-      for (const SpeedTestRecord* record : records) {
-        const std::int64_t from_origin =
-            record->time.minutes() - options.origin.minutes();
-        const std::int64_t idx =
-            from_origin >= 0 ? from_origin / options.bucket.minutes() : -1;
-        if (idx >= 0 && idx < static_cast<std::int64_t>(options.periods)) {
-          bucket_ids[static_cast<std::size_t>(idx)].push_back(
-              record->id.value());
-        } else {
-          // Skew/backoff can push a record outside the panel horizon: it
-          // terminates here, contributing to no cell.
-          obs::Lineage::Global().RecordOutOfPanel(record->id.value());
-        }
-      }
-      for (auto& ids : bucket_ids) std::sort(ids.begin(), ids.end());
+  }
+  std::sort(units.begin(), units.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  for (const auto& [unit_view, unit_cells] : units) {
+    const std::string unit(unit_view);
+    std::vector<std::optional<double>> buckets(options_.periods);
+    std::vector<std::uint32_t> counts(options_.periods, 0);
+    std::vector<double> means(options_.periods, 0.0);
+    for (std::size_t t = 0; t < options_.periods; ++t) {
+      const CellAccumulator& cell = unit_cells->cells[t];
+      if (cell.values.empty()) continue;
+      // Sorting pins every aggregate to the cell's value *multiset*:
+      // medians by definition, means via compensated summation over the
+      // sorted values — so batch and streaming arrival orders agree
+      // bit-for-bit (the parity audit this builder exists to close).
+      std::vector<double> sorted = cell.values;
+      std::sort(sorted.begin(), sorted.end());
+      buckets[t] = stats::Median(sorted);
+      means[t] = stats::CompensatedMean(sorted);
+      counts[t] = static_cast<std::uint32_t>(sorted.size());
     }
-    const auto buckets = series.BucketedMedians(options.origin, options.bucket,
-                                                options.periods);
     if (stats::AllMissing(buckets)) {
       SISYPHUS_METRIC_COUNT("measure.panel.units_empty", 1);
-      if (lineage) obs::Lineage::Global().PanelUnitEmpty(unit);
+      if (lineage_) obs::Lineage::Global().PanelUnitEmpty(unit);
       (SISYPHUS_LOG(kDebug) << "panel unit skipped: no observed buckets")
           .With("unit", unit);
       continue;
@@ -85,9 +128,17 @@ Panel BuildRttPanel(const MeasurementStore& store,
     SISYPHUS_METRIC_COUNT("measure.panel.cells_observed", observed_cells);
     SISYPHUS_METRIC_COUNT("measure.panel.cells_masked",
                           buckets.size() - observed_cells);
-    if (missing > options.max_missing_fraction) {
+    std::vector<std::vector<std::uint64_t>> bucket_ids;
+    if (lineage_) {
+      bucket_ids.resize(options_.periods);
+      for (std::size_t t = 0; t < options_.periods; ++t) {
+        bucket_ids[t] = unit_cells->cells[t].ids;
+        std::sort(bucket_ids[t].begin(), bucket_ids[t].end());
+      }
+    }
+    if (missing > options_.max_missing_fraction) {
       SISYPHUS_METRIC_COUNT("measure.panel.units_dropped", 1);
-      if (lineage) {
+      if (lineage_) {
         std::vector<std::uint64_t> in_range;
         for (const auto& ids : bucket_ids) {
           in_range.insert(in_range.end(), ids.begin(), ids.end());
@@ -100,7 +151,7 @@ Panel BuildRttPanel(const MeasurementStore& store,
       (SISYPHUS_LOG(kDebug) << "panel unit dropped for sparsity")
           .With("unit", unit)
           .With("missing_fraction", missing)
-          .With("max_missing_fraction", options.max_missing_fraction);
+          .With("max_missing_fraction", options_.max_missing_fraction);
       panel.dropped.push_back({unit, missing});
       continue;
     }
@@ -113,10 +164,12 @@ Panel BuildRttPanel(const MeasurementStore& store,
     for (const auto& bucket : buckets) {
       out.observed.push_back(bucket.has_value());
     }
-    if (lineage) {
+    out.cell_counts = std::move(counts);
+    out.cell_means = std::move(means);
+    if (lineage_) {
       obs::Lineage::Global().PanelUnitKept(
           unit, missing, observed_cells, buckets.size() - observed_cells);
-      out.cell_ids.resize(options.periods);
+      out.cell_ids.resize(options_.periods);
       for (std::size_t t = 0; t < bucket_ids.size(); ++t) {
         if (bucket_ids[t].empty()) continue;
         auto ids = obs::IdRunSet::FromSorted(bucket_ids[t]);
@@ -128,6 +181,22 @@ Panel BuildRttPanel(const MeasurementStore& store,
     panel.units.push_back(std::move(out));
   }
   return panel;
+}
+
+Panel BuildRttPanel(const MeasurementStore& store,
+                    const PanelOptions& options) {
+  // The batch pass is a single-shard streaming fold: every record is
+  // observed once (duplicate-delivery copies are distinct records in the
+  // archive), then Finalize() assembles cells exactly as the streaming
+  // path does. No pre-sort is needed — aggregation is order-independent.
+  IncrementalPanelBuilder builder(options, 1);
+  for (const std::string& unit : store.Units()) {
+    for (const SpeedTestRecord* record : store.ForUnit(unit)) {
+      builder.Observe(0, unit, record->time, record->rtt_ms,
+                      record->id.value());
+    }
+  }
+  return builder.Finalize();
 }
 
 Result<causal::SyntheticControlInput> MakeSyntheticControlInput(

@@ -7,8 +7,11 @@
 // unit against a donor pool that never crosses the IXP.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "causal/synthetic_control.h"
@@ -39,6 +42,13 @@ struct UnitSeries {
   /// only while obs::Lineage is enabled — empty otherwise; unobserved
   /// periods hold empty sets.
   std::vector<obs::IdRunSet> cell_ids;
+  /// Records contributing to each period's cell (0 at unobserved periods).
+  std::vector<std::uint32_t> cell_counts;
+  /// Per-period mean RTT over the cell's records (0 at unobserved
+  /// periods — consult `observed`). Computed with compensated summation
+  /// over the cell's *sorted* values, so it is exactly reproducible no
+  /// matter what order records arrived in (batch or streaming).
+  std::vector<double> cell_means;
 };
 
 /// A unit excluded from the panel, with enough context to tell "never
@@ -60,10 +70,71 @@ struct Panel {
   core::Result<std::size_t> Find(const std::string& unit) const;
 };
 
+/// Maintains per-cell running aggregates as records arrive, so a panel
+/// can be assembled incrementally from ingest batches instead of a full
+/// pass over an in-memory archive. The batch path (BuildRttPanel) and the
+/// streaming path (StreamingCampaign) both fold records through this
+/// builder, which is what makes their panels byte-identical by
+/// construction: every cell aggregate (median, compensated mean, count,
+/// id set) is a pure function of the cell's value multiset, never of
+/// arrival order (DESIGN.md §10).
+///
+/// Shard discipline mirrors ShardedMeasurementStore: a unit's cells live
+/// in exactly one shard, distinct shards may be fed concurrently, and a
+/// single shard must only be touched by one thread at a time. Lineage
+/// events emitted inside shard tasks are diverted to the pool's per-task
+/// buffers and replayed in shard-index order.
+class IncrementalPanelBuilder {
+ public:
+  /// Snapshot of obs::Lineage::enabled() is taken here: enable lineage
+  /// before constructing the builder.
+  explicit IncrementalPanelBuilder(PanelOptions options,
+                                   std::size_t shard_count = 1);
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t ShardOf(std::string_view unit) const;
+
+  /// Folds one archived record copy into its unit's cell. Records outside
+  /// [origin, origin + periods*bucket) terminate as out-of-panel in the
+  /// lineage ledger, exactly as the batch pass records them — but still
+  /// create the unit entry, so a unit whose records all miss the horizon
+  /// finalizes as "empty", matching BuildRttPanel.
+  /// Precondition: shard == ShardOf(unit).
+  void Observe(std::size_t shard, std::string_view unit, core::SimTime time,
+               double rtt_ms, std::uint64_t id);
+
+  /// Record copies folded in so far (in-horizon only), across shards.
+  std::uint64_t observed() const;
+
+  /// Assembles the panel and emits the same per-unit metrics and lineage
+  /// events (units_empty/dropped/kept, cells observed/masked, per-cell id
+  /// sets in ascending period order) as a batch BuildRttPanel pass.
+  /// Serial; call once, after the last Observe.
+  Panel Finalize() const;
+
+ private:
+  struct CellAccumulator {
+    std::vector<double> values;       ///< arrival order (finalize sorts)
+    std::vector<std::uint64_t> ids;   ///< only while lineage is enabled
+  };
+  struct UnitCells {
+    std::vector<CellAccumulator> cells;  ///< length = options.periods
+  };
+  struct Shard {
+    std::map<std::string, UnitCells, std::less<>> units;
+    std::uint64_t observed = 0;
+  };
+
+  PanelOptions options_;
+  bool lineage_ = false;
+  std::vector<Shard> shards_;
+};
+
 /// Builds the panel over every unit in the store (RTT medians per bucket).
 /// Units that are entirely empty or too sparse are dropped (and listed in
-/// panel.dropped). Records are sorted per unit before bucketing, so
-/// clock-skewed archives do not break panel construction.
+/// panel.dropped). Implemented as a single-shard IncrementalPanelBuilder
+/// pass, so cell aggregation is order-independent — clock-skewed or
+/// retry-reordered archives produce the same panel as sorted ones.
 Panel BuildRttPanel(const MeasurementStore& store, const PanelOptions& options);
 
 /// Assembles a synthetic-control input: `treated_unit`'s series versus the

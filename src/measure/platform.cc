@@ -152,6 +152,31 @@ std::size_t Platform::CountByIntent(Intent intent) const {
 }
 
 void Platform::Run(core::SimTime until, core::Rng& rng) {
+  RunLoop(until, rng, nullptr);
+  LogCampaignSummary();
+}
+
+void Platform::RunStreaming(core::SimTime until, core::Rng& rng,
+                            StreamingCampaign& sink) {
+  RunLoop(until, rng, &sink);
+  std::vector<core::LogField> fields;
+  fields.emplace_back("archived", sink.store().size());
+  fields.emplace_back("quarantined", sink.store().quarantined());
+  fields.emplace_back("failed_probes", failures_.size());
+  fields.emplace_back("vantages", vantages_.size());
+  fields.emplace_back("batches", sink.batches());
+  fields.emplace_back("shards", sink.store().shard_count());
+  for (const auto& [tag, count] : sink.store().QuarantineReasonCounts()) {
+    fields.emplace_back("quarantine." + tag, count);
+  }
+  for (const auto& [reason, count] : FailureReasonCounts()) {
+    fields.emplace_back("fail." + reason, count);
+  }
+  core::LogLine(core::LogLevel::kInfo, "streaming campaign complete", fields);
+}
+
+void Platform::RunLoop(core::SimTime until, core::Rng& rng,
+                       StreamingCampaign* streaming) {
   while (simulator_.Now() < until) {
     const core::SimTime step_end =
         std::min(until, simulator_.Now() + options_.step);
@@ -250,6 +275,30 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
       core::ParallelFor(vantages_.size(), run_vantage);
     }
 
+    if (streaming != nullptr) {
+      // Streaming merge: assign sequential ids in vantage order (identical
+      // to the batch merge below), then hand the whole step's batch to the
+      // sink, whose per-shard fan-out does validation, store append,
+      // lineage, and panel folds. Failures stay platform-side.
+      std::vector<PendingRecord> merged;
+      std::size_t total = 0;
+      for (const VantageBatch& batch : batches) total += batch.records.size();
+      merged.reserve(total);
+      for (VantageBatch& batch : batches) {
+        for (PendingRecord& pending : batch.records) {
+          pending.record.id = core::MeasurementId(next_record_id_++);
+          merged.push_back(std::move(pending));
+        }
+      }
+      streaming->IngestBatch(merged);
+      for (VantageBatch& batch : batches) {
+        for (ProbeFailure& failure : batch.failures) {
+          RecordFailure(failure);
+        }
+      }
+      continue;
+    }
+
     // Merge in vantage order on the campaign thread: sequential ids,
     // store_ ingestion, lineage emission, and failure bookkeeping are all
     // single-threaded.
@@ -281,7 +330,66 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
       }
     }
   }
-  LogCampaignSummary();
+}
+
+StreamingCampaign::StreamingCampaign(StoreValidationOptions validation,
+                                     StreamingOptions options)
+    : options_(options),
+      store_(validation, options.shard_count),
+      panel_(options.panel, options.shard_count) {}
+
+void StreamingCampaign::IngestBatch(const std::vector<PendingRecord>& batch) {
+  const std::size_t shards = store_.shard_count();
+  // Serial pre-pass: compute every record's unit key once and group batch
+  // indices by owning shard. The grouping is a pure function of the batch
+  // contents, so each shard task sees a fixed record sequence no matter
+  // how many lanes execute.
+  std::vector<std::string> units(batch.size());
+  std::vector<std::vector<std::uint32_t>> by_shard(shards);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    units[i] = batch[i].record.UnitKey();
+    by_shard[store_.ShardOf(units[i])].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  const bool lineage = obs::Lineage::enabled();
+  // Telemetry-silent: the ingest fan-out is an execution-strategy detail of
+  // a path contracted to produce artifacts byte-identical to the batch
+  // merge (which runs no region here); counting it would leak the strategy
+  // into metrics.json. Task-side metric/lineage writes still replay.
+  core::RegionTelemetrySilencer silencer;
+  core::ParallelFor(shards, [&](std::size_t s) {
+    for (std::uint32_t i : by_shard[s]) {
+      const PendingRecord& pending = batch[i];
+      // Mirrors the batch merge in Platform::RunLoop: duplicate copies
+      // share id and content, one lineage verdict covers both appends,
+      // and only archived copies reach the panel.
+      bool archived_first = false;
+      if (pending.duplicate) archived_first = store_.Append(s, pending.record);
+      const bool archived = store_.Append(s, pending.record) || archived_first;
+      if (lineage) {
+        obs::LineageRecordInfo info;
+        info.id = pending.record.id.value();
+        info.vantage = pending.record.vantage_pop;
+        info.intent = static_cast<std::uint8_t>(pending.record.intent);
+        info.attempts = static_cast<std::uint8_t>(
+            std::min<std::uint32_t>(pending.record.attempts, 255));
+        info.fault_mask = pending.fault_mask;
+        info.copies = pending.duplicate ? 2 : 1;
+        info.archived = archived;
+        obs::Lineage::Global().RecordEmitted(info);
+      }
+      if (archived) {
+        if (pending.duplicate) {
+          panel_.Observe(s, units[i], pending.record.time,
+                         pending.record.rtt_ms, pending.record.id.value());
+        }
+        panel_.Observe(s, units[i], pending.record.time, pending.record.rtt_ms,
+                       pending.record.id.value());
+      }
+    }
+  });
+  ++batches_;
+  ingested_ += batch.size();
 }
 
 void Platform::LogCampaignSummary() const {

@@ -15,12 +15,14 @@
 // Proposal (3), the exogenous-intervention API, lives in intervention.h.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
 #include "core/rng.h"
 #include "measure/edge_steering.h"
 #include "measure/faults.h"
+#include "measure/panel.h"
 #include "measure/speedtest.h"
 #include "measure/store.h"
 #include "netsim/simulator.h"
@@ -75,6 +77,52 @@ struct ProbeFailure {
   std::uint32_t attempts = 0;
 };
 
+/// Options for the streaming ingest path.
+struct StreamingOptions {
+  PanelOptions panel;
+  std::size_t shard_count = ShardedMeasurementStore::kDefaultShardCount;
+};
+
+/// The streaming campaign sink: owns the sharded columnar store and the
+/// incremental panel builder, and ingests merge-ordered batches as the
+/// platform produces them. One batch = one platform step; within a batch,
+/// ingest fans out across the core::ThreadPool with one task per shard
+/// (shard = hash(unit)), so validation, quarantine metrics, lineage
+/// emission, and panel folds all run inside the owning shard's task.
+/// Because the shard layout is a pure function of unit keys and the pool
+/// replays captured metric/lineage writes in shard-index order, every
+/// artifact is byte-identical to the batch path at any SISYPHUS_THREADS
+/// (DESIGN.md §10).
+class StreamingCampaign {
+ public:
+  StreamingCampaign(StoreValidationOptions validation,
+                    StreamingOptions options);
+
+  /// Ingests one merge-ordered batch (ids already assigned). Every record
+  /// reaches exactly one terminal verdict: archived into its shard's arena
+  /// and folded into the panel, or quarantined — with the same
+  /// metrics/lineage the batch path records.
+  void IngestBatch(const std::vector<PendingRecord>& batch);
+
+  /// Assembles the panel from the running cell aggregates (serial; call
+  /// after the campaign ends).
+  Panel FinalizePanel() const { return panel_.Finalize(); }
+
+  ShardedMeasurementStore& store() { return store_; }
+  const ShardedMeasurementStore& store() const { return store_; }
+  const IncrementalPanelBuilder& panel_builder() const { return panel_; }
+  std::uint64_t batches() const { return batches_; }
+  /// Record copies offered for ingest (archived + quarantined).
+  std::uint64_t ingested() const { return ingested_; }
+
+ private:
+  StreamingOptions options_;
+  ShardedMeasurementStore store_;
+  IncrementalPanelBuilder panel_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t ingested_ = 0;
+};
+
 class Platform {
  public:
   /// The simulator must outlive the platform.
@@ -110,6 +158,15 @@ class Platform {
   /// shared state), producing identical output.
   void Run(core::SimTime until, core::Rng& rng);
 
+  /// Streaming variant of Run(): identical step loop, generation, and
+  /// merge-time id assignment, but each step's merge-ordered record batch
+  /// is handed to `sink.IngestBatch` instead of the in-memory batch store
+  /// (which stays empty). Probe failures are recorded on the platform
+  /// either way. Same seed + same fault plan => sink artifacts
+  /// byte-identical to the batch path's, at any SISYPHUS_THREADS.
+  void RunStreaming(core::SimTime until, core::Rng& rng,
+                    StreamingCampaign& sink);
+
   MeasurementStore& store() { return store_; }
   const MeasurementStore& store() const { return store_; }
   const PlatformOptions& options() const { return options_; }
@@ -138,14 +195,6 @@ class Platform {
     double ewma_rtt = -1.0;  ///< habituated RTT; <0 = uninitialized
   };
 
-  /// A record awaiting merge: ids are assigned at merge time so they stay
-  /// sequential in vantage order regardless of task scheduling.
-  struct PendingRecord {
-    SpeedTestRecord record;
-    bool duplicate = false;      ///< deliver a second copy (injected fault)
-    std::uint8_t fault_mask = 0; ///< obs::kLineageFault* bits that fired
-  };
-
   /// Per-vantage, per-step output produced inside a parallel task and
   /// merged into store_/failures_ on the campaign thread.
   struct VantageBatch {
@@ -166,6 +215,12 @@ class Platform {
   /// Appends to failures_ and bumps the failure metrics (total + per
   /// ProbeFault reason), keeping the two views consistent.
   void RecordFailure(ProbeFailure failure);
+
+  /// The shared step loop behind Run and RunStreaming: simulate, fan
+  /// per-vantage generation across the pool, then merge in vantage order —
+  /// into store_ when `streaming` is null, into the sink otherwise.
+  void RunLoop(core::SimTime until, core::Rng& rng,
+               StreamingCampaign* streaming);
 
   netsim::NetworkSimulator& simulator_;
   PlatformOptions options_;

@@ -108,6 +108,85 @@ TEST(JsonParseTest, DecodesEscapesAndUnicode) {
   EXPECT_EQ(parsed.value().string, "a\"\\\nA\xc3\xa9");
 }
 
+TEST(JsonParseTest, DecodesBasicPlaneUnicodeEscapes) {
+  auto parsed = Parse(R"("Aé€")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().string, "A\xc3\xa9\xe2\x82\xac");  // A é €
+}
+
+TEST(JsonParseTest, CombinesSurrogatePairs) {
+  // U+1F600 arrives as the UTF-16 pair 😀 and must decode to the
+  // 4-byte UTF-8 sequence, not two 3-byte CESU-8 halves.
+  auto parsed = Parse(R"("😀")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().string, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsUnpairedSurrogates) {
+  EXPECT_FALSE(Parse(R"("\ud83d")").ok());           // lone high
+  EXPECT_FALSE(Parse(R"("\ude00")").ok());           // lone low
+  EXPECT_FALSE(Parse(R"("\ud83dx")").ok());          // high + non-escape
+  EXPECT_FALSE(Parse(R"("\ud83dA")").ok());     // high + non-surrogate
+  EXPECT_FALSE(Parse(R"("\u12")").ok());             // truncated unit
+  EXPECT_FALSE(Parse(R"("\uZZZZ")").ok());           // non-hex unit
+}
+
+TEST(JsonParseTest, ControlCharacterEscapesRoundTripThroughWriter) {
+  // Every control character the writer escapes (named or \u00XX) must
+  // come back byte-identical through the parser.
+  std::string all_controls;
+  for (int c = 1; c < 0x20; ++c) all_controls += static_cast<char>(c);
+  Writer w(0);
+  w.BeginObject();
+  w.Key("controls");
+  w.String(all_controls);
+  w.EndObject();
+  const std::string text = std::move(w).str();
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_EQ(parsed.value().Find("controls")->string, all_controls);
+}
+
+TEST(JsonParseTest, RejectsRawControlCharactersInStrings) {
+  EXPECT_FALSE(Parse("\"a\nb\"").ok());
+  EXPECT_FALSE(Parse(std::string("\"a\0b\"", 5)).ok());
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesEmitValidJson) {
+  // NaN/Inf have no JSON representation; emitting them raw would make the
+  // whole document unparseable. They degrade to null.
+  Writer w(0);
+  w.BeginArray();
+  w.Double(std::nan(""));
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.Double(1.5);
+  w.EndArray();
+  const std::string text = std::move(w).str();
+  EXPECT_EQ(text, "[null,null,null,1.5]");
+  auto parsed = Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().array[0].kind, Value::Kind::kNull);
+  EXPECT_DOUBLE_EQ(parsed.value().array[3].number, 1.5);
+}
+
+TEST(JsonFormatDoubleTest, HardRoundTripCases) {
+  // Values chosen to need 16–17 significant digits or denormal handling.
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          5e-324,                     // min denormal
+                          2.2250738585072014e-308,    // min normal
+                          1.7976931348623157e308,     // max finite
+                          123456789.123456789,
+                          -0.0};
+  for (double value : cases) {
+    const std::string text = FormatDouble(value);
+    auto parsed = Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed.value().number, value) << text;
+  }
+}
+
 TEST(JsonParseTest, RejectsMalformedInput) {
   EXPECT_FALSE(Parse("").ok());
   EXPECT_FALSE(Parse("{").ok());

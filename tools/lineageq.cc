@@ -61,9 +61,13 @@ bool LoadJson(const std::string& path, Value& out, bool required) {
   }
   std::ostringstream buffer;
   buffer << file.rdbuf();
+  if (buffer.str().empty()) {
+    Fail(path, "empty file — artifact truncated or never written");
+    return false;
+  }
   auto parsed = Parse(buffer.str());
   if (!parsed.ok()) {
-    Fail(path, parsed.error().ToText());
+    Fail(path, "unparseable (truncated?): " + parsed.error().ToText());
     return false;
   }
   out = std::move(parsed).value();
@@ -134,7 +138,7 @@ void PrintUnit(const Value& run, const std::string& unit) {
   const Value* units = run.Find("panel_units");
   const Value* ledger = units != nullptr ? units->Find(unit) : nullptr;
   if (ledger == nullptr) {
-    std::printf("unit '%s': not in this run's panel\n", unit.c_str());
+    Fail("--unit", "'" + unit + "' is not in this run's panel ledger");
     return;
   }
   const Value* dropped = ledger->Find("dropped");
@@ -198,7 +202,10 @@ void PrintComposition(const Value& estimate, const std::string& prefix) {
 
 void PrintEstimate(const Value& run, const std::string& label) {
   const Value* estimates = run.Find("estimates");
-  if (estimates == nullptr || !estimates->is_array()) return;
+  if (estimates == nullptr || !estimates->is_array()) {
+    Fail("--estimate", "this run recorded no estimates");
+    return;
+  }
   for (const Value& estimate : estimates->array) {
     const Value* found = estimate.Find("label");
     if (found == nullptr || found->string != label) continue;
@@ -218,7 +225,7 @@ void PrintEstimate(const Value& run, const std::string& label) {
     PrintComposition(estimate, "donor");
     return;
   }
-  std::printf("estimate '%s': not found in this run\n", label.c_str());
+  Fail("--estimate", "'" + label + "' not found in this run");
 }
 
 // ---------------------------------------------------------------------------
@@ -403,6 +410,15 @@ int main(int argc, char** argv) {
     Fail("lineage.runs", "missing");
     return 1;
   }
+  if (runs->array.empty()) {
+    // An artifact with zero runs has nothing to audit; treating it as a
+    // pass would let a truncated write (or a binary built with lineage
+    // compiled out) slip through CI unnoticed.
+    Fail("lineage.runs",
+         "no runs recorded — artifact truncated, or the producing binary "
+         "ran with lineage disabled");
+    return 1;
+  }
 
   CheckTotals sums;
   bool matched_run = run_filter.empty();
@@ -436,6 +452,10 @@ int main(int argc, char** argv) {
   }
 
   if (check) {
+    if (sums.emitted == 0) {
+      Fail("check", "zero emitted records across all runs — nothing was "
+                    "measured, so the audit is vacuous");
+    }
     Value metrics;
     if (LoadJson(dir + "/metrics.json", metrics, /*required=*/true)) {
       Reconcile(sums, metrics);

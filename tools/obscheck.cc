@@ -144,6 +144,14 @@ void CheckMetrics(const Value& root) {
   const Value* counters =
       Require(root, where, "counters", Value::Kind::kObject);
   if (counters != nullptr) {
+    if (counters->object.empty()) {
+      // A snapshot with zero counters means the registry was never enabled
+      // (or the write was truncated mid-document) — validating the empty
+      // shell would pass trivially and defeat the smoke check.
+      Fail(where + ".counters",
+           "empty — registry disabled in the producing run, or truncated "
+           "artifact");
+    }
     for (const auto& [name, value] : counters->object) {
       if (!value.is_number()) Fail(where + ".counters." + name, "not a number");
     }
@@ -219,6 +227,12 @@ void CheckLineage(const Value& root) {
   (void)Require(root, where, "fault_bits", Value::Kind::kArray);
   const Value* runs = Require(root, where, "runs", Value::Kind::kArray);
   if (runs == nullptr) return;
+  if (runs->array.empty()) {
+    Fail(where + ".runs",
+         "no runs recorded — artifact truncated, or the producing binary "
+         "ran with lineage disabled");
+    return;
+  }
   for (std::size_t i = 0; i < runs->array.size(); ++i) {
     const std::string run_where = where + ".runs[" + std::to_string(i) + "]";
     const Value& run = runs->array[i];
@@ -304,9 +318,13 @@ bool LoadAndCheck(const std::string& path, void (*check)(const Value&)) {
   std::ostringstream buffer;
   buffer << file.rdbuf();
   const std::string text = buffer.str();
+  if (text.empty()) {
+    Fail(path, "empty file — artifact truncated or never written");
+    return false;
+  }
   auto parsed = Parse(text);
   if (!parsed.ok()) {
-    Fail(path, parsed.error().ToText());
+    Fail(path, "unparseable (truncated?): " + parsed.error().ToText());
     return false;
   }
   std::printf("check %s\n", path.c_str());
@@ -344,13 +362,11 @@ int main(int argc, char** argv) {
     LoadAndCheck(dir + "/manifest.json", CheckManifest);
     LoadAndCheck(dir + "/metrics.json", CheckMetrics);
     LoadAndCheck(dir + "/trace.json", CheckTrace);
-    // Lineage joined the artifact set later: absent is fine (old artifact
-    // dirs, compiled-out builds), malformed is not.
-    if (std::ifstream probe(dir + "/lineage.json"); probe) {
-      LoadAndCheck(dir + "/lineage.json", CheckLineage);
-    } else {
-      std::printf("skip %s/lineage.json (absent)\n", dir.c_str());
-    }
+    // The writer emits the full quartet, so a missing lineage.json means
+    // the run died mid-write or the dir predates the schema — either way
+    // "skip silently" would let a broken producer pass CI. Use --lineage
+    // on a single file to validate legacy trios piecemeal.
+    LoadAndCheck(dir + "/lineage.json", CheckLineage);
   }
   if (g_errors > 0) {
     std::printf("obscheck: %d violation(s)\n", g_errors);
