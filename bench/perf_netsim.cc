@@ -5,12 +5,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "durable/journal.h"
+#include "durable/snapshot.h"
 #include "measure/platform.h"
 #include "netsim/scenario_za.h"
 
@@ -154,6 +157,46 @@ void BM_CampaignDayThroughput(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CampaignDayThroughput)->Unit(benchmark::kMillisecond);
+
+// Write-ahead journal append throughput at representative step-batch
+// payload sizes (a scale-1 table1 step serializes to a few KiB). The cost
+// is dominated by the fsync every 8 frames — the durability tax the
+// streaming service pays per step (DESIGN.md §11).
+void BM_JournalAppend(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "sisyphus-bench-journal";
+  fs::create_directories(dir);
+  const std::string path = (dir / "journal.bin").string();
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  durable::Journal journal;
+  journal.Open(path, 0, /*fsync_every=*/8);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(journal.Append(++seq, payload));
+  }
+  journal.Close();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_JournalAppend)->Arg(512)->Arg(4096);
+
+// Atomic snapshot write (frame + tmp + fsync + rename) at payload sizes
+// bracketing the scale-1 table1 snapshot (~1 MiB of arenas + aggregates).
+void BM_SnapshotWrite(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "sisyphus-bench-snap";
+  fs::create_directories(dir);
+  const std::string path = durable::SnapshotPath(dir.string(), 1);
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(durable::WriteSnapshotFile(path, payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_SnapshotWrite)->Arg(1 << 16)->Arg(1 << 20);
 
 }  // namespace
 

@@ -28,6 +28,7 @@
 #include "causal/placebo.h"
 #include "core/hash.h"
 #include "core/rng.h"
+#include "durable/service.h"
 #include "measure/export.h"
 #include "measure/panel.h"
 #include "measure/platform.h"
@@ -36,6 +37,20 @@
 namespace {
 
 using namespace sisyphus;
+
+/// Durability flags (streaming mode only): with --durable-dir the campaign
+/// runs under the DurableStreamingService (write-ahead journal + periodic
+/// snapshots), --resume recovers a killed run from that directory, and
+/// --chaos arms the kill/corrupt harness (DESIGN.md §11).
+struct DurableArgs {
+  std::string dir;
+  bool resume = false;
+  std::uint64_t snapshot_every = 16;
+  std::uint64_t fsync_every = 8;
+  std::uint64_t shed_max = 0;
+  bool pipeline = false;
+  std::string chaos_spec;
+};
 
 struct Row {
   std::string unit;
@@ -99,7 +114,8 @@ int ExportArtifacts(const std::string& directory,
 }
 
 int Main(bool ablation, const std::string& export_dir,
-         const std::string& obs_dir, bool streaming, double scale) {
+         const std::string& obs_dir, bool streaming, double scale,
+         const DurableArgs& durable_args) {
   bench::PrintHeader("T1", "IXP case study via robust synthetic control",
                      "Table 1 (HotNets '25 Sisyphus paper)");
 
@@ -159,12 +175,59 @@ int Main(bool ablation, const std::string& export_dir,
 
   core::Rng rng(scenario_options.seed);
   measure::Panel panel;
+  bool partial_run = false;
   if (streaming) {
     measure::StreamingOptions streaming_options;
     streaming_options.panel = panel_options;
     measure::StreamingCampaign stream(platform_options.validation,
                                       streaming_options);
-    platform.RunStreaming(scenario_options.horizon, rng, stream);
+    if (!durable_args.dir.empty()) {
+      durable::InstallSignalHandlers();
+      durable::DurableOptions durable_options;
+      durable_options.dir = durable_args.dir;
+      durable_options.snapshot_every = durable_args.snapshot_every;
+      durable_options.fsync_every = durable_args.fsync_every;
+      durable_options.max_step_records = durable_args.shed_max;
+      durable_options.pipelined = durable_args.pipeline;
+      if (!durable_args.chaos_spec.empty()) {
+        auto chaos = durable::ParseChaosSpec(durable_args.chaos_spec);
+        if (!chaos.ok()) {
+          std::printf("%s\n", chaos.error().ToText().c_str());
+          return 2;
+        }
+        durable_options.chaos = chaos.value();
+      }
+      durable::DurableStreamingService service(platform, stream,
+                                               durable_options);
+      auto run = durable_args.resume
+                     ? service.Resume(scenario_options.horizon, rng)
+                     : service.Run(scenario_options.horizon, rng);
+      if (!run.ok()) {
+        std::printf("durable run failed: %s\n",
+                    run.error().ToText().c_str());
+        return 1;
+      }
+      const durable::RunStats& stats = run.value();
+      partial_run = stats.outcome == durable::RunOutcome::kInterrupted;
+      manifest.durable.enabled = true;
+      manifest.durable.resumed = stats.resumed;
+      manifest.durable.partial = partial_run;
+      manifest.durable.snapshot_seq = stats.snapshot_seq;
+      manifest.durable.journal_high_water = stats.journal_high_water;
+      manifest.durable.journal_entries = stats.journal_entries;
+      manifest.durable.shed_records = stats.shed_records;
+      std::printf("durable: %llu live steps (%llu replayed under journal "
+                  "verification), snapshot seq %llu, journal high-water "
+                  "%llu%s%s\n",
+                  static_cast<unsigned long long>(stats.steps),
+                  static_cast<unsigned long long>(stats.replayed_steps),
+                  static_cast<unsigned long long>(stats.snapshot_seq),
+                  static_cast<unsigned long long>(stats.journal_high_water),
+                  stats.resumed ? ", resumed" : "",
+                  partial_run ? ", PARTIAL (interrupted)" : "");
+    } else {
+      platform.RunStreaming(scenario_options.horizon, rng, stream);
+    }
     phase->SetSimSpan(core::SimTime(0), scenario_options.horizon);
     std::printf("campaign (streaming): %llu speed tests over %.0f days "
                 "(%llu baseline, %llu user-initiated) across %zu shards in "
@@ -349,7 +412,11 @@ int Main(bool ablation, const std::string& export_dir,
     }
   }
   phase.reset();
-  return obs.Finish();
+  const int status = obs.Finish();
+  // Interrupted-but-flushed runs leave valid artifacts (manifest marks
+  // them partial) and exit 130, the conventional SIGINT status.
+  if (partial_run) return 130;
+  return status;
 }
 
 }  // namespace
@@ -361,6 +428,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   std::string export_dir;
   std::string obs_dir;
+  DurableArgs durable_args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) {
       ablation = true;
@@ -376,7 +444,35 @@ int main(int argc, char** argv) {
       export_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
       obs_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--durable-dir") == 0 && i + 1 < argc) {
+      durable_args.dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      durable_args.resume = true;
+    } else if (std::strcmp(argv[i], "--snapshot-every") == 0 && i + 1 < argc) {
+      durable_args.snapshot_every =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--fsync-every") == 0 && i + 1 < argc) {
+      durable_args.fsync_every =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shed-max") == 0 && i + 1 < argc) {
+      durable_args.shed_max =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      durable_args.pipeline = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      durable_args.chaos_spec = argv[++i];
     }
   }
-  return Main(ablation, export_dir, obs_dir, streaming, scale);
+  if ((!durable_args.dir.empty() || durable_args.resume ||
+       !durable_args.chaos_spec.empty()) &&
+      !streaming) {
+    std::fprintf(stderr, "--durable-dir/--resume/--chaos require --streaming\n");
+    return 2;
+  }
+  if (durable_args.dir.empty() &&
+      (durable_args.resume || !durable_args.chaos_spec.empty())) {
+    std::fprintf(stderr, "--resume/--chaos require --durable-dir\n");
+    return 2;
+  }
+  return Main(ablation, export_dir, obs_dir, streaming, scale, durable_args);
 }

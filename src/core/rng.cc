@@ -120,6 +120,20 @@ std::uint32_t Rng::Poisson(double mean) {
 
 Rng Rng::Split() { return Rng(Next()); }
 
+Rng::State Rng::SaveState() const {
+  State state;
+  state.s = state_;
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::RestoreState(const State& state) {
+  state_ = state.s;
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 Rng Rng::Fork(std::uint64_t seed, std::uint64_t stream) {
   // Two SplitMix64 rounds over (seed, stream) decorrelate neighbouring
   // stream ids; the Rng constructor then expands the result to 256 bits.

@@ -72,6 +72,18 @@ class Rng {
   /// byte-identical regardless of how tasks are scheduled across threads.
   static Rng Fork(std::uint64_t seed, std::uint64_t stream);
 
+  /// Complete serializable generator state, including the Marsaglia
+  /// cached deviate — restoring mid-pair must not skip or repeat a draw
+  /// (DESIGN.md §11: resumed runs replay the exact stream).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
+  State SaveState() const;
+  void RestoreState(const State& state);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   // Marsaglia polar method caches the second deviate.

@@ -19,6 +19,11 @@
 #include "measure/store.h"
 #include "obs/lineage.h"
 
+namespace sisyphus::core::binio {
+class Writer;
+class Reader;
+}  // namespace sisyphus::core::binio
+
 namespace sisyphus::measure {
 
 struct PanelOptions {
@@ -111,6 +116,12 @@ class IncrementalPanelBuilder {
   /// sets in ascending period order) as a batch BuildRttPanel pass.
   /// Serial; call once, after the last Observe.
   Panel Finalize() const;
+
+  /// Serializes / restores every shard's running cell aggregates for a
+  /// durable snapshot (DESIGN.md §11). Load replaces all shards; shard
+  /// count and period count must match (false on mismatch/truncation).
+  void Save(core::binio::Writer& w) const;
+  bool Load(core::binio::Reader& r);
 
  private:
   struct CellAccumulator {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/binio.h"
 #include "core/error.h"
 #include "core/logging.h"
 #include "core/parallel.h"
@@ -175,159 +176,205 @@ void Platform::RunStreaming(core::SimTime until, core::Rng& rng,
   core::LogLine(core::LogLevel::kInfo, "streaming campaign complete", fields);
 }
 
+StepOutput Platform::GenerateStep(core::SimTime until, core::Rng& rng) {
+  const core::SimTime step_end =
+      std::min(until, simulator_.Now() + options_.step);
+  simulator_.AdvanceTo(step_end);
+
+  // Route changes that landed during this step, per vantage PoP.
+  const auto& changes = simulator_.route_changes();
+  std::vector<netsim::PopIndex> changed_pops;
+  for (; route_change_cursor_ < changes.size(); ++route_change_cursor_) {
+    changed_pops.push_back(changes[route_change_cursor_].source);
+  }
+
+  const double step_days =
+      static_cast<double>(options_.step.minutes()) / (24.0 * 60.0);
+
+  // Serial prewarm: per-vantage network signals. Besides computing the
+  // inputs the probe tasks need, this touches every (vantage, server)
+  // route from the campaign thread, so the BGP route cache is warm and
+  // the tasks below only ever read it.
+  struct StepSignal {
+    bool path_changed = false;
+    double current_rtt = -1.0;
+    double congestion_signal = 0.0;
+  };
+  std::vector<StepSignal> signals(vantages_.size());
+  for (std::size_t i = 0; i < vantages_.size(); ++i) {
+    StepSignal& signal = signals[i];
+    signal.path_changed =
+        std::find(changed_pops.begin(), changed_pops.end(),
+                  vantages_[i].config.pop) != changed_pops.end();
+    // Current network-level RTT (deterministic mean) drives perceived
+    // performance; the path loss rate doubles as the congestion signal
+    // that MNAR fault plans couple probe loss to.
+    if (auto route =
+            simulator_.RouteBetween(vantages_[i].config.pop, options_.server);
+        route.ok()) {
+      signal.current_rtt =
+          simulator_.latency().PathRttMs(route.value(), simulator_.Now());
+      signal.congestion_signal =
+          simulator_.latency().PathLossRate(route.value(), simulator_.Now());
+    }
+  }
+
+  // One campaign-stream draw per step; each vantage forks its own task
+  // stream from it, so per-vantage randomness does not depend on how
+  // tasks interleave (or on how many tests other vantages ran).
+  const std::uint64_t step_seed = rng.Next();
+  std::vector<VantageBatch> batches(vantages_.size());
+  const auto run_vantage = [&](std::size_t i) {
+    core::Rng task_rng = core::Rng::Fork(step_seed, i);
+    VantageState& vantage = vantages_[i];
+    const StepSignal& signal = signals[i];
+    VantageBatch& batch = batches[i];
+
+    // Baseline schedule: timing independent of network state.
+    const std::uint32_t baseline = task_rng.Poisson(
+        vantage.config.baseline_tests_per_day * step_days);
+    RunTests(vantage, baseline, Intent::kBaseline, signal.congestion_signal,
+             task_rng, batch);
+
+    // User-initiated: rate inflated by dissatisfaction and route churn —
+    // the collider mechanism.
+    if (vantage.config.user_tests_per_day > 0.0 &&
+        signal.current_rtt > 0.0) {
+      double rate = vantage.config.user_tests_per_day * step_days;
+      if (vantage.ewma_rtt > 0.0) {
+        const double excess =
+            std::max(0.0, signal.current_rtt / vantage.ewma_rtt - 1.0);
+        rate *= 1.0 + vantage.config.dissatisfaction_gain * excess;
+      }
+      if (signal.path_changed) rate *= vantage.config.route_change_multiplier;
+      RunTests(vantage, task_rng.Poisson(rate), Intent::kUserInitiated,
+               signal.congestion_signal, task_rng, batch);
+    }
+
+    // §4 proposal 1: conditional activation on external signals.
+    if (options_.conditional_activation && signal.path_changed) {
+      RunTests(vantage, options_.event_burst_tests, Intent::kEventTriggered,
+               signal.congestion_signal, task_rng, batch);
+    }
+
+    // Habituate (this task owns vantages_[i]; no sharing).
+    if (signal.current_rtt > 0.0) {
+      vantage.ewma_rtt =
+          vantage.ewma_rtt < 0.0
+              ? signal.current_rtt
+              : (1.0 - options_.ewma_alpha) * vantage.ewma_rtt +
+                    options_.ewma_alpha * signal.current_rtt;
+    }
+  };
+  if (steering_ != nullptr) {
+    // EdgeSteering keeps an order-sensitive decision log, so run the
+    // identical forked-stream structure serially — same output, one lane.
+    for (std::size_t i = 0; i < vantages_.size(); ++i) run_vantage(i);
+  } else {
+    core::ParallelFor(vantages_.size(), run_vantage);
+  }
+
+  // Merge in vantage order: sequential ids independent of scheduling.
+  StepOutput out;
+  out.step_end = step_end;
+  std::size_t total_records = 0, total_failures = 0;
+  for (const VantageBatch& batch : batches) {
+    total_records += batch.records.size();
+    total_failures += batch.failures.size();
+  }
+  out.records.reserve(total_records);
+  out.failures.reserve(total_failures);
+  for (VantageBatch& batch : batches) {
+    for (PendingRecord& pending : batch.records) {
+      pending.record.id = core::MeasurementId(next_record_id_++);
+      out.records.push_back(std::move(pending));
+    }
+  }
+  for (VantageBatch& batch : batches) {
+    for (ProbeFailure& failure : batch.failures) {
+      out.failures.push_back(failure);
+    }
+  }
+  return out;
+}
+
+void Platform::CommitFailures(const std::vector<ProbeFailure>& failures) {
+  for (const ProbeFailure& failure : failures) RecordFailure(failure);
+}
+
+void Platform::CommitBatch(StepOutput&& step) {
+  for (PendingRecord& pending : step.records) {
+    if (!obs::Lineage::enabled()) {
+      if (pending.duplicate) store_.Add(pending.record);
+      store_.Add(std::move(pending.record));
+      continue;
+    }
+    obs::LineageRecordInfo info;
+    info.id = pending.record.id.value();
+    info.vantage = pending.record.vantage_pop;
+    info.intent = static_cast<std::uint8_t>(pending.record.intent);
+    info.attempts = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(pending.record.attempts, 255));
+    info.fault_mask = pending.fault_mask;
+    info.copies = pending.duplicate ? 2 : 1;
+    // Duplicate copies share id and content, so one verdict covers
+    // both Add() calls.
+    bool archived = false;
+    if (pending.duplicate) archived = store_.Add(pending.record);
+    info.archived = store_.Add(std::move(pending.record)) || archived;
+    obs::Lineage::Global().RecordEmitted(info);
+  }
+  CommitFailures(step.failures);
+}
+
+void Platform::SkipStep(core::SimTime until) {
+  const core::SimTime step_end =
+      std::min(until, simulator_.Now() + options_.step);
+  simulator_.AdvanceTo(step_end);
+  route_change_cursor_ = simulator_.route_changes().size();
+  // Touch every (vantage, server) route so the BGP route cache ends the
+  // skipped step exactly as warm as a live step would leave it — the
+  // netsim cache counters must match an uninterrupted run when the
+  // subsequent live steps re-execute under verification.
+  for (const VantageState& vantage : vantages_) {
+    (void)simulator_.RouteBetween(vantage.config.pop, options_.server);
+  }
+}
+
+Platform::StreamState Platform::CaptureStreamState() const {
+  StreamState state;
+  state.next_record_id = next_record_id_;
+  state.route_change_cursor = route_change_cursor_;
+  state.ewma_rtt.reserve(vantages_.size());
+  for (const VantageState& vantage : vantages_) {
+    state.ewma_rtt.push_back(vantage.ewma_rtt);
+  }
+  state.failures = failures_;
+  return state;
+}
+
+void Platform::RestoreStreamState(const StreamState& state) {
+  next_record_id_ = state.next_record_id;
+  route_change_cursor_ = static_cast<std::size_t>(state.route_change_cursor);
+  for (std::size_t i = 0;
+       i < vantages_.size() && i < state.ewma_rtt.size(); ++i) {
+    vantages_[i].ewma_rtt = state.ewma_rtt[i];
+  }
+  failures_ = state.failures;
+}
+
 void Platform::RunLoop(core::SimTime until, core::Rng& rng,
                        StreamingCampaign* streaming) {
   while (simulator_.Now() < until) {
-    const core::SimTime step_end =
-        std::min(until, simulator_.Now() + options_.step);
-    simulator_.AdvanceTo(step_end);
-
-    // Route changes that landed during this step, per vantage PoP.
-    const auto& changes = simulator_.route_changes();
-    std::vector<netsim::PopIndex> changed_pops;
-    for (; route_change_cursor_ < changes.size(); ++route_change_cursor_) {
-      changed_pops.push_back(changes[route_change_cursor_].source);
-    }
-
-    const double step_days =
-        static_cast<double>(options_.step.minutes()) / (24.0 * 60.0);
-
-    // Serial prewarm: per-vantage network signals. Besides computing the
-    // inputs the probe tasks need, this touches every (vantage, server)
-    // route from the campaign thread, so the BGP route cache is warm and
-    // the tasks below only ever read it.
-    struct StepSignal {
-      bool path_changed = false;
-      double current_rtt = -1.0;
-      double congestion_signal = 0.0;
-    };
-    std::vector<StepSignal> signals(vantages_.size());
-    for (std::size_t i = 0; i < vantages_.size(); ++i) {
-      StepSignal& signal = signals[i];
-      signal.path_changed =
-          std::find(changed_pops.begin(), changed_pops.end(),
-                    vantages_[i].config.pop) != changed_pops.end();
-      // Current network-level RTT (deterministic mean) drives perceived
-      // performance; the path loss rate doubles as the congestion signal
-      // that MNAR fault plans couple probe loss to.
-      if (auto route =
-              simulator_.RouteBetween(vantages_[i].config.pop, options_.server);
-          route.ok()) {
-        signal.current_rtt =
-            simulator_.latency().PathRttMs(route.value(), simulator_.Now());
-        signal.congestion_signal =
-            simulator_.latency().PathLossRate(route.value(), simulator_.Now());
-      }
-    }
-
-    // One campaign-stream draw per step; each vantage forks its own task
-    // stream from it, so per-vantage randomness does not depend on how
-    // tasks interleave (or on how many tests other vantages ran).
-    const std::uint64_t step_seed = rng.Next();
-    std::vector<VantageBatch> batches(vantages_.size());
-    const auto run_vantage = [&](std::size_t i) {
-      core::Rng task_rng = core::Rng::Fork(step_seed, i);
-      VantageState& vantage = vantages_[i];
-      const StepSignal& signal = signals[i];
-      VantageBatch& batch = batches[i];
-
-      // Baseline schedule: timing independent of network state.
-      const std::uint32_t baseline = task_rng.Poisson(
-          vantage.config.baseline_tests_per_day * step_days);
-      RunTests(vantage, baseline, Intent::kBaseline, signal.congestion_signal,
-               task_rng, batch);
-
-      // User-initiated: rate inflated by dissatisfaction and route churn —
-      // the collider mechanism.
-      if (vantage.config.user_tests_per_day > 0.0 &&
-          signal.current_rtt > 0.0) {
-        double rate = vantage.config.user_tests_per_day * step_days;
-        if (vantage.ewma_rtt > 0.0) {
-          const double excess =
-              std::max(0.0, signal.current_rtt / vantage.ewma_rtt - 1.0);
-          rate *= 1.0 + vantage.config.dissatisfaction_gain * excess;
-        }
-        if (signal.path_changed) rate *= vantage.config.route_change_multiplier;
-        RunTests(vantage, task_rng.Poisson(rate), Intent::kUserInitiated,
-                 signal.congestion_signal, task_rng, batch);
-      }
-
-      // §4 proposal 1: conditional activation on external signals.
-      if (options_.conditional_activation && signal.path_changed) {
-        RunTests(vantage, options_.event_burst_tests, Intent::kEventTriggered,
-                 signal.congestion_signal, task_rng, batch);
-      }
-
-      // Habituate (this task owns vantages_[i]; no sharing).
-      if (signal.current_rtt > 0.0) {
-        vantage.ewma_rtt =
-            vantage.ewma_rtt < 0.0
-                ? signal.current_rtt
-                : (1.0 - options_.ewma_alpha) * vantage.ewma_rtt +
-                      options_.ewma_alpha * signal.current_rtt;
-      }
-    };
-    if (steering_ != nullptr) {
-      // EdgeSteering keeps an order-sensitive decision log, so run the
-      // identical forked-stream structure serially — same output, one lane.
-      for (std::size_t i = 0; i < vantages_.size(); ++i) run_vantage(i);
-    } else {
-      core::ParallelFor(vantages_.size(), run_vantage);
-    }
-
+    StepOutput step = GenerateStep(until, rng);
     if (streaming != nullptr) {
-      // Streaming merge: assign sequential ids in vantage order (identical
-      // to the batch merge below), then hand the whole step's batch to the
+      // Streaming commit: the whole step's merge-ordered batch goes to the
       // sink, whose per-shard fan-out does validation, store append,
       // lineage, and panel folds. Failures stay platform-side.
-      std::vector<PendingRecord> merged;
-      std::size_t total = 0;
-      for (const VantageBatch& batch : batches) total += batch.records.size();
-      merged.reserve(total);
-      for (VantageBatch& batch : batches) {
-        for (PendingRecord& pending : batch.records) {
-          pending.record.id = core::MeasurementId(next_record_id_++);
-          merged.push_back(std::move(pending));
-        }
-      }
-      streaming->IngestBatch(merged);
-      for (VantageBatch& batch : batches) {
-        for (ProbeFailure& failure : batch.failures) {
-          RecordFailure(failure);
-        }
-      }
-      continue;
-    }
-
-    // Merge in vantage order on the campaign thread: sequential ids,
-    // store_ ingestion, lineage emission, and failure bookkeeping are all
-    // single-threaded.
-    for (VantageBatch& batch : batches) {
-      for (PendingRecord& pending : batch.records) {
-        pending.record.id = core::MeasurementId(next_record_id_++);
-        if (!obs::Lineage::enabled()) {
-          if (pending.duplicate) store_.Add(pending.record);
-          store_.Add(std::move(pending.record));
-          continue;
-        }
-        obs::LineageRecordInfo info;
-        info.id = pending.record.id.value();
-        info.vantage = pending.record.vantage_pop;
-        info.intent = static_cast<std::uint8_t>(pending.record.intent);
-        info.attempts = static_cast<std::uint8_t>(
-            std::min<std::uint32_t>(pending.record.attempts, 255));
-        info.fault_mask = pending.fault_mask;
-        info.copies = pending.duplicate ? 2 : 1;
-        // Duplicate copies share id and content, so one verdict covers
-        // both Add() calls.
-        bool archived = false;
-        if (pending.duplicate) archived = store_.Add(pending.record);
-        info.archived = store_.Add(std::move(pending.record)) || archived;
-        obs::Lineage::Global().RecordEmitted(info);
-      }
-      for (ProbeFailure& failure : batch.failures) {
-        RecordFailure(failure);
-      }
+      streaming->IngestBatch(step.records);
+      CommitFailures(step.failures);
+    } else {
+      CommitBatch(std::move(step));
     }
   }
 }
@@ -351,45 +398,90 @@ void StreamingCampaign::IngestBatch(const std::vector<PendingRecord>& batch) {
     by_shard[store_.ShardOf(units[i])].push_back(
         static_cast<std::uint32_t>(i));
   }
-  const bool lineage = obs::Lineage::enabled();
   // Telemetry-silent: the ingest fan-out is an execution-strategy detail of
   // a path contracted to produce artifacts byte-identical to the batch
   // merge (which runs no region here); counting it would leak the strategy
   // into metrics.json. Task-side metric/lineage writes still replay.
   core::RegionTelemetrySilencer silencer;
   core::ParallelFor(shards, [&](std::size_t s) {
-    for (std::uint32_t i : by_shard[s]) {
-      const PendingRecord& pending = batch[i];
-      // Mirrors the batch merge in Platform::RunLoop: duplicate copies
-      // share id and content, one lineage verdict covers both appends,
-      // and only archived copies reach the panel.
-      bool archived_first = false;
-      if (pending.duplicate) archived_first = store_.Append(s, pending.record);
-      const bool archived = store_.Append(s, pending.record) || archived_first;
-      if (lineage) {
-        obs::LineageRecordInfo info;
-        info.id = pending.record.id.value();
-        info.vantage = pending.record.vantage_pop;
-        info.intent = static_cast<std::uint8_t>(pending.record.intent);
-        info.attempts = static_cast<std::uint8_t>(
-            std::min<std::uint32_t>(pending.record.attempts, 255));
-        info.fault_mask = pending.fault_mask;
-        info.copies = pending.duplicate ? 2 : 1;
-        info.archived = archived;
-        obs::Lineage::Global().RecordEmitted(info);
-      }
-      if (archived) {
-        if (pending.duplicate) {
-          panel_.Observe(s, units[i], pending.record.time,
-                         pending.record.rtt_ms, pending.record.id.value());
-        }
-        panel_.Observe(s, units[i], pending.record.time, pending.record.rtt_ms,
-                       pending.record.id.value());
-      }
-    }
+    IngestShard(s, batch, units, by_shard[s]);
   });
   ++batches_;
   ingested_ += batch.size();
+}
+
+void StreamingCampaign::IngestBatchSerial(
+    const std::vector<PendingRecord>& batch) {
+  const std::size_t shards = store_.shard_count();
+  std::vector<std::string> units(batch.size());
+  std::vector<std::vector<std::uint32_t>> by_shard(shards);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    units[i] = batch[i].record.UnitKey();
+    by_shard[store_.ShardOf(units[i])].push_back(
+        static_cast<std::uint32_t>(i));
+  }
+  // Same shard-index order the pool replays lineage buffers in, minus the
+  // pool. Used by the pipelined consumer thread, which must not carve a
+  // nested pool region of its own.
+  for (std::size_t s = 0; s < shards; ++s) {
+    IngestShard(s, batch, units, by_shard[s]);
+  }
+  ++batches_;
+  ingested_ += batch.size();
+}
+
+void StreamingCampaign::IngestShard(std::size_t shard,
+                                    const std::vector<PendingRecord>& batch,
+                                    const std::vector<std::string>& units,
+                                    const std::vector<std::uint32_t>& indices) {
+  const bool lineage = obs::Lineage::enabled();
+  for (std::uint32_t i : indices) {
+    const PendingRecord& pending = batch[i];
+    // Mirrors the batch merge in Platform::CommitBatch: duplicate copies
+    // share id and content, one lineage verdict covers both appends,
+    // and only archived copies reach the panel.
+    bool archived_first = false;
+    if (pending.duplicate) {
+      archived_first = store_.Append(shard, pending.record);
+    }
+    const bool archived =
+        store_.Append(shard, pending.record) || archived_first;
+    if (lineage) {
+      obs::LineageRecordInfo info;
+      info.id = pending.record.id.value();
+      info.vantage = pending.record.vantage_pop;
+      info.intent = static_cast<std::uint8_t>(pending.record.intent);
+      info.attempts = static_cast<std::uint8_t>(
+          std::min<std::uint32_t>(pending.record.attempts, 255));
+      info.fault_mask = pending.fault_mask;
+      info.copies = pending.duplicate ? 2 : 1;
+      info.archived = archived;
+      obs::Lineage::Global().RecordEmitted(info);
+    }
+    if (archived) {
+      if (pending.duplicate) {
+        panel_.Observe(shard, units[i], pending.record.time,
+                       pending.record.rtt_ms, pending.record.id.value());
+      }
+      panel_.Observe(shard, units[i], pending.record.time,
+                     pending.record.rtt_ms, pending.record.id.value());
+    }
+  }
+}
+
+void StreamingCampaign::Save(core::binio::Writer& w) const {
+  store_.Save(w);
+  panel_.Save(w);
+  w.PutU64(batches_);
+  w.PutU64(ingested_);
+}
+
+bool StreamingCampaign::Load(core::binio::Reader& r) {
+  if (!store_.Load(r)) return false;
+  if (!panel_.Load(r)) return false;
+  batches_ = r.GetU64();
+  ingested_ = r.GetU64();
+  return r.ok();
 }
 
 void Platform::LogCampaignSummary() const {

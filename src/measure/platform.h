@@ -83,6 +83,19 @@ struct StreamingOptions {
   std::size_t shard_count = ShardedMeasurementStore::kDefaultShardCount;
 };
 
+/// Everything one platform step produced, before any of it is committed:
+/// the merge-ordered record batch (sequential ids already assigned in
+/// vantage order) and the step's probe failures. This is the unit of
+/// durability (DESIGN.md §11): the journal records a serialized StepOutput
+/// before it is applied, and recovery re-generates the same StepOutput
+/// from the restored RNG/simulator state and verifies it byte-for-byte
+/// against the journaled frame.
+struct StepOutput {
+  std::vector<PendingRecord> records;
+  std::vector<ProbeFailure> failures;
+  core::SimTime step_end;
+};
+
 /// The streaming campaign sink: owns the sharded columnar store and the
 /// incremental panel builder, and ingests merge-ordered batches as the
 /// platform produces them. One batch = one platform step; within a batch,
@@ -104,6 +117,19 @@ class StreamingCampaign {
   /// metrics/lineage the batch path records.
   void IngestBatch(const std::vector<PendingRecord>& batch);
 
+  /// Serial variant of IngestBatch: identical verdicts, metrics, lineage,
+  /// and panel folds, but shards are walked in order on the calling thread
+  /// with no pool region. This is the pipelined-consumer path (DESIGN.md
+  /// §11): the consumer thread must not open parallel regions of its own,
+  /// and serial shard order equals the pool's index-ordered replay, so the
+  /// artifacts stay byte-identical either way.
+  void IngestBatchSerial(const std::vector<PendingRecord>& batch);
+
+  /// Serializes / restores the full campaign state (store arenas, panel
+  /// aggregates, batch counters) for a durable snapshot (DESIGN.md §11).
+  void Save(core::binio::Writer& w) const;
+  bool Load(core::binio::Reader& r);
+
   /// Assembles the panel from the running cell aggregates (serial; call
   /// after the campaign ends).
   Panel FinalizePanel() const { return panel_.Finalize(); }
@@ -116,6 +142,13 @@ class StreamingCampaign {
   std::uint64_t ingested() const { return ingested_; }
 
  private:
+  /// Shared per-shard ingest body: one shard's slice of a batch, applied
+  /// on whatever thread owns the shard for this batch (a pool task or the
+  /// serial consumer). `units[i]` is batch[i]'s precomputed unit key.
+  void IngestShard(std::size_t shard, const std::vector<PendingRecord>& batch,
+                   const std::vector<std::string>& units,
+                   const std::vector<std::uint32_t>& indices);
+
   StreamingOptions options_;
   ShardedMeasurementStore store_;
   IncrementalPanelBuilder panel_;
@@ -167,9 +200,51 @@ class Platform {
   void RunStreaming(core::SimTime until, core::Rng& rng,
                     StreamingCampaign& sink);
 
+  // -- step-at-a-time API (the durable service drives these directly) ----
+
+  /// Runs ONE step ending at min(Now() + step, until) — advance the
+  /// simulator, fan per-vantage generation across the pool, habituate
+  /// EWMAs — and returns the merge-ordered batch with sequential ids
+  /// assigned in vantage order, WITHOUT committing anything to a store or
+  /// recording failures. Both Run() and RunStreaming() are loops over
+  /// GenerateStep; the durable service journals the StepOutput before
+  /// applying it. Precondition: Now() < until.
+  StepOutput GenerateStep(core::SimTime until, core::Rng& rng);
+
+  /// Records a step's probe failures (metrics + lineage + failures()).
+  void CommitFailures(const std::vector<ProbeFailure>& failures);
+
+  /// Commits a batch-path step: lineage verdicts + store() ingestion in
+  /// merge order, then the failures.
+  void CommitBatch(StepOutput&& step);
+
+  /// Fast-forwards one step of simulated time WITHOUT generating tests,
+  /// consuming RNG draws, or touching EWMAs: advances the simulator,
+  /// swallows the step's route changes, and touches every
+  /// (vantage, server) route so the BGP route cache is as warm as a live
+  /// step would leave it. Recovery replays k snapshot-covered steps with
+  /// this before restoring state (DESIGN.md §11).
+  void SkipStep(core::SimTime until);
+
+  /// The platform-side mutable state a snapshot must carry: everything a
+  /// resumed process cannot re-derive from re-construction (EWMAs evolve
+  /// per step; ids/cursor/failures accumulate).
+  struct StreamState {
+    std::uint64_t next_record_id = 1;
+    std::uint64_t route_change_cursor = 0;
+    std::vector<double> ewma_rtt;  ///< one per vantage, AddVantage order
+    std::vector<ProbeFailure> failures;
+  };
+  StreamState CaptureStreamState() const;
+  void RestoreStreamState(const StreamState& state);
+
   MeasurementStore& store() { return store_; }
   const MeasurementStore& store() const { return store_; }
   const PlatformOptions& options() const { return options_; }
+
+  /// Current simulated time (the step loop driven externally by the
+  /// durable service needs the clock the internal loops read).
+  core::SimTime Now() const { return simulator_.Now(); }
 
   /// Total tests by intent (diagnostics).
   std::size_t CountByIntent(Intent intent) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/binio.h"
 #include "core/hash.h"
 #include "core/json.h"
 
@@ -25,6 +26,7 @@ const char* ToString(LineageStage stage) {
     case LineageStage::kAggregated: return "aggregated";
     case LineageStage::kDonor: return "donor";
     case LineageStage::kTreated: return "treated";
+    case LineageStage::kShedOverload: return "shed_overload";
   }
   return "unknown";
 }
@@ -53,6 +55,18 @@ IdRunSet IdRunSet::FromSorted(const std::vector<std::uint64_t>& sorted_ids) {
   }
   // Digest over the encoding bytes: equal sets hash equal; deterministic
   // on a fixed platform (byte order), which is all the artifact promises.
+  out.digest_ = core::Fnv1a64(std::string_view(
+      reinterpret_cast<const char*>(out.encoded_.data()),
+      out.encoded_.size() * sizeof(std::uint64_t)));
+  return out;
+}
+
+IdRunSet IdRunSet::FromEncoded(std::vector<std::uint64_t> encoded) {
+  IdRunSet out;
+  out.encoded_ = std::move(encoded);
+  for (std::size_t i = 0; i + 1 < out.encoded_.size(); i += 2) {
+    out.size_ += out.encoded_[i + 1];
+  }
   out.digest_ = core::Fnv1a64(std::string_view(
       reinterpret_cast<const char*>(out.encoded_.data()),
       out.encoded_.size() * sizeof(std::uint64_t)));
@@ -140,6 +154,18 @@ void Lineage::Apply(const LineageEvent& event) {
                                            : LineageStage::kQuarantined);
       break;
     }
+    case Kind::kShed: {
+      if (event.record.id == 0) break;
+      RecordEntry& entry = EntryFor(run, event.record.id);
+      entry.vantage = event.record.vantage;
+      entry.intent = event.record.intent;
+      entry.attempts = event.record.attempts;
+      entry.fault_mask = event.record.fault_mask;
+      entry.copies = 0;  // never delivered; conservation stays exact
+      entry.seen = true;
+      upgrade(entry, LineageStage::kShedOverload);
+      break;
+    }
     case Kind::kProbeFailure:
       run.probe_failures[event.name] += event.count;
       break;
@@ -211,6 +237,13 @@ void Lineage::BeginRun(std::string label) {
 void Lineage::RecordEmitted(const LineageRecordInfo& info) {
   LineageEvent event;
   event.kind = LineageEvent::Kind::kEmitted;
+  event.record = info;
+  Emit(std::move(event));
+}
+
+void Lineage::RecordShed(const LineageRecordInfo& info) {
+  LineageEvent event;
+  event.kind = LineageEvent::Kind::kShed;
   event.record = info;
   Emit(std::move(event));
 }
@@ -360,6 +393,127 @@ LineageWaterfall Lineage::Totals() const {
 std::size_t Lineage::run_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return runs_.size();
+}
+
+void Lineage::Save(core::binio::Writer& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.PutU64(runs_.size());
+  for (const RunLedger& run : runs_) {
+    w.PutString(run.label);
+    w.PutU64(run.records.size());
+    for (const RecordEntry& entry : run.records) {
+      w.PutU32(entry.vantage);
+      w.PutU8(entry.intent);
+      w.PutU8(entry.attempts);
+      w.PutU8(entry.fault_mask);
+      w.PutU8(entry.copies);
+      w.PutU8(static_cast<std::uint8_t>(entry.stage));
+      w.PutBool(entry.seen);
+    }
+    w.PutU64(run.probe_failures.size());
+    for (const auto& [reason, count] : run.probe_failures) {
+      w.PutString(reason);
+      w.PutU64(count);
+    }
+    w.PutU64(run.units.size());
+    for (const auto& [name, unit] : run.units) {
+      w.PutString(name);
+      w.PutBool(unit.dropped);
+      w.PutDouble(unit.missing_fraction);
+      w.PutU64(unit.observed_cells);
+      w.PutU64(unit.masked_cells);
+      w.PutU64(unit.cells.size());
+      for (const CellEntry& cell : unit.cells) {
+        w.PutU32(cell.period);
+        core::binio::PutU64Vector(w, cell.ids.encoded());
+      }
+      core::binio::PutU64Vector(w, unit.dropped_ids.encoded());
+      w.PutBool(unit.used_treated);
+      w.PutBool(unit.used_donor);
+    }
+    w.PutU64(run.estimates.size());
+    for (const EstimateEntry& estimate : run.estimates) {
+      w.PutString(estimate.label);
+      w.PutString(estimate.treated);
+      w.PutU64(estimate.donors.size());
+      for (const std::string& donor : estimate.donors) w.PutString(donor);
+      w.PutDouble(estimate.effect);
+      w.PutDouble(estimate.p_value);
+    }
+    w.PutU64(run.empty_units);
+    w.PutU64(run.event_count);
+  }
+}
+
+bool Lineage::Load(core::binio::Reader& r) {
+  std::vector<RunLedger> loaded;
+  const std::uint64_t run_count = r.GetU64();
+  for (std::uint64_t i = 0; i < run_count && r.ok(); ++i) {
+    RunLedger run;
+    run.label = r.GetString();
+    const std::uint64_t record_count = r.GetU64();
+    if (!r.ok() || record_count > r.remaining()) return false;
+    run.records.reserve(static_cast<std::size_t>(record_count));
+    for (std::uint64_t k = 0; k < record_count && r.ok(); ++k) {
+      RecordEntry entry;
+      entry.vantage = r.GetU32();
+      entry.intent = r.GetU8();
+      entry.attempts = r.GetU8();
+      entry.fault_mask = r.GetU8();
+      entry.copies = r.GetU8();
+      entry.stage = static_cast<LineageStage>(r.GetU8());
+      entry.seen = r.GetBool();
+      run.records.push_back(entry);
+    }
+    const std::uint64_t failure_count = r.GetU64();
+    for (std::uint64_t k = 0; k < failure_count && r.ok(); ++k) {
+      const std::string reason = r.GetString();
+      run.probe_failures[reason] = r.GetU64();
+    }
+    const std::uint64_t unit_count = r.GetU64();
+    for (std::uint64_t k = 0; k < unit_count && r.ok(); ++k) {
+      const std::string name = r.GetString();
+      UnitLedger unit;
+      unit.dropped = r.GetBool();
+      unit.missing_fraction = r.GetDouble();
+      unit.observed_cells = r.GetU64();
+      unit.masked_cells = r.GetU64();
+      const std::uint64_t cell_count = r.GetU64();
+      if (!r.ok() || cell_count > r.remaining()) return false;
+      unit.cells.reserve(static_cast<std::size_t>(cell_count));
+      for (std::uint64_t c = 0; c < cell_count && r.ok(); ++c) {
+        CellEntry cell;
+        cell.period = r.GetU32();
+        cell.ids = IdRunSet::FromEncoded(core::binio::GetU64Vector(r));
+        unit.cells.push_back(std::move(cell));
+      }
+      unit.dropped_ids = IdRunSet::FromEncoded(core::binio::GetU64Vector(r));
+      unit.used_treated = r.GetBool();
+      unit.used_donor = r.GetBool();
+      run.units.emplace(name, std::move(unit));
+    }
+    const std::uint64_t estimate_count = r.GetU64();
+    for (std::uint64_t k = 0; k < estimate_count && r.ok(); ++k) {
+      EstimateEntry estimate;
+      estimate.label = r.GetString();
+      estimate.treated = r.GetString();
+      const std::uint64_t donor_count = r.GetU64();
+      if (!r.ok() || donor_count > r.remaining()) return false;
+      for (std::uint64_t d = 0; d < donor_count && r.ok(); ++d) {
+        estimate.donors.push_back(r.GetString());
+      }
+      estimate.effect = r.GetDouble();
+      estimate.p_value = r.GetDouble();
+      run.estimates.push_back(std::move(estimate));
+    }
+    run.empty_units = r.GetU64();
+    run.event_count = r.GetU64();
+    loaded.push_back(std::move(run));
+  }
+  if (!r.ok()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_ = std::move(loaded);
+  return true;
 }
 
 namespace {

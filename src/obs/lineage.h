@@ -46,6 +46,11 @@
 #include <string_view>
 #include <vector>
 
+namespace sisyphus::core::binio {
+class Writer;
+class Reader;
+}  // namespace sisyphus::core::binio
+
 namespace sisyphus::obs {
 
 /// Pipeline stages a record can terminate in, ordered by depth: a
@@ -59,8 +64,9 @@ enum class LineageStage : std::uint8_t {
   kAggregated = 5,       ///< contributed to a kept panel cell, unused by fits
   kDonor = 6,            ///< its unit served in a fit's donor pool
   kTreated = 7,          ///< its unit was the treated series of a fit
+  kShedOverload = 8,     ///< dropped by streaming overload shedding (§11)
 };
-inline constexpr std::size_t kLineageStageCount = 8;
+inline constexpr std::size_t kLineageStageCount = 9;
 const char* ToString(LineageStage stage);
 
 /// Record-fault mask bits (set by measure::FaultInjector, named here so
@@ -92,6 +98,10 @@ class IdRunSet {
 
   /// Builds from ids sorted ascending (duplicates are collapsed).
   static IdRunSet FromSorted(const std::vector<std::uint64_t>& sorted_ids);
+
+  /// Rebuilds from a previously serialized encoded() vector (snapshot
+  /// restore); size and digest are recomputed from the encoding.
+  static IdRunSet FromEncoded(std::vector<std::uint64_t> encoded);
 
   std::uint64_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -132,6 +142,7 @@ struct LineageEvent {
   enum class Kind : std::uint8_t {
     kBeginRun,
     kEmitted,
+    kShed,
     kProbeFailure,
     kOutOfPanel,
     kUnitEmpty,
@@ -211,6 +222,10 @@ class Lineage {
 
   // -- measure/platform --------------------------------------------------
   void RecordEmitted(const LineageRecordInfo& info);
+  /// An emitted record dropped by the streaming overload-shed policy: it
+  /// terminates in shed_overload with zero delivered copies, keeping
+  /// emitted/delivered conservation exact (DESIGN.md §11).
+  void RecordShed(const LineageRecordInfo& info);
   void RecordProbeFailure(std::string_view reason, std::uint64_t count = 1);
 
   // -- measure/panel -----------------------------------------------------
@@ -248,6 +263,11 @@ class Lineage {
   /// Applies a captured per-task event buffer in order (called from the
   /// TaskObserver merge on the region's calling thread).
   void Replay(const std::vector<internal::LineageEvent>& events);
+
+  /// Serializes / restores the full ledger (every run, record entry, unit
+  /// cell set, and estimate) for a durable snapshot (DESIGN.md §11).
+  void Save(core::binio::Writer& w) const;
+  bool Load(core::binio::Reader& r);
 
  private:
   struct RecordEntry {

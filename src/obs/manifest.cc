@@ -60,6 +60,27 @@ std::string RunManifest::ToJson(const Registry& metrics, int indent) const {
     w.UInt(metrics.CounterValue(name));
   }
   w.EndObject();
+  // Durable-run provenance: where the last snapshot and journal frame
+  // stand, whether this process resumed or was interrupted. Deterministic
+  // for a given (campaign, snapshot cadence, kill point), but kept in the
+  // manifest because a resumed run legitimately differs from a clean one.
+  if (durable.enabled) {
+    w.Key("durable");
+    w.BeginObject();
+    w.Key("resumed");
+    w.Bool(durable.resumed);
+    w.Key("partial");
+    w.Bool(durable.partial);
+    w.Key("snapshot_seq");
+    w.UInt(durable.snapshot_seq);
+    w.Key("journal_high_water");
+    w.UInt(durable.journal_high_water);
+    w.Key("journal_entries");
+    w.UInt(durable.journal_entries);
+    w.Key("shed_records");
+    w.UInt(durable.shed_records);
+    w.EndObject();
+  }
   // ThreadPool behavior stats are wall-clock and therefore live here (the
   // chartered non-deterministic artifact), never in metrics.json.
   if (PoolStats::enabled()) {

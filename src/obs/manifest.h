@@ -29,6 +29,19 @@ struct PhaseTiming {
   std::int64_t sim_end_min = -1;
 };
 
+/// Checkpoint/journal provenance for a durable streaming run (DESIGN.md
+/// §11). Serialized as the manifest's "durable" object when enabled;
+/// obscheck validates the invariants (journal_high_water >= snapshot_seq).
+struct DurableInfo {
+  bool enabled = false;
+  bool resumed = false;   ///< run restored from a snapshot + journal tail
+  bool partial = false;   ///< interrupted (SIGINT/SIGTERM) before completion
+  std::uint64_t snapshot_seq = 0;        ///< last snapshot's step number
+  std::uint64_t journal_high_water = 0;  ///< last journaled step number
+  std::uint64_t journal_entries = 0;     ///< frames appended this process
+  std::uint64_t shed_records = 0;        ///< records shed on overload
+};
+
 struct RunManifest {
   std::string tool;    ///< binary/experiment name, e.g. "table1_ixp_synth_control"
   std::string schema = "sisyphus.run_manifest/1";
@@ -41,6 +54,7 @@ struct RunManifest {
   /// serialized in insertion order.
   std::vector<std::pair<std::string, std::string>> options;
   std::vector<PhaseTiming> phases;
+  DurableInfo durable;  ///< serialized only when durable.enabled
 
   void AddOption(std::string key, std::string value) {
     options.emplace_back(std::move(key), std::move(value));

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/binio.h"
 #include "core/error.h"
 #include "core/json.h"
 #include "core/parallel.h"
@@ -214,6 +215,14 @@ void Histogram::Reset() {
   sum_ = 0.0;
 }
 
+void Histogram::LoadState(const std::vector<std::uint64_t>& counts,
+                          std::uint64_t count, double sum) {
+  if (counts.size() != counts_.size()) return;
+  counts_ = counts;
+  count_ = count;
+  sum_ = sum;
+}
+
 const std::vector<double>& DefaultHistogramBounds() {
   static const std::vector<double> kBounds = [] {
     std::vector<double> bounds;
@@ -285,6 +294,55 @@ std::uint64_t Registry::CounterValue(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second->value();
+}
+
+void Registry::Save(core::binio::Writer& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.PutU64(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    w.PutString(name);
+    w.PutU64(counter->value());
+  }
+  w.PutU64(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    w.PutString(name);
+    w.PutDouble(gauge->value());
+  }
+  w.PutU64(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    w.PutString(name);
+    core::binio::PutDoubleVector(w, histogram->upper_bounds());
+    core::binio::PutU64Vector(w, histogram->bucket_counts());
+    w.PutU64(histogram->count());
+    w.PutDouble(histogram->sum());
+  }
+}
+
+bool Registry::Load(core::binio::Reader& r) {
+  const std::uint64_t counter_count = r.GetU64();
+  for (std::uint64_t i = 0; i < counter_count && r.ok(); ++i) {
+    const std::string name = r.GetString();
+    const std::uint64_t value = r.GetU64();
+    if (r.ok()) GetCounter(name)->LoadValue(value);
+  }
+  const std::uint64_t gauge_count = r.GetU64();
+  for (std::uint64_t i = 0; i < gauge_count && r.ok(); ++i) {
+    const std::string name = r.GetString();
+    const double value = r.GetDouble();
+    if (r.ok()) GetGauge(name)->LoadValue(value);
+  }
+  const std::uint64_t histogram_count = r.GetU64();
+  for (std::uint64_t i = 0; i < histogram_count && r.ok(); ++i) {
+    const std::string name = r.GetString();
+    std::vector<double> bounds = core::binio::GetDoubleVector(r);
+    const std::vector<std::uint64_t> counts = core::binio::GetU64Vector(r);
+    const std::uint64_t count = r.GetU64();
+    const double sum = r.GetDouble();
+    if (r.ok()) {
+      GetHistogram(name, std::move(bounds))->LoadState(counts, count, sum);
+    }
+  }
+  return r.ok();
 }
 
 std::string Registry::SnapshotJson(int indent) const {

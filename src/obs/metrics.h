@@ -25,6 +25,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -37,6 +38,11 @@ namespace sisyphus::core::json {
 class Writer;
 }  // namespace sisyphus::core::json
 
+namespace sisyphus::core::binio {
+class Writer;
+class Reader;
+}  // namespace sisyphus::core::binio
+
 namespace sisyphus::obs {
 
 /// Monotonically increasing count of events (probes attempted, cache
@@ -47,13 +53,21 @@ class Counter {
   explicit Counter(std::string name) : name_(std::move(name)) {}
 
   void Add(std::uint64_t n = 1);
-  std::uint64_t value() const { return value_; }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
-  void Reset() { value_ = 0; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+  /// Overwrites the count (snapshot restore, DESIGN.md §11).
+  void LoadValue(std::uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
-  std::uint64_t value_ = 0;
+  // Relaxed atomic: increments commute, so concurrent producer/consumer
+  // threads in the pipelined ingest mode (DESIGN.md §11) still yield a
+  // deterministic total. Everything else in the registry stays
+  // single-writer via the capture/replay path.
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written value (event-queue depth, panel dimensions...).
@@ -65,6 +79,8 @@ class Gauge {
   double value() const { return value_; }
   const std::string& name() const { return name_; }
   void Reset() { value_ = 0.0; }
+  /// Overwrites the value (snapshot restore).
+  void LoadValue(double v) { value_ = v; }
 
  private:
   std::string name_;
@@ -88,6 +104,10 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   void Reset();
+  /// Overwrites the full bucket state (snapshot restore). `counts` must
+  /// have upper_bounds() + 1 entries; mismatches are ignored.
+  void LoadState(const std::vector<std::uint64_t>& counts,
+                 std::uint64_t count, double sum);
 
  private:
   std::string name_;
@@ -133,6 +153,14 @@ class Registry {
 
   /// Value of a counter, 0 when absent — convenience for tests/benches.
   std::uint64_t CounterValue(std::string_view name) const;
+
+  /// Serializes every registered metric (names, values, histogram bucket
+  /// state) for a durable snapshot. Load() registers any missing metric
+  /// and overwrites values — the resumed process may have registered a
+  /// subset of the saved names before restore, never a superset with
+  /// different values (DESIGN.md §11 registration-safety invariant).
+  void Save(core::binio::Writer& w) const;
+  bool Load(core::binio::Reader& r);
 
  private:
   mutable std::mutex mu_;  // guards the maps (registration / snapshot)
@@ -227,7 +255,7 @@ inline void Counter::Add(std::uint64_t n) {
     internal::CaptureCount(this, n);
     return;
   }
-  value_ += n;
+  value_.fetch_add(n, std::memory_order_relaxed);
 }
 
 inline void Gauge::Set(double value) {

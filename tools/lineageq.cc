@@ -235,6 +235,7 @@ void PrintEstimate(const Value& run, const std::string& label) {
 struct CheckTotals {
   std::uint64_t attempted = 0, failed = 0, emitted = 0;
   std::uint64_t archived = 0, quarantined = 0;
+  std::uint64_t shed = 0;
   std::uint64_t units_kept = 0, units_dropped = 0, units_empty = 0;
   std::uint64_t cells_observed = 0, cells_masked = 0;
 };
@@ -331,6 +332,13 @@ void CheckRun(const Value& run, const std::string& where, CheckTotals& sums) {
   sums.emitted += emitted;
   sums.archived += archived;
   sums.quarantined += quarantined;
+  // Records dropped by the streaming overload-shed policy terminate in
+  // shed_overload with zero delivered copies, so they count toward
+  // emitted but not toward archived/quarantined — reconciled against the
+  // measure.stream.shed_overload counter below.
+  if (terminal != nullptr && terminal->is_object()) {
+    sums.shed += Count(*terminal, "shed_overload");
+  }
   if (const Value* panel = waterfall->Find("panel");
       panel != nullptr && panel->is_object()) {
     sums.units_kept += Count(*panel, "units_kept");
@@ -360,6 +368,7 @@ void Reconcile(const CheckTotals& sums, const Value& metrics) {
   expect("measure.probes.succeeded", sums.emitted);
   expect("measure.store.archived", sums.archived);
   expect("measure.store.quarantined", sums.quarantined);
+  expect("measure.stream.shed_overload", sums.shed);
   expect("measure.panel.units_kept", sums.units_kept);
   expect("measure.panel.units_dropped", sums.units_dropped);
   expect("measure.panel.units_empty", sums.units_empty);

@@ -132,6 +132,40 @@ void CheckManifest(const Value& root) {
       }
     }
   }
+
+  // Durable checkpoint/journal metadata is optional (only campaigns run
+  // under the DurableStreamingService write it), but when present it must
+  // be internally consistent: the journal high-water mark can never trail
+  // the snapshot it is supposed to cover (the service flushes the journal
+  // before every snapshot write).
+  if (const Value* durable = root.Find("durable"); durable != nullptr) {
+    const std::string durable_where = where + ".durable";
+    if (!durable->is_object()) {
+      Fail(durable_where, "not an object");
+    } else {
+      for (const char* key : {"resumed", "partial"}) {
+        (void)Require(*durable, durable_where, key, Value::Kind::kBool);
+      }
+      const Value* snapshot_seq = Require(*durable, durable_where,
+                                          "snapshot_seq", Value::Kind::kNumber);
+      const Value* high_water = Require(
+          *durable, durable_where, "journal_high_water", Value::Kind::kNumber);
+      (void)Require(*durable, durable_where, "journal_entries",
+                    Value::Kind::kNumber);
+      (void)Require(*durable, durable_where, "shed_records",
+                    Value::Kind::kNumber);
+      if (snapshot_seq != nullptr && high_water != nullptr &&
+          high_water->number < snapshot_seq->number) {
+        Fail(durable_where,
+             "journal_high_water " +
+                 std::to_string(
+                     static_cast<std::uint64_t>(high_water->number)) +
+                 " behind snapshot_seq " +
+                 std::to_string(
+                     static_cast<std::uint64_t>(snapshot_seq->number)));
+      }
+    }
+  }
 }
 
 void CheckMetrics(const Value& root) {
