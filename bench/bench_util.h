@@ -12,6 +12,7 @@
 #include <system_error>
 #include <vector>
 
+#include "audit/writer.h"
 #include "core/parallel.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
@@ -158,7 +159,17 @@ class ObsRun {
                   status.error().ToText().c_str());
       return 1;
     }
-    std::printf("wrote %s/{manifest,metrics,trace,lineage}.json\n",
+    // The indexed binary companion to lineage.json (DESIGN.md §12). It is
+    // a pure function of the final ledger, so it inherits the thread-count
+    // and kill/resume byte-identity the JSON quartet already guarantees.
+    const auto audit_status =
+        audit::WriteAuditArtifact(obs_dir_, obs::Lineage::Global());
+    if (!audit_status.ok()) {
+      std::printf("obs artifacts failed: %s\n",
+                  audit_status.error().ToText().c_str());
+      return 1;
+    }
+    std::printf("wrote %s/{manifest,metrics,trace,lineage}.json + audit.bin\n",
                 obs_dir_.c_str());
     return 0;
   }

@@ -6,16 +6,23 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "audit/reader.h"
+#include "audit/writer.h"
 #include "bench_util.h"
+#include "causal/robust_synthetic_control.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "durable/journal.h"
 #include "durable/snapshot.h"
+#include "measure/faults.h"
+#include "measure/panel.h"
 #include "measure/platform.h"
 #include "netsim/scenario_za.h"
+#include "obs/lineage.h"
 
 namespace {
 
@@ -197,6 +204,121 @@ void BM_SnapshotWrite(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_SnapshotWrite)->Arg(1 << 16)->Arg(1 << 20);
+
+// Shared fixture for the audit-store benches: populates the global
+// lineage ledger ONCE with a faulted two-week ZA campaign (panel + robust
+// fit + registered estimate — the full record→estimate waterfall), then
+// turns recording back off so the later campaign benches are unaffected.
+// The treated unit name is kept for the query bench.
+struct AuditLedgerFixture {
+  std::string treated_unit;
+  AuditLedgerFixture() {
+    obs::Lineage::Enable(true);
+    obs::Lineage::Global().Reset();
+    obs::Lineage::Global().BeginRun("bench");
+    netsim::ScenarioZaOptions options;
+    options.donor_units = 20;
+    options.treatment_time = core::SimTime::FromDays(7);
+    options.horizon = core::SimTime::FromDays(14);
+    auto scenario = netsim::BuildScenarioZa(options);
+    treated_unit = scenario.treated[0].name;
+    measure::PlatformOptions platform_options;
+    platform_options.server = scenario.content_jnb;
+    measure::Platform platform(*scenario.simulator, platform_options);
+    measure::FaultPlan plan;
+    plan.seed = 11;
+    plan.probe_loss_probability = 0.1;
+    plan.duplicate_probability = 0.05;
+    plan.corruption_probability = 0.02;
+    measure::FaultInjector injector(plan);
+    platform.SetFaultInjector(&injector);
+    measure::VantageConfig vantage;
+    vantage.baseline_tests_per_day = 10.0;
+    vantage.user_tests_per_day = 3.0;
+    for (const auto& unit : scenario.treated) {
+      vantage.pop = unit.access_pop;
+      platform.AddVantage(vantage);
+    }
+    for (auto donor : scenario.donors) {
+      vantage.pop = donor;
+      platform.AddVantage(vantage);
+    }
+    core::Rng rng(17);
+    platform.Run(options.horizon, rng);
+    measure::PanelOptions panel_options;
+    panel_options.bucket = core::SimTime::FromHours(6);
+    panel_options.periods = 14 * 4;
+    const auto panel = measure::BuildRttPanel(platform.store(), panel_options);
+    auto input = measure::MakeSyntheticControlInput(
+        panel, treated_unit, scenario.donor_names, options.treatment_time);
+    if (input.ok()) {
+      auto fit = causal::FitRobustSyntheticControl(input.value());
+      if (fit.ok()) {
+        obs::Lineage::Global().AddEstimate(
+            "bench.robust.unit0", treated_unit, scenario.donor_names,
+            fit.value().base.average_effect,
+            std::numeric_limits<double>::quiet_NaN());
+      }
+    }
+    obs::Lineage::Enable(false);
+  }
+};
+
+const AuditLedgerFixture& AuditLedger() {
+  static const AuditLedgerFixture fixture;
+  return fixture;
+}
+
+// Serializing the indexed audit artifact from a populated ledger: the
+// per-run cost ObsRun::Finish adds on top of the JSON quartet.
+void BM_AuditWrite(benchmark::State& state) {
+  const auto& fixture = AuditLedger();
+  (void)fixture;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string artifact =
+        audit::BuildAuditArtifact(obs::Lineage::Global());
+    bytes = artifact.size();
+    benchmark::DoNotOptimize(artifact.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_AuditWrite)->Unit(benchmark::kMillisecond);
+
+// One interactive lineageq round against the mmap'd index: waterfall +
+// unit lookup + estimate lookup + terminal slice + rankings. This is the
+// latency budget behind the <100ms acceptance bar (amortized per query;
+// Open itself is O(index) and excluded, as in `--serve`).
+void BM_AuditQuery(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const auto& fixture = AuditLedger();
+  const fs::path dir = fs::temp_directory_path() / "sisyphus-bench-audit";
+  fs::create_directories(dir);
+  const std::string dir_string = dir.string();
+  if (!audit::WriteAuditArtifact(dir_string, obs::Lineage::Global()).ok()) {
+    state.SkipWithError("audit artifact write failed");
+    return;
+  }
+  audit::AuditReader reader;
+  if (!reader.Open(dir_string + "/" + audit::kAuditFileName).ok()) {
+    state.SkipWithError("audit artifact open failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reader.run(0).waterfall.emitted);
+    auto unit = reader.FindUnit(0, fixture.treated_unit);
+    benchmark::DoNotOptimize(unit.ok() && unit.value().found);
+    auto estimate = reader.FindEstimate(0, "bench.robust.unit0");
+    benchmark::DoNotOptimize(estimate.ok() && estimate.value().found);
+    auto slice = reader.Terminal(0, obs::LineageStage::kAggregated);
+    benchmark::DoNotOptimize(slice.ok() ? slice.value().count : 0);
+    auto ranked = reader.Ranked(0);
+    benchmark::DoNotOptimize(ranked.ok() ? ranked.value().units.size() : 0);
+  }
+  fs::remove_all(dir);  // safe while mapped; the mapping outlives the name
+}
+BENCHMARK(BM_AuditQuery);
 
 }  // namespace
 

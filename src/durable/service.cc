@@ -297,6 +297,13 @@ class StepQueue {
     ready_.notify_all();
   }
 
+  /// Producer-side backlog snapshot (log-line telemetry only — never a
+  /// gauge input; depth depends on consumer timing).
+  std::size_t Depth() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size() + (busy_ ? 1 : 0);
+  }
+
  private:
   void ThrowIfFailedLocked() {
     if (failed_) {
@@ -549,6 +556,11 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
 
   // -- the step loop --------------------------------------------------------
   std::uint64_t seq = start_seq;
+  // Committed-record total for the heartbeat gauges. Tracked locally
+  // (campaign_.ingested() lags the producer in pipelined mode); seeded
+  // from the restored snapshot so a resumed run's gauge stream continues
+  // exactly where the killed run's left off.
+  std::uint64_t committed_records = campaign_.ingested();
   std::uint64_t next_record_id_after = restored ? head.stream.next_record_id : 1;
   stats.outcome = RunOutcome::kCompleted;
   try {
@@ -614,6 +626,7 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
         stats.shed_records += shed;
       }
 
+      const std::uint64_t step_records = step.records.size();
       if (options_.pipelined) {
         StepQueue::Item item;
         item.seq = seq;
@@ -632,6 +645,10 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
         }
       }
       ++stats.steps;
+      committed_records += step_records;
+      measure::EmitStreamHeartbeat(seq, committed_records,
+                                   options_.pipelined ? queue.Depth() : 0,
+                                   options_.heartbeat_every_steps);
 
       // Chaos: die at this step boundary, optionally corrupting state
       // first, exactly as a crash would — _exit, no unwinding.

@@ -363,10 +363,28 @@ void Platform::RestoreStreamState(const StreamState& state) {
   failures_ = state.failures;
 }
 
+void EmitStreamHeartbeat(std::uint64_t committed_steps,
+                         std::uint64_t committed_records,
+                         std::size_t live_queue_depth, std::size_t every) {
+  SISYPHUS_METRIC_GAUGE("measure.stream.records_ingested",
+                        static_cast<double>(committed_records));
+  SISYPHUS_METRIC_GAUGE("measure.stream.journal_high_water",
+                        static_cast<double>(committed_steps));
+  SISYPHUS_METRIC_GAUGE("measure.stream.queue_depth", 0.0);
+  if (every == 0 || committed_steps % every != 0) return;
+  core::LogLine(core::LogLevel::kInfo, "stream heartbeat",
+                {{"step", committed_steps},
+                 {"records", committed_records},
+                 {"queue_depth", static_cast<std::uint64_t>(live_queue_depth)}});
+}
+
 void Platform::RunLoop(core::SimTime until, core::Rng& rng,
                        StreamingCampaign* streaming) {
+  std::uint64_t steps = 0;
+  std::uint64_t records = 0;
   while (simulator_.Now() < until) {
     StepOutput step = GenerateStep(until, rng);
+    const std::uint64_t step_records = step.records.size();
     if (streaming != nullptr) {
       // Streaming commit: the whole step's merge-ordered batch goes to the
       // sink, whose per-shard fan-out does validation, store append,
@@ -376,6 +394,9 @@ void Platform::RunLoop(core::SimTime until, core::Rng& rng,
     } else {
       CommitBatch(std::move(step));
     }
+    ++steps;
+    records += step_records;
+    EmitStreamHeartbeat(steps, records, 0, options_.heartbeat_every_steps);
   }
 }
 

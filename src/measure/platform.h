@@ -64,6 +64,11 @@ struct PlatformOptions {
   RetryOptions retry;
   /// Ingest bounds for the platform's store (quarantine thresholds).
   StoreValidationOptions validation;
+  /// Emit a live progress line every N committed steps (0 = never). The
+  /// cadence is step-count-based, never wall-clock, so the line sequence
+  /// is deterministic; the measure.stream.* gauges refresh every step
+  /// regardless.
+  std::size_t heartbeat_every_steps = 50;
 };
 
 /// A probe that produced no record even after retries — the failure-side
@@ -310,5 +315,20 @@ class Platform {
   EdgeSteering* steering_ = nullptr;
   FaultInjector* injector_ = nullptr;
 };
+
+/// Streaming telemetry heartbeat, shared by the platform step loop (batch
+/// and streaming branches) and the durable service's step loop so the
+/// gauges agree across every execution path. Every call refreshes the
+/// measure.stream.{records_ingested,journal_high_water,queue_depth}
+/// gauges with values that are pure functions of the committed step
+/// stream (queue_depth is always 0 at a step boundary — a live depth
+/// would leak scheduling into metrics.json and break batch/stream
+/// parity). Every `every` steps it additionally emits an info-level
+/// progress line, where `live_queue_depth` (the pipelined consumer's
+/// backlog, timing-dependent) is allowed to appear because log lines are
+/// not part of the artifact contract.
+void EmitStreamHeartbeat(std::uint64_t committed_steps,
+                         std::uint64_t committed_records,
+                         std::size_t live_queue_depth, std::size_t every);
 
 }  // namespace sisyphus::measure

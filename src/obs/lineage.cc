@@ -333,7 +333,7 @@ void Lineage::AddEstimate(std::string label, std::string treated_unit,
   Emit(std::move(event));
 }
 
-std::vector<LineageStage> Lineage::ResolveStages(const RunLedger& run) const {
+std::vector<LineageStage> Lineage::ResolveStages(const RunLedger& run) {
   std::vector<LineageStage> stages;
   stages.reserve(run.records.size());
   for (const RecordEntry& entry : run.records) stages.push_back(entry.stage);

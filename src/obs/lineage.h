@@ -269,7 +269,9 @@ class Lineage {
   void Save(core::binio::Writer& w) const;
   bool Load(core::binio::Reader& r);
 
- private:
+  // Ledger internals, public so read-only consumers (the audit artifact
+  // writer in src/audit/) can walk the resolved ledger through VisitRuns
+  // without a parallel copy of the schema. Mutation stays private.
   struct RecordEntry {
     std::uint32_t vantage = 0;
     std::uint8_t intent = 0;
@@ -310,12 +312,25 @@ class Lineage {
     std::uint64_t event_count = 0;  ///< 0 = relabelable by BeginRun
   };
 
+  /// Per-record stages with used_treated/used_donor unit flags folded in
+  /// (pure function of one run ledger; shared by ToJson and the audit
+  /// artifact writer so both resolve identical terminal states).
+  static std::vector<LineageStage> ResolveStages(const RunLedger& run);
+
+  /// Read-only visitor over the run ledgers, invoked with mu_ held: the
+  /// audit writer serializes a consistent view without copying the ledger.
+  /// `fn` must not call back into this Lineage.
+  template <typename Fn>
+  void VisitRuns(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn(static_cast<const std::vector<RunLedger>&>(runs_));
+  }
+
+ private:
   void Emit(internal::LineageEvent&& event);
   void Apply(const internal::LineageEvent& event);  // mu_ held
   RunLedger& CurrentRun();                          // mu_ held
   RecordEntry& EntryFor(RunLedger& run, std::uint64_t id);  // mu_ held
-  /// Per-record stages with used_treated/used_donor unit flags folded in.
-  std::vector<LineageStage> ResolveStages(const RunLedger& run) const;
 
   mutable std::mutex mu_;
   std::vector<RunLedger> runs_;

@@ -1,0 +1,32 @@
+#include "artifact_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace sisyphus::tools {
+
+bool LoadJsonArtifact(const std::string& path, core::json::Value& out,
+                      bool required, const FailFn& fail) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (required) fail(path, "cannot open");
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) {
+    fail(path, "empty file — artifact truncated or never written");
+    return false;
+  }
+  auto parsed = core::json::Parse(text);
+  if (!parsed.ok()) {
+    fail(path, "unparseable (truncated?): " + parsed.error().ToText());
+    return false;
+  }
+  out = std::move(parsed).value();
+  return true;
+}
+
+}  // namespace sisyphus::tools

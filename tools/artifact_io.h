@@ -1,0 +1,30 @@
+// Shared artifact loading for the audit CLIs (lineageq, obscheck).
+//
+// Both tools historically carried identical copies of the
+// read-whole-file + parse + diagnose logic; the exact failure wording
+// and exit behavior (empty file, truncated JSON, missing file) is load
+// bearing — ctest fixtures and CI greps rely on it — so the single
+// implementation lives here and both binaries report through their own
+// Fail counter via the callback.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "core/json.h"
+
+namespace sisyphus::tools {
+
+/// Reports one validation failure: (where, what) — the caller prints
+/// "FAIL <where>: <what>" and bumps its error counter.
+using FailFn =
+    std::function<void(const std::string&, const std::string&)>;
+
+/// Reads and parses one JSON artifact into `out`. Returns false after
+/// reporting through `fail` when the file is missing (only if
+/// `required`), empty ("empty file — artifact truncated or never
+/// written"), or unparseable ("unparseable (truncated?): ...").
+bool LoadJsonArtifact(const std::string& path, core::json::Value& out,
+                      bool required, const FailFn& fail);
+
+}  // namespace sisyphus::tools

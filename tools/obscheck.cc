@@ -1,11 +1,12 @@
-// obscheck — schema validator for the --obs-out artifact quartet.
+// obscheck — schema validator for the --obs-out artifact set.
 //
 //   obscheck <dir>            validates <dir>/{manifest,metrics,trace}.json
-//                             plus lineage.json when present
+//                             plus lineage.json and the indexed audit.bin
 //   obscheck --manifest FILE  validates a single artifact by role
 //   obscheck --metrics FILE
 //   obscheck --trace FILE
 //   obscheck --lineage FILE
+//   obscheck --audit FILE
 //
 // Checks that each file parses as JSON (core::json::Parse, no third-party
 // dependency) and conforms to its schema: sisyphus.run_manifest/1 for the
@@ -15,21 +16,24 @@
 // trace format for trace.json, and sisyphus.lineage/1 for the lineage
 // ledger (per-run waterfall whose terminal stages partition the emitted
 // records — deep reconciliation against metrics.json lives in lineageq
-// --check). Exit 0 = all good; 1 = any violation (each printed with its
-// JSON path). CI runs this after the table1 --obs-out smoke run, and a
-// tier-1 ctest runs it against a real campaign's artifacts.
+// --check). The binary audit index (sisyphus.audit/1, audit.bin) is
+// opened with the mmap reader, every section checksum is verified, and
+// its run headers are cross-checked against lineage.json — the index
+// must describe the same campaign as the JSON it summarizes. Exit 0 =
+// all good; 1 = any violation (each printed with its JSON path). CI runs
+// this after the table1 --obs-out smoke run, and a tier-1 ctest runs it
+// against a real campaign's artifacts.
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
+#include "artifact_io.h"
+#include "audit/reader.h"
 #include "core/json.h"
 
 namespace {
 
-using sisyphus::core::json::Parse;
 using sisyphus::core::json::Value;
 
 int g_errors = 0;
@@ -343,26 +347,86 @@ void CheckLineage(const Value& root) {
   }
 }
 
-bool LoadAndCheck(const std::string& path, void (*check)(const Value&)) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    Fail(path, "cannot open");
-    return false;
+/// Validates the binary audit index: structural integrity (every section
+/// checksum) plus agreement with the lineage JSON when available — run
+/// count, labels, and emitted totals must match, or the index was
+/// written from a different campaign than the JSON sitting next to it.
+void CheckAuditFile(const std::string& path, const Value* lineage_root) {
+  sisyphus::audit::AuditReader reader;
+  if (const auto status = reader.Open(path); !status.ok()) {
+    Fail(path, status.error().message());
+    return;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  const std::string text = buffer.str();
-  if (text.empty()) {
-    Fail(path, "empty file — artifact truncated or never written");
-    return false;
+  std::printf("check %s\n", path.c_str());
+  const std::string where = "audit";
+  if (const auto status = reader.VerifyAll(); !status.ok()) {
+    Fail(path, status.error().message());
+    return;
   }
-  auto parsed = Parse(text);
-  if (!parsed.ok()) {
-    Fail(path, "unparseable (truncated?): " + parsed.error().ToText());
+  if (reader.run_count() == 0) {
+    Fail(where + ".runs",
+         "no runs recorded — artifact truncated, or the producing binary "
+         "ran with lineage disabled");
+    return;
+  }
+  for (std::size_t i = 0; i < reader.run_count(); ++i) {
+    const sisyphus::audit::RunSummary& run = reader.run(i);
+    const std::string run_where = where + ".runs[" + std::to_string(i) + "]";
+    std::uint64_t terminal_sum = 0;
+    for (std::uint64_t count : run.waterfall.terminal) terminal_sum += count;
+    if (terminal_sum != run.waterfall.emitted) {
+      Fail(run_where + ".terminal", "stage counts do not sum to emitted");
+    }
+    if (run.record_rows != run.waterfall.emitted) {
+      Fail(run_where + ".records", "row count != waterfall.emitted");
+    }
+  }
+  if (lineage_root == nullptr) return;
+  const Value* runs = lineage_root->Find("runs");
+  if (runs == nullptr || !runs->is_array()) return;  // reported by CheckLineage
+  if (runs->array.size() != reader.run_count()) {
+    Fail(where + ".runs",
+         "index has " + std::to_string(reader.run_count()) +
+             " run(s), lineage.json has " + std::to_string(runs->array.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    const std::string run_where = where + ".runs[" + std::to_string(i) + "]";
+    const Value& json_run = runs->array[i];
+    if (const Value* label = json_run.Find("label");
+        label != nullptr && label->is_string() &&
+        label->string != reader.run(i).label) {
+      Fail(run_where + ".label", "index says '" + reader.run(i).label +
+                                     "', lineage.json says '" + label->string +
+                                     "'");
+    }
+    const Value* waterfall = json_run.Find("waterfall");
+    const Value* emitted =
+        waterfall != nullptr ? waterfall->Find("emitted") : nullptr;
+    if (emitted != nullptr && emitted->is_number() &&
+        static_cast<std::uint64_t>(emitted->number) !=
+            reader.run(i).waterfall.emitted) {
+      Fail(run_where + ".emitted",
+           "index says " + std::to_string(reader.run(i).waterfall.emitted) +
+               ", lineage.json says " +
+               std::to_string(static_cast<std::uint64_t>(emitted->number)));
+    }
+  }
+}
+
+/// Loads one JSON artifact (shared loader, exact legacy diagnostics),
+/// prints the "check <path>" breadcrumb, and runs its schema check.
+/// `keep` (optional) receives the parsed root for cross-file checks.
+bool LoadAndCheck(const std::string& path, void (*check)(const Value&),
+                  Value* keep = nullptr) {
+  Value local;
+  Value& root = keep != nullptr ? *keep : local;
+  if (!sisyphus::tools::LoadJsonArtifact(path, root, /*required=*/true,
+                                         Fail)) {
     return false;
   }
   std::printf("check %s\n", path.c_str());
-  check(parsed.value());
+  check(root);
   return true;
 }
 
@@ -370,7 +434,7 @@ void PrintUsage() {
   std::printf(
       "usage: obscheck <obs-out-dir>\n"
       "       obscheck --manifest FILE | --metrics FILE | --trace FILE |"
-      " --lineage FILE\n");
+      " --lineage FILE | --audit FILE\n");
 }
 
 }  // namespace
@@ -388,6 +452,8 @@ int main(int argc, char** argv) {
     LoadAndCheck(argv[2], CheckTrace);
   } else if (std::strcmp(argv[1], "--lineage") == 0 && argc > 2) {
     LoadAndCheck(argv[2], CheckLineage);
+  } else if (std::strcmp(argv[1], "--audit") == 0 && argc > 2) {
+    CheckAuditFile(argv[2], nullptr);
   } else if (argv[1][0] == '-') {
     PrintUsage();
     return 1;
@@ -396,11 +462,16 @@ int main(int argc, char** argv) {
     LoadAndCheck(dir + "/manifest.json", CheckManifest);
     LoadAndCheck(dir + "/metrics.json", CheckMetrics);
     LoadAndCheck(dir + "/trace.json", CheckTrace);
-    // The writer emits the full quartet, so a missing lineage.json means
-    // the run died mid-write or the dir predates the schema — either way
-    // "skip silently" would let a broken producer pass CI. Use --lineage
-    // on a single file to validate legacy trios piecemeal.
-    LoadAndCheck(dir + "/lineage.json", CheckLineage);
+    // The writer emits the full artifact set, so a missing lineage.json
+    // or audit.bin means the run died mid-write or the dir predates the
+    // schema — either way "skip silently" would let a broken producer
+    // pass CI. Use --lineage / --audit on a single file to validate
+    // legacy dirs piecemeal.
+    Value lineage_root;
+    const bool have_lineage =
+        LoadAndCheck(dir + "/lineage.json", CheckLineage, &lineage_root);
+    CheckAuditFile(dir + "/" + sisyphus::audit::kAuditFileName,
+                   have_lineage ? &lineage_root : nullptr);
   }
   if (g_errors > 0) {
     std::printf("obscheck: %d violation(s)\n", g_errors);
