@@ -130,6 +130,79 @@ BENCHMARK(BM_WarmRoutesThreads)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Event reconvergence at ZA scenario scale: one link flap (down + up)
+// absorbed either incrementally (ApplyLinkEvent frontier repair, arg 1)
+// or by the pre-§14 baseline (InvalidateCache + full rewarm, arg 0),
+// with every PoP's table warm — the state an event-dense campaign is in
+// when the event lands. The ratio of the two rows is the tentpole
+// speedup figure (EXPERIMENTS.md "Event-dense reconvergence").
+void BM_EventReconvergence(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  auto scenario = netsim::BuildScenarioZa();
+  auto& sim = *scenario.simulator;
+  auto& topo = sim.topology();
+  std::vector<netsim::PopIndex> destinations;
+  for (netsim::PopIndex p = 0; p < topo.PopCount(); ++p) {
+    destinations.push_back(p);
+  }
+  sim.WarmRoutes(destinations);
+  const core::LinkId link{0};
+  for (auto _ : state) {
+    for (const bool up : {false, true}) {
+      topo.MutableLink(link).up = up;
+      if (incremental) {
+        sim.bgp().ApplyLinkEvent(link);
+      } else {
+        sim.bgp().InvalidateCache();
+        sim.bgp().WarmRoutes(destinations);
+      }
+    }
+    benchmark::DoNotOptimize(sim.bgp().CachedTableCount());
+  }
+  state.SetLabel(incremental ? "incremental" : "full");
+}
+BENCHMARK(BM_EventReconvergence)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// The same flap-absorption comparison swept over random-topology size:
+// full rewarm pays O(n) tables × O(n·links) convergence per event while
+// the frontier repair touches only the changed cone, so the gap widens
+// with n. Flaps the last access uplink (a leaf: small down-cone, making
+// link-up's confirm-converged scan the dominant incremental cost — the
+// conservative end of the speedup range).
+void BM_IncrementalVsFullWarm(benchmark::State& state) {
+  const bool incremental = state.range(1) != 0;
+  auto topo = RandomTopology(static_cast<std::size_t>(state.range(0)), 11);
+  netsim::BgpSimulator bgp(topo);
+  std::vector<netsim::PopIndex> destinations;
+  for (netsim::PopIndex p = 0; p < topo.PopCount(); ++p) {
+    destinations.push_back(p);
+  }
+  bgp.WarmRoutes(destinations);
+  const core::LinkId link{static_cast<std::uint32_t>(topo.LinkCount() - 1)};
+  for (auto _ : state) {
+    for (const bool up : {false, true}) {
+      topo.MutableLink(link).up = up;
+      if (incremental) {
+        bgp.ApplyLinkEvent(link);
+      } else {
+        bgp.InvalidateCache();
+        bgp.WarmRoutes(destinations);
+      }
+    }
+    benchmark::DoNotOptimize(bgp.CachedTableCount());
+  }
+  state.SetLabel(incremental ? "incremental" : "full");
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_IncrementalVsFullWarm)
+    ->ArgsProduct({{64, 128, 256}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
 void BM_ScenarioZaBuild(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(netsim::BuildScenarioZa());

@@ -31,8 +31,26 @@ void NetworkSimulator::WatchPath(PopIndex source, PopIndex destination) {
   pair.destination = destination;
   if (auto route = bgp_.Route(source, destination); route.ok()) {
     pair.last_asn_path = route.value().asn_path;
+  } else {
+    // No route at watch time: record the state instead of silently
+    // treating it as "unknown", so later path-change detection starts
+    // from an explicit unreachable baseline.
+    pair.unreachable_at_watch = true;
+    SISYPHUS_METRIC_COUNT("netsim.watch.unreachable_at_watch", 1);
+    (SISYPHUS_LOG(kWarn) << "WatchPath: initial route lookup failed")
+        .With("source", topology_.GetPop(source).label)
+        .With("destination", topology_.GetPop(destination).label)
+        .With("error", route.error().message());
   }
   watched_.push_back(std::move(pair));
+}
+
+std::size_t NetworkSimulator::UnreachableWatchCount() const {
+  std::size_t count = 0;
+  for (const WatchedPair& pair : watched_) {
+    if (pair.unreachable_at_watch) ++count;
+  }
+  return count;
 }
 
 void NetworkSimulator::ApplyEvent(const NetworkEvent& event) {
@@ -40,12 +58,14 @@ void NetworkSimulator::ApplyEvent(const NetworkEvent& event) {
     case EventType::kLinkDown:
       SISYPHUS_REQUIRE(event.link.has_value(), "kLinkDown: missing link");
       topology_.MutableLink(*event.link).up = false;
-      bgp_.InvalidateCache();
+      // Scoped reconvergence: repair only the destination cone that
+      // traverses the link instead of dropping every converged table.
+      bgp_.ApplyLinkEvent(*event.link);
       break;
     case EventType::kLinkUp:
       SISYPHUS_REQUIRE(event.link.has_value(), "kLinkUp: missing link");
       topology_.MutableLink(*event.link).up = true;
-      bgp_.InvalidateCache();
+      bgp_.ApplyLinkEvent(*event.link);
       break;
     case EventType::kLocalPrefChange:
       SISYPHUS_REQUIRE(event.link.has_value(), "kLocalPrefChange: no link");
@@ -128,6 +148,11 @@ void NetworkSimulator::RecordPathChanges(const std::string& trigger,
       current = route.value().asn_path;
     }
     if (current != pair.last_asn_path) {
+      if (pair.unreachable_at_watch && !current.empty()) {
+        // First transition out of the unreachable-at-watch state: from
+        // here on the pair behaves like any other watched path.
+        pair.unreachable_at_watch = false;
+      }
       RouteChangeRecord record;
       record.time = now_;
       record.source = pair.source;

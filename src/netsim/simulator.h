@@ -64,8 +64,14 @@ class NetworkSimulator {
   void AddTePolicy(TePolicy policy);
 
   /// Watches (source, destination) for path changes; changes are appended
-  /// to route_changes().
+  /// to route_changes(). A failed initial route lookup is logged and the
+  /// pair marked unreachable_at_watch (instead of silently dropping the
+  /// error), so the first appearance of a route is a well-defined change
+  /// from an explicit unreachable baseline.
   void WatchPath(PopIndex source, PopIndex destination);
+
+  /// Watched pairs still in the unreachable-at-watch state.
+  std::size_t UnreachableWatchCount() const;
 
   /// Advances simulation time to `until`, applying due events and TE
   /// policies each tick and logging path changes on watched pairs.
@@ -118,6 +124,8 @@ class NetworkSimulator {
     PopIndex source;
     PopIndex destination;
     std::vector<core::Asn> last_asn_path;  ///< empty = unreachable/unknown
+    /// The initial route lookup failed; cleared when a route first appears.
+    bool unreachable_at_watch = false;
   };
   std::vector<WatchedPair> watched_;
   std::vector<RouteChangeRecord> route_changes_;

@@ -204,6 +204,32 @@ TEST(SimulatorTest, ApplyNowTakesEffectImmediately) {
   EXPECT_TRUE(route.value().CrossesAsn(Asn{30}));
 }
 
+TEST(SimulatorTest, WatchPathRecordsUnreachableBaseline) {
+  // Watching a pair with no current route must not silently swallow the
+  // lookup error: the pair starts in unreachable_at_watch, and the first
+  // route appearance is logged as a change from an empty old path.
+  SimFixture f;
+  f.topo.MutableLink(f.primary).up = false;
+  f.topo.MutableLink(f.backup).up = false;
+  const auto primary = f.primary;
+  NetworkSimulator sim(std::move(f.topo));
+  sim.WatchPath(f.src, f.dst);
+  EXPECT_EQ(sim.UnreachableWatchCount(), 1u);
+  EXPECT_TRUE(sim.route_changes().empty());
+
+  NetworkEvent event;
+  event.time = sim.Now();
+  event.type = EventType::kLinkUp;
+  event.exogenous = true;
+  event.description = "repair";
+  event.link = primary;
+  sim.ApplyNow(event);
+  EXPECT_EQ(sim.UnreachableWatchCount(), 0u);
+  ASSERT_EQ(sim.route_changes().size(), 1u);
+  EXPECT_TRUE(sim.route_changes()[0].old_asn_path.empty());
+  EXPECT_FALSE(sim.route_changes()[0].new_asn_path.empty());
+}
+
 TEST(SimulatorTest, SampleRttPositiveAndVariable) {
   SimFixture f;
   NetworkSimulator sim(std::move(f.topo));
