@@ -16,6 +16,7 @@
 #include "core/parallel.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace sisyphus::bench {
@@ -140,6 +141,8 @@ class ObsRun {
     obs::Lineage::Global().BeginRun(manifest_.tool);
     obs::PoolStats::Enable(true);
     obs::PoolStats::Global().Reset();
+    obs::Timeline::Enable(true);
+    obs::Timeline::Global().Reset();
   }
 
   bool active() const { return !obs_dir_.empty(); }
@@ -149,6 +152,18 @@ class ObsRun {
   int Finish() {
     if (!active()) return 0;
     PrintWaterfallSummary();
+    // Fold the timeline rollup into the manifest BEFORE the JSON quartet
+    // is rendered, so manifest.json and timeline.bin agree on counts.
+    const obs::Timeline::Summary timeline = obs::Timeline::Global().GetSummary();
+    manifest_.timeline.enabled = true;
+    manifest_.timeline.steps = timeline.steps;
+    manifest_.timeline.first_step = timeline.first_step;
+    manifest_.timeline.last_step = timeline.last_step;
+    manifest_.timeline.series = timeline.series;
+    manifest_.timeline.samples = timeline.samples;
+    manifest_.timeline.events = timeline.events;
+    manifest_.timeline.level_shift_events = timeline.level_shift_events;
+    manifest_.timeline.churn_events = timeline.churn_events;
     std::error_code ec;
     std::filesystem::create_directories(obs_dir_, ec);
     const auto status = obs::WriteRunArtifacts(
@@ -169,8 +184,17 @@ class ObsRun {
                   audit_status.error().ToText().c_str());
       return 1;
     }
-    std::printf("wrote %s/{manifest,metrics,trace,lineage}.json + audit.bin\n",
-                obs_dir_.c_str());
+    // The per-step timeline (DESIGN.md §15): like audit.bin, a pure
+    // function of committed state, byte-identical across thread counts
+    // and kill/resume.
+    if (!obs::WriteTimelineArtifact(obs_dir_)) {
+      std::printf("obs artifacts failed: timeline.bin write error\n");
+      return 1;
+    }
+    std::printf(
+        "wrote %s/{manifest,metrics,trace,lineage}.json + audit.bin + "
+        "timeline.bin\n",
+        obs_dir_.c_str());
     return 0;
   }
 

@@ -19,6 +19,7 @@
 #include "durable/snapshot.h"
 #include "obs/lineage.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace sisyphus::durable {
 
@@ -191,6 +192,7 @@ std::string EncodeSnapshotPayload(std::uint64_t seq, const core::Rng& rng,
   obs::Registry::Global().Save(w);
   obs::Lineage::Global().Save(w);
   campaign.Save(w);
+  obs::Timeline::Global().Save(w);
   return std::move(w).Take();
 }
 
@@ -351,15 +353,19 @@ bool FlipByte(const std::string& path, std::size_t offset) {
 struct TelemetryPause {
   bool registry_enabled;
   bool lineage_enabled;
+  bool timeline_enabled;
   TelemetryPause()
       : registry_enabled(obs::Registry::enabled()),
-        lineage_enabled(obs::Lineage::enabled()) {
+        lineage_enabled(obs::Lineage::enabled()),
+        timeline_enabled(obs::Timeline::enabled()) {
     obs::Registry::Enable(false);
     obs::Lineage::Enable(false);
+    obs::Timeline::Enable(false);
   }
   ~TelemetryPause() {
     obs::Registry::Enable(registry_enabled);
     obs::Lineage::Enable(lineage_enabled);
+    obs::Timeline::Enable(timeline_enabled);
   }
 };
 
@@ -482,7 +488,7 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
     binio::Reader tail(head.tail);
     if (!obs::Registry::Global().Load(tail) ||
         !obs::Lineage::Global().Load(tail) || !campaign_.Load(tail) ||
-        tail.remaining() != 0) {
+        !obs::Timeline::Global().Load(tail) || tail.remaining() != 0) {
       return core::Error(core::ErrorCode::kParseError,
                          "durable resume: snapshot state failed to load "
                          "(checksum passed but decoding diverged)");
@@ -513,6 +519,11 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
     }
   }
 
+  // Pin the fixed produce-phase series ids before the consumer thread can
+  // declare its first rtt.mean.* series (idempotent after a resume — the
+  // restored timeline already holds them).
+  measure::DeclareStreamTelemetrySeries();
+
   // -- pipelined consumer ---------------------------------------------------
   StepQueue queue(options_.queue_capacity);
   ConsumerGuard consumer;
@@ -525,6 +536,9 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
           if (options_.ingest_fault) options_.ingest_fault(item.seq);
           campaign_.IngestBatchSerial(item.step.records);
           platform_.CommitFailures(item.step.failures);
+          // Ingest-phase timeline sample, before ItemDone so quiesce
+          // points (snapshots, chaos kills) never see a half-sampled step.
+          measure::SampleTimelineIngest(item.seq, campaign_);
           queue.ItemDone();
         } catch (const std::exception& e) {
           queue.Fail(item.seq, e.what());
@@ -550,6 +564,10 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
                          "durable: " + error);
     }
     PruneSnapshots(options_.dir, options_.keep_snapshots);
+    // Refresh the live timeline artifact next to the snapshots so
+    // `timelineq --follow` can tail a running campaign; like the gauges,
+    // its content is a pure function of the committed step stream.
+    if (obs::Timeline::enabled()) obs::WriteTimelineArtifact(options_.dir);
     last_snapshot_seq = seq;
     return true;
   };
@@ -646,9 +664,10 @@ core::Result<RunStats> DurableStreamingService::RunInternal(core::SimTime until,
       }
       ++stats.steps;
       committed_records += step_records;
-      measure::EmitStreamHeartbeat(seq, committed_records,
-                                   options_.pipelined ? queue.Depth() : 0,
-                                   options_.heartbeat_every_steps);
+      measure::EmitStepTelemetry(
+          seq, committed_records, options_.pipelined ? queue.Depth() : 0,
+          platform_.options().heartbeat_every_steps, &campaign_,
+          /*ingest_sampled_elsewhere=*/options_.pipelined);
 
       // Chaos: die at this step boundary, optionally corrupting state
       // first, exactly as a crash would — _exit, no unwinding.

@@ -80,10 +80,10 @@ struct DurableOptions {
   /// (backpressure changes timing only, never artifact content).
   bool pipelined = false;
   std::size_t queue_capacity = 4;
-  /// Progress line cadence (committed steps, never wall-clock); matches
-  /// PlatformOptions::heartbeat_every_steps so the durable loop's gauge
-  /// stream is identical to the plain streaming loop's.
-  std::size_t heartbeat_every_steps = 50;
+  // Heartbeat cadence comes from PlatformOptions::heartbeat_every_steps —
+  // one source of truth, so the durable loop's gauge/log stream (and the
+  // timeline sampler riding the same hook) is identical to the plain
+  // streaming loop's by construction.
   /// Test hook: stop cleanly after N live steps WITHOUT a final snapshot —
   /// emulates a crash whose journal survived (the crash-at-every-step
   /// property test drives this).

@@ -1,6 +1,7 @@
 #include "measure/panel.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -73,6 +74,15 @@ void IncrementalPanelBuilder::Observe(std::size_t shard, std::string_view unit,
   CellAccumulator& cell = it->second.cells[static_cast<std::size_t>(idx)];
   cell.values.push_back(rtt_ms);
   if (lineage_) cell.ids.push_back(id);
+  UnitCells& unit_cells = it->second;
+  ++unit_cells.running_count;
+  const double t = unit_cells.running_sum + rtt_ms;
+  if (std::abs(unit_cells.running_sum) >= std::abs(rtt_ms)) {
+    unit_cells.running_comp += (unit_cells.running_sum - t) + rtt_ms;
+  } else {
+    unit_cells.running_comp += (rtt_ms - t) + unit_cells.running_sum;
+  }
+  unit_cells.running_sum = t;
   ++owner.observed;
 }
 
@@ -80,6 +90,25 @@ std::uint64_t IncrementalPanelBuilder::observed() const {
   std::uint64_t total = 0;
   for (const Shard& shard : shards_) total += shard.observed;
   return total;
+}
+
+void IncrementalPanelBuilder::VisitRunningMeans(
+    const std::function<void(std::string_view, std::uint64_t, double)>& visit)
+    const {
+  // Shards partition units, so the sorted concatenation of the per-shard
+  // maps is the global sorted unit order (same gather as Finalize).
+  std::vector<std::pair<std::string_view, const UnitCells*>> units;
+  for (const Shard& shard : shards_) {
+    for (const auto& [unit, cells] : shard.units) {
+      units.emplace_back(unit, &cells);
+    }
+  }
+  std::sort(units.begin(), units.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [unit, cells] : units) {
+    visit(unit, cells->running_count,
+          cells->running_sum + cells->running_comp);
+  }
 }
 
 void IncrementalPanelBuilder::Save(core::binio::Writer& w) const {
@@ -103,6 +132,9 @@ void IncrementalPanelBuilder::Save(core::binio::Writer& w) const {
         core::binio::PutDoubleVector(w, cell.values);
         core::binio::PutU64Vector(w, cell.ids);
       }
+      w.PutU64(cells.running_count);
+      w.PutDouble(cells.running_sum);
+      w.PutDouble(cells.running_comp);
     }
     w.PutU64(shard.observed);
   }
@@ -131,6 +163,9 @@ bool IncrementalPanelBuilder::Load(core::binio::Reader& r) {
         cell.values = core::binio::GetDoubleVector(r);
         cell.ids = core::binio::GetU64Vector(r);
       }
+      cells.running_count = r.GetU64();
+      cells.running_sum = r.GetDouble();
+      cells.running_comp = r.GetDouble();
       shard.units.emplace(unit, std::move(cells));
     }
     shard.observed = r.GetU64();

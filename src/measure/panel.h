@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -111,6 +112,17 @@ class IncrementalPanelBuilder {
   /// Record copies folded in so far (in-horizon only), across shards.
   std::uint64_t observed() const;
 
+  /// Visits every unit's running in-horizon RTT aggregate — (unit name,
+  /// record count, compensated sum) — in ascending unit-name order across
+  /// shards. The sum is maintained incrementally in arrival order with
+  /// Neumaier compensation and serialized verbatim by Save/Load, so it is
+  /// bit-identical across thread counts and kill/resume (per-unit arrival
+  /// order is deterministic: one unit lives in one shard, shards replay
+  /// batches in step order). This is the timeline sampler's read API.
+  void VisitRunningMeans(
+      const std::function<void(std::string_view unit, std::uint64_t count,
+                               double sum)>& visit) const;
+
   /// Assembles the panel and emits the same per-unit metrics and lineage
   /// events (units_empty/dropped/kept, cells observed/masked, per-cell id
   /// sets in ascending period order) as a batch BuildRttPanel pass.
@@ -130,6 +142,13 @@ class IncrementalPanelBuilder {
   };
   struct UnitCells {
     std::vector<CellAccumulator> cells;  ///< length = options.periods
+    // Unit-wide running RTT aggregate in arrival order (Neumaier
+    // compensated), for the timeline sampler. Serialized by Save/Load —
+    // recomputing from cell values would change summation order and break
+    // kill/resume bit-identity.
+    std::uint64_t running_count = 0;
+    double running_sum = 0.0;
+    double running_comp = 0.0;
   };
   struct Shard {
     std::map<std::string, UnitCells, std::less<>> units;

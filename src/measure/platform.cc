@@ -9,6 +9,7 @@
 #include "core/parallel.h"
 #include "obs/lineage.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace sisyphus::measure {
 
@@ -157,6 +158,25 @@ void Platform::Run(core::SimTime until, core::Rng& rng) {
   LogCampaignSummary();
 }
 
+namespace {
+
+/// Appends p50/p95/p99 fields for every registered histogram with data
+/// (one "<name>.pXX" triple each) to a campaign-end summary — the same
+/// deterministic bucket-interpolated quantiles metrics.json carries.
+void AppendHistogramQuantileFields(std::vector<core::LogField>& fields) {
+  if (!obs::Registry::enabled()) return;
+  for (const char* name : {"netsim.bgp.convergence_sweeps"}) {
+    const obs::Histogram* histogram =
+        obs::Registry::Global().FindHistogram(name);
+    if (histogram == nullptr || histogram->count() == 0) continue;
+    fields.emplace_back(std::string(name) + ".p50", histogram->Quantile(0.50));
+    fields.emplace_back(std::string(name) + ".p95", histogram->Quantile(0.95));
+    fields.emplace_back(std::string(name) + ".p99", histogram->Quantile(0.99));
+  }
+}
+
+}  // namespace
+
 void Platform::RunStreaming(core::SimTime until, core::Rng& rng,
                             StreamingCampaign& sink) {
   RunLoop(until, rng, &sink);
@@ -173,6 +193,7 @@ void Platform::RunStreaming(core::SimTime until, core::Rng& rng,
   for (const auto& [reason, count] : FailureReasonCounts()) {
     fields.emplace_back("fail." + reason, count);
   }
+  AppendHistogramQuantileFields(fields);
   core::LogLine(core::LogLevel::kInfo, "streaming campaign complete", fields);
 }
 
@@ -378,8 +399,84 @@ void EmitStreamHeartbeat(std::uint64_t committed_steps,
                  {"queue_depth", static_cast<std::uint64_t>(live_queue_depth)}});
 }
 
+void DeclareStreamTelemetrySeries() {
+  if (!obs::Timeline::enabled()) return;
+  obs::Timeline& timeline = obs::Timeline::Global();
+  timeline.DeclareCounter("measure.stream.records_ingested");
+  timeline.DeclareCounter("measure.stream.journal_high_water");
+  timeline.DeclareCounter("measure.stream.shed_overload");
+  const obs::ChurnConfig churn;
+  timeline.DeclareCounter("netsim.bgp.invalidated_destinations", &churn);
+  timeline.DeclareCounter("netsim.bgp.retained_destinations");
+  timeline.DeclareCounter("netsim.bgp.frontier_pops");
+  timeline.DeclareCounter("netsim.bgp.route_cache_hits");
+  timeline.DeclareCounter("netsim.bgp.route_cache_misses");
+  timeline.DeclareCounter("netsim.bgp.tables_computed");
+}
+
+void EmitStepTelemetry(std::uint64_t committed_steps,
+                       std::uint64_t committed_records,
+                       std::size_t live_queue_depth, std::size_t every,
+                       const StreamingCampaign* campaign,
+                       bool ingest_sampled_elsewhere) {
+  EmitStreamHeartbeat(committed_steps, committed_records, live_queue_depth,
+                      every);
+  if (!obs::Timeline::enabled()) return;
+  obs::Timeline& timeline = obs::Timeline::Global();
+  const obs::Registry& registry = obs::Registry::Global();
+  timeline.SampleCounter(
+      committed_steps,
+      timeline.DeclareCounter("measure.stream.records_ingested"),
+      committed_records);
+  timeline.SampleCounter(
+      committed_steps,
+      timeline.DeclareCounter("measure.stream.journal_high_water"),
+      committed_steps);
+  timeline.SampleCounter(
+      committed_steps,
+      timeline.DeclareCounter("measure.stream.shed_overload"),
+      registry.CounterValue("measure.stream.shed_overload"));
+  // Route-churn detector: every step in which destinations were
+  // invalidated is a route event (ScenarioZa's treatment flap included).
+  const obs::ChurnConfig churn;
+  timeline.SampleCounter(
+      committed_steps,
+      timeline.DeclareCounter("netsim.bgp.invalidated_destinations", &churn),
+      registry.CounterValue("netsim.bgp.invalidated_destinations"));
+  for (const char* name :
+       {"netsim.bgp.retained_destinations", "netsim.bgp.frontier_pops",
+        "netsim.bgp.route_cache_hits", "netsim.bgp.route_cache_misses",
+        "netsim.bgp.tables_computed"}) {
+    timeline.SampleCounter(committed_steps, timeline.DeclareCounter(name),
+                           registry.CounterValue(name));
+  }
+  timeline.ClosePhase(committed_steps, obs::Timeline::Phase::kProduce);
+  if (ingest_sampled_elsewhere) return;
+  if (campaign != nullptr) {
+    SampleTimelineIngest(committed_steps, *campaign);
+  } else {
+    timeline.ClosePhase(committed_steps, obs::Timeline::Phase::kIngest);
+  }
+}
+
+void SampleTimelineIngest(std::uint64_t step,
+                          const StreamingCampaign& campaign) {
+  if (!obs::Timeline::enabled()) return;
+  obs::Timeline& timeline = obs::Timeline::Global();
+  const obs::LevelShiftConfig shift;
+  campaign.panel_builder().VisitRunningMeans(
+      [&](std::string_view unit, std::uint64_t count, double sum) {
+        std::string name = "rtt.mean.";
+        name.append(unit);
+        const std::uint32_t id = timeline.DeclareRunningMean(name, &shift);
+        timeline.SampleRunningMean(step, id, count, sum);
+      });
+  timeline.ClosePhase(step, obs::Timeline::Phase::kIngest);
+}
+
 void Platform::RunLoop(core::SimTime until, core::Rng& rng,
                        StreamingCampaign* streaming) {
+  DeclareStreamTelemetrySeries();
   std::uint64_t steps = 0;
   std::uint64_t records = 0;
   while (simulator_.Now() < until) {
@@ -396,7 +493,8 @@ void Platform::RunLoop(core::SimTime until, core::Rng& rng,
     }
     ++steps;
     records += step_records;
-    EmitStreamHeartbeat(steps, records, 0, options_.heartbeat_every_steps);
+    EmitStepTelemetry(steps, records, 0, options_.heartbeat_every_steps,
+                      streaming, /*ingest_sampled_elsewhere=*/false);
   }
 }
 
@@ -517,6 +615,7 @@ void Platform::LogCampaignSummary() const {
   for (const auto& [reason, count] : FailureReasonCounts()) {
     fields.emplace_back("fail." + reason, count);
   }
+  AppendHistogramQuantileFields(fields);
   core::LogLine(core::LogLevel::kInfo, "campaign complete", fields);
 }
 

@@ -331,4 +331,36 @@ void EmitStreamHeartbeat(std::uint64_t committed_steps,
                          std::uint64_t committed_records,
                          std::size_t live_queue_depth, std::size_t every);
 
+/// Step-boundary telemetry: the heartbeat above plus the timeline sample
+/// for this committed step (DESIGN.md §15). Produce-phase series — stream
+/// counters and the netsim.bgp.* reconvergence counters, all pure
+/// functions of the committed step stream — are sampled and the produce
+/// phase closed. The ingest phase is then closed too: with the running
+/// means from `campaign` when it is non-null (batch-path callers pass
+/// null: no panel builder, so no RTT series), or empty — unless
+/// `ingest_sampled_elsewhere` is set, which the pipelined durable loop
+/// uses because its consumer thread closes the ingest phase itself via
+/// SampleTimelineIngest after the step's batch lands.
+void EmitStepTelemetry(std::uint64_t committed_steps,
+                       std::uint64_t committed_records,
+                       std::size_t live_queue_depth, std::size_t every,
+                       const StreamingCampaign* campaign,
+                       bool ingest_sampled_elsewhere);
+
+/// Samples every panel unit's running RTT mean into the timeline (series
+/// `rtt.mean.<unit>`, level-shift detector attached) and closes the
+/// step's ingest phase. Call exactly once per committed step, after the
+/// step's batch has been ingested; in the pipelined durable loop this
+/// runs on the consumer thread before the step is marked done, so
+/// quiesce/snapshot points never see a half-sampled step.
+void SampleTimelineIngest(std::uint64_t step,
+                          const StreamingCampaign& campaign);
+
+/// Declares the fixed produce-phase series (stream counters + netsim.bgp
+/// reconvergence counters) up front. Step loops call this before their
+/// first step so series ids are pinned before the pipelined consumer can
+/// declare its first rtt.mean.* series — otherwise id assignment (and so
+/// the artifact bytes) would depend on which thread sampled first.
+void DeclareStreamTelemetrySeries();
+
 }  // namespace sisyphus::measure

@@ -81,6 +81,30 @@ std::string RunManifest::ToJson(const Registry& metrics, int indent) const {
     w.UInt(durable.shed_records);
     w.EndObject();
   }
+  // Timeline rollup: how many steps/series/samples timeline.bin carries
+  // and how many detection events fired — the trigger summary consumers
+  // check before opening the binary artifact.
+  if (timeline.enabled) {
+    w.Key("timeline");
+    w.BeginObject();
+    w.Key("steps");
+    w.UInt(timeline.steps);
+    w.Key("first_step");
+    w.UInt(timeline.first_step);
+    w.Key("last_step");
+    w.UInt(timeline.last_step);
+    w.Key("series");
+    w.UInt(timeline.series);
+    w.Key("samples");
+    w.UInt(timeline.samples);
+    w.Key("events");
+    w.UInt(timeline.events);
+    w.Key("level_shift_events");
+    w.UInt(timeline.level_shift_events);
+    w.Key("churn_events");
+    w.UInt(timeline.churn_events);
+    w.EndObject();
+  }
   // ThreadPool behavior stats are wall-clock and therefore live here (the
   // chartered non-deterministic artifact), never in metrics.json.
   if (PoolStats::enabled()) {

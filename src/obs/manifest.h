@@ -42,6 +42,22 @@ struct DurableInfo {
   std::uint64_t shed_records = 0;        ///< records shed on overload
 };
 
+/// Telemetry-timeline rollup (DESIGN.md §15). Serialized as the
+/// manifest's "timeline" object when enabled; the full per-step record is
+/// timeline.bin, this block is the at-a-glance trigger summary the
+/// conditional-activation control plane (ROADMAP item 2) reads first.
+struct TimelineInfo {
+  bool enabled = false;
+  std::uint64_t steps = 0;
+  std::uint64_t first_step = 0;
+  std::uint64_t last_step = 0;
+  std::uint64_t series = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t events = 0;
+  std::uint64_t level_shift_events = 0;
+  std::uint64_t churn_events = 0;
+};
+
 struct RunManifest {
   std::string tool;    ///< binary/experiment name, e.g. "table1_ixp_synth_control"
   std::string schema = "sisyphus.run_manifest/1";
@@ -54,7 +70,8 @@ struct RunManifest {
   /// serialized in insertion order.
   std::vector<std::pair<std::string, std::string>> options;
   std::vector<PhaseTiming> phases;
-  DurableInfo durable;  ///< serialized only when durable.enabled
+  DurableInfo durable;    ///< serialized only when durable.enabled
+  TimelineInfo timeline;  ///< serialized only when timeline.enabled
 
   void AddOption(std::string key, std::string value) {
     options.emplace_back(std::move(key), std::move(value));

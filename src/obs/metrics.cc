@@ -209,6 +209,31 @@ void Histogram::Observe(double value) {
   sum_ += value;
 }
 
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the target observation; walk the cumulative counts to
+  // its bucket and interpolate linearly inside it.
+  const double target = q * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower = i == 0 ? 0.0 : upper_bounds_[i - 1];
+    // The overflow bucket has no upper edge; clamp to the last bound (the
+    // estimate is then a floor, which the snapshot's bucket counts make
+    // auditable).
+    const double upper =
+        i < upper_bounds_.size() ? upper_bounds_[i] : upper_bounds_.back();
+    const double within =
+        std::max(0.0, (target - before) / static_cast<double>(counts_[i]));
+    return lower + (upper - lower) * std::min(1.0, within);
+  }
+  return upper_bounds_.back();
+}
+
 void Histogram::Reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
@@ -296,6 +321,12 @@ std::uint64_t Registry::CounterValue(std::string_view name) const {
   return it == counters_.end() ? 0 : it->second->value();
 }
 
+const Histogram* Registry::FindHistogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 void Registry::Save(core::binio::Writer& w) const {
   std::lock_guard<std::mutex> lock(mu_);
   w.PutU64(counters_.size());
@@ -375,6 +406,14 @@ std::string Registry::SnapshotJson(int indent) const {
     w.UInt(histogram->count());
     w.Key("sum");
     w.Double(histogram->sum());
+    // Deterministic bucket-interpolated quantiles (pure functions of the
+    // counts below, so they inherit the snapshot's byte-identity).
+    w.Key("p50");
+    w.Double(histogram->Quantile(0.50));
+    w.Key("p95");
+    w.Double(histogram->Quantile(0.95));
+    w.Key("p99");
+    w.Double(histogram->Quantile(0.99));
     w.Key("upper_bounds");
     w.BeginArray();
     for (double bound : histogram->upper_bounds()) w.Double(bound);
@@ -481,7 +520,29 @@ void PoolStats::RegionEnd() {
 
 void PoolStats::WriteJson(core::json::Writer& w) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto accum = [&w](const char* key, const Accum& a, bool buckets) {
+  // Quantile estimate from the log2 buckets (bucket 0 = [0, 2), bucket b
+  // = [2^b, 2^(b+1))), linearly interpolated inside the bucket — the same
+  // scheme as Histogram::Quantile, adapted to power-of-two edges.
+  const auto log2_quantile = [](const Accum& a, double q) {
+    if (a.count == 0) return 0.0;
+    const double target = q * static_cast<double>(a.count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < a.log2_buckets.size(); ++b) {
+      if (a.log2_buckets[b] == 0) continue;
+      const double before = static_cast<double>(cumulative);
+      cumulative += a.log2_buckets[b];
+      if (static_cast<double>(cumulative) < target) continue;
+      const double lower =
+          b == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << b);
+      const double upper = static_cast<double>(std::uint64_t{1} << (b + 1));
+      const double within = std::max(
+          0.0, (target - before) / static_cast<double>(a.log2_buckets[b]));
+      return lower + (upper - lower) * std::min(1.0, within);
+    }
+    return a.max;
+  };
+  const auto accum = [&w, &log2_quantile](const char* key, const Accum& a,
+                                          bool buckets) {
     w.Key(key);
     w.BeginObject();
     w.Key("count");
@@ -493,6 +554,12 @@ void PoolStats::WriteJson(core::json::Writer& w) const {
     w.Key("max");
     w.Double(a.max);
     if (buckets) {
+      w.Key("p50");
+      w.Double(log2_quantile(a, 0.50));
+      w.Key("p95");
+      w.Double(log2_quantile(a, 0.95));
+      w.Key("p99");
+      w.Double(log2_quantile(a, 0.99));
       w.Key("log2_buckets");
       w.BeginArray();
       for (std::uint64_t count : a.log2_buckets) w.UInt(count);

@@ -103,6 +103,13 @@ class Histogram {
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
+  /// Deterministic quantile estimate from the bucket counts: finds the
+  /// bucket holding the q-th observation and interpolates linearly inside
+  /// it ([0, bounds[0]] for the first, clamped to the last bound for the
+  /// overflow bucket). A pure function of the counts — identical across
+  /// thread counts and kill/resume, unlike a sample-based quantile.
+  /// q in [0, 1]; 0 when the histogram is empty.
+  double Quantile(double q) const;
   void Reset();
   /// Overwrites the full bucket state (snapshot restore). `counts` must
   /// have upper_bounds() + 1 entries; mismatches are ignored.
@@ -153,6 +160,10 @@ class Registry {
 
   /// Value of a counter, 0 when absent — convenience for tests/benches.
   std::uint64_t CounterValue(std::string_view name) const;
+
+  /// Registered histogram by name, nullptr when absent. Read-only — never
+  /// registers; the pointer is stable for the registry's lifetime.
+  const Histogram* FindHistogram(std::string_view name) const;
 
   /// Serializes every registered metric (names, values, histogram bucket
   /// state) for a durable snapshot. Load() registers any missing metric

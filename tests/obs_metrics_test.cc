@@ -66,6 +66,43 @@ TEST_F(RegistryTest, HistogramBucketsByUpperBound) {
   EXPECT_DOUBLE_EQ(histogram->sum(), 1006.5);
 }
 
+// Quantiles interpolate linearly inside the bucket holding the q-th
+// observation; a pure function of the bucket counts, so identical across
+// thread counts and kill/resume.
+TEST_F(RegistryTest, HistogramQuantilesInterpolateWithinBuckets) {
+  Histogram* histogram =
+      Registry::Global().GetHistogram("test.hist.quantile", {10.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 0.0);  // empty
+
+  for (int i = 0; i < 10; ++i) histogram->Observe(5.0);   // bucket [0, 10]
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(1.0), 10.0);
+
+  for (int i = 0; i < 10; ++i) histogram->Observe(15.0);  // bucket (10, 20]
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.5), 10.0);   // boundary
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.75), 15.0);  // mid second bucket
+
+  // Overflow observations clamp to the last bound rather than invent an
+  // upper edge.
+  for (int i = 0; i < 5; ++i) histogram->Observe(1000.0);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.99), 40.0);
+  EXPECT_DOUBLE_EQ(histogram->Quantile(0.0), 0.0);
+}
+
+// The snapshot surfaces p50/p95/p99 for every histogram.
+TEST_F(RegistryTest, SnapshotCarriesHistogramQuantiles) {
+  Registry::Global().GetHistogram("test.hist.snapq")->Observe(3.0);
+  auto parsed = core::json::Parse(Registry::Global().SnapshotJson());
+  ASSERT_TRUE(parsed.ok());
+  const auto* histogram =
+      parsed.value().Find("histograms")->Find("test.hist.snapq");
+  ASSERT_NE(histogram, nullptr);
+  for (const char* key : {"p50", "p95", "p99"}) {
+    ASSERT_NE(histogram->Find(key), nullptr) << key;
+    EXPECT_TRUE(histogram->Find(key)->is_number()) << key;
+  }
+}
+
 TEST_F(RegistryTest, DisabledRegistryIsANoOp) {
   Registry::Enable(false);
   Counter* counter = Registry::Global().GetCounter("test.counter.off");

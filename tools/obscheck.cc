@@ -1,12 +1,14 @@
 // obscheck — schema validator for the --obs-out artifact set.
 //
 //   obscheck <dir>            validates <dir>/{manifest,metrics,trace}.json
-//                             plus lineage.json and the indexed audit.bin
+//                             plus lineage.json, the indexed audit.bin,
+//                             and the telemetry timeline timeline.bin
 //   obscheck --manifest FILE  validates a single artifact by role
 //   obscheck --metrics FILE
 //   obscheck --trace FILE
 //   obscheck --lineage FILE
 //   obscheck --audit FILE
+//   obscheck --timeline FILE
 //
 // Checks that each file parses as JSON (core::json::Parse, no third-party
 // dependency) and conforms to its schema: sisyphus.run_manifest/1 for the
@@ -19,10 +21,15 @@
 // --check). The binary audit index (sisyphus.audit/1, audit.bin) is
 // opened with the mmap reader, every section checksum is verified, and
 // its run headers are cross-checked against lineage.json — the index
-// must describe the same campaign as the JSON it summarizes. Exit 0 =
-// all good; 1 = any violation (each printed with its JSON path). CI runs
-// this after the table1 --obs-out smoke run, and a tier-1 ctest runs it
-// against a real campaign's artifacts.
+// must describe the same campaign as the JSON it summarizes. The
+// telemetry timeline (sisyphus.timeline/1, timeline.bin, DESIGN.md §15)
+// is fully re-parsed — section checksums, monotone event steps, series
+// density, event/series cross-references all live in the reader — and
+// its step/series/event counts are cross-checked against manifest.json's
+// "timeline" summary block. Exit 0 = all good; 1 = any violation (each
+// printed with its JSON path). CI runs this after the table1 --obs-out
+// smoke run, and a tier-1 ctest runs it against a real campaign's
+// artifacts.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -31,6 +38,7 @@
 #include "artifact_io.h"
 #include "audit/reader.h"
 #include "core/json.h"
+#include "obs/timeline.h"
 
 namespace {
 
@@ -414,6 +422,73 @@ void CheckAuditFile(const std::string& path, const Value* lineage_root) {
   }
 }
 
+/// Validates the telemetry timeline: the reader's Parse() already
+/// verifies framing (magic, version, every section checksum, table
+/// closure), series density, event step-ordering, and event/series
+/// cross-references, so structural failure is a single loud error here.
+/// On top of that the summary block the manifest carries (written from
+/// the in-memory Timeline before the artifact) must agree with the
+/// artifact's own counts — a mismatch means manifest.json and
+/// timeline.bin came from different runs.
+void CheckTimelineFile(const std::string& path, const Value* manifest_root) {
+  sisyphus::obs::TimelineReader reader;
+  std::string error;
+  if (!reader.OpenFile(path, &error)) {
+    Fail(path, error);
+    return;
+  }
+  std::printf("check %s\n", path.c_str());
+  const std::string where = "timeline";
+  std::uint64_t samples = 0;
+  for (const sisyphus::obs::TimelineSeriesView& series : reader.series()) {
+    samples += series.sample_count;
+  }
+  std::uint64_t level_shift = 0;
+  std::uint64_t churn = 0;
+  for (std::size_t i = 0; i < reader.events().size(); ++i) {
+    const sisyphus::obs::DetectionEvent& event = reader.events()[i];
+    switch (reader.series()[event.series].detector) {
+      case sisyphus::obs::DetectorKind::kLevelShift:
+        ++level_shift;
+        break;
+      case sisyphus::obs::DetectorKind::kChurn:
+        ++churn;
+        break;
+      case sisyphus::obs::DetectorKind::kNone:
+        Fail(where + ".events[" + std::to_string(i) + "]",
+             "event on a series with no detector");
+        break;
+    }
+  }
+  if (manifest_root == nullptr) return;
+  const Value* timeline = manifest_root->Find("timeline");
+  if (timeline == nullptr || !timeline->is_object()) {
+    Fail("manifest.timeline",
+         "missing — manifest written without a timeline summary, or from "
+         "a different run than timeline.bin");
+    return;
+  }
+  const auto cross_check = [&](const char* key, std::uint64_t artifact) {
+    const Value* json =
+        Require(*timeline, "manifest.timeline", key, Value::Kind::kNumber);
+    if (json != nullptr &&
+        static_cast<std::uint64_t>(json->number) != artifact) {
+      Fail(std::string("manifest.timeline.") + key,
+           "manifest says " +
+               std::to_string(static_cast<std::uint64_t>(json->number)) +
+               ", timeline.bin says " + std::to_string(artifact));
+    }
+  };
+  cross_check("steps", reader.steps());
+  cross_check("first_step", reader.first_step());
+  cross_check("last_step", reader.last_step());
+  cross_check("series", reader.series().size());
+  cross_check("samples", samples);
+  cross_check("events", reader.events().size());
+  cross_check("level_shift_events", level_shift);
+  cross_check("churn_events", churn);
+}
+
 /// Loads one JSON artifact (shared loader, exact legacy diagnostics),
 /// prints the "check <path>" breadcrumb, and runs its schema check.
 /// `keep` (optional) receives the parsed root for cross-file checks.
@@ -434,7 +509,7 @@ void PrintUsage() {
   std::printf(
       "usage: obscheck <obs-out-dir>\n"
       "       obscheck --manifest FILE | --metrics FILE | --trace FILE |"
-      " --lineage FILE | --audit FILE\n");
+      " --lineage FILE | --audit FILE | --timeline FILE\n");
 }
 
 }  // namespace
@@ -454,24 +529,30 @@ int main(int argc, char** argv) {
     LoadAndCheck(argv[2], CheckLineage);
   } else if (std::strcmp(argv[1], "--audit") == 0 && argc > 2) {
     CheckAuditFile(argv[2], nullptr);
+  } else if (std::strcmp(argv[1], "--timeline") == 0 && argc > 2) {
+    CheckTimelineFile(argv[2], nullptr);
   } else if (argv[1][0] == '-') {
     PrintUsage();
     return 1;
   } else {
     const std::string dir = argv[1];
-    LoadAndCheck(dir + "/manifest.json", CheckManifest);
+    Value manifest_root;
+    const bool have_manifest =
+        LoadAndCheck(dir + "/manifest.json", CheckManifest, &manifest_root);
     LoadAndCheck(dir + "/metrics.json", CheckMetrics);
     LoadAndCheck(dir + "/trace.json", CheckTrace);
-    // The writer emits the full artifact set, so a missing lineage.json
-    // or audit.bin means the run died mid-write or the dir predates the
-    // schema — either way "skip silently" would let a broken producer
-    // pass CI. Use --lineage / --audit on a single file to validate
-    // legacy dirs piecemeal.
+    // The writer emits the full artifact set, so a missing lineage.json,
+    // audit.bin, or timeline.bin means the run died mid-write or the dir
+    // predates the schema — either way "skip silently" would let a
+    // broken producer pass CI. Use --lineage / --audit / --timeline on a
+    // single file to validate legacy dirs piecemeal.
     Value lineage_root;
     const bool have_lineage =
         LoadAndCheck(dir + "/lineage.json", CheckLineage, &lineage_root);
     CheckAuditFile(dir + "/" + sisyphus::audit::kAuditFileName,
                    have_lineage ? &lineage_root : nullptr);
+    CheckTimelineFile(dir + "/timeline.bin",
+                      have_manifest ? &manifest_root : nullptr);
   }
   if (g_errors > 0) {
     std::printf("obscheck: %d violation(s)\n", g_errors);
